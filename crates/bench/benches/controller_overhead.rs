@@ -1,0 +1,46 @@
+//! Criterion bench for the Figure 5 experiment: cost of one controller
+//! invocation as the number of controlled processes grows, plus the
+//! end-to-end overhead measurement at a few process counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_bench::fig5::controller_utilisation;
+use rrs_core::{Controller, ControllerConfig, JobId, JobSpec};
+use rrs_queue::MetricRegistry;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_control_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/control_cycle");
+    for &jobs in &[1usize, 10, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let registry = MetricRegistry::new();
+            let mut controller = Controller::new(ControllerConfig::default(), registry);
+            for i in 0..jobs {
+                controller
+                    .add_job(JobId(i as u64), JobSpec::miscellaneous())
+                    .unwrap();
+            }
+            let usage = BTreeMap::new();
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 0.01;
+                black_box(controller.control_cycle(t, &usage));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overhead_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/simulated_overhead");
+    group.sample_size(10);
+    for &jobs in &[0usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(controller_utilisation(jobs, 0.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_cycle, bench_overhead_measurement);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure 8 experiment: the dispatcher's cost per
+//! decision and the end-to-end available-CPU measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_bench::fig8::available_cpu;
+use rrs_scheduler::{
+    Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadClass, ThreadId,
+};
+use std::hint::black_box;
+
+fn bench_dispatch_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/dispatch_decision");
+    for &threads in &[1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            let mut d = Dispatcher::new(DispatcherConfig::default());
+            for i in 0..n {
+                let ppt = (900 / n.max(1)) as u32;
+                d.add_thread(
+                    ThreadId(i as u64),
+                    ThreadClass::Reserved(Reservation::new(
+                        Proportion::from_ppt(ppt.max(1)),
+                        Period::from_millis(10),
+                    )),
+                )
+                .unwrap();
+            }
+            b.iter(|| black_box(d.run_quantum()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_available_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/available_cpu");
+    group.sample_size(10);
+    for &freq in &[100.0f64, 4000.0, 10000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(freq as u64), &freq, |b, &f| {
+            b.iter(|| black_box(available_cpu(f, 0.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_decision, bench_available_cpu);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the individual building blocks: PID update, pressure
+//! sampling, squishing and bounded-buffer operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_core::{squish_weighted, Importance, SquishPolicy};
+use rrs_core::squish::{squish, SquishRequest};
+use rrs_feedback::{PidConfig, PidController};
+use rrs_queue::{BoundedBuffer, JobKey, MetricRegistry, Role};
+use rrs_scheduler::Proportion;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_pid(c: &mut Criterion) {
+    c.bench_function("micro/pid_update", |b| {
+        let mut pid = PidController::new(PidConfig::default());
+        let mut e = 0.3;
+        b.iter(|| {
+            e = -e;
+            black_box(pid.update(e, 0.01))
+        });
+    });
+}
+
+fn bench_registry_pressure(c: &mut Criterion) {
+    c.bench_function("micro/registry_summed_pressure", |b| {
+        let registry = MetricRegistry::new();
+        let queue = Arc::new(BoundedBuffer::<u32>::new("q", 64));
+        for i in 0..32 {
+            queue.try_push(i).unwrap();
+        }
+        registry.register(JobKey(1), Role::Consumer, queue.clone());
+        registry.register(JobKey(1), Role::Producer, queue);
+        b.iter(|| black_box(registry.summed_pressure(JobKey(1))));
+    });
+}
+
+fn bench_squish(c: &mut Criterion) {
+    c.bench_function("micro/squish_weighted_32_jobs", |b| {
+        let requests: Vec<SquishRequest> = (0..32)
+            .map(|i| {
+                SquishRequest::new(Proportion::from_ppt(100 + i * 10))
+                    .with_importance(Importance::new(1.0 + i as f64 / 8.0))
+            })
+            .collect();
+        b.iter(|| black_box(squish_weighted(&requests, Proportion::from_ppt(900))));
+    });
+    c.bench_function("micro/squish_fair_share_32_jobs", |b| {
+        let requests: Vec<SquishRequest> = (0..32)
+            .map(|i| SquishRequest::new(Proportion::from_ppt(100 + i * 10)))
+            .collect();
+        b.iter(|| {
+            black_box(squish(
+                SquishPolicy::FairShare,
+                &requests,
+                Proportion::from_ppt(900),
+            ))
+        });
+    });
+}
+
+fn bench_bounded_buffer(c: &mut Criterion) {
+    c.bench_function("micro/bounded_buffer_push_pop", |b| {
+        let buf = BoundedBuffer::new("q", 1024);
+        b.iter(|| {
+            buf.try_push(black_box(1u64)).ok();
+            black_box(buf.try_pop())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pid,
+    bench_registry_pressure,
+    bench_squish,
+    bench_bounded_buffer
+);
+criterion_main!(benches);

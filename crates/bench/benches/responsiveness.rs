@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 6 experiment: simulating the pulse
+//! pipeline under the adaptive controller.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_bench::fig6::{run, Fig6Params};
+use rrs_feedback::PulseTrain;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/responsiveness");
+    group.sample_size(10);
+    group.bench_function("pulse_pipeline_10s", |b| {
+        b.iter(|| {
+            let mut params = Fig6Params::default();
+            params.duration_s = 10.0;
+            params.pipeline.production_rate =
+                PulseTrain::new(2.5e-5, 5.0e-5, vec![(3.0, 5.0)]);
+            black_box(run(params))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 7 experiment: pulse pipeline plus CPU hog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_bench::fig7::{run, Fig7Params};
+use rrs_feedback::PulseTrain;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/under_load");
+    group.sample_size(10);
+    group.bench_function("pipeline_plus_hog_10s", |b| {
+        b.iter(|| {
+            let mut params = Fig7Params::default();
+            params.base.duration_s = 10.0;
+            params.base.pipeline.production_rate =
+                PulseTrain::new(2.5e-5, 5.0e-5, vec![(3.0, 5.0)]);
+            black_box(run(params))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation: bounded-buffer capacity vs. fill-level swing and response time.
+
+use rrs_bench::ablations::buffer_size;
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = buffer_size(30.0);
+    print_report(&record);
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

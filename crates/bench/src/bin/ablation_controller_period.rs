@@ -1,0 +1,13 @@
+//! Ablation: controller period (10 ms / 30 ms / 100 ms) vs. responsiveness
+//! and overhead.
+
+use rrs_bench::ablations::controller_period;
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = controller_period(30.0);
+    print_report(&record);
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Ablation: the §3.3 period-estimation heuristic, which the paper disabled
+//! for all of its experiments.
+
+use rrs_bench::ablations::period_estimation;
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = period_estimation(20.0);
+    print_report(&record);
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

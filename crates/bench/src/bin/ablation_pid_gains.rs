@@ -1,0 +1,12 @@
+//! Ablation: P-only vs. PI vs. PID pressure control on the Figure 6 pulse.
+
+use rrs_bench::ablations::pid_gains;
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = pid_gains(30.0);
+    print_report(&record);
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablation: fair-share vs. importance-weighted squishing under overload.
+
+use rrs_bench::ablations::squish_policy;
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = squish_policy(15.0);
+    print_report(&record);
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: controller responsiveness to a variable-rate
+//! producer on an otherwise idle system.
+//!
+//! Run with `cargo run -p rrs-bench --release --bin fig6_responsiveness`.
+
+use rrs_bench::fig6::{run, Fig6Params};
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = run(Fig6Params::default());
+    print_report(&record);
+    println!("Paper: the controller takes roughly 1/3 s to respond to the doubled rate;");
+    println!("the queue fill level returns towards 1/2 after each pulse.");
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: the pulse pipeline competing with a CPU hog.
+//!
+//! Run with `cargo run -p rrs-bench --release --bin fig7_under_load`.
+
+use rrs_bench::fig7::{run, Fig7Params};
+use rrs_bench::{print_report, write_json};
+
+fn main() {
+    let record = run(Fig7Params::default());
+    print_report(&record);
+    println!("Paper: the producer keeps its fixed reservation; the hog and consumer are");
+    println!("squished, with the consumer winning allocation from the hog as it falls behind.");
+    if let Some(path) = write_json(&record) {
+        println!("Wrote {}", path.display());
+    }
+}

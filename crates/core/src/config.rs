@@ -1,0 +1,142 @@
+//! Controller configuration.
+
+use crate::cost::ControllerCostModel;
+use crate::squish::SquishPolicy;
+use rrs_feedback::PidConfig;
+use rrs_scheduler::{Period, Proportion};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive controller.
+///
+/// The defaults correspond to the paper's prototype: a 10 ms controller
+/// period (100 Hz sampling), a 30 ms default dispatch period for jobs that
+/// do not specify one, a 95 % overload threshold, and period estimation
+/// disabled (as it was for all experiments in §4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// How often the controller runs, in seconds (paper: 10 ms).
+    pub controller_period_s: f64,
+    /// PID gains applied to the summed progress pressure to produce the
+    /// cumulative pressure `Q_t`.
+    pub pid: PidConfig,
+    /// The constant scaling factor `k` of Figure 4, in parts per thousand
+    /// of CPU per unit of cumulative pressure.
+    pub gain_k_ppt: f64,
+    /// The constant decrement `C` of Figure 4, in parts per thousand,
+    /// applied when the previous allocation was too generous.
+    pub reclaim_ppt: u32,
+    /// A job is "too generous" when it used less than this fraction of its
+    /// allocation in the last period.
+    pub usage_threshold: f64,
+    /// The constant pseudo-pressure applied to miscellaneous jobs, so that
+    /// they keep asking for more CPU until satisfied or squished.
+    pub misc_pressure: f64,
+    /// The smallest proportion any job may be assigned; keeping this
+    /// non-zero is what rules out starvation.
+    pub min_proportion: Proportion,
+    /// The largest proportion the controller will hand to a single job.
+    pub max_proportion: Proportion,
+    /// Default period assigned to jobs that do not specify one (paper:
+    /// 30 ms).
+    pub default_period: Period,
+    /// Total allocation (parts per thousand) the controller will hand out;
+    /// beyond this it squishes.  Mirrors the RBS admission threshold.
+    pub overload_threshold_ppt: u32,
+    /// Policy used to squish real-rate and miscellaneous jobs on overload.
+    pub squish_policy: SquishPolicy,
+    /// Pressure magnitude at which a quality exception is raised for an
+    /// overloaded real-rate job (a nearly full or nearly empty queue).
+    pub quality_exception_pressure: f64,
+    /// Whether the period-estimation heuristic of §3.3 runs (the paper
+    /// disabled it for all experiments).
+    pub period_estimation: bool,
+    /// Model of the controller's own execution cost (Figure 5).
+    pub cost_model: ControllerCostModel,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            controller_period_s: 0.010,
+            pid: PidConfig {
+                kp: 0.6,
+                ki: 6.0,
+                kd: 0.01,
+                integral_limit: 2.0,
+                output_limit: 2.5,
+            },
+            gain_k_ppt: 500.0,
+            reclaim_ppt: 20,
+            usage_threshold: 0.5,
+            misc_pressure: 0.25,
+            min_proportion: Proportion::MIN_NONZERO,
+            max_proportion: Proportion::FULL,
+            default_period: Period::DEFAULT,
+            overload_threshold_ppt: 950,
+            squish_policy: SquishPolicy::WeightedFairShare,
+            quality_exception_pressure: 0.45,
+            period_estimation: false,
+            cost_model: ControllerCostModel::default(),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Returns a copy with a different controller period.
+    pub fn with_controller_period(mut self, seconds: f64) -> Self {
+        self.controller_period_s = seconds;
+        self
+    }
+
+    /// Returns a copy with different PID gains.
+    pub fn with_pid(mut self, pid: PidConfig) -> Self {
+        self.pid = pid;
+        self
+    }
+
+    /// Returns a copy with a different squish policy.
+    pub fn with_squish_policy(mut self, policy: SquishPolicy) -> Self {
+        self.squish_policy = policy;
+        self
+    }
+
+    /// Returns a copy with period estimation enabled or disabled.
+    pub fn with_period_estimation(mut self, enabled: bool) -> Self {
+        self.period_estimation = enabled;
+        self
+    }
+
+    /// Sampling frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        1.0 / self.controller_period_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ControllerConfig::default();
+        assert_eq!(c.controller_period_s, 0.010);
+        assert_eq!(c.frequency_hz(), 100.0);
+        assert_eq!(c.default_period, Period::from_millis(30));
+        assert_eq!(c.overload_threshold_ppt, 950);
+        assert!(!c.period_estimation);
+        assert_eq!(c.min_proportion.ppt(), 1);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let c = ControllerConfig::default()
+            .with_controller_period(0.03)
+            .with_squish_policy(SquishPolicy::FairShare)
+            .with_period_estimation(true)
+            .with_pid(PidConfig::p_only(1.0));
+        assert_eq!(c.controller_period_s, 0.03);
+        assert_eq!(c.squish_policy, SquishPolicy::FairShare);
+        assert!(c.period_estimation);
+        assert_eq!(c.pid.ki, 0.0);
+    }
+}

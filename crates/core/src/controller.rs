@@ -1,0 +1,797 @@
+//! The adaptive controller tying monitoring, estimation and actuation
+//! together.
+
+use crate::config::ControllerConfig;
+use crate::estimator::ProportionEstimator;
+use crate::events::{ControllerEvent, QualityException};
+use crate::period::PeriodEstimator;
+use crate::pressure::PressureEstimator;
+use crate::squish::{squish, Importance, SquishRequest};
+use crate::taxonomy::{JobClass, JobSpec};
+use rrs_queue::{JobKey, MetricRegistry};
+use rrs_scheduler::{Period, Proportion, Reservation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies a job to the controller.
+///
+/// A job is "a collection of cooperating threads"; in this reproduction each
+/// controller job maps to one schedulable thread, and the same raw id is
+/// used for the scheduler's `ThreadId` and the registry's `JobKey`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// The registry key corresponding to this job.
+    pub fn key(self) -> JobKey {
+        JobKey(self.0)
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Per-job usage feedback the caller provides to each control cycle,
+/// normally read from the dispatcher's accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageSnapshot {
+    /// Fraction of the allocation the job used in its last completed
+    /// period, in `[0, 1]`.
+    pub usage_ratio: f64,
+}
+
+impl Default for UsageSnapshot {
+    fn default() -> Self {
+        Self { usage_ratio: 1.0 }
+    }
+}
+
+/// One actuation: the reservation the scheduler should apply to a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Actuation {
+    /// The job whose reservation changes.
+    pub job: JobId,
+    /// The new reservation.
+    pub reservation: Reservation,
+}
+
+/// The result of one control cycle.
+#[derive(Debug, Clone, Default)]
+pub struct ControlOutput {
+    /// Reservations to apply, one per managed job.
+    pub actuations: Vec<Actuation>,
+    /// Noteworthy events (squishes, quality exceptions, admissions).
+    pub events: Vec<ControllerEvent>,
+    /// Modelled execution cost of this controller invocation, in
+    /// microseconds (Figure 5).
+    pub cost_us: f64,
+    /// Sum of the granted proportions, in parts per thousand.
+    pub total_granted_ppt: u32,
+}
+
+impl ControlOutput {
+    /// Looks up the actuation for a job, if any.
+    pub fn actuation_for(&self, job: JobId) -> Option<Actuation> {
+        self.actuations.iter().copied().find(|a| a.job == job)
+    }
+
+    /// Returns the quality exceptions raised this cycle.
+    pub fn quality_exceptions(&self) -> Vec<QualityException> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ControllerEvent::Quality(q) => Some(*q),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    importance: Importance,
+    pressure: PressureEstimator,
+    period_estimator: PeriodEstimator,
+    period: Period,
+    granted: Proportion,
+}
+
+/// Errors returned when registering jobs with the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The job id is already registered.
+    Duplicate(JobId),
+    /// Admission control rejected a real-time reservation.
+    Rejected {
+        /// The proportion requested.
+        requested: Proportion,
+        /// The proportion available for real-time reservations.
+        available: Proportion,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Duplicate(id) => write!(f, "{id} is already registered"),
+            AdmitError::Rejected {
+                requested,
+                available,
+            } => write!(
+                f,
+                "real-time admission rejected: requested {requested}, available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// The feedback-driven proportion allocator.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_core::{Controller, ControllerConfig, JobId, JobSpec};
+/// use rrs_queue::MetricRegistry;
+/// use std::collections::BTreeMap;
+///
+/// let registry = MetricRegistry::new();
+/// let mut controller = Controller::new(ControllerConfig::default(), registry);
+/// controller.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+/// let out = controller.control_cycle(0.01, &BTreeMap::new());
+/// assert_eq!(out.actuations.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Controller {
+    config: ControllerConfig,
+    registry: MetricRegistry,
+    estimator: ProportionEstimator,
+    jobs: BTreeMap<JobId, JobEntry>,
+    last_cycle: Option<f64>,
+    cycles: u64,
+}
+
+impl Controller {
+    /// Creates a controller over the given metric registry.
+    pub fn new(config: ControllerConfig, registry: MetricRegistry) -> Self {
+        Self {
+            estimator: ProportionEstimator::new(&config),
+            config,
+            registry,
+            jobs: BTreeMap::new(),
+            last_cycle: None,
+            cycles: 0,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The metric registry the controller samples.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Number of managed jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of control cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Ids of all managed jobs.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().copied().collect()
+    }
+
+    /// The class the controller currently assigns to a job.
+    ///
+    /// A job registered without a progress metric is reclassified as
+    /// real-rate as soon as a metric is attached to it in the registry, and
+    /// vice versa, so the class can change over a job's lifetime.
+    pub fn job_class(&self, job: JobId) -> Option<JobClass> {
+        let entry = self.jobs.get(&job)?;
+        Some(self.effective_spec(job, entry).classify())
+    }
+
+    /// The proportion most recently granted to a job.
+    pub fn granted(&self, job: JobId) -> Option<Proportion> {
+        self.jobs.get(&job).map(|e| e.granted)
+    }
+
+    /// Registers a job with default importance.
+    pub fn add_job(&mut self, job: JobId, spec: JobSpec) -> Result<(), AdmitError> {
+        self.add_job_with_importance(job, spec, Importance::NORMAL)
+    }
+
+    /// Registers a job with an explicit importance weight.
+    ///
+    /// Real-time jobs (proportion and period both specified) are subject to
+    /// admission control: if the requested proportion does not fit under the
+    /// overload threshold together with the already-admitted real-time jobs,
+    /// the registration is rejected.
+    pub fn add_job_with_importance(
+        &mut self,
+        job: JobId,
+        spec: JobSpec,
+        importance: Importance,
+    ) -> Result<(), AdmitError> {
+        if self.jobs.contains_key(&job) {
+            return Err(AdmitError::Duplicate(job));
+        }
+        let class = spec.classify();
+        if matches!(class, JobClass::RealTime | JobClass::AperiodicRealTime) {
+            let requested = spec.proportion.unwrap_or(Proportion::ZERO);
+            let reserved = self.fixed_total_ppt();
+            let available =
+                Proportion::from_ppt(self.config.overload_threshold_ppt.saturating_sub(reserved));
+            if requested.ppt() > available.ppt() {
+                return Err(AdmitError::Rejected {
+                    requested,
+                    available,
+                });
+            }
+        }
+        let period = spec.period.unwrap_or(self.config.default_period);
+        let initial = match class {
+            JobClass::RealTime | JobClass::AperiodicRealTime => {
+                spec.proportion.unwrap_or(self.config.min_proportion)
+            }
+            _ => self.config.min_proportion,
+        };
+        self.jobs.insert(
+            job,
+            JobEntry {
+                spec,
+                importance,
+                pressure: PressureEstimator::new(self.config.pid),
+                period_estimator: PeriodEstimator::with_defaults(),
+                period,
+                granted: initial,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a job and detaches its registry entries.
+    pub fn remove_job(&mut self, job: JobId) -> bool {
+        let removed = self.jobs.remove(&job).is_some();
+        if removed {
+            self.registry.unregister_job(job.key());
+        }
+        removed
+    }
+
+    /// Changes a job's importance weight.
+    pub fn set_importance(&mut self, job: JobId, importance: Importance) -> bool {
+        match self.jobs.get_mut(&job) {
+            Some(e) => {
+                e.importance = importance;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sum of the proportions promised to real-time and aperiodic real-time
+    /// jobs (these cannot be squished).
+    fn fixed_total_ppt(&self) -> u32 {
+        self.jobs
+            .values()
+            .filter(|e| !e.spec.classify().is_squishable())
+            .filter_map(|e| e.spec.proportion.map(|p| p.ppt()))
+            .sum()
+    }
+
+    /// The spec with `has_progress_metric` refreshed from the registry, so
+    /// that attaching a queue at run time promotes a miscellaneous job to
+    /// real-rate.
+    fn effective_spec(&self, job: JobId, entry: &JobEntry) -> JobSpec {
+        let has_metric = !self.registry.attachments_for(job.key()).is_empty();
+        entry.spec.with_progress_metric(has_metric)
+    }
+
+    /// Runs one control cycle at time `now_s` (seconds).
+    ///
+    /// `usage` supplies per-job usage feedback from the dispatcher; jobs
+    /// missing from the map are assumed to have used their full allocation.
+    /// Returns the reservations to actuate and any events raised.
+    pub fn control_cycle(
+        &mut self,
+        now_s: f64,
+        usage: &BTreeMap<JobId, UsageSnapshot>,
+    ) -> ControlOutput {
+        let dt = match self.last_cycle {
+            Some(prev) if now_s > prev => now_s - prev,
+            _ => self.config.controller_period_s,
+        };
+        self.last_cycle = Some(now_s);
+        self.cycles += 1;
+
+        let mut events = Vec::new();
+
+        // Phase 1: per-job desired allocations.
+        let mut fixed: Vec<(JobId, Proportion, Period)> = Vec::new();
+        let mut adaptive: Vec<(JobId, Proportion, Period, f64)> = Vec::new();
+
+        let job_ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        for job in job_ids {
+            let spec = {
+                let entry = self.jobs.get(&job).expect("job exists");
+                self.effective_spec(job, entry)
+            };
+            let class = spec.classify();
+            let entry = self.jobs.get_mut(&job).expect("job exists");
+
+            match class {
+                JobClass::RealTime => {
+                    let p = spec.proportion.expect("real-time has proportion");
+                    let t = spec.period.expect("real-time has period");
+                    entry.period = t;
+                    fixed.push((job, p, t));
+                }
+                JobClass::AperiodicRealTime => {
+                    let p = spec.proportion.expect("aperiodic has proportion");
+                    entry.period = self.config.default_period;
+                    fixed.push((job, p, entry.period));
+                }
+                JobClass::RealRate | JobClass::Miscellaneous => {
+                    let summed = if class == JobClass::RealRate {
+                        self.registry
+                            .summed_pressure(job.key())
+                            .unwrap_or(self.config.misc_pressure)
+                    } else {
+                        // Constant positive pressure: keep asking for more
+                        // CPU until satisfied or squished.
+                        self.config.misc_pressure
+                    };
+                    let q = entry.pressure.update(summed, dt);
+                    let usage_ratio = usage.get(&job).copied().unwrap_or_default().usage_ratio;
+                    let outcome = self.estimator.estimate(entry.granted, q, usage_ratio);
+                    if outcome.reclaimed {
+                        // Damp the PID state so the reclaimed allocation is
+                        // not immediately re-requested.
+                        let target = if entry.granted.ppt() > 0 {
+                            outcome.desired.ppt() as f64 / entry.granted.ppt() as f64
+                        } else {
+                            0.0
+                        };
+                        entry.pressure.scale_state(target.clamp(0.0, 1.0));
+                    }
+
+                    // Period assignment for adaptive jobs.
+                    if self.config.period_estimation && class == JobClass::RealRate {
+                        let fills: Vec<f64> = self
+                            .registry
+                            .attachments_for(job.key())
+                            .iter()
+                            .map(|a| a.sample().fraction())
+                            .collect();
+                        for f in fills {
+                            entry.period_estimator.observe_fill(f);
+                        }
+                        entry.period =
+                            entry.period_estimator.end_period(entry.granted, entry.period);
+                    } else if entry.spec.period.is_none() {
+                        entry.period = self.config.default_period;
+                    }
+                    adaptive.push((job, outcome.desired, entry.period, q));
+                }
+            }
+        }
+
+        // Phase 2: overload detection and squishing.
+        let fixed_total: u32 = fixed.iter().map(|(_, p, _)| p.ppt()).sum();
+        let available_ppt = self
+            .config
+            .overload_threshold_ppt
+            .saturating_sub(fixed_total);
+        let desired_total: u64 = adaptive.iter().map(|(_, p, _, _)| p.ppt() as u64).sum();
+
+        let granted: Vec<Proportion> = if desired_total > available_ppt as u64 {
+            events.push(ControllerEvent::Squished {
+                desired_total_ppt: desired_total,
+                available_ppt,
+            });
+            let requests: Vec<SquishRequest> = adaptive
+                .iter()
+                .map(|(job, desired, _, _)| SquishRequest {
+                    desired: *desired,
+                    importance: self.jobs[job].importance,
+                    floor: self.config.min_proportion,
+                })
+                .collect();
+            squish(
+                self.config.squish_policy,
+                &requests,
+                Proportion::from_ppt(available_ppt),
+            )
+        } else {
+            adaptive.iter().map(|(_, p, _, _)| *p).collect()
+        };
+
+        // Phase 3: quality exceptions and actuation list.
+        let mut actuations = Vec::with_capacity(self.jobs.len());
+        let mut total_granted: u32 = 0;
+
+        for (job, proportion, period) in &fixed {
+            total_granted += proportion.ppt();
+            self.jobs.get_mut(job).expect("job exists").granted = *proportion;
+            actuations.push(Actuation {
+                job: *job,
+                reservation: Reservation::new(*proportion, *period),
+            });
+        }
+
+        for ((job, desired, period, q), grant) in adaptive.iter().zip(granted.iter()) {
+            total_granted += grant.ppt();
+            let entry = self.jobs.get_mut(job).expect("job exists");
+            entry.granted = *grant;
+            if grant.ppt() < desired.ppt()
+                && q.abs() >= self.config.quality_exception_pressure
+            {
+                events.push(ControllerEvent::Quality(QualityException {
+                    job: *job,
+                    desired: *desired,
+                    granted: *grant,
+                    pressure: *q,
+                    time: now_s,
+                }));
+            }
+            actuations.push(Actuation {
+                job: *job,
+                reservation: Reservation::new(*grant, *period),
+            });
+        }
+
+        ControlOutput {
+            actuations,
+            events,
+            cost_us: self.config.cost_model.invocation_cost_us(self.jobs.len()),
+            total_granted_ppt: total_granted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_queue::{BoundedBuffer, Role};
+    use std::sync::Arc;
+
+    fn controller() -> (Controller, MetricRegistry) {
+        let registry = MetricRegistry::new();
+        let c = Controller::new(ControllerConfig::default(), registry.clone());
+        (c, registry)
+    }
+
+    fn run_cycles(c: &mut Controller, n: usize, dt: f64) -> ControlOutput {
+        let usage = BTreeMap::new();
+        let mut out = ControlOutput::default();
+        for i in 1..=n {
+            out = c.control_cycle(i as f64 * dt, &usage);
+        }
+        out
+    }
+
+    #[test]
+    fn add_and_remove_jobs() {
+        let (mut c, _reg) = controller();
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        assert_eq!(
+            c.add_job(JobId(1), JobSpec::miscellaneous()),
+            Err(AdmitError::Duplicate(JobId(1)))
+        );
+        assert_eq!(c.job_count(), 1);
+        assert!(c.remove_job(JobId(1)));
+        assert!(!c.remove_job(JobId(1)));
+    }
+
+    #[test]
+    fn real_time_job_keeps_its_reservation() {
+        let (mut c, _reg) = controller();
+        let spec = JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(20));
+        c.add_job(JobId(1), spec).unwrap();
+        let out = run_cycles(&mut c, 5, 0.01);
+        let a = out.actuation_for(JobId(1)).unwrap();
+        assert_eq!(a.reservation.proportion.ppt(), 300);
+        assert_eq!(a.reservation.period, Period::from_millis(20));
+        assert_eq!(c.job_class(JobId(1)), Some(JobClass::RealTime));
+    }
+
+    #[test]
+    fn aperiodic_real_time_gets_default_period() {
+        let (mut c, _reg) = controller();
+        c.add_job(JobId(1), JobSpec::aperiodic_real_time(Proportion::from_ppt(200)))
+            .unwrap();
+        let out = run_cycles(&mut c, 1, 0.01);
+        let a = out.actuation_for(JobId(1)).unwrap();
+        assert_eq!(a.reservation.proportion.ppt(), 200);
+        assert_eq!(a.reservation.period, Period::from_millis(30));
+    }
+
+    #[test]
+    fn real_time_admission_control_rejects_oversubscription() {
+        let (mut c, _reg) = controller();
+        c.add_job(
+            JobId(1),
+            JobSpec::real_time(Proportion::from_ppt(800), Period::from_millis(10)),
+        )
+        .unwrap();
+        let err = c
+            .add_job(
+                JobId(2),
+                JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(10)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Rejected { .. }));
+        // A real-rate job is always admitted: it will be squished instead.
+        c.add_job(JobId(3), JobSpec::real_rate()).unwrap();
+    }
+
+    #[test]
+    fn consumer_of_full_queue_gains_allocation() {
+        let (mut c, reg) = controller();
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 10));
+        for i in 0..10 {
+            queue.try_push(i).unwrap();
+        }
+        reg.register(JobKey(1), Role::Consumer, queue);
+        c.add_job(JobId(1), JobSpec::real_rate()).unwrap();
+
+        let first = run_cycles(&mut c, 1, 0.01);
+        let later = run_cycles(&mut c, 30, 0.01);
+        let p_first = first.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        let p_later = later.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        assert!(
+            p_later.ppt() > p_first.ppt(),
+            "allocation should grow under persistent positive pressure ({} -> {})",
+            p_first.ppt(),
+            p_later.ppt()
+        );
+    }
+
+    #[test]
+    fn producer_into_full_queue_loses_allocation() {
+        let (mut c, reg) = controller();
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 10));
+        for i in 0..10 {
+            queue.try_push(i).unwrap();
+        }
+        reg.register(JobKey(1), Role::Producer, queue);
+        c.add_job(JobId(1), JobSpec::real_rate()).unwrap();
+        let out = run_cycles(&mut c, 30, 0.01);
+        let p = out.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        assert_eq!(p, ControllerConfig::default().min_proportion);
+    }
+
+    #[test]
+    fn balanced_queue_exerts_no_pressure() {
+        let (mut c, reg) = controller();
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 10));
+        for i in 0..5 {
+            queue.try_push(i).unwrap();
+        }
+        reg.register(JobKey(1), Role::Consumer, queue);
+        c.add_job(JobId(1), JobSpec::real_rate()).unwrap();
+        let out = run_cycles(&mut c, 20, 0.01);
+        let p = out.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        // No pressure: the allocation stays near the bottom.
+        assert!(p.ppt() <= 50, "got {}", p.ppt());
+    }
+
+    #[test]
+    fn miscellaneous_job_grows_until_squished() {
+        let (mut c, _reg) = controller();
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        let out = run_cycles(&mut c, 200, 0.01);
+        let p = out.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        // Alone on the machine it should end up with a large fraction,
+        // bounded by the overload threshold.
+        assert!(p.ppt() > 500, "got {}", p.ppt());
+        assert!(p.ppt() <= ControllerConfig::default().overload_threshold_ppt);
+    }
+
+    #[test]
+    fn squish_event_raised_under_overload() {
+        let (mut c, reg) = controller();
+        // Two greedy jobs: a misc hog and a consumer of a full queue.
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 4));
+        for i in 0..4 {
+            queue.try_push(i).unwrap();
+        }
+        reg.register(JobKey(2), Role::Consumer, queue);
+        c.add_job(JobId(2), JobSpec::real_rate()).unwrap();
+
+        let usage = BTreeMap::new();
+        let mut squished = false;
+        let mut last_total = 0;
+        for i in 1..=300 {
+            let out = c.control_cycle(i as f64 * 0.01, &usage);
+            last_total = out.total_granted_ppt;
+            if out
+                .events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::Squished { .. }))
+            {
+                squished = true;
+            }
+        }
+        assert!(squished, "two greedy jobs must eventually oversubscribe");
+        assert!(last_total <= ControllerConfig::default().overload_threshold_ppt + 2);
+    }
+
+    #[test]
+    fn real_time_reservation_is_never_squished() {
+        let (mut c, _reg) = controller();
+        c.add_job(
+            JobId(1),
+            JobSpec::real_time(Proportion::from_ppt(400), Period::from_millis(10)),
+        )
+        .unwrap();
+        c.add_job(JobId(2), JobSpec::miscellaneous()).unwrap();
+        c.add_job(JobId(3), JobSpec::miscellaneous()).unwrap();
+        let out = run_cycles(&mut c, 300, 0.01);
+        let rt = out.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        assert_eq!(rt.ppt(), 400);
+        // The adaptive jobs share what is left under the threshold.
+        let a = out.actuation_for(JobId(2)).unwrap().reservation.proportion;
+        let b = out.actuation_for(JobId(3)).unwrap().reservation.proportion;
+        assert!(a.ppt() + b.ppt() <= 950 - 400 + 2);
+        assert!(a.ppt() > 0 && b.ppt() > 0);
+    }
+
+    #[test]
+    fn importance_weights_the_squish() {
+        let (mut c, _reg) = controller();
+        c.add_job_with_importance(JobId(1), JobSpec::miscellaneous(), Importance::new(4.0))
+            .unwrap();
+        c.add_job_with_importance(JobId(2), JobSpec::miscellaneous(), Importance::new(1.0))
+            .unwrap();
+        let out = run_cycles(&mut c, 300, 0.01);
+        let important = out.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        let normal = out.actuation_for(JobId(2)).unwrap().reservation.proportion;
+        assert!(
+            important.ppt() > normal.ppt(),
+            "important {} should exceed normal {}",
+            important.ppt(),
+            normal.ppt()
+        );
+        assert!(normal.ppt() > 0, "less important job must not be starved");
+    }
+
+    #[test]
+    fn quality_exception_raised_when_demand_cannot_be_met() {
+        let config = ControllerConfig {
+            overload_threshold_ppt: 200,
+            ..ControllerConfig::default()
+        };
+        let registry = MetricRegistry::new();
+        let mut c = Controller::new(config, registry.clone());
+        // Consumer of a permanently full queue (its producer is not CPU
+        // limited), but only 200 ‰ of CPU exists in total.
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 4));
+        for i in 0..4 {
+            queue.try_push(i).unwrap();
+        }
+        registry.register(JobKey(1), Role::Consumer, queue);
+        c.add_job(JobId(1), JobSpec::real_rate()).unwrap();
+        c.add_job(JobId(2), JobSpec::miscellaneous()).unwrap();
+
+        let usage = BTreeMap::new();
+        let mut saw_exception = false;
+        for i in 1..=400 {
+            let out = c.control_cycle(i as f64 * 0.01, &usage);
+            if !out.quality_exceptions().is_empty() {
+                saw_exception = true;
+                let q = out.quality_exceptions()[0];
+                assert_eq!(q.job, JobId(1));
+                assert!(q.granted.ppt() < q.desired.ppt());
+            }
+        }
+        assert!(saw_exception);
+    }
+
+    #[test]
+    fn usage_feedback_reclaims_unused_allocation() {
+        let (mut c, reg) = controller();
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 4));
+        for i in 0..4 {
+            queue.try_push(i).unwrap();
+        }
+        reg.register(JobKey(1), Role::Consumer, queue);
+        c.add_job(JobId(1), JobSpec::real_rate()).unwrap();
+
+        // First grow the allocation with full usage.
+        let full_usage = BTreeMap::new();
+        let mut grown = 0;
+        for i in 1..=100 {
+            grown = c
+                .control_cycle(i as f64 * 0.01, &full_usage)
+                .actuation_for(JobId(1))
+                .unwrap()
+                .reservation
+                .proportion
+                .ppt();
+        }
+        // Now report that the job only uses 10 % of what it is given (for
+        // example because the disk is the real bottleneck).
+        let mut low_usage = BTreeMap::new();
+        low_usage.insert(JobId(1), UsageSnapshot { usage_ratio: 0.1 });
+        let mut shrunk = grown;
+        for i in 101..=200 {
+            shrunk = c
+                .control_cycle(i as f64 * 0.01, &low_usage)
+                .actuation_for(JobId(1))
+                .unwrap()
+                .reservation
+                .proportion
+                .ppt();
+        }
+        assert!(
+            shrunk < grown,
+            "allocation should shrink when unused ({grown} -> {shrunk})"
+        );
+    }
+
+    #[test]
+    fn metric_attachment_promotes_misc_job_to_real_rate() {
+        let (mut c, reg) = controller();
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        assert_eq!(c.job_class(JobId(1)), Some(JobClass::Miscellaneous));
+        let queue = Arc::new(BoundedBuffer::<u8>::new("q", 4));
+        reg.register(JobKey(1), Role::Consumer, queue);
+        assert_eq!(c.job_class(JobId(1)), Some(JobClass::RealRate));
+    }
+
+    #[test]
+    fn cost_model_scales_with_job_count() {
+        let (mut c, _reg) = controller();
+        for i in 0..10 {
+            c.add_job(JobId(i), JobSpec::miscellaneous()).unwrap();
+        }
+        let out = run_cycles(&mut c, 1, 0.01);
+        let expected = ControllerConfig::default()
+            .cost_model
+            .invocation_cost_us(10);
+        assert_eq!(out.cost_us, expected);
+    }
+
+    #[test]
+    fn every_job_always_gets_nonzero_allocation() {
+        let (mut c, _reg) = controller();
+        for i in 0..20 {
+            c.add_job(JobId(i), JobSpec::miscellaneous()).unwrap();
+        }
+        let out = run_cycles(&mut c, 100, 0.01);
+        for a in &out.actuations {
+            assert!(a.reservation.proportion.ppt() >= 1);
+        }
+    }
+
+    #[test]
+    fn output_helpers() {
+        let (mut c, _reg) = controller();
+        c.add_job(JobId(5), JobSpec::miscellaneous()).unwrap();
+        let out = run_cycles(&mut c, 1, 0.01);
+        assert!(out.actuation_for(JobId(5)).is_some());
+        assert!(out.actuation_for(JobId(99)).is_none());
+        assert!(out.quality_exceptions().is_empty());
+        assert_eq!(c.cycles(), 1);
+        assert_eq!(c.job_ids(), vec![JobId(5)]);
+        assert_eq!(c.granted(JobId(5)).unwrap().ppt() > 0, true);
+    }
+}

@@ -1,0 +1,51 @@
+//! The feedback-driven proportion allocator — the paper's primary
+//! contribution.
+//!
+//! The adaptive controller (§3.3) sits between the progress monitors (the
+//! symbiotic interfaces of `rrs-queue`) and the reservation scheduler
+//! (`rrs-scheduler`).  Every controller period it:
+//!
+//! 1. classifies each job by the [`taxonomy`] of Figure 2 — real-time,
+//!    aperiodic real-time, real-rate or miscellaneous;
+//! 2. samples each real-rate job's progress metrics and computes the
+//!    cumulative progress pressure `Q_t` via a PID control function
+//!    ([`pressure`], Figure 3);
+//! 3. estimates each job's new proportion `P'_t = k·Q_t`, reclaiming
+//!    allocation from jobs that do not use what they were given
+//!    ([`estimator`], Figure 4);
+//! 4. optionally adjusts aperiodic jobs' periods to trade quantization
+//!    error against jitter ([`period`]);
+//! 5. when the sum of desired allocations oversubscribes the CPU, performs
+//!    admission control on real-time jobs and *squishes* real-rate and
+//!    miscellaneous jobs by fair share or importance-weighted fair share
+//!    ([`squish`]);
+//! 6. raises quality exceptions when demand cannot be met ([`events`]).
+//!
+//! The [`controller::Controller`] type ties the steps together and exposes
+//! a single [`controller::Controller::control_cycle`] entry point driven by
+//! the simulator or the wall-clock executor.  Its own execution cost is
+//! modelled by [`cost::ControllerCostModel`] so the Figure 5 overhead
+//! experiment can be reproduced.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod controller;
+pub mod cost;
+pub mod estimator;
+pub mod events;
+pub mod period;
+pub mod pressure;
+pub mod squish;
+pub mod taxonomy;
+
+pub use config::ControllerConfig;
+pub use controller::{Actuation, ControlOutput, Controller, JobId, UsageSnapshot};
+pub use cost::ControllerCostModel;
+pub use estimator::ProportionEstimator;
+pub use events::{ControllerEvent, QualityException};
+pub use period::PeriodEstimator;
+pub use pressure::PressureEstimator;
+pub use squish::{squish_fair_share, squish_weighted, Importance, SquishPolicy};
+pub use taxonomy::{JobClass, JobSpec};

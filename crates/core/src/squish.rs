@@ -1,0 +1,361 @@
+//! Overload response: squishing allocations (§3.3, "Responding to Overload").
+//!
+//! When the sum of desired allocations exceeds the available CPU, the
+//! controller "squishes each miscellaneous or real-rate job's proposed
+//! allocation by an amount proportional to the allocation", which in the
+//! absence of other information converges to equal sharing.  The extended
+//! policy associates an **importance** with each job: a weighted fair share
+//! where "importance determines the likelihood that a thread will get its
+//! desired allocation" — unlike priority, a more important job can never
+//! starve a less important one.
+
+use rrs_scheduler::Proportion;
+use serde::{Deserialize, Serialize};
+
+/// The importance (weight) of a job under weighted fair-share squishing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Importance(f64);
+
+impl Importance {
+    /// The default importance.
+    pub const NORMAL: Importance = Importance(1.0);
+
+    /// Creates an importance weight; values are clamped to be at least a
+    /// small positive number so no job can be weighted to zero (which would
+    /// reintroduce starvation).
+    pub fn new(weight: f64) -> Self {
+        Self(weight.max(0.01))
+    }
+
+    /// Returns the weight.
+    pub fn weight(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Importance {
+    fn default() -> Self {
+        Importance::NORMAL
+    }
+}
+
+/// Which squish policy the controller applies under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SquishPolicy {
+    /// Scale every squishable job by the same factor (proportional to its
+    /// request, so larger requests lose more in absolute terms).
+    FairShare,
+    /// Water-fill the available capacity by importance weight, capping each
+    /// job at its request.
+    WeightedFairShare,
+}
+
+/// One job's request under squishing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquishRequest {
+    /// The proportion the job wants.
+    pub desired: Proportion,
+    /// The job's importance (ignored by [`SquishPolicy::FairShare`]).
+    pub importance: Importance,
+    /// The smallest proportion the job may be squished to.
+    pub floor: Proportion,
+}
+
+impl SquishRequest {
+    /// Creates a request with normal importance and a floor of 1 ‰.
+    pub fn new(desired: Proportion) -> Self {
+        Self {
+            desired,
+            importance: Importance::NORMAL,
+            floor: Proportion::MIN_NONZERO,
+        }
+    }
+
+    /// Sets the importance.
+    pub fn with_importance(mut self, importance: Importance) -> Self {
+        self.importance = importance;
+        self
+    }
+}
+
+/// Squishes requests by plain fair share: every request is scaled by the
+/// same factor so the total fits in `available`.
+///
+/// Jobs never fall below their floor; if even the floors do not fit, every
+/// job gets exactly its floor (the system is hopelessly oversubscribed and
+/// admission control or quality exceptions must resolve it).
+pub fn squish_fair_share(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
+    let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
+    let avail = available.ppt() as u64;
+    if total <= avail {
+        return requests.iter().map(|r| r.desired).collect();
+    }
+    if total == 0 {
+        return requests.iter().map(|r| r.floor).collect();
+    }
+    let scale = avail as f64 / total as f64;
+    requests
+        .iter()
+        .map(|r| {
+            let scaled = (r.desired.ppt() as f64 * scale).floor() as u32;
+            Proportion::from_ppt(scaled.max(r.floor.ppt()))
+        })
+        .collect()
+}
+
+/// Squishes requests by importance-weighted fair share (water-filling).
+///
+/// Capacity is repeatedly divided among unsatisfied jobs in proportion to
+/// their importance; jobs whose share exceeds their request are capped at
+/// the request and the surplus is redistributed.  The result never exceeds
+/// any job's request, never falls below its floor, and gives more important
+/// jobs a larger fraction of what they asked for.
+pub fn squish_weighted(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
+    let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
+    let avail = available.ppt() as f64;
+    if total <= available.ppt() as u64 {
+        return requests.iter().map(|r| r.desired).collect();
+    }
+
+    let n = requests.len();
+    let mut grant = vec![0.0f64; n];
+    let mut capped = vec![false; n];
+    let mut remaining = avail;
+
+    // Water-fill: at most n rounds.
+    for _ in 0..n {
+        let active_weight: f64 = requests
+            .iter()
+            .zip(&capped)
+            .filter(|(_, &c)| !c)
+            .map(|(r, _)| r.importance.weight())
+            .sum();
+        if active_weight <= 0.0 || remaining <= 0.0 {
+            break;
+        }
+        let mut newly_capped = false;
+        let unit = remaining / active_weight;
+        for i in 0..n {
+            if capped[i] {
+                continue;
+            }
+            let offered = grant[i] + unit * requests[i].importance.weight();
+            if offered >= requests[i].desired.ppt() as f64 {
+                remaining -= requests[i].desired.ppt() as f64 - grant[i];
+                grant[i] = requests[i].desired.ppt() as f64;
+                capped[i] = true;
+                newly_capped = true;
+            }
+        }
+        if !newly_capped {
+            // No one capped this round: hand out the rest proportionally.
+            for i in 0..n {
+                if !capped[i] {
+                    grant[i] += unit * requests[i].importance.weight();
+                }
+            }
+            break;
+        }
+    }
+
+    requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let g = grant[i].floor() as u32;
+            Proportion::from_ppt(g.clamp(r.floor.ppt(), r.desired.ppt().max(r.floor.ppt())))
+        })
+        .collect()
+}
+
+/// Applies the configured policy.
+pub fn squish(
+    policy: SquishPolicy,
+    requests: &[SquishRequest],
+    available: Proportion,
+) -> Vec<Proportion> {
+    match policy {
+        SquishPolicy::FairShare => squish_fair_share(requests, available),
+        SquishPolicy::WeightedFairShare => squish_weighted(requests, available),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn req(ppt: u32) -> SquishRequest {
+        SquishRequest::new(Proportion::from_ppt(ppt))
+    }
+
+    fn req_w(ppt: u32, weight: f64) -> SquishRequest {
+        SquishRequest::new(Proportion::from_ppt(ppt)).with_importance(Importance::new(weight))
+    }
+
+    #[test]
+    fn no_squish_needed_when_capacity_suffices() {
+        let requests = [req(200), req(300)];
+        let available = Proportion::from_ppt(600);
+        assert_eq!(
+            squish_fair_share(&requests, available),
+            vec![Proportion::from_ppt(200), Proportion::from_ppt(300)]
+        );
+        assert_eq!(
+            squish_weighted(&requests, available),
+            vec![Proportion::from_ppt(200), Proportion::from_ppt(300)]
+        );
+    }
+
+    #[test]
+    fn fair_share_scales_proportionally() {
+        let requests = [req(600), req(300)];
+        let out = squish_fair_share(&requests, Proportion::from_ppt(450));
+        // Scale factor 0.5.
+        assert_eq!(out[0].ppt(), 300);
+        assert_eq!(out[1].ppt(), 150);
+    }
+
+    #[test]
+    fn equal_greedy_jobs_share_equally() {
+        // "In the absence of other information this policy results in equal
+        // allocation of the CPU to all competing jobs."
+        let requests = [req(1000), req(1000), req(1000)];
+        let out = squish_fair_share(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 300);
+        assert_eq!(out[1].ppt(), 300);
+        assert_eq!(out[2].ppt(), 300);
+    }
+
+    #[test]
+    fn weighted_gives_important_job_more() {
+        let requests = [req_w(1000, 2.0), req_w(1000, 1.0)];
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert!(out[0].ppt() > out[1].ppt());
+        // 2:1 split of 900.
+        assert_eq!(out[0].ppt(), 600);
+        assert_eq!(out[1].ppt(), 300);
+    }
+
+    #[test]
+    fn weighted_never_starves_unimportant_job() {
+        let requests = [req_w(1000, 100.0), req_w(1000, 0.01)];
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert!(out[1].ppt() >= 1, "unimportant job was starved");
+        assert!(out[0].ppt() > out[1].ppt());
+    }
+
+    #[test]
+    fn weighted_caps_at_request_and_redistributes() {
+        // Job 0 wants only 100 ‰; its unused share goes to job 1.
+        let requests = [req_w(100, 1.0), req_w(1000, 1.0)];
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 100);
+        assert_eq!(out[1].ppt(), 800);
+    }
+
+    #[test]
+    fn weighted_satisfied_jobs_keep_their_request() {
+        let requests = [req_w(50, 1.0), req_w(50, 5.0), req_w(2000, 1.0)];
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 50);
+        assert_eq!(out[1].ppt(), 50);
+        assert_eq!(out[2].ppt(), 800);
+    }
+
+    #[test]
+    fn empty_request_list() {
+        assert!(squish_fair_share(&[], Proportion::from_ppt(500)).is_empty());
+        assert!(squish_weighted(&[], Proportion::from_ppt(500)).is_empty());
+    }
+
+    #[test]
+    fn zero_desired_total_with_fair_share() {
+        let requests = [req(0), req(0)];
+        let out = squish_fair_share(&requests, Proportion::from_ppt(0));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn policy_dispatcher() {
+        let requests = [req(600), req(600)];
+        let a = squish(SquishPolicy::FairShare, &requests, Proportion::from_ppt(600));
+        let b = squish(
+            SquishPolicy::WeightedFairShare,
+            &requests,
+            Proportion::from_ppt(600),
+        );
+        assert_eq!(a[0].ppt() + a[1].ppt(), 600);
+        // Weighted water-fill may round down each grant by at most 1 ‰.
+        let total_b = b[0].ppt() + b[1].ppt();
+        assert!(total_b >= 598 && total_b <= 600);
+    }
+
+    #[test]
+    fn importance_is_clamped_positive() {
+        assert!(Importance::new(-5.0).weight() > 0.0);
+        assert_eq!(Importance::default().weight(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fair_share_result_fits_capacity(
+            desires in proptest::collection::vec(0u32..=1000, 1..10),
+            available in 100u32..=1000,
+        ) {
+            let requests: Vec<SquishRequest> = desires.iter().map(|&d| req(d)).collect();
+            let out = squish_fair_share(&requests, Proportion::from_ppt(available));
+            let total: u64 = out.iter().map(|p| p.ppt() as u64).sum();
+            let desired_total: u64 = desires.iter().map(|&d| d as u64).sum();
+            // Either everything fits, or the result respects the capacity
+            // (up to the per-job floors which add at most n ‰).
+            if desired_total > available as u64 {
+                prop_assert!(total <= available as u64 + requests.len() as u64);
+            } else {
+                prop_assert_eq!(total, desired_total);
+            }
+            // No one ever gets more than they asked for (or their floor).
+            for (r, got) in requests.iter().zip(&out) {
+                prop_assert!(got.ppt() <= r.desired.ppt().max(r.floor.ppt()));
+            }
+        }
+
+        #[test]
+        fn weighted_result_fits_capacity_and_respects_requests(
+            desires in proptest::collection::vec(1u32..=1000, 1..10),
+            weights in proptest::collection::vec(0.1f64..10.0, 10),
+            available in 100u32..=1000,
+        ) {
+            let requests: Vec<SquishRequest> = desires
+                .iter()
+                .zip(weights.iter())
+                .map(|(&d, &w)| req_w(d, w))
+                .collect();
+            let out = squish_weighted(&requests, Proportion::from_ppt(available));
+            let total: u64 = out.iter().map(|p| p.ppt() as u64).sum();
+            let desired_total: u64 = desires.iter().map(|&d| d as u64).sum();
+            if desired_total > available as u64 {
+                prop_assert!(total <= available as u64 + requests.len() as u64);
+            }
+            for (r, got) in requests.iter().zip(&out) {
+                prop_assert!(got.ppt() <= r.desired.ppt().max(r.floor.ppt()));
+                prop_assert!(got.ppt() >= r.floor.ppt());
+            }
+        }
+
+        #[test]
+        fn weighted_preserves_importance_ordering_for_identical_requests(
+            w1 in 0.1f64..10.0,
+            w2 in 0.1f64..10.0,
+            available in 100u32..900,
+        ) {
+            let requests = [req_w(1000, w1), req_w(1000, w2)];
+            let out = squish_weighted(&requests, Proportion::from_ppt(available));
+            if w1 > w2 {
+                prop_assert!(out[0].ppt() >= out[1].ppt());
+            } else if w2 > w1 {
+                prop_assert!(out[1].ppt() >= out[0].ppt());
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Primitive discrete-time feedback blocks.
+//!
+//! SWiFT composes controllers out of small transfer elements; this module
+//! provides the equivalent building blocks.  Every block implements
+//! [`Block`]: it is stepped with an input sample and a time step and
+//! produces one output sample.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete-time single-input single-output transfer element.
+pub trait Block {
+    /// Advances the block by `dt` seconds with input `input` and returns the
+    /// output sample.
+    fn step(&mut self, input: f64, dt: f64) -> f64;
+
+    /// Resets the internal state.
+    fn reset(&mut self);
+}
+
+/// Pure gain: `y = k · x`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Gain {
+    /// Multiplicative gain.
+    pub k: f64,
+}
+
+impl Gain {
+    /// Creates a gain block.
+    pub fn new(k: f64) -> Self {
+        Self { k }
+    }
+}
+
+impl Block for Gain {
+    fn step(&mut self, input: f64, _dt: f64) -> f64 {
+        self.k * input
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Discrete integrator: `y += x · dt`, optionally clamped.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Integrator {
+    state: f64,
+    limit: f64,
+}
+
+impl Integrator {
+    /// Creates an unclamped integrator.
+    pub fn new() -> Self {
+        Self {
+            state: 0.0,
+            limit: f64::INFINITY,
+        }
+    }
+
+    /// Creates an integrator whose state magnitude is clamped to `limit`.
+    pub fn with_limit(limit: f64) -> Self {
+        Self {
+            state: 0.0,
+            limit: limit.abs(),
+        }
+    }
+
+    /// Returns the current integrator state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+}
+
+impl Default for Integrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Block for Integrator {
+    fn step(&mut self, input: f64, dt: f64) -> f64 {
+        if dt > 0.0 {
+            self.state = (self.state + input * dt).clamp(-self.limit, self.limit);
+        }
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// First-difference differentiator: `y = (x - x_prev) / dt`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Differentiator {
+    prev: Option<f64>,
+}
+
+impl Differentiator {
+    /// Creates a differentiator with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Block for Differentiator {
+    fn step(&mut self, input: f64, dt: f64) -> f64 {
+        let out = match (self.prev, dt > 0.0) {
+            (Some(prev), true) => (input - prev) / dt,
+            _ => 0.0,
+        };
+        self.prev = Some(input);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Saturation: clamps the input to `[lo, hi]`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Saturation {
+    lo: f64,
+    hi: f64,
+}
+
+impl Saturation {
+    /// Creates a saturation block clamping to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "saturation bounds must be ordered");
+        Self { lo, hi }
+    }
+
+    /// Symmetric saturation to `[-limit, limit]`.
+    pub fn symmetric(limit: f64) -> Self {
+        Self::new(-limit.abs(), limit.abs())
+    }
+}
+
+impl Block for Saturation {
+    fn step(&mut self, input: f64, _dt: f64) -> f64 {
+        input.clamp(self.lo, self.hi)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Rate limiter: the output follows the input but changes no faster than
+/// `max_rate` units per second.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RateLimiter {
+    max_rate: f64,
+    state: Option<f64>,
+}
+
+impl RateLimiter {
+    /// Creates a rate limiter with the given maximum slew rate (units/sec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is not positive.
+    pub fn new(max_rate: f64) -> Self {
+        assert!(max_rate > 0.0, "max_rate must be positive");
+        Self {
+            max_rate,
+            state: None,
+        }
+    }
+}
+
+impl Block for RateLimiter {
+    fn step(&mut self, input: f64, dt: f64) -> f64 {
+        let out = match self.state {
+            None => input,
+            Some(prev) => {
+                let max_delta = self.max_rate * dt.max(0.0);
+                prev + (input - prev).clamp(-max_delta, max_delta)
+            }
+        };
+        self.state = Some(out);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Hysteresis (Schmitt trigger): output switches to 1.0 when the input rises
+/// above `high` and back to 0.0 when it falls below `low`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Hysteresis {
+    low: f64,
+    high: f64,
+    on: bool,
+}
+
+impl Hysteresis {
+    /// Creates a hysteresis block with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low <= high, "hysteresis thresholds must be ordered");
+        Self {
+            low,
+            high,
+            on: false,
+        }
+    }
+
+    /// Returns whether the output is currently on.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+}
+
+impl Block for Hysteresis {
+    fn step(&mut self, input: f64, _dt: f64) -> f64 {
+        if input >= self.high {
+            self.on = true;
+        } else if input <= self.low {
+            self.on = false;
+        }
+        if self.on {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn reset(&mut self) {
+        self.on = false;
+    }
+}
+
+/// Dead band: inputs within `[-width, width]` produce zero output; inputs
+/// outside have the band width subtracted so the output is continuous.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeadBand {
+    width: f64,
+}
+
+impl DeadBand {
+    /// Creates a dead band of the given half-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is negative.
+    pub fn new(width: f64) -> Self {
+        assert!(width >= 0.0, "dead band width must be non-negative");
+        Self { width }
+    }
+}
+
+impl Block for DeadBand {
+    fn step(&mut self, input: f64, _dt: f64) -> f64 {
+        if input > self.width {
+            input - self.width
+        } else if input < -self.width {
+            input + self.width
+        } else {
+            0.0
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gain_scales() {
+        let mut g = Gain::new(2.5);
+        assert_eq!(g.step(4.0, 0.1), 10.0);
+        g.reset();
+        assert_eq!(g.step(-4.0, 0.1), -10.0);
+    }
+
+    #[test]
+    fn integrator_accumulates_and_resets() {
+        let mut i = Integrator::new();
+        assert_eq!(i.step(2.0, 0.5), 1.0);
+        assert_eq!(i.step(2.0, 0.5), 2.0);
+        assert_eq!(i.state(), 2.0);
+        i.reset();
+        assert_eq!(i.state(), 0.0);
+    }
+
+    #[test]
+    fn integrator_with_limit_clamps() {
+        let mut i = Integrator::with_limit(1.0);
+        for _ in 0..100 {
+            i.step(10.0, 0.1);
+        }
+        assert_eq!(i.state(), 1.0);
+        for _ in 0..200 {
+            i.step(-10.0, 0.1);
+        }
+        assert_eq!(i.state(), -1.0);
+    }
+
+    #[test]
+    fn integrator_ignores_non_positive_dt() {
+        let mut i = Integrator::new();
+        i.step(5.0, 0.0);
+        i.step(5.0, -1.0);
+        assert_eq!(i.state(), 0.0);
+    }
+
+    #[test]
+    fn differentiator_first_step_is_zero() {
+        let mut d = Differentiator::new();
+        assert_eq!(d.step(5.0, 0.1), 0.0);
+        assert_eq!(d.step(6.0, 0.1), 10.0);
+    }
+
+    #[test]
+    fn differentiator_reset_forgets_history() {
+        let mut d = Differentiator::new();
+        d.step(5.0, 0.1);
+        d.reset();
+        assert_eq!(d.step(10.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn saturation_clamps_both_sides() {
+        let mut s = Saturation::new(-1.0, 2.0);
+        assert_eq!(s.step(-5.0, 0.1), -1.0);
+        assert_eq!(s.step(5.0, 0.1), 2.0);
+        assert_eq!(s.step(0.5, 0.1), 0.5);
+    }
+
+    #[test]
+    fn symmetric_saturation() {
+        let mut s = Saturation::symmetric(0.5);
+        assert_eq!(s.step(1.0, 0.1), 0.5);
+        assert_eq!(s.step(-1.0, 0.1), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation bounds must be ordered")]
+    fn saturation_rejects_inverted_bounds() {
+        let _ = Saturation::new(1.0, -1.0);
+    }
+
+    #[test]
+    fn rate_limiter_limits_slew() {
+        let mut r = RateLimiter::new(1.0);
+        assert_eq!(r.step(0.0, 0.1), 0.0);
+        // Input jumps to 10 but output may only move 0.1 per step.
+        let out = r.step(10.0, 0.1);
+        assert!((out - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limiter_tracks_slow_input() {
+        let mut r = RateLimiter::new(100.0);
+        r.step(0.0, 0.1);
+        assert_eq!(r.step(1.0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn hysteresis_switches_with_memory() {
+        let mut h = Hysteresis::new(0.25, 0.75);
+        assert_eq!(h.step(0.5, 0.1), 0.0);
+        assert_eq!(h.step(0.8, 0.1), 1.0);
+        // Stays on in the middle band.
+        assert_eq!(h.step(0.5, 0.1), 1.0);
+        assert!(h.is_on());
+        assert_eq!(h.step(0.2, 0.1), 0.0);
+        assert!(!h.is_on());
+    }
+
+    #[test]
+    fn dead_band_zeroes_small_inputs_and_is_continuous() {
+        let mut d = DeadBand::new(0.1);
+        assert_eq!(d.step(0.05, 0.1), 0.0);
+        assert_eq!(d.step(-0.05, 0.1), 0.0);
+        assert!((d.step(0.2, 0.1) - 0.1).abs() < 1e-12);
+        assert!((d.step(-0.2, 0.1) + 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn saturation_output_within_bounds(x in -1e6f64..1e6, lo in -10.0f64..0.0, hi in 0.0f64..10.0) {
+            let mut s = Saturation::new(lo, hi);
+            let y = s.step(x, 0.1);
+            prop_assert!(y >= lo && y <= hi);
+        }
+
+        #[test]
+        fn rate_limiter_never_exceeds_rate(
+            inputs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+            rate in 0.1f64..50.0,
+            dt in 0.001f64..0.5,
+        ) {
+            let mut r = RateLimiter::new(rate);
+            let mut prev: Option<f64> = None;
+            for &x in &inputs {
+                let y = r.step(x, dt);
+                if let Some(p) = prev {
+                    prop_assert!((y - p).abs() <= rate * dt + 1e-9);
+                }
+                prev = Some(y);
+            }
+        }
+
+        #[test]
+        fn dead_band_shrinks_magnitude(x in -100.0f64..100.0, w in 0.0f64..5.0) {
+            let mut d = DeadBand::new(w);
+            let y = d.step(x, 0.1);
+            prop_assert!(y.abs() <= x.abs() + 1e-12);
+            prop_assert!(y * x >= 0.0); // Sign is preserved or output is zero.
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Series composition of feedback blocks, mirroring SWiFT "circuits".
+
+use crate::block::Block;
+
+/// A series chain of [`Block`]s: the output of each block feeds the next.
+///
+/// SWiFT expresses controllers as circuits that "calculate a function based
+/// on their inputs, and use the function's output for actuation" (§3.3); a
+/// `Circuit` is the equivalent composition primitive here.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_feedback::{Block, Circuit, Gain, Saturation};
+///
+/// let mut c = Circuit::new()
+///     .then(Gain::new(10.0))
+///     .then(Saturation::symmetric(1.0));
+/// assert_eq!(c.step(0.05, 0.01), 0.5);
+/// assert_eq!(c.step(0.5, 0.01), 1.0); // saturated
+/// ```
+#[derive(Default)]
+pub struct Circuit {
+    blocks: Vec<Box<dyn Block + Send>>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (identity function).
+    pub fn new() -> Self {
+        Self { blocks: Vec::new() }
+    }
+
+    /// Appends a block to the chain, consuming and returning the circuit so
+    /// construction can be chained.
+    pub fn then<B: Block + Send + 'static>(mut self, block: B) -> Self {
+        self.blocks.push(Box::new(block));
+        self
+    }
+
+    /// Appends a boxed block.
+    pub fn push(&mut self, block: Box<dyn Block + Send>) {
+        self.blocks.push(block);
+    }
+
+    /// Number of blocks in the chain.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the circuit has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl Block for Circuit {
+    fn step(&mut self, input: f64, dt: f64) -> f64 {
+        let mut x = input;
+        for b in &mut self.blocks {
+            x = b.step(x, dt);
+        }
+        x
+    }
+
+    fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Gain, Integrator, Saturation};
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let mut c = Circuit::new();
+        assert!(c.is_empty());
+        assert_eq!(c.step(3.5, 0.1), 3.5);
+    }
+
+    #[test]
+    fn blocks_compose_in_order() {
+        // Gain then saturation differs from saturation then gain.
+        let mut gain_first = Circuit::new()
+            .then(Gain::new(10.0))
+            .then(Saturation::symmetric(1.0));
+        let mut sat_first = Circuit::new()
+            .then(Saturation::symmetric(1.0))
+            .then(Gain::new(10.0));
+        assert_eq!(gain_first.step(0.5, 0.1), 1.0);
+        assert_eq!(sat_first.step(0.5, 0.1), 5.0);
+    }
+
+    #[test]
+    fn reset_propagates_to_all_blocks() {
+        let mut c = Circuit::new().then(Integrator::new()).then(Gain::new(1.0));
+        c.step(1.0, 1.0);
+        assert_eq!(c.step(0.0, 1.0), 1.0); // integrator holds state
+        c.reset();
+        assert_eq!(c.step(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn push_boxed_block() {
+        let mut c = Circuit::new();
+        c.push(Box::new(Gain::new(2.0)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.step(2.0, 0.1), 4.0);
+    }
+
+    #[test]
+    fn debug_format_mentions_block_count() {
+        let c = Circuit::new().then(Gain::new(1.0));
+        assert!(format!("{c:?}").contains('1'));
+    }
+}

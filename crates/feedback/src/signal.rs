@@ -1,0 +1,360 @@
+//! Deterministic signal generators.
+//!
+//! The responsiveness experiment (Figure 6) drives the producer with "rising
+//! pulses of various widths, doubling its rate of production ... before
+//! falling back to the original rate", followed by falling pulses.  These
+//! generators express that and related test signals as pure functions of
+//! time so simulator runs are reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// A pulse train: a base level with rectangular pulses of a different level.
+///
+/// Each pulse `i` starts at `starts[i]` and lasts `widths[i]` seconds; during
+/// a pulse the output is `pulse_level`, otherwise `base_level`.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_feedback::PulseTrain;
+///
+/// // Production rate doubles from 50 to 100 bytes/cycle for 4 seconds at t=10.
+/// let p = PulseTrain::new(50.0, 100.0, vec![(10.0, 4.0)]);
+/// assert_eq!(p.value(5.0), 50.0);
+/// assert_eq!(p.value(12.0), 100.0);
+/// assert_eq!(p.value(14.5), 50.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PulseTrain {
+    base_level: f64,
+    pulse_level: f64,
+    /// `(start, width)` pairs in seconds.
+    pulses: Vec<(f64, f64)>,
+}
+
+impl PulseTrain {
+    /// Creates a pulse train with the given base level, pulse level and
+    /// `(start, width)` pulse list.
+    pub fn new(base_level: f64, pulse_level: f64, pulses: Vec<(f64, f64)>) -> Self {
+        Self {
+            base_level,
+            pulse_level,
+            pulses,
+        }
+    }
+
+    /// Reproduces the Figure 6 stimulus: three rising pulses of the given
+    /// widths, then the signal stays at the pulse level and emits three
+    /// falling pulses (drops back to the base level) of the same widths.
+    ///
+    /// `start` is the time of the first pulse and `gap` the idle time
+    /// between pulses.
+    pub fn rising_then_falling(
+        base_level: f64,
+        pulse_level: f64,
+        start: f64,
+        widths: &[f64],
+        gap: f64,
+    ) -> Self {
+        let mut pulses = Vec::new();
+        let mut t = start;
+        // Rising pulses: base -> pulse -> base.
+        for &w in widths {
+            pulses.push((t, w));
+            t += w + gap;
+        }
+        // After the rising phase the level stays high; falling pulses are
+        // represented as gaps in one long pulse.
+        let high_start = t;
+        let mut falling_edges = Vec::new();
+        let mut ft = t + gap;
+        for &w in widths {
+            falling_edges.push((ft, w));
+            ft += w + gap;
+        }
+        let high_end = ft + gap;
+        // Build the "high" stretch with holes at the falling pulses.
+        let mut cursor = high_start;
+        for (fs, fw) in falling_edges {
+            pulses.push((cursor, fs - cursor));
+            cursor = fs + fw;
+        }
+        pulses.push((cursor, high_end - cursor));
+        Self::new(base_level, pulse_level, pulses)
+    }
+
+    /// Returns the signal value at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        for &(start, width) in &self.pulses {
+            if t >= start && t < start + width {
+                return self.pulse_level;
+            }
+        }
+        self.base_level
+    }
+
+    /// Returns the base (non-pulse) level.
+    pub fn base_level(&self) -> f64 {
+        self.base_level
+    }
+
+    /// Returns the pulse level.
+    pub fn pulse_level(&self) -> f64 {
+        self.pulse_level
+    }
+
+    /// Returns the pulse list as `(start, width)` pairs.
+    pub fn pulses(&self) -> &[(f64, f64)] {
+        &self.pulses
+    }
+}
+
+/// A square wave alternating between `low` and `high` with the given period
+/// and duty cycle.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SquareWave {
+    low: f64,
+    high: f64,
+    period: f64,
+    duty: f64,
+}
+
+impl SquareWave {
+    /// Creates a square wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or `duty` is outside `[0, 1]`.
+    pub fn new(low: f64, high: f64, period: f64, duty: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!((0.0..=1.0).contains(&duty), "duty must be in [0, 1]");
+        Self {
+            low,
+            high,
+            period,
+            duty,
+        }
+    }
+
+    /// Returns the value at time `t`; the wave is high for the first
+    /// `duty`-fraction of each period.
+    pub fn value(&self, t: f64) -> f64 {
+        let phase = (t / self.period).rem_euclid(1.0);
+        if phase < self.duty {
+            self.high
+        } else {
+            self.low
+        }
+    }
+}
+
+/// A sine wave `offset + amplitude · sin(2π·t/period)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SineWave {
+    offset: f64,
+    amplitude: f64,
+    period: f64,
+}
+
+impl SineWave {
+    /// Creates a sine wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(offset: f64, amplitude: f64, period: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        Self {
+            offset,
+            amplitude,
+            period,
+        }
+    }
+
+    /// Returns the value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        self.offset + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period).sin()
+    }
+}
+
+/// A bounded linear ramp from `start_value` to `end_value` over
+/// `[start_time, end_time]`, constant outside that interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RampWave {
+    start_time: f64,
+    end_time: f64,
+    start_value: f64,
+    end_value: f64,
+}
+
+impl RampWave {
+    /// Creates a ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_time <= start_time`.
+    pub fn new(start_time: f64, end_time: f64, start_value: f64, end_value: f64) -> Self {
+        assert!(end_time > start_time, "ramp must have positive duration");
+        Self {
+            start_time,
+            end_time,
+            start_value,
+            end_value,
+        }
+    }
+
+    /// Returns the value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        if t <= self.start_time {
+            self.start_value
+        } else if t >= self.end_time {
+            self.end_value
+        } else {
+            let frac = (t - self.start_time) / (self.end_time - self.start_time);
+            self.start_value + frac * (self.end_value - self.start_value)
+        }
+    }
+}
+
+/// A step: `before` until `at`, `after` afterwards.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepSignal {
+    at: f64,
+    before: f64,
+    after: f64,
+}
+
+impl StepSignal {
+    /// Creates a step signal switching at time `at`.
+    pub fn new(at: f64, before: f64, after: f64) -> Self {
+        Self { at, before, after }
+    }
+
+    /// Returns the value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        if t < self.at {
+            self.before
+        } else {
+            self.after
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pulse_train_levels() {
+        let p = PulseTrain::new(1.0, 2.0, vec![(5.0, 2.0), (10.0, 1.0)]);
+        assert_eq!(p.value(0.0), 1.0);
+        assert_eq!(p.value(5.0), 2.0);
+        assert_eq!(p.value(6.9), 2.0);
+        assert_eq!(p.value(7.0), 1.0);
+        assert_eq!(p.value(10.5), 2.0);
+        assert_eq!(p.base_level(), 1.0);
+        assert_eq!(p.pulse_level(), 2.0);
+        assert_eq!(p.pulses().len(), 2);
+    }
+
+    #[test]
+    fn rising_then_falling_starts_low_and_has_falling_gaps() {
+        let p = PulseTrain::rising_then_falling(50.0, 100.0, 2.0, &[4.0, 2.0, 1.0], 2.0);
+        // Before the first pulse: base rate.
+        assert_eq!(p.value(0.0), 50.0);
+        // During the first rising pulse: doubled rate.
+        assert_eq!(p.value(3.0), 100.0);
+        // Between rising pulses: back to base.
+        assert_eq!(p.value(7.0), 50.0);
+        // Well into the high stretch the value is high most of the time but
+        // drops to base during falling pulses; verify both levels occur.
+        let mut saw_high = false;
+        let mut saw_low = false;
+        let high_phase_start = 2.0 + (4.0 + 2.0) + (2.0 + 2.0) + (1.0 + 2.0);
+        let mut t = high_phase_start;
+        while t < high_phase_start + 15.0 {
+            match p.value(t) {
+                v if v == 100.0 => saw_high = true,
+                v if v == 50.0 => saw_low = true,
+                _ => {}
+            }
+            t += 0.1;
+        }
+        assert!(saw_high && saw_low);
+    }
+
+    #[test]
+    fn square_wave_respects_duty_cycle() {
+        let s = SquareWave::new(0.0, 1.0, 10.0, 0.3);
+        assert_eq!(s.value(0.0), 1.0);
+        assert_eq!(s.value(2.9), 1.0);
+        assert_eq!(s.value(3.1), 0.0);
+        assert_eq!(s.value(9.9), 0.0);
+        assert_eq!(s.value(10.1), 1.0);
+    }
+
+    #[test]
+    fn square_wave_handles_negative_time() {
+        let s = SquareWave::new(0.0, 1.0, 4.0, 0.5);
+        // rem_euclid keeps the phase in [0, 1) for negative times.
+        let v = s.value(-1.0);
+        assert!(v == 0.0 || v == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in [0, 1]")]
+    fn square_wave_rejects_bad_duty() {
+        let _ = SquareWave::new(0.0, 1.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn sine_wave_oscillates_around_offset() {
+        let s = SineWave::new(5.0, 2.0, 1.0);
+        assert!((s.value(0.0) - 5.0).abs() < 1e-12);
+        assert!((s.value(0.25) - 7.0).abs() < 1e-9);
+        assert!((s.value(0.75) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_is_clamped_outside_interval() {
+        let r = RampWave::new(1.0, 3.0, 0.0, 10.0);
+        assert_eq!(r.value(0.0), 0.0);
+        assert_eq!(r.value(2.0), 5.0);
+        assert_eq!(r.value(5.0), 10.0);
+    }
+
+    #[test]
+    fn step_switches_at_threshold() {
+        let s = StepSignal::new(2.0, 1.0, 9.0);
+        assert_eq!(s.value(1.999), 1.0);
+        assert_eq!(s.value(2.0), 9.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pulse_train_only_emits_two_levels(
+            t in 0.0f64..100.0,
+            starts in proptest::collection::vec(0.0f64..100.0, 0..5),
+        ) {
+            let pulses: Vec<(f64, f64)> = starts.iter().map(|&s| (s, 1.0)).collect();
+            let p = PulseTrain::new(10.0, 20.0, pulses);
+            let v = p.value(t);
+            prop_assert!(v == 10.0 || v == 20.0);
+        }
+
+        #[test]
+        fn sine_is_bounded(t in -100.0f64..100.0, offset in -5.0f64..5.0, amp in 0.0f64..5.0) {
+            let s = SineWave::new(offset, amp, 3.0);
+            let v = s.value(t);
+            prop_assert!(v >= offset - amp - 1e-9 && v <= offset + amp + 1e-9);
+        }
+
+        #[test]
+        fn ramp_is_monotone_when_increasing(t1 in 0.0f64..10.0, t2 in 0.0f64..10.0) {
+            let r = RampWave::new(2.0, 8.0, 0.0, 1.0);
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(r.value(lo) <= r.value(hi) + 1e-12);
+        }
+    }
+}

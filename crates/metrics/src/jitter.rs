@@ -1,0 +1,241 @@
+//! Jitter and deadline accounting.
+//!
+//! The controller's period assignment trades off quantization error against
+//! jitter (§3.3 of the paper), and the reservation scheduler reports missed
+//! deadlines to the controller (§3.1).  These trackers give experiments a
+//! uniform way to quantify both.
+
+use crate::stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Tracks jitter of a recurring event from its observed timestamps.
+///
+/// Jitter is measured as the deviation of each inter-arrival gap from the
+/// mean gap, which captures the "large oscillations" the paper's period
+/// heuristic looks for.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_metrics::JitterTracker;
+///
+/// let mut j = JitterTracker::new();
+/// for t in [0.0, 1.0, 2.0, 3.0] {
+///     j.observe(t);
+/// }
+/// assert_eq!(j.intervals(), 3);
+/// assert!(j.mean_abs_jitter() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JitterTracker {
+    last: Option<f64>,
+    gaps: Vec<f64>,
+}
+
+impl JitterTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the event occurred at time `t` (seconds).
+    pub fn observe(&mut self, t: f64) {
+        if let Some(prev) = self.last {
+            self.gaps.push(t - prev);
+        }
+        self.last = Some(t);
+    }
+
+    /// Number of recorded inter-arrival intervals.
+    pub fn intervals(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Mean inter-arrival gap, or 0.0 with no intervals.
+    pub fn mean_gap(&self) -> f64 {
+        if self.gaps.is_empty() {
+            0.0
+        } else {
+            self.gaps.iter().sum::<f64>() / self.gaps.len() as f64
+        }
+    }
+
+    /// Mean absolute deviation of gaps from the mean gap.
+    pub fn mean_abs_jitter(&self) -> f64 {
+        if self.gaps.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean_gap();
+        self.gaps.iter().map(|g| (g - mean).abs()).sum::<f64>() / self.gaps.len() as f64
+    }
+
+    /// Largest absolute deviation of any gap from the mean gap.
+    pub fn max_abs_jitter(&self) -> f64 {
+        let mean = self.mean_gap();
+        self.gaps
+            .iter()
+            .map(|g| (g - mean).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Standard deviation of the inter-arrival gaps.
+    pub fn gap_stddev(&self) -> f64 {
+        let mut s = OnlineStats::new();
+        for &g in &self.gaps {
+            s.push(g);
+        }
+        s.stddev()
+    }
+}
+
+/// Per-thread deadline accounting for a proportion/period scheduler.
+///
+/// A deadline is "met" when the thread received its full allocation within
+/// its period and "missed" otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlineTracker {
+    met: u64,
+    missed: u64,
+}
+
+impl DeadlineTracker {
+    /// Creates a tracker with no recorded deadlines.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a met deadline.
+    pub fn record_met(&mut self) {
+        self.met += 1;
+    }
+
+    /// Records a missed deadline.
+    pub fn record_missed(&mut self) {
+        self.missed += 1;
+    }
+
+    /// Number of met deadlines.
+    pub fn met(&self) -> u64 {
+        self.met
+    }
+
+    /// Number of missed deadlines.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Total number of recorded deadlines.
+    pub fn total(&self) -> u64 {
+        self.met + self.missed
+    }
+
+    /// Miss ratio in `[0, 1]`, 0.0 when nothing was recorded.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another tracker's counts into this one.
+    pub fn merge(&mut self, other: &DeadlineTracker) {
+        self.met += other.met;
+        self.missed += other.missed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regular_arrivals_have_zero_jitter() {
+        let mut j = JitterTracker::new();
+        for i in 0..10 {
+            j.observe(i as f64 * 0.03);
+        }
+        assert_eq!(j.intervals(), 9);
+        assert!((j.mean_gap() - 0.03).abs() < 1e-12);
+        assert!(j.mean_abs_jitter() < 1e-12);
+        assert!(j.max_abs_jitter() < 1e-12);
+        assert!(j.gap_stddev() < 1e-12);
+    }
+
+    #[test]
+    fn irregular_arrivals_have_positive_jitter() {
+        let mut j = JitterTracker::new();
+        for t in [0.0, 0.01, 0.05, 0.06, 0.2] {
+            j.observe(t);
+        }
+        assert!(j.mean_abs_jitter() > 0.0);
+        assert!(j.max_abs_jitter() >= j.mean_abs_jitter());
+    }
+
+    #[test]
+    fn empty_tracker_reports_zeros() {
+        let j = JitterTracker::new();
+        assert_eq!(j.intervals(), 0);
+        assert_eq!(j.mean_gap(), 0.0);
+        assert_eq!(j.mean_abs_jitter(), 0.0);
+        assert_eq!(j.max_abs_jitter(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_no_intervals() {
+        let mut j = JitterTracker::new();
+        j.observe(5.0);
+        assert_eq!(j.intervals(), 0);
+    }
+
+    #[test]
+    fn deadline_tracker_counts_and_ratio() {
+        let mut d = DeadlineTracker::new();
+        assert_eq!(d.miss_ratio(), 0.0);
+        d.record_met();
+        d.record_met();
+        d.record_met();
+        d.record_missed();
+        assert_eq!(d.met(), 3);
+        assert_eq!(d.missed(), 1);
+        assert_eq!(d.total(), 4);
+        assert!((d.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_tracker_merge() {
+        let mut a = DeadlineTracker::new();
+        a.record_met();
+        let mut b = DeadlineTracker::new();
+        b.record_missed();
+        b.record_missed();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.missed(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn miss_ratio_is_bounded(met in 0u64..1000, missed in 0u64..1000) {
+            let mut d = DeadlineTracker::new();
+            for _ in 0..met { d.record_met(); }
+            for _ in 0..missed { d.record_missed(); }
+            let r = d.miss_ratio();
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert_eq!(d.total(), met + missed);
+        }
+
+        #[test]
+        fn jitter_is_nonnegative(times in proptest::collection::vec(0.0f64..100.0, 0..100)) {
+            let mut sorted = times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut j = JitterTracker::new();
+            for t in sorted {
+                j.observe(t);
+            }
+            prop_assert!(j.mean_abs_jitter() >= 0.0);
+            prop_assert!(j.max_abs_jitter() >= j.mean_abs_jitter() - 1e-12);
+        }
+    }
+}

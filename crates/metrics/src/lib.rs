@@ -1,0 +1,38 @@
+//! Measurement and reporting support for the real-rate scheduling reproduction.
+//!
+//! The paper's evaluation (Figures 5–8) reports time series of allocations,
+//! queue fill levels, progress rates, controller overhead and dispatch
+//! overhead.  This crate provides the small amount of numerical
+//! infrastructure those experiments need:
+//!
+//! * [`TimeSeries`] — an append-only `(time, value)` series with windowing,
+//!   resampling and summary statistics.
+//! * [`stats`] — scalar summaries ([`stats::Summary`]) and streaming
+//!   statistics ([`stats::OnlineStats`]).
+//! * [`histogram`] — a fixed-bucket histogram with percentile queries.
+//! * [`regression`] — ordinary-least-squares linear regression, used to fit
+//!   the controller-overhead line of Figure 5.
+//! * [`jitter`] — inter-sample jitter and deadline-miss accounting.
+//! * [`export`] — CSV and JSON emission of experiment records.
+//! * [`plot`] — terminal-friendly ASCII plots for the example binaries.
+//!
+//! The crate is deliberately free of scheduling concepts: it only knows about
+//! numbers over time, so every other crate in the workspace can depend on it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod histogram;
+pub mod jitter;
+pub mod plot;
+pub mod regression;
+pub mod stats;
+pub mod timeseries;
+
+pub use export::{ExperimentRecord, SeriesTable};
+pub use histogram::Histogram;
+pub use jitter::{DeadlineTracker, JitterTracker};
+pub use regression::{linear_fit, LinearFit};
+pub use stats::{OnlineStats, Summary};
+pub use timeseries::TimeSeries;

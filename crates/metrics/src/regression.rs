@@ -1,0 +1,175 @@
+//! Ordinary-least-squares linear regression.
+//!
+//! Figure 5 of the paper reports the controller overhead as a linear fit
+//! `y = 0.00066·x + 0.00057` with a coefficient of determination of 0.999.
+//! The benchmark harness uses [`linear_fit`] to compute the same slope,
+//! intercept and R² from the measured overhead series.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a least-squares linear fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (R²), in `[0, 1]` for least-squares fits.
+    pub r_squared: f64,
+    /// Number of points used in the fit.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a line to `(x, y)` pairs by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are supplied or when all `x`
+/// values are identical (the slope would be undefined).
+///
+/// # Examples
+///
+/// ```
+/// use rrs_metrics::linear_fit;
+///
+/// let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+/// let fit = linear_fit(&pts).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// assert!((fit.intercept - 1.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    // R² = 1 - SS_res / SS_tot. A constant y (syy == 0) is fit perfectly.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|&(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, -3.0 * i as f64 + 7.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope + 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 7.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert_eq!(fit.n, 20);
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn vertical_line_returns_none() {
+        let pts = [(2.0, 1.0), (2.0, 5.0), (2.0, 9.0)];
+        assert!(linear_fit(&pts).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_perfect_fit() {
+        let pts = [(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn predict_evaluates_the_line() {
+        let fit = LinearFit {
+            slope: 0.5,
+            intercept: 1.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        assert_eq!(fit.predict(4.0), 3.0);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r_squared() {
+        // Deterministic "noise" so the test is stable.
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.25 } else { -0.25 };
+                (x, 0.1 * x + 2.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 0.1).abs() < 0.01);
+        assert!(fit.r_squared > 0.9 && fit.r_squared < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fit_of_exact_line_matches(slope in -100.0f64..100.0, intercept in -100.0f64..100.0) {
+            let pts: Vec<(f64, f64)> = (0..10).map(|i| {
+                let x = i as f64;
+                (x, slope * x + intercept)
+            }).collect();
+            let fit = linear_fit(&pts).unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-6);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        }
+
+        #[test]
+        fn r_squared_is_bounded(ys in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+            if let Some(fit) = linear_fit(&pts) {
+                prop_assert!(fit.r_squared >= 0.0 && fit.r_squared <= 1.0);
+            }
+        }
+    }
+}

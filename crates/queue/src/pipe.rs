@@ -1,0 +1,243 @@
+//! A byte-oriented bounded channel modelling a Unix pipe or socket buffer.
+//!
+//! The paper extends "the in-kernel pipe and socket implementation" to
+//! expose fill levels (§3.2).  `Pipe` is the equivalent abstraction here:
+//! a byte FIFO of fixed capacity whose occupancy is observable through
+//! [`ProgressMetric`].
+
+use crate::metric::{FillSample, ProgressMetric};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+struct PipeInner {
+    bytes: VecDeque<u8>,
+    total_written: u64,
+    total_read: u64,
+}
+
+/// A bounded byte FIFO with partial writes and reads, like `pipe(2)`.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_queue::{Pipe, ProgressMetric};
+///
+/// let pipe = Pipe::new("stdout", 8);
+/// assert_eq!(pipe.write(&[1, 2, 3, 4]), 4);
+/// assert_eq!(pipe.sample().fraction(), 0.5);
+/// let mut buf = [0u8; 2];
+/// assert_eq!(pipe.read(&mut buf), 2);
+/// assert_eq!(buf, [1, 2]);
+/// ```
+pub struct Pipe {
+    name: String,
+    capacity: usize,
+    inner: Mutex<PipeInner>,
+}
+
+impl Pipe {
+    /// Creates a pipe with the given name and capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "pipe capacity must be non-zero");
+        Self {
+            name: name.into(),
+            capacity,
+            inner: Mutex::new(PipeInner {
+                bytes: VecDeque::with_capacity(capacity),
+                total_written: 0,
+                total_read: 0,
+            }),
+        }
+    }
+
+    /// Returns the pipe capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().bytes.len()
+    }
+
+    /// Returns `true` if no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if the pipe is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Writes as many bytes of `data` as fit and returns how many were
+    /// accepted (a short write when the pipe is nearly full, 0 when full).
+    pub fn write(&self, data: &[u8]) -> usize {
+        let mut inner = self.inner.lock();
+        let space = self.capacity - inner.bytes.len();
+        let n = data.len().min(space);
+        inner.bytes.extend(&data[..n]);
+        inner.total_written += n as u64;
+        n
+    }
+
+    /// Reads up to `buf.len()` bytes into `buf` and returns how many were
+    /// read (0 when the pipe is empty).
+    pub fn read(&self, buf: &mut [u8]) -> usize {
+        let mut inner = self.inner.lock();
+        let n = buf.len().min(inner.bytes.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = inner.bytes.pop_front().expect("length was checked");
+        }
+        inner.total_read += n as u64;
+        n
+    }
+
+    /// Discards up to `count` buffered bytes and returns how many were
+    /// discarded.  Used by simulated consumers that only track byte counts.
+    pub fn consume(&self, count: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let n = count.min(inner.bytes.len());
+        inner.bytes.drain(..n);
+        inner.total_read += n as u64;
+        n
+    }
+
+    /// Total bytes ever written.
+    pub fn total_written(&self) -> u64 {
+        self.inner.lock().total_written
+    }
+
+    /// Total bytes ever read.
+    pub fn total_read(&self) -> u64 {
+        self.inner.lock().total_read
+    }
+}
+
+impl ProgressMetric for Pipe {
+    fn sample(&self) -> FillSample {
+        FillSample::new(self.len(), self.capacity)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Pipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipe")
+            .field("name", &self.name)
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let pipe = Pipe::new("p", 16);
+        assert_eq!(pipe.write(b"hello"), 5);
+        let mut buf = [0u8; 5];
+        assert_eq!(pipe.read(&mut buf), 5);
+        assert_eq!(&buf, b"hello");
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn short_write_when_nearly_full() {
+        let pipe = Pipe::new("p", 4);
+        assert_eq!(pipe.write(b"abc"), 3);
+        assert_eq!(pipe.write(b"defg"), 1);
+        assert!(pipe.is_full());
+        assert_eq!(pipe.write(b"x"), 0);
+    }
+
+    #[test]
+    fn short_read_when_nearly_empty() {
+        let pipe = Pipe::new("p", 8);
+        pipe.write(b"ab");
+        let mut buf = [0u8; 8];
+        assert_eq!(pipe.read(&mut buf), 2);
+        assert_eq!(&buf[..2], b"ab");
+        assert_eq!(pipe.read(&mut buf), 0);
+    }
+
+    #[test]
+    fn consume_discards_bytes() {
+        let pipe = Pipe::new("p", 8);
+        pipe.write(b"abcdef");
+        assert_eq!(pipe.consume(4), 4);
+        assert_eq!(pipe.len(), 2);
+        assert_eq!(pipe.consume(10), 2);
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn totals_track_traffic() {
+        let pipe = Pipe::new("p", 8);
+        pipe.write(b"abcd");
+        pipe.consume(2);
+        let mut buf = [0u8; 1];
+        pipe.read(&mut buf);
+        assert_eq!(pipe.total_written(), 4);
+        assert_eq!(pipe.total_read(), 3);
+    }
+
+    #[test]
+    fn fill_sample_reflects_occupancy() {
+        let pipe = Pipe::new("p", 10);
+        pipe.write(&[0u8; 5]);
+        assert_eq!(pipe.sample().fraction(), 0.5);
+        assert_eq!(pipe.sample().centered(), 0.0);
+        assert_eq!(pipe.name(), "p");
+    }
+
+    #[test]
+    #[should_panic(expected = "pipe capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Pipe::new("p", 0);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(
+            writes in proptest::collection::vec(0usize..20, 1..50),
+            cap in 1usize..64,
+        ) {
+            let pipe = Pipe::new("p", cap);
+            for (i, &w) in writes.iter().enumerate() {
+                let data = vec![0u8; w];
+                pipe.write(&data);
+                if i % 3 == 0 {
+                    pipe.consume(w / 2);
+                }
+                prop_assert!(pipe.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn written_equals_read_plus_buffered(
+            chunks in proptest::collection::vec(proptest::collection::vec(0u8..255, 0..16), 0..30),
+        ) {
+            let pipe = Pipe::new("p", 128);
+            let mut accepted = 0u64;
+            for c in &chunks {
+                accepted += pipe.write(c) as u64;
+            }
+            let mut buf = vec![0u8; 64];
+            let mut read = 0u64;
+            read += pipe.read(&mut buf) as u64;
+            prop_assert_eq!(accepted, read + pipe.len() as u64);
+        }
+    }
+}

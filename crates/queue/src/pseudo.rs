@@ -1,0 +1,239 @@
+//! Pseudo-progress metrics for jobs without a natural queue.
+//!
+//! §4.5 of the paper suggests that "a pure computation (finding digits of pi
+//! or cracking passwords) could use a metric such as the number of keys it
+//! has attempted" — a *pseudo-progress metric* that maps the job's own
+//! notion of progress into the queue-based meta-interface.  This module
+//! provides that mapping: a monotonically increasing work counter is
+//! compared against a target rate, and the shortfall or surplus is exposed
+//! as a virtual fill level.
+
+use crate::metric::{FillSample, ProgressMetric};
+use parking_lot::Mutex;
+
+/// The target rate a counter-based job is expected to sustain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateTarget {
+    /// Desired work units per second.
+    pub units_per_second: f64,
+    /// Window, expressed in seconds of target work, that corresponds to the
+    /// full span of the virtual queue.  A larger window makes the virtual
+    /// fill level move more slowly.
+    pub window_seconds: f64,
+}
+
+impl RateTarget {
+    /// Creates a rate target.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both fields are positive.
+    pub fn new(units_per_second: f64, window_seconds: f64) -> Self {
+        assert!(units_per_second > 0.0, "target rate must be positive");
+        assert!(window_seconds > 0.0, "window must be positive");
+        Self {
+            units_per_second,
+            window_seconds,
+        }
+    }
+}
+
+struct CounterState {
+    /// Total work units completed, reported by the job.
+    completed: f64,
+    /// Time of the last `advance_time` call, in seconds.
+    now: f64,
+    /// Work units that *should* have been completed by `now`.
+    expected: f64,
+}
+
+/// A pseudo-progress metric driven by a work counter and a target rate.
+///
+/// The virtual queue is considered *full* when the job has fallen one full
+/// window behind its target (it urgently needs CPU, like the consumer of a
+/// full queue) and *empty* when it has run one full window ahead.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_queue::{CounterProgress, ProgressMetric, RateTarget};
+///
+/// let m = CounterProgress::new("pi-digits", RateTarget::new(100.0, 1.0));
+/// m.advance_time(1.0);          // one second passes ...
+/// m.record_work(50.0);          // ... but only half the target work got done
+/// assert!(m.sample().centered() > 0.0); // so the job is behind: positive pressure
+/// ```
+pub struct CounterProgress {
+    name: String,
+    target: RateTarget,
+    state: Mutex<CounterState>,
+    /// Resolution of the virtual queue in slots.
+    resolution: usize,
+}
+
+impl CounterProgress {
+    /// Creates a counter-progress metric with a virtual queue of 1000 slots.
+    pub fn new(name: impl Into<String>, target: RateTarget) -> Self {
+        Self {
+            name: name.into(),
+            target,
+            state: Mutex::new(CounterState {
+                completed: 0.0,
+                now: 0.0,
+                expected: 0.0,
+            }),
+            resolution: 1000,
+        }
+    }
+
+    /// Reports that the job completed `units` more units of work.
+    pub fn record_work(&self, units: f64) {
+        let mut s = self.state.lock();
+        s.completed += units.max(0.0);
+    }
+
+    /// Advances the metric's notion of time to `now` seconds, growing the
+    /// expected amount of work accordingly.  Time never moves backwards.
+    pub fn advance_time(&self, now: f64) {
+        let mut s = self.state.lock();
+        if now > s.now {
+            let dt = now - s.now;
+            s.expected += dt * self.target.units_per_second;
+            s.now = now;
+        }
+    }
+
+    /// Returns how many work units the job is behind target (negative when
+    /// it is ahead).
+    pub fn lag_units(&self) -> f64 {
+        let s = self.state.lock();
+        s.expected - s.completed
+    }
+
+    /// Returns the configured target.
+    pub fn target(&self) -> RateTarget {
+        self.target
+    }
+}
+
+impl ProgressMetric for CounterProgress {
+    fn sample(&self) -> FillSample {
+        // Map lag in [-window, +window] (in units of work) onto a virtual
+        // queue: lag 0 is half-full, one full window behind is full.
+        let window_units = self.target.units_per_second * self.target.window_seconds;
+        let lag = self.lag_units();
+        let frac = (0.5 + 0.5 * (lag / window_units)).clamp(0.0, 1.0);
+        let level = (frac * self.resolution as f64).round() as usize;
+        FillSample::new(level, self.resolution)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn on_target_job_is_half_full() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.advance_time(2.0);
+        m.record_work(20.0);
+        assert!((m.sample().centered()).abs() < 1e-3);
+        assert_eq!(m.lag_units(), 0.0);
+    }
+
+    #[test]
+    fn lagging_job_exerts_positive_pressure() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.advance_time(1.0);
+        // No work recorded: one second (= one window) behind, queue is full.
+        assert!((m.sample().centered() - 0.5).abs() < 1e-3);
+        assert!(m.lag_units() > 0.0);
+    }
+
+    #[test]
+    fn ahead_job_exerts_negative_pressure() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.advance_time(1.0);
+        m.record_work(30.0);
+        assert!(m.sample().centered() < 0.0);
+        assert!(m.lag_units() < 0.0);
+    }
+
+    #[test]
+    fn pressure_is_clamped_at_extremes() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.advance_time(100.0); // 100 windows behind
+        assert_eq!(m.sample().centered(), 0.5);
+
+        let ahead = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        ahead.record_work(1_000_000.0);
+        ahead.advance_time(0.001);
+        assert!((ahead.sample().centered() + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_never_moves_backwards() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.advance_time(5.0);
+        let lag_before = m.lag_units();
+        m.advance_time(1.0);
+        assert_eq!(m.lag_units(), lag_before);
+    }
+
+    #[test]
+    fn negative_work_is_ignored() {
+        let m = CounterProgress::new("job", RateTarget::new(10.0, 1.0));
+        m.record_work(-100.0);
+        assert_eq!(m.lag_units(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RateTarget::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn name_and_target_accessors() {
+        let m = CounterProgress::new("crack", RateTarget::new(5.0, 2.0));
+        assert_eq!(m.name(), "crack");
+        assert_eq!(m.target().units_per_second, 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn centered_pressure_is_bounded(
+            rate in 0.1f64..100.0,
+            window in 0.1f64..10.0,
+            elapsed in 0.0f64..100.0,
+            work in 0.0f64..10_000.0,
+        ) {
+            let m = CounterProgress::new("j", RateTarget::new(rate, window));
+            m.advance_time(elapsed);
+            m.record_work(work);
+            let c = m.sample().centered();
+            prop_assert!((-0.5..=0.5).contains(&c));
+        }
+
+        #[test]
+        fn more_work_never_increases_pressure(
+            rate in 1.0f64..50.0,
+            elapsed in 0.1f64..10.0,
+            work_a in 0.0f64..500.0,
+            extra in 0.0f64..500.0,
+        ) {
+            let a = CounterProgress::new("a", RateTarget::new(rate, 1.0));
+            a.advance_time(elapsed);
+            a.record_work(work_a);
+            let b = CounterProgress::new("b", RateTarget::new(rate, 1.0));
+            b.advance_time(elapsed);
+            b.record_work(work_a + extra);
+            prop_assert!(b.sample().centered() <= a.sample().centered() + 1e-3);
+        }
+    }
+}

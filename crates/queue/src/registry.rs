@@ -1,0 +1,274 @@
+//! The meta-interface: registration of progress metrics with the scheduler.
+//!
+//! "When an application initializes a symbiotic interface ... the interface
+//! creates a linkage to the kernel using a meta-interface system call that
+//! registers the queue (or socket, etc.) and the application's use of that
+//! queue (producer or consumer)" (§3.2).  `MetricRegistry` plays the role of
+//! that kernel-side table: jobs register attachments, the controller
+//! enumerates and samples them every controller period.
+
+use crate::metric::{FillSample, SharedMetric};
+use crate::role::Role;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies a job (a collection of cooperating threads) to the registry.
+///
+/// The registry is deliberately agnostic about what a job is; the scheduler
+/// and simulator map their own thread identifiers onto `JobKey`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobKey(pub u64);
+
+/// Identifies one registered attachment (one `(job, metric, role)` linkage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttachmentId(u64);
+
+/// One `(job, metric, role)` linkage.
+#[derive(Clone)]
+pub struct Attachment {
+    /// The attachment identifier assigned at registration.
+    pub id: AttachmentId,
+    /// The job this attachment belongs to.
+    pub job: JobKey,
+    /// The job's role on the metric (producer or consumer).
+    pub role: Role,
+    /// The progress metric itself.
+    pub metric: SharedMetric,
+}
+
+impl Attachment {
+    /// Samples the metric and returns the observation.
+    pub fn sample(&self) -> FillSample {
+        self.metric.sample()
+    }
+
+    /// The signed, centred pressure contribution `R_{t,i} · F_{t,i}` of this
+    /// attachment (Figure 3).
+    pub fn signed_pressure(&self) -> f64 {
+        self.role.sign() * self.sample().centered()
+    }
+}
+
+impl std::fmt::Debug for Attachment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Attachment")
+            .field("id", &self.id)
+            .field("job", &self.job)
+            .field("role", &self.role)
+            .field("metric", &self.metric.name())
+            .finish()
+    }
+}
+
+/// The registry of progress-metric attachments (the meta-interface).
+///
+/// Cloning the registry is cheap; clones share the same underlying table, so
+/// the simulator, the workloads and the controller can all hold a handle.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rrs_queue::{BoundedBuffer, JobKey, MetricRegistry, Role};
+///
+/// let registry = MetricRegistry::new();
+/// let queue = Arc::new(BoundedBuffer::<u32>::new("frames", 8));
+/// registry.register(JobKey(1), Role::Producer, queue.clone());
+/// registry.register(JobKey(2), Role::Consumer, queue);
+/// assert_eq!(registry.attachments_for(JobKey(2)).len(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    next_id: AtomicU64,
+    table: RwLock<BTreeMap<AttachmentId, Attachment>>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a `(job, role, metric)` linkage and returns its id.
+    pub fn register(&self, job: JobKey, role: Role, metric: SharedMetric) -> AttachmentId {
+        let id = AttachmentId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let attachment = Attachment {
+            id,
+            job,
+            role,
+            metric,
+        };
+        self.inner.table.write().insert(id, attachment);
+        id
+    }
+
+    /// Removes an attachment; returns `true` if it existed.
+    pub fn unregister(&self, id: AttachmentId) -> bool {
+        self.inner.table.write().remove(&id).is_some()
+    }
+
+    /// Removes every attachment belonging to `job` and returns how many were
+    /// removed.  Called when a job exits.
+    pub fn unregister_job(&self, job: JobKey) -> usize {
+        let mut table = self.inner.table.write();
+        let ids: Vec<AttachmentId> = table
+            .values()
+            .filter(|a| a.job == job)
+            .map(|a| a.id)
+            .collect();
+        for id in &ids {
+            table.remove(id);
+        }
+        ids.len()
+    }
+
+    /// Returns all attachments for the given job.
+    pub fn attachments_for(&self, job: JobKey) -> Vec<Attachment> {
+        self.inner
+            .table
+            .read()
+            .values()
+            .filter(|a| a.job == job)
+            .cloned()
+            .collect()
+    }
+
+    /// Returns every registered attachment.
+    pub fn all_attachments(&self) -> Vec<Attachment> {
+        self.inner.table.read().values().cloned().collect()
+    }
+
+    /// Returns the distinct jobs that currently have attachments.
+    pub fn jobs(&self) -> Vec<JobKey> {
+        let table = self.inner.table.read();
+        let mut jobs: Vec<JobKey> = table.values().map(|a| a.job).collect();
+        jobs.sort();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Returns the summed signed pressure `Σ_i R_{t,i} · F_{t,i}` for `job`,
+    /// or `None` if the job has no attachments (i.e. no progress metric).
+    pub fn summed_pressure(&self, job: JobKey) -> Option<f64> {
+        let attachments = self.attachments_for(job);
+        if attachments.is_empty() {
+            None
+        } else {
+            Some(attachments.iter().map(Attachment::signed_pressure).sum())
+        }
+    }
+
+    /// Number of registered attachments.
+    pub fn len(&self) -> usize {
+        self.inner.table.read().len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("attachments", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoundedBuffer;
+    use crate::metric::ConstantMetric;
+
+    fn buffer(capacity: usize) -> Arc<BoundedBuffer<u32>> {
+        Arc::new(BoundedBuffer::new("q", capacity))
+    }
+
+    #[test]
+    fn register_and_enumerate() {
+        let reg = MetricRegistry::new();
+        let q = buffer(4);
+        reg.register(JobKey(1), Role::Producer, q.clone());
+        reg.register(JobKey(2), Role::Consumer, q);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.jobs(), vec![JobKey(1), JobKey(2)]);
+        assert_eq!(reg.attachments_for(JobKey(1)).len(), 1);
+        assert_eq!(reg.attachments_for(JobKey(3)).len(), 0);
+    }
+
+    #[test]
+    fn unregister_by_id_and_by_job() {
+        let reg = MetricRegistry::new();
+        let q = buffer(4);
+        let id = reg.register(JobKey(1), Role::Producer, q.clone());
+        reg.register(JobKey(1), Role::Consumer, q.clone());
+        reg.register(JobKey(2), Role::Consumer, q);
+        assert!(reg.unregister(id));
+        assert!(!reg.unregister(id));
+        assert_eq!(reg.unregister_job(JobKey(1)), 1);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricRegistry::new();
+        let clone = reg.clone();
+        clone.register(JobKey(7), Role::Consumer, buffer(2));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn signed_pressure_flips_for_producer() {
+        let reg = MetricRegistry::new();
+        let q = buffer(4);
+        // Fill the queue completely: centred fill level = +1/2.
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        reg.register(JobKey(1), Role::Producer, q.clone());
+        reg.register(JobKey(2), Role::Consumer, q);
+        // Full queue: producer should slow down (negative), consumer speed up.
+        assert_eq!(reg.summed_pressure(JobKey(1)), Some(-0.5));
+        assert_eq!(reg.summed_pressure(JobKey(2)), Some(0.5));
+    }
+
+    #[test]
+    fn summed_pressure_adds_multiple_queues() {
+        let reg = MetricRegistry::new();
+        // A pipeline stage that consumes from a full queue and produces into
+        // an empty one is doubly behind: both terms push it positive.
+        let full = Arc::new(ConstantMetric::new(100, 100));
+        let empty = Arc::new(ConstantMetric::new(0, 100));
+        reg.register(JobKey(5), Role::Consumer, full);
+        reg.register(JobKey(5), Role::Producer, empty);
+        let q = reg.summed_pressure(JobKey(5)).unwrap();
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn job_without_metrics_has_no_pressure() {
+        let reg = MetricRegistry::new();
+        assert_eq!(reg.summed_pressure(JobKey(9)), None);
+    }
+
+    #[test]
+    fn attachment_debug_includes_metric_name() {
+        let reg = MetricRegistry::new();
+        reg.register(JobKey(1), Role::Consumer, buffer(2));
+        let attachments = reg.all_attachments();
+        let text = format!("{:?}", attachments[0]);
+        assert!(text.contains("q"));
+        assert!(format!("{reg:?}").contains("attachments"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The cooperative wall-clock executor.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSpec, UsageSnapshot};
+use rrs_queue::MetricRegistry;
+use rrs_scheduler::{Dispatcher, DispatcherConfig, Reservation, ThreadClass, ThreadId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a task step reports back to the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The task has more work and wants to be scheduled again.
+    Continue,
+    /// The task is waiting for input; do not schedule it until the next
+    /// controller period (the executor re-polls blocked tasks periodically,
+    /// like the dispatcher waking threads whose queues changed).
+    Blocked,
+    /// The task has finished and should be removed.
+    Done,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Dispatcher configuration (dispatch interval is interpreted in real
+    /// microseconds).
+    pub dispatcher: DispatcherConfig,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            dispatcher: DispatcherConfig::default(),
+            controller: ControllerConfig::default(),
+        }
+    }
+}
+
+/// Handle to a task registered with the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskHandle {
+    /// Controller-side job id.
+    pub job: JobId,
+    /// Scheduler-side thread id.
+    pub thread: ThreadId,
+}
+
+enum WorkerMessage {
+    /// Run one step with the given quantum.
+    Run(Duration),
+    /// Shut down.
+    Stop,
+}
+
+struct WorkerReport {
+    thread: ThreadId,
+    elapsed: Duration,
+    outcome: StepOutcome,
+}
+
+struct TaskSlot {
+    job: JobId,
+    to_worker: Sender<WorkerMessage>,
+    join: Option<JoinHandle<()>>,
+    blocked: bool,
+    done: bool,
+}
+
+/// A cooperative wall-clock executor emulating a single CPU.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_core::JobSpec;
+/// use rrs_realtime::{ExecutorConfig, RealTimeExecutor, StepOutcome};
+/// use std::sync::{atomic::{AtomicU64, Ordering}, Arc};
+/// use std::time::Duration;
+///
+/// let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+/// let counter = Arc::new(AtomicU64::new(0));
+/// let c = Arc::clone(&counter);
+/// exec.spawn("worker", JobSpec::miscellaneous(), move |_quantum| {
+///     c.fetch_add(1, Ordering::Relaxed);
+///     StepOutcome::Continue
+/// });
+/// exec.run_for(Duration::from_millis(50));
+/// exec.shutdown();
+/// assert!(counter.load(Ordering::Relaxed) > 0);
+/// ```
+pub struct RealTimeExecutor {
+    config: ExecutorConfig,
+    registry: MetricRegistry,
+    dispatcher: Dispatcher,
+    controller: Controller,
+    tasks: BTreeMap<ThreadId, TaskSlot>,
+    reports: (Sender<WorkerReport>, Receiver<WorkerReport>),
+    next_id: u64,
+    start: Instant,
+    cpu_time: Arc<Mutex<BTreeMap<u64, Duration>>>,
+}
+
+impl RealTimeExecutor {
+    /// Creates an executor.
+    pub fn new(config: ExecutorConfig) -> Self {
+        let registry = MetricRegistry::new();
+        Self {
+            controller: Controller::new(config.controller, registry.clone()),
+            dispatcher: Dispatcher::new(config.dispatcher),
+            registry,
+            config,
+            tasks: BTreeMap::new(),
+            reports: bounded(64),
+            next_id: 1,
+            start: Instant::now(),
+            cpu_time: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The progress-metric registry shared with tasks.
+    pub fn registry(&self) -> MetricRegistry {
+        self.registry.clone()
+    }
+
+    /// Number of registered (not yet finished) tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.values().filter(|t| !t.done).count()
+    }
+
+    /// Total CPU time granted to a task so far.
+    pub fn cpu_time(&self, handle: TaskHandle) -> Duration {
+        self.cpu_time
+            .lock()
+            .get(&handle.thread.raw())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The proportion currently reserved for a task, in parts per thousand.
+    pub fn current_allocation_ppt(&self, handle: TaskHandle) -> u32 {
+        self.dispatcher
+            .reservation(handle.thread)
+            .map(|r| r.proportion.ppt())
+            .unwrap_or(0)
+    }
+
+    /// Spawns a task with default importance.
+    ///
+    /// `step` is called once per granted quantum with the quantum length and
+    /// must return whether the task wants to continue, block or finish.
+    pub fn spawn<F>(&mut self, name: &str, spec: JobSpec, step: F) -> TaskHandle
+    where
+        F: FnMut(Duration) -> StepOutcome + Send + 'static,
+    {
+        self.spawn_with_importance(name, spec, Importance::NORMAL, step)
+    }
+
+    /// Spawns a task with an explicit importance weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a real-time reservation is rejected by admission control;
+    /// check capacity with smaller reservations first.
+    pub fn spawn_with_importance<F>(
+        &mut self,
+        name: &str,
+        spec: JobSpec,
+        importance: Importance,
+        mut step: F,
+    ) -> TaskHandle
+    where
+        F: FnMut(Duration) -> StepOutcome + Send + 'static,
+    {
+        let raw = self.next_id;
+        self.next_id += 1;
+        let job = JobId(raw);
+        let thread = ThreadId(raw);
+        self.controller
+            .add_job_with_importance(job, spec, importance)
+            .expect("admission rejected: reduce the requested reservation");
+
+        let initial = Reservation::new(
+            spec.proportion
+                .unwrap_or(self.config.controller.min_proportion),
+            spec.period.unwrap_or(self.config.controller.default_period),
+        );
+        self.dispatcher
+            .add_thread(
+                thread,
+                ThreadClass::Reserved(Reservation::new(
+                    self.config.controller.min_proportion,
+                    initial.period,
+                )),
+            )
+            .expect("fresh id");
+        self.dispatcher
+            .set_reservation(thread, initial)
+            .expect("just added");
+
+        let (to_worker, from_executor) = bounded::<WorkerMessage>(1);
+        let report_tx = self.reports.0.clone();
+        let cpu_time = Arc::clone(&self.cpu_time);
+        let worker_name = name.to_string();
+        let join = std::thread::Builder::new()
+            .name(worker_name)
+            .spawn(move || {
+                while let Ok(msg) = from_executor.recv() {
+                    match msg {
+                        WorkerMessage::Stop => break,
+                        WorkerMessage::Run(quantum) => {
+                            let t0 = Instant::now();
+                            let outcome = step(quantum);
+                            let elapsed = t0.elapsed();
+                            *cpu_time.lock().entry(raw).or_default() += elapsed;
+                            if report_tx
+                                .send(WorkerReport {
+                                    thread,
+                                    elapsed,
+                                    outcome,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                            if outcome == StepOutcome::Done {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawning a worker thread");
+
+        self.tasks.insert(
+            thread,
+            TaskSlot {
+                job,
+                to_worker,
+                join: Some(join),
+                blocked: false,
+                done: false,
+            },
+        );
+        TaskHandle { job, thread }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Runs the scheduling loop for the given wall-clock duration.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = Instant::now() + duration;
+        let controller_period =
+            Duration::from_secs_f64(self.config.controller.controller_period_s);
+        let mut next_controller = Instant::now() + controller_period;
+
+        while Instant::now() < deadline {
+            if Instant::now() >= next_controller {
+                self.run_controller();
+                next_controller += controller_period;
+                // Re-poll blocked tasks at controller frequency.
+                let blocked: Vec<ThreadId> = self
+                    .tasks
+                    .iter()
+                    .filter(|(_, t)| t.blocked && !t.done)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for tid in blocked {
+                    self.tasks.get_mut(&tid).expect("exists").blocked = false;
+                    let _ = self.dispatcher.unblock(tid);
+                }
+            }
+
+            self.dispatcher.advance_to(self.now_us());
+            let outcome = self.dispatcher.dispatch();
+            match outcome.thread {
+                Some(tid) => {
+                    let quantum = Duration::from_micros(outcome.quantum_us);
+                    let slot = self.tasks.get_mut(&tid).expect("dispatched task exists");
+                    if slot.done || slot.to_worker.send(WorkerMessage::Run(quantum)).is_err() {
+                        let _ = self.dispatcher.block(tid);
+                        continue;
+                    }
+                    // Wait for the step to finish (single-CPU emulation).
+                    match self.reports.1.recv_timeout(Duration::from_secs(5)) {
+                        Ok(report) => self.handle_report(report),
+                        Err(_) => break,
+                    }
+                }
+                None => {
+                    std::thread::sleep(Duration::from_micros(
+                        outcome.quantum_us.min(1_000).max(100),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn handle_report(&mut self, report: WorkerReport) {
+        let used_us = report.elapsed.as_micros().max(1) as u64;
+        let _ = self.dispatcher.charge(report.thread, used_us);
+        let slot = self.tasks.get_mut(&report.thread).expect("task exists");
+        match report.outcome {
+            StepOutcome::Continue => {}
+            StepOutcome::Blocked => {
+                slot.blocked = true;
+                let _ = self.dispatcher.block(report.thread);
+            }
+            StepOutcome::Done => {
+                slot.done = true;
+                let _ = self.dispatcher.block(report.thread);
+            }
+        }
+    }
+
+    fn run_controller(&mut self) {
+        let mut usage = BTreeMap::new();
+        for (tid, slot) in &self.tasks {
+            if let Some(acct) = self.dispatcher.usage(*tid) {
+                usage.insert(
+                    slot.job,
+                    UsageSnapshot {
+                        usage_ratio: acct.last_period_usage_ratio(),
+                    },
+                );
+            }
+        }
+        let now_s = self.start.elapsed().as_secs_f64();
+        let out = self.controller.control_cycle(now_s, &usage);
+        for actuation in &out.actuations {
+            let _ = self
+                .dispatcher
+                .set_reservation(ThreadId(actuation.job.0), actuation.reservation);
+        }
+    }
+
+    /// Stops every worker thread and waits for them to exit.
+    pub fn shutdown(&mut self) {
+        for slot in self.tasks.values_mut() {
+            let _ = slot.to_worker.send(WorkerMessage::Stop);
+        }
+        // Drain any in-flight report so workers are not stuck sending.
+        while self.reports.1.try_recv().is_ok() {}
+        for slot in self.tasks.values_mut() {
+            if let Some(join) = slot.join.take() {
+                let _ = join.join();
+            }
+        }
+        self.tasks.clear();
+    }
+}
+
+impl Drop for RealTimeExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RealTimeExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealTimeExecutor")
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_scheduler::{Period, Proportion};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn spin_for(duration: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < duration {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn tasks_run_and_shutdown_cleanly() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let handle = exec.spawn("spin", JobSpec::miscellaneous(), move |q| {
+            spin_for(q.min(Duration::from_micros(500)));
+            c.fetch_add(1, Ordering::Relaxed);
+            StepOutcome::Continue
+        });
+        exec.run_for(Duration::from_millis(100));
+        exec.shutdown();
+        assert!(counter.load(Ordering::Relaxed) > 0);
+        assert!(exec.cpu_time(handle) > Duration::ZERO);
+        assert_eq!(exec.task_count(), 0);
+    }
+
+    #[test]
+    fn done_task_stops_being_scheduled() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        exec.spawn("once", JobSpec::miscellaneous(), move |_q| {
+            c.fetch_add(1, Ordering::Relaxed);
+            StepOutcome::Done
+        });
+        exec.run_for(Duration::from_millis(80));
+        exec.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn misc_task_allocation_grows_under_the_controller() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+        let handle = exec.spawn("spin", JobSpec::miscellaneous(), move |q| {
+            spin_for(q.min(Duration::from_micros(300)));
+            StepOutcome::Continue
+        });
+        exec.run_for(Duration::from_millis(300));
+        let alloc = exec.current_allocation_ppt(handle);
+        exec.shutdown();
+        assert!(alloc > 1, "allocation should have grown, got {alloc}");
+    }
+
+    #[test]
+    fn real_time_task_keeps_its_reservation() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+        let spec = JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(20));
+        let rt = exec.spawn("rt", spec, move |q| {
+            spin_for(q.min(Duration::from_micros(300)));
+            StepOutcome::Continue
+        });
+        let _bg = exec.spawn("bg", JobSpec::miscellaneous(), move |q| {
+            spin_for(q.min(Duration::from_micros(300)));
+            StepOutcome::Continue
+        });
+        exec.run_for(Duration::from_millis(200));
+        let alloc = exec.current_allocation_ppt(rt);
+        exec.shutdown();
+        assert_eq!(alloc, 300);
+    }
+
+    #[test]
+    fn blocked_tasks_are_woken_by_the_controller_tick() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default());
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        exec.spawn("blocker", JobSpec::miscellaneous(), move |_q| {
+            c.fetch_add(1, Ordering::Relaxed);
+            StepOutcome::Blocked
+        });
+        exec.run_for(Duration::from_millis(150));
+        exec.shutdown();
+        // It blocks after every step but should still have run several
+        // times because the controller tick re-polls it.
+        assert!(counter.load(Ordering::Relaxed) >= 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Overload detection and admission control.
+//!
+//! "An advantage of reservation-based scheduling is that one can easily
+//! detect overload by summing the proportions: a sum greater than or equal
+//! to one indicates the CPU is oversubscribed.  If the scheduler is
+//! conservative, it can reserve some capacity by setting the overload
+//! threshold to less than 1" (§3.1).
+
+use crate::error::SchedError;
+use crate::types::Proportion;
+use serde::{Deserialize, Serialize};
+
+/// The admission threshold and overload test.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_scheduler::{AdmissionControl, Proportion};
+///
+/// let ac = AdmissionControl::with_threshold(Proportion::from_ppt(900));
+/// let existing = Proportion::from_ppt(800);
+/// assert!(ac.try_admit(existing, Proportion::from_ppt(50)).is_ok());
+/// assert!(ac.try_admit(existing, Proportion::from_ppt(200)).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    threshold: Proportion,
+}
+
+impl AdmissionControl {
+    /// The default threshold: 95 % of the CPU, leaving headroom for
+    /// "the overhead of scheduling and interrupt handling" as the paper
+    /// suggests.
+    pub const DEFAULT_THRESHOLD_PPT: u32 = 950;
+
+    /// Creates admission control with the default 95 % threshold.
+    pub fn new() -> Self {
+        Self {
+            threshold: Proportion::from_ppt(Self::DEFAULT_THRESHOLD_PPT),
+        }
+    }
+
+    /// Creates admission control with an explicit threshold.
+    pub fn with_threshold(threshold: Proportion) -> Self {
+        Self { threshold }
+    }
+
+    /// Returns the overload threshold.
+    pub fn threshold(&self) -> Proportion {
+        self.threshold
+    }
+
+    /// Lowers (or raises) the threshold; the RBS does this when it finds
+    /// itself missing deadlines, to increase spare capacity (§3.3 footnote).
+    pub fn set_threshold(&mut self, threshold: Proportion) {
+        self.threshold = threshold;
+    }
+
+    /// Returns `true` if the given total allocation oversubscribes the CPU.
+    pub fn is_overloaded(&self, total: Proportion) -> bool {
+        total.ppt() > self.threshold.ppt()
+    }
+
+    /// Returns how much proportion is still available under the threshold.
+    pub fn available(&self, total: Proportion) -> Proportion {
+        self.threshold.saturating_sub(total)
+    }
+
+    /// Tests whether a new reservation of `requested` can be admitted given
+    /// the `existing` total; returns the headroom error on rejection.
+    pub fn try_admit(
+        &self,
+        existing: Proportion,
+        requested: Proportion,
+    ) -> Result<(), SchedError> {
+        let available = self.available(existing);
+        if requested.ppt() <= available.ppt() {
+            Ok(())
+        } else {
+            Err(SchedError::Oversubscribed {
+                requested,
+                available,
+            })
+        }
+    }
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_threshold_leaves_headroom() {
+        let ac = AdmissionControl::new();
+        assert_eq!(ac.threshold().ppt(), 950);
+        assert!(!ac.is_overloaded(Proportion::from_ppt(950)));
+        assert!(ac.is_overloaded(Proportion::from_ppt(951)));
+    }
+
+    #[test]
+    fn try_admit_respects_threshold() {
+        let ac = AdmissionControl::with_threshold(Proportion::from_ppt(1000));
+        assert!(ac
+            .try_admit(Proportion::from_ppt(600), Proportion::from_ppt(400))
+            .is_ok());
+        let err = ac
+            .try_admit(Proportion::from_ppt(600), Proportion::from_ppt(500))
+            .unwrap_err();
+        match err {
+            SchedError::Oversubscribed {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested.ppt(), 500);
+                assert_eq!(available.ppt(), 400);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn available_saturates_at_zero() {
+        let ac = AdmissionControl::with_threshold(Proportion::from_ppt(500));
+        assert_eq!(ac.available(Proportion::from_ppt(800)).ppt(), 0);
+    }
+
+    #[test]
+    fn threshold_can_be_adjusted() {
+        let mut ac = AdmissionControl::new();
+        ac.set_threshold(Proportion::from_ppt(700));
+        assert!(ac.is_overloaded(Proportion::from_ppt(750)));
+    }
+
+    proptest! {
+        #[test]
+        fn admit_implies_not_overloaded_after(
+            threshold in 0u32..=1000,
+            existing in 0u32..=1000,
+            requested in 0u32..=1000,
+        ) {
+            let ac = AdmissionControl::with_threshold(Proportion::from_ppt(threshold));
+            let existing = Proportion::from_ppt(existing);
+            let requested = Proportion::from_ppt(requested);
+            prop_assume!(!ac.is_overloaded(existing));
+            if ac.try_admit(existing, requested).is_ok() {
+                let total = existing.saturating_add(requested);
+                prop_assert!(!ac.is_overloaded(total));
+            }
+        }
+    }
+}

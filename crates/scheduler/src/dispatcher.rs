@@ -1,0 +1,759 @@
+//! The proportion/period dispatcher.
+//!
+//! This is the "low-level scheduler" of §3.1: at each dispatch point it
+//! picks the runnable thread with the highest goodness, charges the running
+//! thread for the CPU it consumed, throttles threads that have used their
+//! allocation for the current period, and rolls per-thread periods when
+//! their timers expire.  It is a pure state machine over an explicit clock
+//! (`now_us`), driven either by the discrete-event simulator or by the
+//! wall-clock executor.
+
+use crate::accounting::UsageAccount;
+use crate::admission::AdmissionControl;
+use crate::error::SchedError;
+use crate::goodness::{best_effort_goodness, rbs_goodness};
+use crate::reservation::Reservation;
+use crate::timerlist::TimerList;
+use crate::types::{Proportion, ThreadId, ThreadState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a thread is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadClass {
+    /// Scheduled by the RBS with a proportion/period reservation.
+    Reserved(Reservation),
+    /// Scheduled best-effort (the default Linux policy); only runs when no
+    /// reserved thread is runnable.
+    BestEffort,
+}
+
+/// Configuration for the dispatcher.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DispatcherConfig {
+    /// The dispatch (timer) interval in microseconds; the paper's prototype
+    /// uses 1 ms.
+    pub dispatch_interval_us: u64,
+    /// Admission threshold for reservations.
+    pub admission_threshold_ppt: u32,
+    /// Modelled cost of one dispatch decision (`schedule()` plus
+    /// `do_timers()`), in microseconds.  Used for the Figure 8 overhead
+    /// experiment; set to 0.0 to disable overhead modelling.
+    pub dispatch_cost_us: f64,
+    /// Additional modelled cost per context switch (cache and TLB refill),
+    /// in microseconds.
+    pub context_switch_cost_us: f64,
+    /// Time slice granted to best-effort threads, in microseconds.
+    pub best_effort_slice_us: u64,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        Self {
+            dispatch_interval_us: 1_000,
+            admission_threshold_ppt: AdmissionControl::DEFAULT_THRESHOLD_PPT,
+            // Calibrated so that a 250 µs dispatch interval costs ≈ 2.7 % of
+            // the CPU, matching the knee reported in Figure 8.
+            dispatch_cost_us: 6.8,
+            context_switch_cost_us: 1.9,
+            best_effort_slice_us: 10_000,
+        }
+    }
+}
+
+/// Counters describing what the dispatcher has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchStats {
+    /// Number of dispatch decisions taken.
+    pub dispatches: u64,
+    /// Number of dispatch decisions that switched to a different thread.
+    pub context_switches: u64,
+    /// Number of per-thread period boundaries processed.
+    pub period_rollovers: u64,
+    /// Number of missed deadlines detected at period boundaries.
+    pub deadlines_missed: u64,
+    /// Modelled scheduling overhead accumulated so far, in microseconds.
+    pub overhead_us: f64,
+    /// Time during which no thread was runnable, in microseconds.
+    pub idle_us: u64,
+}
+
+/// The result of one dispatch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// The thread selected to run, or `None` if nothing is runnable.
+    pub thread: Option<ThreadId>,
+    /// How long the selection is valid for, in microseconds: the caller
+    /// should run the thread (or idle) for at most this long before calling
+    /// [`Dispatcher::advance_to`] and dispatching again.
+    pub quantum_us: u64,
+}
+
+#[derive(Debug)]
+struct ThreadEntry {
+    class: ThreadClass,
+    state: ThreadState,
+    account: UsageAccount,
+    remaining_slice_us: u64,
+    /// Monotonic sequence number of the last time this thread was picked;
+    /// used to round-robin among equal-goodness best-effort threads.
+    last_picked_seq: u64,
+}
+
+/// The reservation-based dispatcher.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_scheduler::{Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadClass, ThreadId};
+///
+/// let mut d = Dispatcher::new(DispatcherConfig::default());
+/// let r = Reservation::new(Proportion::from_ppt(500), Period::from_millis(10));
+/// d.add_thread(ThreadId(1), ThreadClass::Reserved(r)).unwrap();
+/// let outcome = d.dispatch();
+/// assert_eq!(outcome.thread, Some(ThreadId(1)));
+/// ```
+#[derive(Debug)]
+pub struct Dispatcher {
+    config: DispatcherConfig,
+    admission: AdmissionControl,
+    threads: BTreeMap<ThreadId, ThreadEntry>,
+    timers: TimerList,
+    now_us: u64,
+    running: Option<ThreadId>,
+    pick_seq: u64,
+    stats: DispatchStats,
+    missed_since_last_poll: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with the given configuration.
+    pub fn new(config: DispatcherConfig) -> Self {
+        Self {
+            admission: AdmissionControl::with_threshold(Proportion::from_ppt(
+                config.admission_threshold_ppt,
+            )),
+            config,
+            threads: BTreeMap::new(),
+            timers: TimerList::new(),
+            now_us: 0,
+            running: None,
+            pick_seq: 0,
+            stats: DispatchStats::default(),
+            missed_since_last_poll: 0,
+        }
+    }
+
+    /// Current scheduler time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// The configuration the dispatcher was created with.
+    pub fn config(&self) -> DispatcherConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Number of threads known to the dispatcher.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// All registered thread ids, in id order.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.threads.keys().copied().collect()
+    }
+
+    /// Sum of the proportions of all reserved threads, in parts per
+    /// thousand.  Unlike [`Proportion`], this is not clamped at 1000, so an
+    /// oversubscribed system reports a value above 1000.
+    pub fn total_reserved_ppt(&self) -> u32 {
+        self.threads
+            .values()
+            .filter_map(|t| match t.class {
+                ThreadClass::Reserved(r) => Some(r.proportion.ppt()),
+                ThreadClass::BestEffort => None,
+            })
+            .sum()
+    }
+
+    /// Sum of the proportions of all reserved threads, clamped to the full
+    /// CPU.
+    pub fn total_reserved(&self) -> Proportion {
+        Proportion::from_ppt(self.total_reserved_ppt())
+    }
+
+    /// Returns `true` if the sum of reservations exceeds the admission
+    /// threshold.
+    pub fn is_overloaded(&self) -> bool {
+        self.total_reserved_ppt() > self.admission.threshold().ppt()
+    }
+
+    /// The admission controller (threshold and headroom queries).
+    pub fn admission(&self) -> AdmissionControl {
+        self.admission
+    }
+
+    /// Registers a thread.  Reserved threads are subject to admission
+    /// control; the new thread starts Ready with a full budget and a period
+    /// timer armed at `now + period`.
+    pub fn add_thread(&mut self, id: ThreadId, class: ThreadClass) -> Result<(), SchedError> {
+        if self.threads.contains_key(&id) {
+            return Err(SchedError::DuplicateThread(id));
+        }
+        let account = match class {
+            ThreadClass::Reserved(r) => {
+                self.admission
+                    .try_admit(self.total_reserved(), r.proportion)?;
+                self.timers.arm(id, self.now_us + r.period.as_micros());
+                UsageAccount::new(self.now_us, r.budget_micros())
+            }
+            ThreadClass::BestEffort => UsageAccount::new(self.now_us, 0),
+        };
+        let mut entry = ThreadEntry {
+            class,
+            state: ThreadState::Ready,
+            account,
+            remaining_slice_us: self.config.best_effort_slice_us,
+            last_picked_seq: 0,
+        };
+        entry.account.mark_runnable();
+        self.threads.insert(id, entry);
+        Ok(())
+    }
+
+    /// Removes a thread from the dispatcher.
+    pub fn remove_thread(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        if self.threads.remove(&id).is_none() {
+            return Err(SchedError::UnknownThread(id));
+        }
+        self.timers.cancel(id);
+        if self.running == Some(id) {
+            self.running = None;
+        }
+        Ok(())
+    }
+
+    /// Changes a thread's reservation — the actuation path used by the
+    /// controller every controller period.  The change takes effect
+    /// immediately for the budget of future periods; the current period's
+    /// budget is adjusted proportionally if it grows.
+    ///
+    /// Admission is *not* re-checked here: the controller is responsible for
+    /// keeping the total under the threshold (it squishes allocations when
+    /// the system would otherwise be oversubscribed).
+    pub fn set_reservation(
+        &mut self,
+        id: ThreadId,
+        reservation: Reservation,
+    ) -> Result<(), SchedError> {
+        let now = self.now_us;
+        let entry = self
+            .threads
+            .get_mut(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        let old_period = match entry.class {
+            ThreadClass::Reserved(r) => Some(r.period),
+            ThreadClass::BestEffort => None,
+        };
+        entry.class = ThreadClass::Reserved(reservation);
+        let new_budget = reservation.budget_micros();
+        // Growing the budget mid-period can un-throttle the thread; a
+        // shrinking budget only applies from the next period so work already
+        // granted is not clawed back.
+        if new_budget > entry.account.budget_us {
+            entry.account.budget_us = new_budget;
+            if entry.state == ThreadState::Throttled && !entry.account.exhausted() {
+                entry.state = ThreadState::Ready;
+                entry.account.mark_runnable();
+            }
+        }
+        match old_period {
+            Some(p) if p == reservation.period => {}
+            _ => {
+                // New period length: re-arm the period timer from now.
+                self.timers.arm(id, now + reservation.period.as_micros());
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a thread's current reservation, if it is reserved.
+    pub fn reservation(&self, id: ThreadId) -> Option<Reservation> {
+        match self.threads.get(&id)?.class {
+            ThreadClass::Reserved(r) => Some(r),
+            ThreadClass::BestEffort => None,
+        }
+    }
+
+    /// Returns a thread's current state.
+    pub fn thread_state(&self, id: ThreadId) -> Option<ThreadState> {
+        self.threads.get(&id).map(|t| t.state)
+    }
+
+    /// Returns a copy of a thread's usage account.
+    pub fn usage(&self, id: ThreadId) -> Option<UsageAccount> {
+        self.threads.get(&id).map(|t| t.account)
+    }
+
+    /// Marks a thread as blocked (waiting on I/O or a queue).
+    pub fn block(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        let entry = self
+            .threads
+            .get_mut(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        if entry.state == ThreadState::Exited {
+            return Err(SchedError::InvalidState(id, "thread has exited"));
+        }
+        entry.state = ThreadState::Blocked;
+        if self.running == Some(id) {
+            self.running = None;
+        }
+        Ok(())
+    }
+
+    /// Wakes a blocked thread.  Threads that are throttled stay throttled
+    /// until their next period even if woken.
+    pub fn unblock(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        let entry = self
+            .threads
+            .get_mut(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        if entry.state == ThreadState::Blocked {
+            if entry.account.exhausted() && matches!(entry.class, ThreadClass::Reserved(_)) {
+                entry.state = ThreadState::Throttled;
+            } else {
+                entry.state = ThreadState::Ready;
+                entry.account.mark_runnable();
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the scheduler clock to `now_us`, processing any period
+    /// timers that expired on the way (`do_timers()` in the prototype).
+    pub fn advance_to(&mut self, now_us: u64) {
+        if now_us <= self.now_us {
+            return;
+        }
+        self.now_us = now_us;
+        let expired = self.timers.pop_expired(now_us);
+        for id in expired {
+            let Some(entry) = self.threads.get_mut(&id) else {
+                continue;
+            };
+            let ThreadClass::Reserved(r) = entry.class else {
+                continue;
+            };
+            let missed = entry.account.roll_period(now_us, r.budget_micros());
+            self.stats.period_rollovers += 1;
+            if missed {
+                self.stats.deadlines_missed += 1;
+                self.missed_since_last_poll += 1;
+            }
+            if entry.state == ThreadState::Throttled {
+                entry.state = ThreadState::Ready;
+            }
+            if entry.state.is_runnable() {
+                entry.account.mark_runnable();
+            }
+            // Re-arm for the next period boundary.
+            self.timers.arm(id, now_us + r.period.as_micros());
+        }
+    }
+
+    /// Returns (and clears) the number of deadlines missed since the last
+    /// call.  The controller polls this to decide whether to grow its spare
+    /// capacity by lowering the admission threshold.
+    pub fn take_missed_deadlines(&mut self) -> u64 {
+        std::mem::take(&mut self.missed_since_last_poll)
+    }
+
+    fn goodness_of(&self, entry: &ThreadEntry) -> i64 {
+        match entry.class {
+            ThreadClass::Reserved(r) => rbs_goodness(r.period),
+            ThreadClass::BestEffort => best_effort_goodness(entry.remaining_slice_us),
+        }
+    }
+
+    /// Takes one dispatch decision: picks the runnable thread with the
+    /// highest goodness and returns it together with the quantum it may run
+    /// for.  Charges the modelled dispatch overhead.
+    pub fn dispatch(&mut self) -> DispatchOutcome {
+        self.stats.dispatches += 1;
+        self.stats.overhead_us += self.config.dispatch_cost_us;
+
+        // Recalculate best-effort slices when every runnable best-effort
+        // thread has exhausted its slice (the Linux "recalculate goodness"
+        // pass).
+        let needs_recalc = self.threads.values().any(|t| {
+            t.state.is_runnable()
+                && matches!(t.class, ThreadClass::BestEffort)
+                && t.remaining_slice_us > 0
+        });
+        if !needs_recalc {
+            let slice = self.config.best_effort_slice_us;
+            for t in self.threads.values_mut() {
+                if matches!(t.class, ThreadClass::BestEffort) {
+                    t.remaining_slice_us = slice;
+                }
+            }
+        }
+
+        // Pick the best runnable thread: highest goodness, ties broken by
+        // least recently picked.
+        let mut best: Option<(i64, u64, ThreadId)> = None;
+        for (&id, entry) in &self.threads {
+            if !entry.state.is_runnable() {
+                continue;
+            }
+            let g = self.goodness_of(entry);
+            let key = (g, u64::MAX - entry.last_picked_seq, id.0);
+            match best {
+                None => best = Some((key.0, key.1, id)),
+                Some((bg, bseq, _)) if (key.0, key.1) > (bg, bseq) => {
+                    best = Some((key.0, key.1, id))
+                }
+                _ => {}
+            }
+        }
+
+        let Some((_, _, picked)) = best else {
+            // Nothing runnable: idle until the next timer or one dispatch
+            // interval, whichever comes first.
+            let quantum = self
+                .timers
+                .next_expiry()
+                .map(|t| t.saturating_sub(self.now_us).max(1))
+                .unwrap_or(self.config.dispatch_interval_us)
+                .min(self.config.dispatch_interval_us.max(1));
+            self.stats.idle_us += quantum;
+            if self.running.is_some() {
+                self.running = None;
+            }
+            return DispatchOutcome {
+                thread: None,
+                quantum_us: quantum,
+            };
+        };
+
+        if self.running != Some(picked) {
+            self.stats.context_switches += 1;
+            self.stats.overhead_us += self.config.context_switch_cost_us;
+        }
+        self.running = Some(picked);
+        self.pick_seq += 1;
+
+        let entry = self.threads.get_mut(&picked).expect("picked exists");
+        entry.last_picked_seq = self.pick_seq;
+        entry.state = ThreadState::Running;
+        entry.account.mark_runnable();
+
+        let budget_cap = match entry.class {
+            ThreadClass::Reserved(_) => entry.account.remaining_us().max(1),
+            ThreadClass::BestEffort => entry.remaining_slice_us.max(1),
+        };
+        let quantum = self.config.dispatch_interval_us.max(1).min(budget_cap);
+        DispatchOutcome {
+            thread: Some(picked),
+            quantum_us: quantum,
+        }
+    }
+
+    /// Charges `us` microseconds of CPU consumption to a thread, throttling
+    /// it if its budget (or best-effort slice) is exhausted.
+    pub fn charge(&mut self, id: ThreadId, us: u64) -> Result<(), SchedError> {
+        let entry = self
+            .threads
+            .get_mut(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        entry.account.charge(us);
+        match entry.class {
+            ThreadClass::Reserved(_) => {
+                if entry.account.exhausted() && entry.state.is_runnable() {
+                    entry.state = ThreadState::Throttled;
+                    if self.running == Some(id) {
+                        self.running = None;
+                    }
+                } else if entry.state == ThreadState::Running {
+                    entry.state = ThreadState::Ready;
+                }
+            }
+            ThreadClass::BestEffort => {
+                entry.remaining_slice_us = entry.remaining_slice_us.saturating_sub(us);
+                if entry.state == ThreadState::Running {
+                    entry.state = ThreadState::Ready;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: advances time by one quantum for the outcome of a
+    /// dispatch where the selected thread ran for the full quantum.
+    pub fn run_quantum(&mut self) -> DispatchOutcome {
+        let outcome = self.dispatch();
+        if let Some(id) = outcome.thread {
+            self.charge(id, outcome.quantum_us).expect("thread exists");
+        }
+        self.advance_to(self.now_us + outcome.quantum_us);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Period;
+
+    fn reserved(ppt: u32, period_ms: u64) -> ThreadClass {
+        ThreadClass::Reserved(Reservation::new(
+            Proportion::from_ppt(ppt),
+            Period::from_millis(period_ms),
+        ))
+    }
+
+    #[test]
+    fn add_and_remove_threads() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(100, 30)).unwrap();
+        assert_eq!(
+            d.add_thread(ThreadId(1), ThreadClass::BestEffort),
+            Err(SchedError::DuplicateThread(ThreadId(1)))
+        );
+        assert_eq!(d.thread_count(), 1);
+        d.remove_thread(ThreadId(1)).unwrap();
+        assert_eq!(
+            d.remove_thread(ThreadId(1)),
+            Err(SchedError::UnknownThread(ThreadId(1)))
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_oversubscription() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(600, 30)).unwrap();
+        let err = d.add_thread(ThreadId(2), reserved(500, 30)).unwrap_err();
+        assert!(matches!(err, SchedError::Oversubscribed { .. }));
+        // Best-effort threads are always admitted.
+        d.add_thread(ThreadId(3), ThreadClass::BestEffort).unwrap();
+        assert_eq!(d.total_reserved().ppt(), 600);
+        assert!(!d.is_overloaded());
+    }
+
+    #[test]
+    fn reserved_thread_beats_best_effort() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), ThreadClass::BestEffort).unwrap();
+        d.add_thread(ThreadId(2), reserved(100, 30)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(2)));
+    }
+
+    #[test]
+    fn shorter_period_beats_longer_period() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(100, 100)).unwrap();
+        d.add_thread(ThreadId(2), reserved(100, 10)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(2)));
+    }
+
+    #[test]
+    fn exhausted_thread_is_throttled_until_next_period() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        // 10 % of 10 ms = 1 ms budget, equal to one dispatch interval.
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = d.dispatch();
+        assert_eq!(o.thread, Some(ThreadId(1)));
+        assert_eq!(o.quantum_us, 1000);
+        d.charge(ThreadId(1), 1000).unwrap();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        // Nothing else to run.
+        d.advance_to(2000);
+        assert_eq!(d.dispatch().thread, None);
+        // At the period boundary the thread is replenished.
+        d.advance_to(10_000);
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+    }
+
+    #[test]
+    fn quantum_is_capped_by_remaining_budget() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        // 5 % of 10 ms = 500 µs budget < 1 ms dispatch interval.
+        d.add_thread(ThreadId(1), reserved(50, 10)).unwrap();
+        let o = d.dispatch();
+        assert_eq!(o.quantum_us, 500);
+    }
+
+    #[test]
+    fn best_effort_threads_round_robin() {
+        let config = DispatcherConfig {
+            best_effort_slice_us: 2_000,
+            ..DispatcherConfig::default()
+        };
+        let mut d = Dispatcher::new(config);
+        d.add_thread(ThreadId(1), ThreadClass::BestEffort).unwrap();
+        d.add_thread(ThreadId(2), ThreadClass::BestEffort).unwrap();
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            let o = d.dispatch();
+            let id = o.thread.unwrap();
+            picks.push(id);
+            d.charge(id, o.quantum_us).unwrap();
+            d.advance_to(d.now_us() + o.quantum_us);
+        }
+        // Both threads get picked (no starvation of one by the other).
+        assert!(picks.contains(&ThreadId(1)));
+        assert!(picks.contains(&ThreadId(2)));
+    }
+
+    #[test]
+    fn blocked_thread_is_not_dispatched() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        d.block(ThreadId(1)).unwrap();
+        assert_eq!(d.dispatch().thread, None);
+        d.unblock(ThreadId(1)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+    }
+
+    #[test]
+    fn unblocking_exhausted_thread_keeps_it_throttled() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = d.dispatch();
+        d.charge(ThreadId(1), o.quantum_us).unwrap();
+        d.block(ThreadId(1)).unwrap();
+        d.unblock(ThreadId(1)).unwrap();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+    }
+
+    #[test]
+    fn idle_system_reports_idle_time() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        let o = d.dispatch();
+        assert_eq!(o.thread, None);
+        assert!(o.quantum_us > 0);
+        assert!(d.stats().idle_us > 0);
+    }
+
+    #[test]
+    fn missed_deadline_detected_under_oversubscription() {
+        // Two threads each wanting 60 % of a 10 ms period: only ~100 % is
+        // available so someone must miss.
+        let config = DispatcherConfig {
+            admission_threshold_ppt: 1000,
+            dispatch_cost_us: 0.0,
+            context_switch_cost_us: 0.0,
+            ..DispatcherConfig::default()
+        };
+        let mut d = Dispatcher::new(config);
+        d.add_thread(ThreadId(1), reserved(600, 10)).unwrap();
+        // Admission would reject a second 60 % reservation, so admit it
+        // small and grow it through the controller's actuation path (which
+        // does not re-check admission).
+        d.add_thread(ThreadId(2), reserved(100, 10)).unwrap();
+        d.set_reservation(
+            ThreadId(2),
+            Reservation::new(Proportion::from_ppt(600), Period::from_millis(10)),
+        )
+        .unwrap();
+        assert!(d.is_overloaded());
+        // Run for 30 ms of simulated time.
+        while d.now_us() < 30_000 {
+            d.run_quantum();
+        }
+        assert!(d.stats().deadlines_missed > 0);
+        assert!(d.take_missed_deadlines() > 0);
+        assert_eq!(d.take_missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn set_reservation_changes_budget_and_can_unthrottle() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = d.dispatch();
+        d.charge(ThreadId(1), o.quantum_us).unwrap();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        // Doubling the proportion mid-period un-throttles the thread.
+        d.set_reservation(
+            ThreadId(1),
+            Reservation::new(Proportion::from_ppt(200), Period::from_millis(10)),
+        )
+        .unwrap();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        assert_eq!(d.reservation(ThreadId(1)).unwrap().proportion.ppt(), 200);
+    }
+
+    #[test]
+    fn set_reservation_on_unknown_thread_fails() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        let r = Reservation::new(Proportion::from_ppt(10), Period::from_millis(10));
+        assert!(d.set_reservation(ThreadId(9), r).is_err());
+    }
+
+    #[test]
+    fn best_effort_thread_can_become_reserved() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), ThreadClass::BestEffort).unwrap();
+        assert!(d.reservation(ThreadId(1)).is_none());
+        d.set_reservation(
+            ThreadId(1),
+            Reservation::new(Proportion::from_ppt(50), Period::from_millis(30)),
+        )
+        .unwrap();
+        assert_eq!(d.reservation(ThreadId(1)).unwrap().proportion.ppt(), 50);
+        assert_eq!(d.total_reserved().ppt(), 50);
+    }
+
+    #[test]
+    fn reserved_thread_gets_its_proportion_over_time() {
+        let config = DispatcherConfig {
+            dispatch_cost_us: 0.0,
+            context_switch_cost_us: 0.0,
+            ..DispatcherConfig::default()
+        };
+        let mut d = Dispatcher::new(config);
+        // 30 % reservation competing with a best-effort hog.
+        d.add_thread(ThreadId(1), reserved(300, 10)).unwrap();
+        d.add_thread(ThreadId(2), ThreadClass::BestEffort).unwrap();
+        while d.now_us() < 1_000_000 {
+            d.run_quantum();
+        }
+        let usage = d.usage(ThreadId(1)).unwrap();
+        let fraction = usage.total_used_us as f64 / 1_000_000.0;
+        assert!(
+            (fraction - 0.3).abs() < 0.02,
+            "reserved thread got {fraction} of the CPU"
+        );
+        // The best-effort hog gets the rest.
+        let hog = d.usage(ThreadId(2)).unwrap();
+        let hog_fraction = hog.total_used_us as f64 / 1_000_000.0;
+        assert!(hog_fraction > 0.6, "hog got {hog_fraction}");
+    }
+
+    #[test]
+    fn overhead_accumulates_with_dispatches() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(500, 10)).unwrap();
+        for _ in 0..10 {
+            d.run_quantum();
+        }
+        let stats = d.stats();
+        assert_eq!(stats.dispatches, 10);
+        assert!(stats.overhead_us >= 10.0 * 5.0);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.advance_to(1000);
+        d.advance_to(500); // ignored
+        assert_eq!(d.now_us(), 1000);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Linux-style goodness function used at dispatch.
+//!
+//! The prototype RBS is layered on Linux 2.0.35's dispatcher: "Our policy
+//! calculates goodness to ensure that threads it controls have higher
+//! goodness than jobs under other policies, and that jobs with shorter
+//! periods have higher goodness values" (§3.1).  This module reproduces
+//! that ordering as a pure function so it can be tested exhaustively.
+
+use crate::types::Period;
+
+/// Base goodness for any runnable RBS-controlled thread.  It is far above
+/// anything a best-effort thread can reach, so RBS threads always win.
+pub const RBS_BASE_GOODNESS: i64 = 1_000_000_000;
+
+/// Maximum goodness a best-effort thread can have (its remaining time slice
+/// in microseconds plus a small bonus), well below [`RBS_BASE_GOODNESS`].
+pub const BEST_EFFORT_MAX_GOODNESS: i64 = 1_000_000;
+
+/// Goodness of an RBS thread with budget remaining in its current period.
+///
+/// Shorter periods produce strictly higher goodness (rate-monotonic order).
+pub fn rbs_goodness(period: Period) -> i64 {
+    // 1e12 / period_us: a 1 ms period scores 1e9 above base, a 1 s period
+    // scores 1e6 above base; all are above RBS_BASE_GOODNESS and ordered by
+    // period.
+    RBS_BASE_GOODNESS + (1_000_000_000_000u64 / period.as_micros()) as i64
+}
+
+/// Goodness of a best-effort thread with the given remaining time slice in
+/// microseconds.  Zero when the slice is exhausted (forcing a recalculation
+/// pass, as in Linux).
+pub fn best_effort_goodness(remaining_slice_us: u64) -> i64 {
+    remaining_slice_us.min(BEST_EFFORT_MAX_GOODNESS as u64) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rbs_always_beats_best_effort() {
+        let long_period = rbs_goodness(Period::from_millis(10_000));
+        let best_effort = best_effort_goodness(u64::MAX);
+        assert!(long_period > best_effort);
+    }
+
+    #[test]
+    fn shorter_period_wins() {
+        let short = rbs_goodness(Period::from_millis(10));
+        let long = rbs_goodness(Period::from_millis(30));
+        assert!(short > long);
+    }
+
+    #[test]
+    fn equal_periods_have_equal_goodness() {
+        assert_eq!(
+            rbs_goodness(Period::from_millis(30)),
+            rbs_goodness(Period::from_micros(30_000))
+        );
+    }
+
+    #[test]
+    fn exhausted_best_effort_thread_scores_zero() {
+        assert_eq!(best_effort_goodness(0), 0);
+    }
+
+    #[test]
+    fn best_effort_goodness_is_capped() {
+        assert_eq!(best_effort_goodness(u64::MAX), BEST_EFFORT_MAX_GOODNESS);
+    }
+
+    proptest! {
+        #[test]
+        fn rbs_goodness_is_monotone_in_period(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let ga = rbs_goodness(Period::from_micros(a));
+            let gb = rbs_goodness(Period::from_micros(b));
+            if a < b {
+                prop_assert!(ga >= gb);
+            }
+        }
+
+        #[test]
+        fn any_rbs_beats_any_best_effort(period_us in 1u64..1_000_000_000, slice in 0u64..u64::MAX) {
+            prop_assert!(rbs_goodness(Period::from_micros(period_us)) > best_effort_goodness(slice));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Reservation-based proportion/period scheduler (RBS).
+//!
+//! The paper's low-level scheduler (§3.1) allocates CPU to threads based on
+//! two attributes: a **proportion** expressed in parts per thousand and a
+//! **period** in milliseconds over which the allocation must be delivered.
+//! The prototype implements rate-monotonic scheduling on top of Linux's
+//! `goodness()`-based dispatcher with a 1 ms timer: RBS threads always beat
+//! best-effort threads, threads with shorter periods beat threads with
+//! longer ones, a thread that has used its allocation for the current period
+//! sleeps until its next period begins, and overload is detected by summing
+//! proportions against an admission threshold.
+//!
+//! This crate reproduces that scheduler as a pure state machine driven by an
+//! explicit clock, so the same dispatcher runs under the discrete-event
+//! simulator (`rrs-sim`) and the wall-clock executor (`rrs-realtime`):
+//!
+//! * [`Proportion`] / [`Period`] / [`Reservation`] — the allocation types.
+//! * [`AdmissionControl`] — the overload threshold and admission test.
+//! * [`goodness`] — the Linux-style goodness function (rate monotonic for
+//!   RBS threads, time-slice based for best-effort threads).
+//! * [`Dispatcher`] — run queue, sorted timer list, per-period accounting,
+//!   deadline-miss detection and dispatch-overhead modelling.
+//! * [`accounting::UsageAccount`] — per-thread usage the controller reads to
+//!   reclaim over-allocated CPU.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod admission;
+pub mod dispatcher;
+pub mod error;
+pub mod goodness;
+pub mod reservation;
+pub mod timerlist;
+pub mod types;
+
+pub use accounting::UsageAccount;
+pub use admission::AdmissionControl;
+pub use dispatcher::{Dispatcher, DispatcherConfig, DispatchOutcome, DispatchStats, ThreadClass};
+pub use error::SchedError;
+pub use reservation::Reservation;
+pub use types::{Period, Proportion, ThreadId, ThreadState};

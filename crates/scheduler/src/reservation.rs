@@ -1,0 +1,129 @@
+//! Proportion/period reservations.
+
+use crate::types::{Period, Proportion};
+use serde::{Deserialize, Serialize};
+
+/// A CPU reservation: a proportion of the CPU over a period.
+///
+/// "If one thread has been given a proportion of 50 out of 1000 (5%) and a
+/// period of 30 milliseconds, it should be able to run up to 1.5
+/// milliseconds every 30 milliseconds" (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use rrs_scheduler::{Period, Proportion, Reservation};
+///
+/// let r = Reservation::new(Proportion::from_ppt(50), Period::from_millis(30));
+/// assert_eq!(r.budget_micros(), 1_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Fraction of the CPU, in parts per thousand.
+    pub proportion: Proportion,
+    /// Interval over which the proportion must be delivered.
+    pub period: Period,
+}
+
+impl Reservation {
+    /// Creates a reservation.
+    pub fn new(proportion: Proportion, period: Period) -> Self {
+        Self { proportion, period }
+    }
+
+    /// A reservation with the paper's default 30 ms period.
+    pub fn with_default_period(proportion: Proportion) -> Self {
+        Self::new(proportion, Period::DEFAULT)
+    }
+
+    /// The execution budget per period, in microseconds:
+    /// `proportion × period`.
+    pub fn budget_micros(&self) -> u64 {
+        (self.period.as_micros() as u128 * self.proportion.ppt() as u128 / 1000) as u64
+    }
+
+    /// The CPU cycles this reservation corresponds to per period, for a CPU
+    /// with the given clock rate in Hz ("the proportion times the period
+    /// times the CPU's clock rate", §3.1).
+    pub fn budget_cycles(&self, clock_hz: f64) -> f64 {
+        self.proportion.as_fraction() * self.period.as_secs_f64() * clock_hz
+    }
+
+    /// Returns a copy with a different proportion.
+    pub fn with_proportion(self, proportion: Proportion) -> Self {
+        Self { proportion, ..self }
+    }
+
+    /// Returns a copy with a different period.
+    pub fn with_period(self, period: Period) -> Self {
+        Self { period, ..self }
+    }
+}
+
+impl std::fmt::Display for Reservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} over {}", self.proportion, self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_budget() {
+        // 5 % of 30 ms is 1.5 ms.
+        let r = Reservation::new(Proportion::from_ppt(50), Period::from_millis(30));
+        assert_eq!(r.budget_micros(), 1500);
+    }
+
+    #[test]
+    fn budget_cycles_uses_clock_rate() {
+        // 50 % of a 10 ms period on a 400 MHz CPU = 2 million cycles.
+        let r = Reservation::new(Proportion::from_ppt(500), Period::from_millis(10));
+        assert_eq!(r.budget_cycles(400e6), 2_000_000.0);
+    }
+
+    #[test]
+    fn default_period_constructor() {
+        let r = Reservation::with_default_period(Proportion::from_ppt(100));
+        assert_eq!(r.period, Period::DEFAULT);
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let r = Reservation::with_default_period(Proportion::from_ppt(100));
+        assert_eq!(r.with_proportion(Proportion::from_ppt(200)).proportion.ppt(), 200);
+        assert_eq!(r.with_period(Period::from_millis(5)).period.as_millis(), 5);
+    }
+
+    #[test]
+    fn display() {
+        let r = Reservation::new(Proportion::from_ppt(50), Period::from_millis(30));
+        assert_eq!(r.to_string(), "50‰ over 30ms");
+    }
+
+    #[test]
+    fn zero_proportion_has_zero_budget() {
+        let r = Reservation::new(Proportion::ZERO, Period::from_millis(30));
+        assert_eq!(r.budget_micros(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn budget_never_exceeds_period(ppt in 0u32..=1000, period_ms in 1u64..1000) {
+            let r = Reservation::new(Proportion::from_ppt(ppt), Period::from_millis(period_ms));
+            prop_assert!(r.budget_micros() <= r.period.as_micros());
+        }
+
+        #[test]
+        fn budget_is_monotone_in_proportion(a in 0u32..=1000, b in 0u32..=1000, period_ms in 1u64..100) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let period = Period::from_millis(period_ms);
+            let r_lo = Reservation::new(Proportion::from_ppt(lo), period);
+            let r_hi = Reservation::new(Proportion::from_ppt(hi), period);
+            prop_assert!(r_lo.budget_micros() <= r_hi.budget_micros());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The sorted timer list used by the dispatcher.
+//!
+//! "We keep a list of timers used by RBS threads, sorted by time of expiry,
+//! and cache the next expiration time to avoid doing any work unless at
+//! least one timer has expired" (§4.1).
+
+use crate::types::ThreadId;
+use std::collections::BTreeSet;
+
+/// A sorted set of `(expiry, thread)` timers with a cached next expiry.
+#[derive(Debug, Clone, Default)]
+pub struct TimerList {
+    timers: BTreeSet<(u64, ThreadId)>,
+}
+
+impl TimerList {
+    /// Creates an empty timer list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms (or re-arms) a timer for `thread` at `expiry_us`.  A thread has
+    /// at most one timer: any existing timer for it is removed first.
+    pub fn arm(&mut self, thread: ThreadId, expiry_us: u64) {
+        self.cancel(thread);
+        self.timers.insert((expiry_us, thread));
+    }
+
+    /// Cancels the timer for `thread`; returns `true` if one existed.
+    pub fn cancel(&mut self, thread: ThreadId) -> bool {
+        let existing: Vec<(u64, ThreadId)> = self
+            .timers
+            .iter()
+            .filter(|(_, t)| *t == thread)
+            .copied()
+            .collect();
+        let found = !existing.is_empty();
+        for e in existing {
+            self.timers.remove(&e);
+        }
+        found
+    }
+
+    /// The cached next expiry time, if any timer is armed.
+    pub fn next_expiry(&self) -> Option<u64> {
+        self.timers.iter().next().map(|(t, _)| *t)
+    }
+
+    /// Removes and returns every timer with `expiry <= now_us`, in expiry
+    /// order.  Constant-time when nothing has expired, which is the common
+    /// case the paper optimises for.
+    pub fn pop_expired(&mut self, now_us: u64) -> Vec<ThreadId> {
+        if self.next_expiry().map_or(true, |t| t > now_us) {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        while let Some(&(expiry, thread)) = self.timers.iter().next() {
+            if expiry > now_us {
+                break;
+            }
+            self.timers.remove(&(expiry, thread));
+            expired.push(thread);
+        }
+        expired
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Returns `true` if no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arm_and_pop_in_order() {
+        let mut tl = TimerList::new();
+        tl.arm(ThreadId(1), 300);
+        tl.arm(ThreadId(2), 100);
+        tl.arm(ThreadId(3), 200);
+        assert_eq!(tl.next_expiry(), Some(100));
+        let expired = tl.pop_expired(250);
+        assert_eq!(expired, vec![ThreadId(2), ThreadId(3)]);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.next_expiry(), Some(300));
+    }
+
+    #[test]
+    fn nothing_expired_is_cheap_and_empty() {
+        let mut tl = TimerList::new();
+        tl.arm(ThreadId(1), 1000);
+        assert!(tl.pop_expired(500).is_empty());
+        assert_eq!(tl.len(), 1);
+        assert!(TimerList::new().pop_expired(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn rearming_replaces_existing_timer() {
+        let mut tl = TimerList::new();
+        tl.arm(ThreadId(1), 100);
+        tl.arm(ThreadId(1), 500);
+        assert_eq!(tl.len(), 1);
+        assert!(tl.pop_expired(200).is_empty());
+        assert_eq!(tl.pop_expired(500), vec![ThreadId(1)]);
+    }
+
+    #[test]
+    fn cancel_removes_timer() {
+        let mut tl = TimerList::new();
+        tl.arm(ThreadId(1), 100);
+        assert!(tl.cancel(ThreadId(1)));
+        assert!(!tl.cancel(ThreadId(1)));
+        assert!(tl.is_empty());
+        assert_eq!(tl.next_expiry(), None);
+    }
+
+    #[test]
+    fn same_expiry_different_threads() {
+        let mut tl = TimerList::new();
+        tl.arm(ThreadId(1), 100);
+        tl.arm(ThreadId(2), 100);
+        let expired = tl.pop_expired(100);
+        assert_eq!(expired.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn pop_expired_returns_sorted_and_complete(
+            entries in proptest::collection::vec((0u64..1000, 0u64..50), 0..50),
+            cutoff in 0u64..1000,
+        ) {
+            let mut tl = TimerList::new();
+            // Last arm per thread wins.
+            let mut expected: std::collections::BTreeMap<u64, u64> = Default::default();
+            for &(expiry, tid) in &entries {
+                tl.arm(ThreadId(tid), expiry);
+                expected.insert(tid, expiry);
+            }
+            let expired = tl.pop_expired(cutoff);
+            // Every returned thread's final expiry is within the cutoff.
+            for t in &expired {
+                prop_assert!(expected[&t.0] <= cutoff);
+            }
+            // Every thread with expiry within the cutoff was returned.
+            let should_expire = expected.iter().filter(|(_, &e)| e <= cutoff).count();
+            prop_assert_eq!(expired.len(), should_expire);
+            // Remaining timers are all after the cutoff.
+            prop_assert!(tl.next_expiry().map_or(true, |t| t > cutoff));
+        }
+    }
+}

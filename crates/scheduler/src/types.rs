@@ -1,0 +1,280 @@
+//! Fundamental scheduler types: thread identifiers, proportions and periods.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a thread known to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u64);
+
+impl ThreadId {
+    /// Returns the raw identifier, used to key external tables such as the
+    /// progress-metric registry.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A CPU proportion in parts per thousand, as specified in §3.1.
+///
+/// "The proportion is a percentage, specified in parts-per-thousand, of the
+/// duration of the period during which the application should get the CPU."
+///
+/// # Examples
+///
+/// ```
+/// use rrs_scheduler::Proportion;
+///
+/// let p = Proportion::from_ppt(50); // 5 % of the CPU
+/// assert_eq!(p.as_fraction(), 0.05);
+/// assert_eq!(Proportion::from_fraction(0.25).ppt(), 250);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Proportion(u32);
+
+impl Proportion {
+    /// The whole CPU (1000 parts per thousand).
+    pub const FULL: Proportion = Proportion(1000);
+    /// No CPU at all.
+    pub const ZERO: Proportion = Proportion(0);
+    /// The smallest non-zero proportion (1 part per thousand): the paper's
+    /// starvation-avoidance guarantee assigns at least this much to every
+    /// job.
+    pub const MIN_NONZERO: Proportion = Proportion(1);
+
+    /// Creates a proportion from parts per thousand, clamping to 1000.
+    pub fn from_ppt(ppt: u32) -> Self {
+        Self(ppt.min(1000))
+    }
+
+    /// Creates a proportion from a fraction in `[0, 1]` (clamped).
+    pub fn from_fraction(fraction: f64) -> Self {
+        let f = fraction.clamp(0.0, 1.0);
+        Self((f * 1000.0).round() as u32)
+    }
+
+    /// Returns the proportion in parts per thousand.
+    pub fn ppt(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the proportion as a fraction in `[0, 1]`.
+    pub fn as_fraction(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns `true` if the proportion is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition, capped at the full CPU.
+    pub fn saturating_add(self, other: Proportion) -> Proportion {
+        Proportion::from_ppt(self.0 + other.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Proportion) -> Proportion {
+        Proportion(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the proportion by `factor` (clamped to `[0, 1000 ppt]`).
+    pub fn scale(self, factor: f64) -> Proportion {
+        Proportion::from_fraction(self.as_fraction() * factor.max(0.0))
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}‰", self.0)
+    }
+}
+
+/// A scheduling period.
+///
+/// Periods are stored in microseconds so that sub-millisecond dispatch
+/// intervals (Figure 8 sweeps down to 100 µs) can be represented exactly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Period(u64);
+
+impl Period {
+    /// The paper's default period for jobs with no better information:
+    /// 30 milliseconds.
+    pub const DEFAULT: Period = Period(30_000);
+
+    /// Creates a period from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us == 0`.
+    pub fn from_micros(us: u64) -> Self {
+        assert!(us > 0, "period must be non-zero");
+        Self(us)
+    }
+
+    /// Creates a period from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms == 0`.
+    pub fn from_millis(ms: u64) -> Self {
+        Self::from_micros(ms * 1000)
+    }
+
+    /// Returns the period in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the period in milliseconds (integer division).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Returns the period in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+}
+
+impl Default for Period {
+    fn default() -> Self {
+        Period::DEFAULT
+    }
+}
+
+impl std::fmt::Display for Period {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{}ms", self.0 / 1000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// The run state of a thread as seen by the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Runnable and waiting on the run queue.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Blocked on I/O or a full/empty queue; not runnable.
+    Blocked,
+    /// Exhausted its allocation for the current period and parked until the
+    /// next period begins.
+    Throttled,
+    /// Removed from the scheduler.
+    Exited,
+}
+
+impl ThreadState {
+    /// Returns `true` if the thread can be placed on the run queue.
+    pub fn is_runnable(self) -> bool {
+        matches!(self, ThreadState::Ready | ThreadState::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn proportion_conversions() {
+        assert_eq!(Proportion::from_ppt(50).as_fraction(), 0.05);
+        assert_eq!(Proportion::from_fraction(0.5).ppt(), 500);
+        assert_eq!(Proportion::from_fraction(-1.0).ppt(), 0);
+        assert_eq!(Proportion::from_fraction(2.0).ppt(), 1000);
+        assert_eq!(Proportion::from_ppt(5000).ppt(), 1000);
+        assert!(Proportion::ZERO.is_zero());
+        assert!(!Proportion::MIN_NONZERO.is_zero());
+    }
+
+    #[test]
+    fn proportion_arithmetic() {
+        let a = Proportion::from_ppt(600);
+        let b = Proportion::from_ppt(500);
+        assert_eq!(a.saturating_add(b), Proportion::FULL);
+        assert_eq!(a.saturating_sub(b).ppt(), 100);
+        assert_eq!(b.saturating_sub(a).ppt(), 0);
+        assert_eq!(a.scale(0.5).ppt(), 300);
+        assert_eq!(a.scale(10.0), Proportion::FULL);
+        assert_eq!(a.scale(-1.0), Proportion::ZERO);
+    }
+
+    #[test]
+    fn proportion_display() {
+        assert_eq!(Proportion::from_ppt(50).to_string(), "50‰");
+    }
+
+    #[test]
+    fn period_conversions() {
+        let p = Period::from_millis(30);
+        assert_eq!(p.as_micros(), 30_000);
+        assert_eq!(p.as_millis(), 30);
+        assert_eq!(p.as_secs_f64(), 0.03);
+        assert_eq!(p, Period::DEFAULT);
+        assert_eq!(Period::default(), Period::DEFAULT);
+    }
+
+    #[test]
+    fn period_display() {
+        assert_eq!(Period::from_millis(5).to_string(), "5ms");
+        assert_eq!(Period::from_micros(250).to_string(), "250us");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_rejected() {
+        let _ = Period::from_micros(0);
+    }
+
+    #[test]
+    fn thread_state_runnable() {
+        assert!(ThreadState::Ready.is_runnable());
+        assert!(ThreadState::Running.is_runnable());
+        assert!(!ThreadState::Blocked.is_runnable());
+        assert!(!ThreadState::Throttled.is_runnable());
+        assert!(!ThreadState::Exited.is_runnable());
+    }
+
+    #[test]
+    fn thread_id_display_and_raw() {
+        let id = ThreadId(42);
+        assert_eq!(id.to_string(), "t42");
+        assert_eq!(id.raw(), 42);
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_round_trip(ppt in 0u32..=1000) {
+            let p = Proportion::from_ppt(ppt);
+            let back = Proportion::from_fraction(p.as_fraction());
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn saturating_add_never_exceeds_full(a in 0u32..=1000, b in 0u32..=1000) {
+            let sum = Proportion::from_ppt(a).saturating_add(Proportion::from_ppt(b));
+            prop_assert!(sum.ppt() <= 1000);
+        }
+
+        #[test]
+        fn scale_is_monotone(ppt in 0u32..=1000, f1 in 0.0f64..2.0, f2 in 0.0f64..2.0) {
+            let p = Proportion::from_ppt(ppt);
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(p.scale(lo).ppt() <= p.scale(hi).ppt());
+        }
+    }
+}

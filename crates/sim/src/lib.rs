@@ -1,0 +1,29 @@
+//! Deterministic discrete-event CPU simulator.
+//!
+//! The paper's experiments ran on a 400 MHz Pentium II under a modified
+//! Linux 2.0.35 kernel.  This crate substitutes that testbed with a
+//! deterministic simulation: simulated threads execute *work models*
+//! (cycles consumed per block produced or consumed), the real
+//! `rrs-scheduler` dispatcher decides who runs in each dispatch interval,
+//! and the real `rrs-core` controller runs every controller period,
+//! sampling the real `rrs-queue` symbiotic interfaces.  Only the CPU and
+//! the passage of time are simulated — the scheduler, controller and
+//! progress monitoring are the production code paths.
+//!
+//! * [`WorkModel`] — what a simulated thread does with the CPU it is given.
+//! * [`Simulation`] — the event loop: dispatch, run, charge, block/unblock,
+//!   controller invocation, overhead accounting and tracing.
+//! * [`Trace`] — named time series recorded during a run, used by the
+//!   figure-regeneration benches.
+//! * [`SimConfig`] / [`CpuConfig`] — experiment parameters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod simulation;
+pub mod trace;
+pub mod workload;
+
+pub use simulation::{CpuConfig, JobHandle, SimConfig, SimStats, Simulation};
+pub use trace::Trace;
+pub use workload::{RunResult, WorkModel};

@@ -1,0 +1,684 @@
+//! The simulation event loop.
+
+use crate::trace::Trace;
+use crate::workload::WorkModel;
+use rrs_core::{
+    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobId,
+    JobSpec, UsageSnapshot,
+};
+use rrs_queue::MetricRegistry;
+use rrs_scheduler::{
+    Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadClass, ThreadId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The simulated CPU.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Clock rate in Hz.  The paper's testbed was a 400 MHz Pentium II.
+    pub clock_hz: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self { clock_hz: 400e6 }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The simulated CPU.
+    pub cpu: CpuConfig,
+    /// Dispatcher configuration (dispatch interval, overhead model, ...).
+    pub dispatcher: DispatcherConfig,
+    /// Controller configuration (controller period, gains, squish policy).
+    pub controller: ControllerConfig,
+    /// Whether the adaptive controller runs at all.  With the controller
+    /// disabled, reservations stay at whatever they were set to — the
+    /// configuration used for the Figure 8 dispatch-overhead sweep.
+    pub controller_enabled: bool,
+    /// Whether the controller's modelled execution cost consumes simulated
+    /// CPU time (it does on the real system, where the controller is a
+    /// user-level process).
+    pub charge_controller_cost: bool,
+    /// Whether the dispatcher's modelled overhead consumes simulated CPU
+    /// time.
+    pub charge_dispatch_overhead: bool,
+    /// Interval between trace samples, in seconds.
+    pub trace_interval_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cpu: CpuConfig::default(),
+            dispatcher: DispatcherConfig::default(),
+            controller: ControllerConfig::default(),
+            controller_enabled: true,
+            charge_controller_cost: true,
+            charge_dispatch_overhead: true,
+            trace_interval_s: 0.1,
+        }
+    }
+}
+
+/// Handle to a job added to the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobHandle {
+    /// The controller-side job id.
+    pub job: JobId,
+    /// The scheduler-side thread id (same raw value).
+    pub thread: ThreadId,
+}
+
+/// Aggregate statistics for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Number of controller invocations.
+    pub controller_invocations: u64,
+    /// Total modelled controller execution cost, in microseconds.
+    pub controller_cost_us: f64,
+    /// Total modelled dispatcher overhead, in microseconds.
+    pub dispatch_overhead_us: f64,
+    /// Number of quality exceptions raised.
+    pub quality_exceptions: u64,
+    /// Number of control cycles in which allocations were squished.
+    pub squish_events: u64,
+    /// Number of real-time admission rejections observed.
+    pub admission_rejections: u64,
+}
+
+struct SimThread {
+    name: String,
+    job: JobId,
+    work: Box<dyn WorkModel>,
+    blocked: bool,
+    last_progress: f64,
+}
+
+/// The discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_core::JobSpec;
+/// use rrs_sim::{RunResult, SimConfig, Simulation, WorkModel};
+///
+/// struct Spin;
+/// impl WorkModel for Spin {
+///     fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+///         RunResult::ran(quantum_us)
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(SimConfig::default());
+/// sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+/// sim.run_for(1.0);
+/// assert!(sim.now_seconds() >= 1.0);
+/// ```
+pub struct Simulation {
+    config: SimConfig,
+    registry: MetricRegistry,
+    dispatcher: Dispatcher,
+    controller: Controller,
+    threads: BTreeMap<ThreadId, SimThread>,
+    next_id: u64,
+    now_us: u64,
+    next_controller_us: u64,
+    next_trace_us: u64,
+    last_dispatch_overhead_us: f64,
+    trace: Trace,
+    stats: SimStats,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let registry = MetricRegistry::new();
+        let controller = Controller::new(config.controller, registry.clone());
+        let dispatcher = Dispatcher::new(config.dispatcher);
+        let controller_period_us = (config.controller.controller_period_s * 1e6).round() as u64;
+        Self {
+            config,
+            registry,
+            dispatcher,
+            controller,
+            threads: BTreeMap::new(),
+            next_id: 1,
+            now_us: 0,
+            next_controller_us: controller_period_us.max(1),
+            next_trace_us: 0,
+            last_dispatch_overhead_us: 0.0,
+            trace: Trace::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The progress-metric registry; workloads register their queues here.
+    pub fn registry(&self) -> MetricRegistry {
+        self.registry.clone()
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_us as f64 / 1e6
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Read-only access to the dispatcher (for usage and overhead queries).
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
+    }
+
+    /// Read-only access to the controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Adds a job with default importance.
+    pub fn add_job(
+        &mut self,
+        name: &str,
+        spec: JobSpec,
+        work: Box<dyn WorkModel>,
+    ) -> Result<JobHandle, AdmitError> {
+        self.add_job_with_importance(name, spec, Importance::NORMAL, work)
+    }
+
+    /// Adds a job with an explicit importance weight.
+    ///
+    /// The job is registered with the controller (real-time jobs go through
+    /// admission control) and with the dispatcher, starting from either its
+    /// requested reservation or the minimum allocation.
+    pub fn add_job_with_importance(
+        &mut self,
+        name: &str,
+        spec: JobSpec,
+        importance: Importance,
+        work: Box<dyn WorkModel>,
+    ) -> Result<JobHandle, AdmitError> {
+        let raw = self.next_id;
+        let job = JobId(raw);
+        let thread = ThreadId(raw);
+
+        if let Err(e) = self.controller.add_job_with_importance(job, spec, importance) {
+            if matches!(e, AdmitError::Rejected { .. }) {
+                self.stats.admission_rejections += 1;
+            }
+            return Err(e);
+        }
+        self.next_id += 1;
+
+        let initial = Reservation::new(
+            spec.proportion
+                .unwrap_or(self.config.controller.min_proportion),
+            spec.period.unwrap_or(self.config.controller.default_period),
+        );
+        // Register with the dispatcher starting from a minimal reservation,
+        // then grow it through the actuation path (which does not re-check
+        // admission — the controller already did).
+        self.dispatcher
+            .add_thread(
+                thread,
+                ThreadClass::Reserved(Reservation::new(
+                    Proportion::MIN_NONZERO,
+                    initial.period,
+                )),
+            )
+            .expect("fresh thread id cannot clash");
+        self.dispatcher
+            .set_reservation(thread, initial)
+            .expect("thread was just added");
+
+        self.threads.insert(
+            thread,
+            SimThread {
+                name: name.to_string(),
+                job,
+                work,
+                blocked: false,
+                last_progress: 0.0,
+            },
+        );
+        Ok(JobHandle { job, thread })
+    }
+
+    /// Removes a job from the simulation.
+    pub fn remove_job(&mut self, handle: JobHandle) {
+        self.threads.remove(&handle.thread);
+        let _ = self.dispatcher.remove_thread(handle.thread);
+        self.controller.remove_job(handle.job);
+    }
+
+    /// The proportion currently reserved for a job, in parts per thousand.
+    pub fn current_allocation_ppt(&self, handle: JobHandle) -> u32 {
+        self.dispatcher
+            .reservation(handle.thread)
+            .map(|r| r.proportion.ppt())
+            .unwrap_or(0)
+    }
+
+    /// Total CPU time a job has consumed so far, in microseconds.
+    pub fn cpu_used_us(&self, handle: JobHandle) -> u64 {
+        self.dispatcher
+            .usage(handle.thread)
+            .map(|u| u.total_used_us)
+            .unwrap_or(0)
+    }
+
+    /// Runs the simulation for `duration_s` simulated seconds.
+    pub fn run_for(&mut self, duration_s: f64) {
+        let end = self.now_us + (duration_s * 1e6).round() as u64;
+        self.run_until_micros(end);
+    }
+
+    /// Runs the simulation until the given absolute simulated time.
+    pub fn run_until_micros(&mut self, end_us: u64) {
+        while self.now_us < end_us {
+            self.step();
+        }
+    }
+
+    /// Executes one scheduling step (controller if due, one dispatch, one
+    /// quantum of work).
+    pub fn step(&mut self) {
+        // Controller invocation.
+        if self.config.controller_enabled && self.now_us >= self.next_controller_us {
+            self.run_controller();
+            let period_us =
+                (self.config.controller.controller_period_s * 1e6).round().max(1.0) as u64;
+            while self.next_controller_us <= self.now_us {
+                self.next_controller_us += period_us;
+            }
+        }
+
+        // Trace sampling.
+        if self.now_us >= self.next_trace_us {
+            self.record_trace();
+            let interval_us = (self.config.trace_interval_s * 1e6).round().max(1.0) as u64;
+            while self.next_trace_us <= self.now_us {
+                self.next_trace_us += interval_us;
+            }
+        }
+
+        self.dispatcher.advance_to(self.now_us);
+        self.poll_blocked();
+
+        let outcome = self.dispatcher.dispatch();
+        self.charge_dispatch_overhead();
+
+        match outcome.thread {
+            Some(tid) => {
+                let cpu_hz = self.config.cpu.clock_hz;
+                let now = self.now_us;
+                let entry = self.threads.get_mut(&tid).expect("dispatched thread exists");
+                let result = entry.work.run(now, outcome.quantum_us, cpu_hz);
+                let used = result.used_us.min(outcome.quantum_us);
+                self.dispatcher
+                    .charge(tid, used)
+                    .expect("dispatched thread exists");
+                if result.blocked {
+                    self.dispatcher.block(tid).expect("thread exists");
+                    self.threads.get_mut(&tid).expect("exists").blocked = true;
+                }
+                self.now_us += used.max(1);
+            }
+            None => {
+                self.now_us += outcome.quantum_us.max(1);
+            }
+        }
+    }
+
+    fn poll_blocked(&mut self) {
+        let now = self.now_us;
+        let blocked: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|(_, t)| t.blocked)
+            .map(|(&id, _)| id)
+            .collect();
+        for tid in blocked {
+            let entry = self.threads.get_mut(&tid).expect("exists");
+            if entry.work.poll_unblock(now) {
+                entry.blocked = false;
+                let _ = self.dispatcher.unblock(tid);
+            }
+        }
+    }
+
+    fn run_controller(&mut self) {
+        let mut usage = BTreeMap::new();
+        for (tid, thread) in &self.threads {
+            if let Some(acct) = self.dispatcher.usage(*tid) {
+                usage.insert(
+                    thread.job,
+                    UsageSnapshot {
+                        usage_ratio: acct.last_period_usage_ratio(),
+                    },
+                );
+            }
+        }
+        let now_s = self.now_seconds();
+        let out = self.controller.control_cycle(now_s, &usage);
+        self.stats.controller_invocations += 1;
+        self.stats.controller_cost_us += out.cost_us;
+        for event in &out.events {
+            match event {
+                ControllerEvent::Quality(_) => self.stats.quality_exceptions += 1,
+                ControllerEvent::Squished { .. } => self.stats.squish_events += 1,
+                _ => {}
+            }
+        }
+        for actuation in &out.actuations {
+            let tid = ThreadId(actuation.job.0);
+            let _ = self.dispatcher.set_reservation(tid, actuation.reservation);
+        }
+        if self.config.charge_controller_cost {
+            self.now_us += out.cost_us.round() as u64;
+        }
+    }
+
+    fn charge_dispatch_overhead(&mut self) {
+        let total = self.dispatcher.stats().overhead_us;
+        let delta = total - self.last_dispatch_overhead_us;
+        self.last_dispatch_overhead_us = total;
+        self.stats.dispatch_overhead_us += delta;
+        if self.config.charge_dispatch_overhead && delta > 0.0 {
+            self.now_us += delta.round() as u64;
+        }
+    }
+
+    fn record_trace(&mut self) {
+        let t = self.now_seconds();
+        let interval = self.config.trace_interval_s.max(1e-9);
+        for (tid, thread) in &mut self.threads {
+            if let Some(r) = self.dispatcher.reservation(*tid) {
+                self.trace
+                    .record(&format!("alloc/{}", thread.name), t, r.proportion.ppt() as f64);
+                self.trace.record(
+                    &format!("period/{}", thread.name),
+                    t,
+                    r.period.as_secs_f64() * 1e3,
+                );
+            }
+            if let Some(progress) = thread.work.progress_counter() {
+                let rate = (progress - thread.last_progress) / interval;
+                thread.last_progress = progress;
+                self.trace
+                    .record(&format!("rate/{}", thread.name), t, rate);
+            }
+        }
+        // Queue fill levels (deduplicated by metric name).
+        let mut seen = BTreeSet::new();
+        for attachment in self.registry.all_attachments() {
+            let name = attachment.metric.name().to_string();
+            if seen.insert(name.clone()) {
+                self.trace
+                    .record(&format!("fill/{name}"), t, attachment.sample().fraction());
+            }
+        }
+    }
+
+    /// Forces a reservation directly on the dispatcher, bypassing the
+    /// controller.  Used by experiments that pin a thread's allocation (for
+    /// example the Figure 8 sweep, which runs without the controller).
+    pub fn force_reservation(&mut self, handle: JobHandle, proportion: Proportion, period: Period) {
+        let _ = self
+            .dispatcher
+            .set_reservation(handle.thread, Reservation::new(proportion, period));
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now_us", &self.now_us)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::RunResult;
+    use rrs_queue::{JobKey, Role};
+    use std::sync::Arc;
+
+    /// Uses every cycle it is offered and never blocks.
+    struct Spin {
+        total_us: u64,
+    }
+
+    impl Spin {
+        fn new() -> Self {
+            Self { total_us: 0 }
+        }
+    }
+
+    impl WorkModel for Spin {
+        fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+            self.total_us += quantum_us;
+            RunResult::ran(quantum_us)
+        }
+
+        fn progress_counter(&self) -> Option<f64> {
+            Some(self.total_us as f64)
+        }
+    }
+
+    /// Consumes no CPU: blocks immediately and wakes on every poll, like the
+    /// dummy processes of the Figure 5 overhead experiment.
+    struct Dummy;
+
+    impl WorkModel for Dummy {
+        fn run(&mut self, _now: u64, _quantum_us: u64, _hz: f64) -> RunResult {
+            RunResult::blocked_after(0)
+        }
+
+        fn poll_unblock(&mut self, _now_us: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn misc_job_alone_gets_most_of_the_cpu() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.run_for(5.0);
+        let alloc = sim.current_allocation_ppt(h);
+        assert!(alloc > 500, "allocation grew to {alloc}");
+        let used_fraction = sim.cpu_used_us(h) as f64 / sim.now_micros() as f64;
+        assert!(used_fraction > 0.4, "hog used {used_fraction} of the CPU");
+    }
+
+    #[test]
+    fn two_equal_misc_jobs_share_the_cpu() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let a = sim.add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let b = sim.add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.run_for(10.0);
+        let ua = sim.cpu_used_us(a) as f64;
+        let ub = sim.cpu_used_us(b) as f64;
+        let ratio = ua / ub;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "equal jobs should share roughly equally (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn real_time_job_receives_its_reservation_despite_a_hog() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let rt = sim
+            .add_job(
+                "rt",
+                JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(10)),
+                Box::new(Spin::new()),
+            )
+            .unwrap();
+        let _hog = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.run_for(5.0);
+        let fraction = sim.cpu_used_us(rt) as f64 / sim.now_micros() as f64;
+        assert!(
+            (fraction - 0.3).abs() < 0.05,
+            "real-time job got {fraction}, expected ≈ 0.30"
+        );
+    }
+
+    #[test]
+    fn real_time_admission_rejection_is_reported() {
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_job(
+            "rt1",
+            JobSpec::real_time(Proportion::from_ppt(800), Period::from_millis(10)),
+            Box::new(Spin::new()),
+        )
+        .unwrap();
+        let err = sim.add_job(
+            "rt2",
+            JobSpec::real_time(Proportion::from_ppt(400), Period::from_millis(10)),
+            Box::new(Spin::new()),
+        );
+        assert!(err.is_err());
+        assert_eq!(sim.stats().admission_rejections, 1);
+    }
+
+    #[test]
+    fn controller_disabled_keeps_reservations_fixed() {
+        let config = SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config);
+        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(123), Period::from_millis(10));
+        sim.run_for(2.0);
+        assert_eq!(sim.current_allocation_ppt(h), 123);
+        assert_eq!(sim.stats().controller_invocations, 0);
+    }
+
+    #[test]
+    fn dummy_processes_consume_no_cpu_but_are_controlled() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            handles.push(
+                sim.add_job(&format!("dummy{i}"), JobSpec::miscellaneous(), Box::new(Dummy))
+                    .unwrap(),
+            );
+        }
+        sim.run_for(2.0);
+        for h in &handles {
+            assert_eq!(sim.cpu_used_us(*h), 0);
+        }
+        assert!(sim.stats().controller_invocations > 0);
+        assert!(sim.stats().controller_cost_us > 0.0);
+    }
+
+    #[test]
+    fn controller_cost_scales_with_number_of_dummies() {
+        let run = |n: usize| {
+            let mut sim = Simulation::new(SimConfig::default());
+            for i in 0..n {
+                sim.add_job(&format!("d{i}"), JobSpec::miscellaneous(), Box::new(Dummy))
+                    .unwrap();
+            }
+            sim.run_for(2.0);
+            sim.stats().controller_cost_us / (sim.now_seconds() * 1e6)
+        };
+        let few = run(2);
+        let many = run(30);
+        assert!(
+            many > few,
+            "controller overhead should grow with controlled processes ({few} vs {many})"
+        );
+    }
+
+    #[test]
+    fn trace_records_allocation_and_rate_series() {
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.run_for(1.0);
+        let trace = sim.trace();
+        assert!(trace.get("alloc/hog").is_some());
+        assert!(trace.get("rate/hog").is_some());
+        assert!(trace.get("period/hog").is_some());
+        assert!(trace.get("alloc/hog").unwrap().len() >= 5);
+    }
+
+    #[test]
+    fn fill_level_series_recorded_for_registered_queues() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let registry = sim.registry();
+        let queue = Arc::new(rrs_queue::BoundedBuffer::<u8>::new("pipeline-q", 8));
+        let h = sim.add_job("consumer", JobSpec::real_rate(), Box::new(Spin::new())).unwrap();
+        registry.register(JobKey(h.job.0), Role::Consumer, queue);
+        sim.run_for(1.0);
+        assert!(sim.trace().get("fill/pipeline-q").is_some());
+    }
+
+    #[test]
+    fn dispatch_overhead_reduces_available_cpu_at_high_frequency() {
+        let available = |interval_us: u64| {
+            let config = SimConfig {
+                controller_enabled: false,
+                dispatcher: DispatcherConfig {
+                    dispatch_interval_us: interval_us,
+                    ..DispatcherConfig::default()
+                },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(config);
+            let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+            sim.force_reservation(h, Proportion::from_ppt(1000), Period::from_millis(10));
+            sim.run_for(2.0);
+            sim.cpu_used_us(h) as f64 / sim.now_micros() as f64
+        };
+        let coarse = available(10_000);
+        let fine = available(100);
+        assert!(
+            coarse > fine,
+            "finer dispatch intervals must cost more CPU ({coarse} vs {fine})"
+        );
+        assert!(coarse > 0.95);
+    }
+
+    #[test]
+    fn removing_a_job_stops_scheduling_it() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.run_for(0.5);
+        let used_before = sim.cpu_used_us(h);
+        assert!(used_before > 0);
+        sim.remove_job(h);
+        sim.run_for(0.5);
+        assert_eq!(sim.cpu_used_us(h), 0, "removed job no longer tracked");
+        assert_eq!(sim.controller().job_count(), 0);
+    }
+
+    #[test]
+    fn simulated_time_advances_even_when_idle() {
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.run_for(1.0);
+        assert!(sim.now_seconds() >= 1.0);
+        let dbg = format!("{sim:?}");
+        assert!(dbg.contains("Simulation"));
+    }
+}

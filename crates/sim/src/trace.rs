@@ -1,0 +1,92 @@
+//! Named time-series traces recorded during a simulation run.
+
+use rrs_metrics::TimeSeries;
+use std::collections::BTreeMap;
+
+/// A collection of named [`TimeSeries`] recorded during a run.
+///
+/// The simulator records allocations, queue fill levels and progress rates
+/// under conventional names (`alloc/<job>`, `fill/<queue>`,
+/// `rate/<job>`); workloads and benches may record arbitrary extra series.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to the named series, creating it if needed.
+    pub fn record(&mut self, name: &str, time_s: f64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(name))
+            .push(time_s, value);
+    }
+
+    /// Returns the named series, if it exists.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Returns the names of all recorded series.
+    pub fn names(&self) -> Vec<String> {
+        self.series.keys().cloned().collect()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Consumes the trace and returns all series.
+    pub fn into_series(self) -> Vec<TimeSeries> {
+        self.series.into_values().collect()
+    }
+
+    /// Returns clones of all series.
+    pub fn all_series(&self) -> Vec<TimeSeries> {
+        self.series.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record("alloc/consumer", 0.0, 100.0);
+        t.record("alloc/consumer", 0.1, 150.0);
+        t.record("fill/q", 0.0, 0.5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("alloc/consumer").unwrap().len(), 2);
+        assert!(t.get("missing").is_none());
+        assert_eq!(
+            t.names(),
+            vec!["alloc/consumer".to_string(), "fill/q".to_string()]
+        );
+    }
+
+    #[test]
+    fn into_series_preserves_data() {
+        let mut t = Trace::new();
+        t.record("a", 0.0, 1.0);
+        t.record("b", 0.0, 2.0);
+        let all = t.all_series();
+        assert_eq!(all.len(), 2);
+        let series = t.into_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name(), "a");
+    }
+}

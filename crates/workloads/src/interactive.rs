@@ -1,0 +1,185 @@
+//! Interactive jobs: servers that listen to ttys (§3.2).
+//!
+//! "Interactive jobs are servers that listen to ttys instead of sockets.
+//! Since interactive jobs have specific requirements (periods relative to
+//! human perception), the scheduler only needs to know that the job is
+//! interactive and the ttys in which it is interested."  The model here
+//! sleeps until a keystroke arrives, then runs a short burst of work; its
+//! response time (keystroke to completed burst) is the metric of interest.
+
+use rrs_sim::{RunResult, WorkModel};
+
+/// An interactive job driven by keystrokes at a fixed typing rate.
+#[derive(Debug)]
+pub struct InteractiveJob {
+    /// Interval between keystrokes, in microseconds.
+    keystroke_interval_us: u64,
+    /// Cycles of work each keystroke triggers (echo, redraw, etc.).
+    cycles_per_keystroke: f64,
+    next_keystroke_us: u64,
+    cycles_remaining: f64,
+    pending_keystroke_arrival_us: Option<u64>,
+    handled: u64,
+    total_response_us: f64,
+    worst_response_us: f64,
+}
+
+impl InteractiveJob {
+    /// Creates an interactive job with the given typing rate (keystrokes per
+    /// second) and work per keystroke in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keystrokes_per_second` is not positive.
+    pub fn new(keystrokes_per_second: f64, cycles_per_keystroke: f64) -> Self {
+        assert!(keystrokes_per_second > 0.0, "typing rate must be positive");
+        Self {
+            keystroke_interval_us: ((1e6 / keystrokes_per_second).round() as u64).max(1),
+            cycles_per_keystroke,
+            next_keystroke_us: 0,
+            cycles_remaining: 0.0,
+            pending_keystroke_arrival_us: None,
+            handled: 0,
+            total_response_us: 0.0,
+            worst_response_us: 0.0,
+        }
+    }
+
+    /// A typist at five keystrokes per second with 2 Mcycles of work per
+    /// keystroke (echo plus a screen update).
+    pub fn typist() -> Self {
+        Self::new(5.0, 2.0e6)
+    }
+
+    /// Keystrokes fully handled so far.
+    pub fn handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Mean keystroke-to-completion response time in seconds.
+    pub fn mean_response_s(&self) -> f64 {
+        if self.handled == 0 {
+            0.0
+        } else {
+            self.total_response_us / self.handled as f64 / 1e6
+        }
+    }
+
+    /// Worst observed response time in seconds.
+    pub fn worst_response_s(&self) -> f64 {
+        self.worst_response_us / 1e6
+    }
+}
+
+impl WorkModel for InteractiveJob {
+    fn run(&mut self, now_us: u64, quantum_us: u64, cpu_hz: f64) -> RunResult {
+        if self.next_keystroke_us == 0 {
+            self.next_keystroke_us = now_us + self.keystroke_interval_us;
+        }
+        // Accept a keystroke that has arrived.
+        if self.pending_keystroke_arrival_us.is_none() && self.next_keystroke_us <= now_us {
+            self.pending_keystroke_arrival_us = Some(self.next_keystroke_us);
+            self.cycles_remaining = self.cycles_per_keystroke;
+            self.next_keystroke_us += self.keystroke_interval_us;
+        }
+        let Some(arrival) = self.pending_keystroke_arrival_us else {
+            // Nothing to do until the next keystroke.
+            return RunResult::blocked_after(0);
+        };
+
+        let cycles_available = quantum_us as f64 * cpu_hz / 1e6;
+        if cycles_available < self.cycles_remaining {
+            self.cycles_remaining -= cycles_available;
+            return RunResult::ran(quantum_us.max(1));
+        }
+        let used_us = (self.cycles_remaining / cpu_hz * 1e6).round() as u64;
+        self.cycles_remaining = 0.0;
+        self.pending_keystroke_arrival_us = None;
+        self.handled += 1;
+        let response = (now_us + used_us).saturating_sub(arrival) as f64;
+        self.total_response_us += response;
+        self.worst_response_us = self.worst_response_us.max(response);
+        // Burst finished: block until the next keystroke.
+        RunResult::blocked_after(used_us.min(quantum_us).max(1))
+    }
+
+    fn poll_unblock(&mut self, now_us: u64) -> bool {
+        self.pending_keystroke_arrival_us.is_some()
+            || (self.next_keystroke_us != 0 && now_us + 1 >= self.next_keystroke_us)
+            || self.next_keystroke_us == 0
+    }
+
+    fn progress_counter(&self) -> Option<f64> {
+        Some(self.handled as f64)
+    }
+
+    fn label(&self) -> &str {
+        "interactive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hog::CpuHog;
+    use rrs_core::JobSpec;
+    use rrs_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn typist_keystrokes_are_handled() {
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_job("editor", JobSpec::miscellaneous(), Box::new(InteractiveJob::typist()))
+            .unwrap();
+        sim.run_for(10.0);
+        let handled = sim
+            .trace()
+            .get("rate/editor")
+            .unwrap()
+            .window_mean(5.0, 10.0)
+            .unwrap();
+        assert!(
+            handled > 3.0,
+            "should handle close to 5 keystrokes/s, got {handled}"
+        );
+    }
+
+    #[test]
+    fn interactive_job_stays_responsive_next_to_a_hog() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let _hog = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(CpuHog::new()))
+            .unwrap();
+        let editor = InteractiveJob::typist();
+        sim.add_job("editor", JobSpec::miscellaneous(), Box::new(editor))
+            .unwrap();
+        sim.run_for(10.0);
+        // The editor keeps making progress even though the hog wants
+        // everything: no starvation.
+        let handled = sim
+            .trace()
+            .get("rate/editor")
+            .unwrap()
+            .window_mean(5.0, 10.0)
+            .unwrap();
+        assert!(handled > 2.0, "editor starved next to hog: {handled} keystrokes/s");
+    }
+
+    #[test]
+    fn response_accounting() {
+        let mut job = InteractiveJob::new(10.0, 1000.0);
+        assert_eq!(job.mean_response_s(), 0.0);
+        // Drive it by hand: first run arms the keystroke clock.
+        job.run(0, 100, 400e6);
+        // Jump past the first keystroke and give it plenty of quantum.
+        job.run(200_000, 1000, 400e6);
+        assert_eq!(job.handled(), 1);
+        assert!(job.mean_response_s() >= 0.0);
+        assert!(job.worst_response_s() >= job.mean_response_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "typing rate must be positive")]
+    fn zero_typing_rate_rejected() {
+        let _ = InteractiveJob::new(0.0, 1000.0);
+    }
+}

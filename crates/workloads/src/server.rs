@@ -1,0 +1,310 @@
+//! Web-server workload: requests arrive from the network into a bounded
+//! queue and a server thread consumes them.
+//!
+//! §3.2: "Servers are essentially the consumer of a bounded buffer, where
+//! the producer may or may not be on the same machine."  The request
+//! arrival process therefore consumes (almost) no local CPU; only the
+//! server thread is CPU-bound, and the controller must discover how much
+//! CPU it needs to keep up with the offered load.
+
+use rrs_core::JobSpec;
+use rrs_queue::{BoundedBuffer, JobKey, Role};
+use rrs_scheduler::{Period, Proportion};
+use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use std::sync::Arc;
+
+/// One queued request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// CPU cycles needed to serve the request.
+    pub cycles: f64,
+    /// Arrival time in microseconds of simulated time.
+    pub arrival_us: u64,
+}
+
+/// Configuration of the web-server workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Request queue capacity (the listen backlog).
+    pub queue_capacity: usize,
+    /// Offered load in requests per second.
+    pub arrival_rate_hz: f64,
+    /// Cycles of CPU work each request costs the server.
+    pub cycles_per_request: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // 100 req/s at 1 Mcycle each = 100 Mcycles/s = 25 % of a 400 MHz CPU.
+        Self {
+            queue_capacity: 64,
+            arrival_rate_hz: 100.0,
+            cycles_per_request: 1e6,
+        }
+    }
+}
+
+/// Generates request arrivals at a fixed rate, using negligible CPU.
+///
+/// The generator holds a small real-time reservation so the dispatcher runs
+/// it regularly; it enqueues however many requests have "arrived" since it
+/// last ran and immediately blocks until the next arrival is due.
+#[derive(Debug)]
+pub struct RequestGenerator {
+    queue: Arc<BoundedBuffer<Request>>,
+    arrival_rate_hz: f64,
+    cycles_per_request: f64,
+    next_arrival_us: u64,
+    generated: u64,
+    dropped: u64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator feeding `queue`.
+    pub fn new(queue: Arc<BoundedBuffer<Request>>, config: ServerConfig) -> Self {
+        Self {
+            queue,
+            arrival_rate_hz: config.arrival_rate_hz,
+            cycles_per_request: config.cycles_per_request,
+            next_arrival_us: 0,
+            generated: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Requests dropped because the backlog was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn interarrival_us(&self) -> u64 {
+        ((1e6 / self.arrival_rate_hz).round() as u64).max(1)
+    }
+}
+
+impl WorkModel for RequestGenerator {
+    fn run(&mut self, now_us: u64, _quantum_us: u64, _cpu_hz: f64) -> RunResult {
+        if self.next_arrival_us == 0 {
+            self.next_arrival_us = now_us + self.interarrival_us();
+        }
+        while self.next_arrival_us <= now_us {
+            let request = Request {
+                cycles: self.cycles_per_request,
+                arrival_us: self.next_arrival_us,
+            };
+            if self.queue.try_push(request).is_ok() {
+                self.generated += 1;
+            } else {
+                self.dropped += 1;
+            }
+            self.next_arrival_us += self.interarrival_us();
+        }
+        // Arrivals are free (the network card does the work); block until
+        // the next one is due.
+        RunResult::blocked_after(1)
+    }
+
+    fn poll_unblock(&mut self, now_us: u64) -> bool {
+        now_us + 1 >= self.next_arrival_us
+    }
+
+    fn label(&self) -> &str {
+        "request-generator"
+    }
+}
+
+/// The server thread: pops requests and burns the cycles they cost.
+#[derive(Debug)]
+pub struct WebServer {
+    queue: Arc<BoundedBuffer<Request>>,
+    cycles_remaining: f64,
+    served: u64,
+    total_latency_us: f64,
+    current_arrival_us: u64,
+}
+
+impl WebServer {
+    /// Creates a server consuming from `queue`.
+    pub fn new(queue: Arc<BoundedBuffer<Request>>) -> Self {
+        Self {
+            queue,
+            cycles_remaining: 0.0,
+            served: 0,
+            total_latency_us: 0.0,
+            current_arrival_us: 0,
+        }
+    }
+
+    /// Requests fully served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing + service latency of served requests, in seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_latency_us / self.served as f64 / 1e6
+        }
+    }
+
+    /// Installs a generator/server pair into a simulation: the generator
+    /// runs under a tiny real-time reservation, the server is a real-rate
+    /// job whose allocation the controller manages.
+    pub fn install(sim: &mut Simulation, config: ServerConfig) -> (JobHandle, JobHandle) {
+        let queue = Arc::new(BoundedBuffer::new("server-backlog", config.queue_capacity));
+        let generator = RequestGenerator::new(Arc::clone(&queue), config);
+        let server = WebServer::new(Arc::clone(&queue));
+        let generator_handle = sim
+            .add_job(
+                "network",
+                JobSpec::real_time(Proportion::from_ppt(10), Period::from_millis(5)),
+                Box::new(generator),
+            )
+            .expect("tiny reservation always admitted on empty system");
+        let server_handle = sim
+            .add_job("server", JobSpec::real_rate(), Box::new(server))
+            .expect("real-rate jobs are always admitted");
+        sim.registry()
+            .register(JobKey(server_handle.job.0), Role::Consumer, queue);
+        (generator_handle, server_handle)
+    }
+}
+
+impl WorkModel for WebServer {
+    fn run(&mut self, now_us: u64, quantum_us: u64, cpu_hz: f64) -> RunResult {
+        let mut cycles_available = quantum_us as f64 * cpu_hz / 1e6;
+        let mut cycles_used = 0.0;
+        loop {
+            if self.cycles_remaining <= 0.0 {
+                match self.queue.try_pop() {
+                    Some(request) => {
+                        self.cycles_remaining = request.cycles;
+                        self.current_arrival_us = request.arrival_us;
+                    }
+                    None => {
+                        let used_us = (cycles_used / cpu_hz * 1e6).round() as u64;
+                        return RunResult::blocked_after(used_us.min(quantum_us));
+                    }
+                }
+            }
+            if cycles_available < self.cycles_remaining {
+                self.cycles_remaining -= cycles_available;
+                cycles_used += cycles_available;
+                break;
+            }
+            cycles_available -= self.cycles_remaining;
+            cycles_used += self.cycles_remaining;
+            self.cycles_remaining = 0.0;
+            self.served += 1;
+            self.total_latency_us += now_us.saturating_sub(self.current_arrival_us) as f64;
+        }
+        let used_us = (cycles_used / cpu_hz * 1e6).round() as u64;
+        RunResult::ran(used_us.min(quantum_us).max(1))
+    }
+
+    fn poll_unblock(&mut self, _now_us: u64) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn progress_counter(&self) -> Option<f64> {
+        Some(self.served as f64)
+    }
+
+    fn label(&self) -> &str {
+        "web-server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_sim::SimConfig;
+
+    #[test]
+    fn generator_produces_requests_at_configured_rate() {
+        let queue = Arc::new(BoundedBuffer::new("q", 1024));
+        let config = ServerConfig {
+            arrival_rate_hz: 50.0,
+            ..ServerConfig::default()
+        };
+        let mut generator = RequestGenerator::new(Arc::clone(&queue), config);
+        // Simulate one second of arrivals by repeatedly running the model.
+        let mut now = 0u64;
+        while now < 1_000_000 {
+            generator.run(now, 100, 400e6);
+            now += 1_000;
+        }
+        let made = generator.generated();
+        assert!((45..=55).contains(&made), "generated {made} requests in 1 s");
+        assert_eq!(generator.dropped(), 0);
+    }
+
+    #[test]
+    fn generator_drops_when_backlog_full() {
+        let queue = Arc::new(BoundedBuffer::new("q", 2));
+        let config = ServerConfig {
+            arrival_rate_hz: 1000.0,
+            ..ServerConfig::default()
+        };
+        let mut generator = RequestGenerator::new(Arc::clone(&queue), config);
+        let mut now = 0u64;
+        while now < 100_000 {
+            generator.run(now, 100, 400e6);
+            now += 1_000;
+        }
+        assert!(generator.dropped() > 0);
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn server_keeps_up_with_offered_load() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let config = ServerConfig::default();
+        let (_gen, server) = WebServer::install(&mut sim, config);
+        sim.run_for(10.0);
+        // 100 req/s at 1 Mcycles needs 25 % of the CPU; the controller
+        // should find an allocation in that region and the backlog should
+        // not stay saturated.
+        let alloc = sim.current_allocation_ppt(server);
+        assert!(
+            (150..=600).contains(&alloc),
+            "server allocation {alloc} should be near 250"
+        );
+        let served_rate = sim
+            .trace()
+            .get("rate/server")
+            .unwrap()
+            .window_mean(5.0, 10.0)
+            .unwrap();
+        assert!(
+            served_rate > 80.0,
+            "server should serve close to 100 req/s, got {served_rate}"
+        );
+    }
+
+    #[test]
+    fn web_server_latency_accounting() {
+        let queue = Arc::new(BoundedBuffer::new("q", 8));
+        queue
+            .try_push(Request {
+                cycles: 1000.0,
+                arrival_us: 0,
+            })
+            .unwrap();
+        let mut server = WebServer::new(Arc::clone(&queue));
+        assert_eq!(server.mean_latency_s(), 0.0);
+        let r = server.run(500, 1_000, 400e6);
+        // The single request is served, after which the server blocks on the
+        // now-empty queue.
+        assert!(r.blocked);
+        assert_eq!(server.served(), 1);
+        assert!(server.mean_latency_s() > 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # realrate — a feedback-driven proportion allocator for real-rate scheduling
+//!
+//! This crate is the facade of a workspace that reproduces *"A
+//! Feedback-driven Proportion Allocator for Real-Rate Scheduling"*
+//! (Steere, Goel, Gruenberg, McNamee, Pu and Walpole).  It re-exports the
+//! individual crates so applications can depend on a single package:
+//!
+//! * [`core`] (`rrs-core`) — the adaptive controller: thread taxonomy,
+//!   progress pressure, PID control, proportion estimation, squishing and
+//!   admission control.
+//! * [`scheduler`] (`rrs-scheduler`) — the reservation-based
+//!   proportion/period dispatcher.
+//! * [`queue`] (`rrs-queue`) — symbiotic interfaces: bounded buffers, pipes
+//!   and the progress-metric registry.
+//! * [`feedback`] (`rrs-feedback`) — the software feedback toolkit (PID,
+//!   filters, signal generators, circuits).
+//! * [`sim`] (`rrs-sim`) — the deterministic CPU simulator used by the
+//!   experiments.
+//! * [`workloads`] (`rrs-workloads`) — the workload generators driving the
+//!   paper's evaluation.
+//! * [`realtime`] (`rrs-realtime`) — a wall-clock executor applying the same
+//!   scheduler and controller to real OS threads.
+//! * [`metrics`] (`rrs-metrics`) — time series, statistics and experiment
+//!   export.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use realrate::core::JobSpec;
+//! use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+//!
+//! // A job that uses every cycle it is given.
+//! struct Spin;
+//! impl WorkModel for Spin {
+//!     fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+//!         RunResult::ran(quantum_us)
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! let job = sim.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! sim.run_for(2.0);
+//! // Without any reservation or priority, the controller discovered that
+//! // the job can use the CPU and grew its proportion.
+//! assert!(sim.current_allocation_ppt(job) > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rrs_core as core;
+pub use rrs_feedback as feedback;
+pub use rrs_metrics as metrics;
+pub use rrs_queue as queue;
+pub use rrs_realtime as realtime;
+pub use rrs_scheduler as scheduler;
+pub use rrs_sim as sim;
+pub use rrs_workloads as workloads;

@@ -1,0 +1,125 @@
+//! Integration tests for the controller's taxonomy, admission control and
+//! reservation handling working against the dispatcher.
+
+use realrate::core::{controller::AdmitError, JobSpec};
+use realrate::scheduler::{Period, Proportion};
+use realrate::sim::{SimConfig, Simulation};
+use realrate::workloads::CpuHog;
+
+#[test]
+fn real_time_jobs_are_admission_controlled_and_isolated() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let rt1 = sim
+        .add_job(
+            "rt1",
+            JobSpec::real_time(Proportion::from_ppt(500), Period::from_millis(10)),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    let rt2 = sim
+        .add_job(
+            "rt2",
+            JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(20)),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    // A third reservation of 300 ‰ would exceed the 950 ‰ threshold.
+    let rejected = sim.add_job(
+        "rt3",
+        JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(20)),
+        Box::new(CpuHog::new()),
+    );
+    assert!(matches!(rejected, Err(AdmitError::Rejected { .. })));
+
+    // A best-effort hog joins anyway and scavenges what is left.
+    let hog = sim
+        .add_job("hog", JobSpec::miscellaneous(), Box::new(CpuHog::new()))
+        .unwrap();
+    sim.run_for(10.0);
+
+    let f1 = sim.cpu_used_us(rt1) as f64 / sim.now_micros() as f64;
+    let f2 = sim.cpu_used_us(rt2) as f64 / sim.now_micros() as f64;
+    let fh = sim.cpu_used_us(hog) as f64 / sim.now_micros() as f64;
+    assert!((f1 - 0.5).abs() < 0.05, "rt1 got {f1}, wanted ≈ 0.5");
+    assert!((f2 - 0.3).abs() < 0.05, "rt2 got {f2}, wanted ≈ 0.3");
+    assert!(fh > 0.05, "the hog should still get the leftovers, got {fh}");
+    assert!(fh < 0.25, "the hog must not encroach on reservations, got {fh}");
+}
+
+#[test]
+fn aperiodic_real_time_jobs_get_the_default_period() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let job = sim
+        .add_job(
+            "aperiodic",
+            JobSpec::aperiodic_real_time(Proportion::from_ppt(250)),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    sim.run_for(2.0);
+    let reservation = sim.dispatcher().reservation(job.thread).unwrap();
+    assert_eq!(reservation.proportion.ppt(), 250);
+    assert_eq!(reservation.period, Period::from_millis(30));
+}
+
+#[test]
+fn rate_monotonic_ordering_prefers_short_period_threads() {
+    let mut sim = Simulation::new(SimConfig::default());
+    // Two reservations with equal proportions but different periods; the
+    // short-period job must not miss deadlines because it always wins the
+    // goodness comparison when runnable.
+    let short = sim
+        .add_job(
+            "short",
+            JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(5)),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    let long = sim
+        .add_job(
+            "long",
+            JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(100)),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    sim.run_for(5.0);
+    let short_usage = sim.dispatcher().usage(short.thread).unwrap();
+    let long_usage = sim.dispatcher().usage(long.thread).unwrap();
+    assert_eq!(
+        short_usage.deadlines_missed, 0,
+        "the short-period reservation must never miss"
+    );
+    // Both get their share overall.
+    assert!((short_usage.total_used_us as f64 / sim.now_micros() as f64 - 0.3).abs() < 0.05);
+    assert!((long_usage.total_used_us as f64 / sim.now_micros() as f64 - 0.3).abs() < 0.05);
+}
+
+#[test]
+fn importance_changes_the_overload_split_but_never_starves() {
+    use realrate::core::Importance;
+    let mut sim = Simulation::new(SimConfig::default());
+    let important = sim
+        .add_job_with_importance(
+            "important",
+            JobSpec::miscellaneous(),
+            Importance::new(8.0),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    let humble = sim
+        .add_job_with_importance(
+            "humble",
+            JobSpec::miscellaneous(),
+            Importance::new(0.5),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    sim.run_for(15.0);
+    let imp = sim.cpu_used_us(important);
+    let hum = sim.cpu_used_us(humble);
+    assert!(imp > hum, "importance should bias the split ({imp} vs {hum})");
+    assert!(
+        hum as f64 / sim.now_micros() as f64 > 0.02,
+        "the humble job must not starve"
+    );
+}

@@ -1,0 +1,207 @@
+//! A miniature, offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with plain wall-clock
+//! timing and a text report instead of criterion's statistics machinery.
+//! Benchmarks still run under `cargo bench` and compile under
+//! `cargo test --benches`; the numbers are medians of a handful of timed
+//! batches, good enough for the coarse scaling guards this repo keeps.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    batches: Vec<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            batches: Vec::new(),
+            iters_per_batch: 1,
+        }
+    }
+
+    /// Times `routine`, first calibrating a batch size so one batch takes a
+    /// measurable amount of time, then timing a few batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the batch until it takes at least ~1 ms, capped
+        // so slow benchmarks (whole-simulation runs) still finish quickly.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                // Record the calibration batch as the first sample.
+                self.batches.push(elapsed / iters as u32);
+                self.iters_per_batch = iters;
+                break;
+            }
+            iters *= 4;
+        }
+        let samples = if self.batches[0] > Duration::from_millis(200) {
+            2
+        } else {
+            5
+        };
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            self.batches.push(t0.elapsed() / self.iters_per_batch as u32);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        self.batches.sort();
+        self.batches[self.batches.len() / 2]
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the miniature driver picks its own
+    /// sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    let median = bencher.median();
+    println!("bench {name:<50} {:>12.3?}/iter", median);
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

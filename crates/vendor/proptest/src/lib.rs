@@ -1,0 +1,350 @@
+//! A miniature, offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace uses: range strategies
+//! over integers and floats, `proptest::collection::vec`, tuple strategies,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.  Sampling is deterministic (seeded per test from
+//! the test name) and endpoint-biased: the first cases of every range lean
+//! on the range boundaries, which is where this repo's invariants break
+//! when they break.  There is no shrinking — failures print the sampled
+//! inputs via the panic message instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each `proptest!` test executes.
+pub const CASES: u32 = 128;
+
+/// Deterministic split-mix RNG used for sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    /// Index of the current case, used for endpoint biasing.
+    pub case: u32,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        Self { state: seed, case: 0 }
+    }
+
+    /// Advances and returns 64 pseudo-random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether this case should favour a range endpoint.  The first few
+    /// cases hit the boundaries deterministically.
+    pub fn endpoint_bias(&mut self) -> Option<bool> {
+        match self.case {
+            0 => Some(false),
+            1 => Some(true),
+            _ => {
+                if self.next_u64() % 16 == 0 {
+                    Some(self.next_u64() % 2 == 0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                match rng.endpoint_bias() {
+                    Some(false) => self.start,
+                    Some(true) => self.end - 1,
+                    None => self.start + (rng.next_u64() as u128 % span) as $t,
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                match rng.endpoint_bias() {
+                    Some(false) => lo,
+                    Some(true) => hi,
+                    None => lo + (rng.next_u64() as u128 % span) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                match rng.endpoint_bias() {
+                    Some(false) => self.start,
+                    Some(true) => self.end - 1,
+                    None => {
+                        (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                match rng.endpoint_bias() {
+                    Some(false) => lo,
+                    Some(true) => hi,
+                    None => (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+signed_strategies!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        match rng.endpoint_bias() {
+            Some(false) => self.start,
+            // Stay strictly inside the half-open range.
+            Some(true) => self.start + (self.end - self.start) * (1.0 - 1e-9),
+            None => self.start + (self.end - self.start) * rng.unit_f64(),
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample(rng) as f32
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing both boolean values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Samples `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() % 2 == 0
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Describes how many elements a generated collection may have.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize % span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestRng};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each generated `#[test]` runs [`CASES`] sampled cases of the body.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for case in 0..$crate::CASES {
+                rng.case = case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Inlined so `prop_assume!` can `continue` to the next case.
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its sampled inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3u32..10,
+            y in 0.5f64..2.0,
+            v in collection::vec(1u64..100, 0..8),
+            pair in (0u64..10, 0u64..5),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!(v.len() < 8);
+            for e in &v {
+                prop_assert!((1..100).contains(e));
+            }
+            prop_assert!(pair.0 < 10 && pair.1 < 5);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..4) {
+            prop_assume!(x != 0);
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_hit() {
+        let mut rng = TestRng::from_name("endpoints");
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for case in 0..32 {
+            rng.case = case;
+            let v = (5u32..=9).sample(&mut rng);
+            saw_lo |= v == 5;
+            saw_hi |= v == 9;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

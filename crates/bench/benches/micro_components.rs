@@ -2,8 +2,8 @@
 //! sampling, squishing and bounded-buffer operations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rrs_core::{squish_weighted, Importance, SquishPolicy};
 use rrs_core::squish::{squish, SquishRequest};
+use rrs_core::{squish_weighted, Importance, SquishPolicy};
 use rrs_feedback::{PidConfig, PidController};
 use rrs_queue::{BoundedBuffer, JobKey, MetricRegistry, Role};
 use rrs_scheduler::Proportion;

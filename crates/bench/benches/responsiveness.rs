@@ -11,10 +11,11 @@ fn bench_fig6(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("pulse_pipeline_10s", |b| {
         b.iter(|| {
-            let mut params = Fig6Params::default();
-            params.duration_s = 10.0;
-            params.pipeline.production_rate =
-                PulseTrain::new(2.5e-5, 5.0e-5, vec![(3.0, 5.0)]);
+            let mut params = Fig6Params {
+                duration_s: 10.0,
+                ..Fig6Params::default()
+            };
+            params.pipeline.production_rate = PulseTrain::new(2.5e-5, 5.0e-5, vec![(3.0, 5.0)]);
             black_box(run(params))
         });
     });

@@ -33,8 +33,21 @@ pub fn pid_gains(duration_s: f64) -> ExperimentRecord {
     );
     let base = responsive_controller_config();
     let variants: Vec<(&str, PidConfig)> = vec![
-        ("p_only", PidConfig { ki: 0.0, kd: 0.0, ..base.pid }),
-        ("pi", PidConfig { kd: 0.0, ..base.pid }),
+        (
+            "p_only",
+            PidConfig {
+                ki: 0.0,
+                kd: 0.0,
+                ..base.pid
+            },
+        ),
+        (
+            "pi",
+            PidConfig {
+                kd: 0.0,
+                ..base.pid
+            },
+        ),
         ("pid", base.pid),
     ];
     for (name, pid) in variants {
@@ -207,7 +220,9 @@ mod tests {
         let record = pid_gains(12.0);
         for name in ["p_only", "pi", "pid"] {
             assert!(
-                record.get_scalar(&format!("{name}_mean_fill_error")).is_some(),
+                record
+                    .get_scalar(&format!("{name}_mean_fill_error"))
+                    .is_some(),
                 "missing {name}"
             );
         }

@@ -9,9 +9,7 @@ use rrs_bench::{print_report, write_json};
 fn main() {
     let record = run(Fig5Params::default());
     print_report(&record);
-    println!(
-        "Paper: y = 0.00066x + 0.00057 (R² = 0.999), 2.7 % of the CPU at 40 processes."
-    );
+    println!("Paper: y = 0.00066x + 0.00057 (R² = 0.999), 2.7 % of the CPU at 40 processes.");
     if let Some(path) = write_json(&record) {
         println!("Wrote {}", path.display());
     }

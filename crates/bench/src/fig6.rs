@@ -64,10 +64,7 @@ pub fn run_scenario(params: &Fig6Params) -> (Trace, PulseTrain) {
     let mut sim = Simulation::new(config);
     let _handles = PulsePipeline::install(&mut sim, params.pipeline.clone());
     sim.run_for(params.duration_s);
-    (
-        sim.trace().clone(),
-        params.pipeline.production_rate.clone(),
-    )
+    (sim.trace().clone(), params.pipeline.production_rate.clone())
 }
 
 /// Runs the experiment and assembles the figure's series and scalars.
@@ -85,7 +82,12 @@ pub fn run(params: Fig6Params) -> ExperimentRecord {
          on an otherwise idle system",
     );
 
-    for name in ["rate/producer", "rate/consumer", "fill/pipeline", "alloc/consumer"] {
+    for name in [
+        "rate/producer",
+        "rate/consumer",
+        "fill/pipeline",
+        "alloc/consumer",
+    ] {
         if let Some(series) = trace.get(name) {
             record.add_series(series.clone());
         }
@@ -94,22 +96,21 @@ pub fn run(params: Fig6Params) -> ExperimentRecord {
     // Response time: first pulse starts at the first pulse's start time; the
     // consumer allocation must double (base consumption needs ≈200 ‰, the
     // pulse needs ≈400 ‰).
-    if let (Some(alloc), Some((pulse_start, _))) =
-        (trace.get("alloc/consumer"), pulses.pulses().first().copied())
-    {
-        let base = alloc.window_mean(pulse_start - 2.0, pulse_start).unwrap_or(200.0);
+    if let (Some(alloc), Some((pulse_start, _))) = (
+        trace.get("alloc/consumer"),
+        pulses.pulses().first().copied(),
+    ) {
+        let base = alloc
+            .window_mean(pulse_start - 2.0, pulse_start)
+            .unwrap_or(200.0);
         let target = base * 1.9;
         if let Some(t) = alloc.first_time_where(pulse_start, |v| v >= target) {
             record.scalar("response_time_s", t - pulse_start);
         }
     }
     if let Some(fill) = trace.get("fill/pipeline") {
-        let mean_error = fill
-            .values()
-            .iter()
-            .map(|v| (v - 0.5).abs())
-            .sum::<f64>()
-            / fill.len().max(1) as f64;
+        let mean_error =
+            fill.values().iter().map(|v| (v - 0.5).abs()).sum::<f64>() / fill.len().max(1) as f64;
         record.scalar("mean_fill_error", mean_error);
         record.scalar("max_fill", fill.summary().max);
         record.scalar("min_fill", fill.summary().min);
@@ -131,8 +132,10 @@ mod tests {
     use super::*;
 
     fn quick_params() -> Fig6Params {
-        let mut p = Fig6Params::default();
-        p.duration_s = 20.0;
+        let mut p = Fig6Params {
+            duration_s: 20.0,
+            ..Fig6Params::default()
+        };
         p.pipeline.production_rate = PulseTrain::new(2.5e-5, 5.0e-5, vec![(5.0, 10.0)]);
         p
     }
@@ -166,7 +169,13 @@ mod tests {
         let record = run(quick_params());
         let max_fill = record.get_scalar("max_fill").unwrap();
         let min_fill = record.get_scalar("min_fill").unwrap();
-        assert!(max_fill < 1.0, "queue should not saturate, max fill {max_fill}");
-        assert!(min_fill > 0.0, "queue should not drain, min fill {min_fill}");
+        assert!(
+            max_fill < 1.0,
+            "queue should not saturate, max fill {max_fill}"
+        );
+        assert!(
+            min_fill > 0.0,
+            "queue should not drain, min fill {min_fill}"
+        );
     }
 }

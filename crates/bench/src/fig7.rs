@@ -15,18 +15,10 @@ use rrs_sim::{SimConfig, Simulation, Trace};
 use rrs_workloads::{CpuHog, PulsePipeline};
 
 /// Parameters for the under-load experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Fig7Params {
     /// The underlying responsiveness scenario.
     pub base: Fig6Params,
-}
-
-impl Default for Fig7Params {
-    fn default() -> Self {
-        Self {
-            base: Fig6Params::default(),
-        }
-    }
 }
 
 /// Runs the scenario: pipeline plus hog.
@@ -149,6 +141,9 @@ mod tests {
             total <= 960.0,
             "granted allocations must stay under the 950 ‰ threshold, got {total}"
         );
-        assert!(total > 700.0, "the machine should be nearly fully used, got {total}");
+        assert!(
+            total > 700.0,
+            "the machine should be nearly fully used, got {total}"
+        );
     }
 }

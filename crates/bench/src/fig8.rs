@@ -24,9 +24,7 @@ pub struct Fig8Params {
 impl Default for Fig8Params {
     fn default() -> Self {
         Self {
-            frequencies_hz: vec![
-                100.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 10000.0,
-            ],
+            frequencies_hz: vec![100.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 10000.0],
             seconds_per_point: 2.0,
         }
     }

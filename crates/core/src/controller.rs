@@ -1,15 +1,22 @@
 //! The adaptive controller tying monitoring, estimation and actuation
 //! together.
+//!
+//! Since the staged-pipeline refactor the controller is a thin shell: it
+//! owns the dense slot-indexed job table ([`crate::slot::SlotTable`]), the
+//! reusable [`CycleContext`] and output buffers, and drives the five
+//! pipeline stages of [`crate::pipeline`] once per controller period.  The
+//! steady-state entry point, [`Controller::control_cycle_in_place`],
+//! performs no heap allocation once the scratch buffers have warmed up.
 
 use crate::config::ControllerConfig;
 use crate::estimator::ProportionEstimator;
 use crate::events::{ControllerEvent, QualityException};
-use crate::period::PeriodEstimator;
-use crate::pressure::PressureEstimator;
-use crate::squish::{squish, Importance, SquishRequest};
+use crate::pipeline::{self, CycleContext, JobEntry, JobTable};
+use crate::slot::JobSlot;
+use crate::squish::Importance;
 use crate::taxonomy::{JobClass, JobSpec};
 use rrs_queue::{JobKey, MetricRegistry};
-use rrs_scheduler::{Period, Proportion, Reservation};
+use rrs_scheduler::{Proportion, Reservation};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -18,9 +25,11 @@ use std::collections::BTreeMap;
 /// A job is "a collection of cooperating threads"; in this reproduction each
 /// controller job maps to one schedulable thread, and the same raw id is
 /// used for the scheduler's `ThreadId` and the registry's `JobKey`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+///
+/// `JobId` is the stable external name of a job.  Layers that talk to the
+/// controller every cycle should prefer the dense [`JobSlot`] handle
+/// returned by [`Controller::add_job`], which resolves in `O(1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -54,6 +63,9 @@ impl Default for UsageSnapshot {
 /// One actuation: the reservation the scheduler should apply to a job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Actuation {
+    /// The dense handle of the job whose reservation changes; consumer
+    /// layers index their own side tables with it.
+    pub slot: JobSlot,
     /// The job whose reservation changes.
     pub job: JobId,
     /// The new reservation.
@@ -92,16 +104,6 @@ impl ControlOutput {
     }
 }
 
-#[derive(Debug)]
-struct JobEntry {
-    spec: JobSpec,
-    importance: Importance,
-    pressure: PressureEstimator,
-    period_estimator: PeriodEstimator,
-    period: Period,
-    granted: Proportion,
-}
-
 /// Errors returned when registering jobs with the controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmitError {
@@ -138,22 +140,27 @@ impl std::error::Error for AdmitError {}
 /// # Examples
 ///
 /// ```
-/// use rrs_core::{Controller, ControllerConfig, JobId, JobSpec};
+/// use rrs_core::{Controller, ControllerConfig, JobId, JobSpec, UsageSnapshot};
 /// use rrs_queue::MetricRegistry;
-/// use std::collections::BTreeMap;
 ///
 /// let registry = MetricRegistry::new();
 /// let mut controller = Controller::new(ControllerConfig::default(), registry);
-/// controller.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
-/// let out = controller.control_cycle(0.01, &BTreeMap::new());
+/// let slot = controller.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+///
+/// // Steady-state path: record usage by slot, run the pipeline in place.
+/// controller.record_usage(slot, UsageSnapshot { usage_ratio: 1.0 });
+/// let out = controller.control_cycle_in_place(0.01);
 /// assert_eq!(out.actuations.len(), 1);
+/// assert_eq!(out.actuations[0].slot, slot);
 /// ```
 #[derive(Debug)]
 pub struct Controller {
     config: ControllerConfig,
     registry: MetricRegistry,
     estimator: ProportionEstimator,
-    jobs: BTreeMap<JobId, JobEntry>,
+    jobs: JobTable,
+    ctx: CycleContext,
+    output: ControlOutput,
     last_cycle: Option<f64>,
     cycles: u64,
 }
@@ -165,7 +172,9 @@ impl Controller {
             estimator: ProportionEstimator::new(&config),
             config,
             registry,
-            jobs: BTreeMap::new(),
+            jobs: JobTable::new(),
+            ctx: CycleContext::new(),
+            output: ControlOutput::default(),
             last_cycle: None,
             cycles: 0,
         }
@@ -191,9 +200,25 @@ impl Controller {
         self.cycles
     }
 
-    /// Ids of all managed jobs.
+    /// Ids of all managed jobs, in id order.
     pub fn job_ids(&self) -> Vec<JobId> {
-        self.jobs.keys().copied().collect()
+        self.jobs.ids().collect()
+    }
+
+    /// The dense slot currently assigned to a job id.
+    pub fn slot_of(&self, job: JobId) -> Option<JobSlot> {
+        self.jobs.slot_of(job)
+    }
+
+    /// The job id stored at a slot, if the slot is live and current.
+    pub fn job_of(&self, slot: JobSlot) -> Option<JobId> {
+        self.jobs.id_of(slot)
+    }
+
+    /// Upper bound (exclusive) of live slot indices; consumer layers size
+    /// their slot-indexed side tables with this.
+    pub fn slot_capacity(&self) -> usize {
+        self.jobs.dense_len()
     }
 
     /// The class the controller currently assigns to a job.
@@ -202,21 +227,27 @@ impl Controller {
     /// real-rate as soon as a metric is attached to it in the registry, and
     /// vice versa, so the class can change over a job's lifetime.
     pub fn job_class(&self, job: JobId) -> Option<JobClass> {
-        let entry = self.jobs.get(&job)?;
-        Some(self.effective_spec(job, entry).classify())
+        let entry = self.jobs.get_by_id(job)?;
+        Some(self.effective_spec(job, entry.spec).classify())
     }
 
     /// The proportion most recently granted to a job.
     pub fn granted(&self, job: JobId) -> Option<Proportion> {
-        self.jobs.get(&job).map(|e| e.granted)
+        self.jobs.get_by_id(job).map(|e| e.granted)
     }
 
-    /// Registers a job with default importance.
-    pub fn add_job(&mut self, job: JobId, spec: JobSpec) -> Result<(), AdmitError> {
+    /// The proportion most recently granted to the job at `slot`.
+    pub fn granted_at(&self, slot: JobSlot) -> Option<Proportion> {
+        self.jobs.get(slot).map(|e| e.granted)
+    }
+
+    /// Registers a job with default importance and returns its dense slot.
+    pub fn add_job(&mut self, job: JobId, spec: JobSpec) -> Result<JobSlot, AdmitError> {
         self.add_job_with_importance(job, spec, Importance::NORMAL)
     }
 
-    /// Registers a job with an explicit importance weight.
+    /// Registers a job with an explicit importance weight and returns its
+    /// dense slot.
     ///
     /// Real-time jobs (proportion and period both specified) are subject to
     /// admission control: if the requested proportion does not fit under the
@@ -227,8 +258,8 @@ impl Controller {
         job: JobId,
         spec: JobSpec,
         importance: Importance,
-    ) -> Result<(), AdmitError> {
-        if self.jobs.contains_key(&job) {
+    ) -> Result<JobSlot, AdmitError> {
+        if self.jobs.slot_of(job).is_some() {
             return Err(AdmitError::Duplicate(job));
         }
         let class = spec.classify();
@@ -244,41 +275,51 @@ impl Controller {
                 });
             }
         }
-        let period = spec.period.unwrap_or(self.config.default_period);
-        let initial = match class {
-            JobClass::RealTime | JobClass::AperiodicRealTime => {
-                spec.proportion.unwrap_or(self.config.min_proportion)
-            }
-            _ => self.config.min_proportion,
-        };
-        self.jobs.insert(
-            job,
-            JobEntry {
-                spec,
-                importance,
-                pressure: PressureEstimator::new(self.config.pid),
-                period_estimator: PeriodEstimator::with_defaults(),
-                period,
-                granted: initial,
-            },
-        );
-        Ok(())
+        let entry = JobEntry::new(spec, importance, &self.config);
+        Ok(self
+            .jobs
+            .insert(job, entry)
+            .expect("duplicate ids were rejected above"))
     }
 
     /// Removes a job and detaches its registry entries.
     pub fn remove_job(&mut self, job: JobId) -> bool {
-        let removed = self.jobs.remove(&job).is_some();
+        let removed = self.jobs.remove(job).is_some();
         if removed {
             self.registry.unregister_job(job.key());
         }
         removed
     }
 
+    /// Removes the job at `slot` (if live) and detaches its registry
+    /// entries.
+    pub fn remove_slot(&mut self, slot: JobSlot) -> bool {
+        match self.jobs.id_of(slot) {
+            Some(job) => self.remove_job(job),
+            None => false,
+        }
+    }
+
     /// Changes a job's importance weight.
     pub fn set_importance(&mut self, job: JobId, importance: Importance) -> bool {
-        match self.jobs.get_mut(&job) {
+        match self.jobs.get_by_id_mut(job) {
             Some(e) => {
                 e.importance = importance;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records usage feedback for the job at `slot`, to be consumed by the
+    /// next control cycle.  Returns `false` if the slot is stale.
+    ///
+    /// Jobs without a recorded snapshot are assumed to have used their full
+    /// allocation; the pipeline resets every snapshot after consuming it.
+    pub fn record_usage(&mut self, slot: JobSlot, usage: UsageSnapshot) -> bool {
+        match self.jobs.get_mut(slot) {
+            Some(e) => {
+                e.usage = usage;
                 true
             }
             None => false,
@@ -289,30 +330,27 @@ impl Controller {
     /// jobs (these cannot be squished).
     fn fixed_total_ppt(&self) -> u32 {
         self.jobs
-            .values()
-            .filter(|e| !e.spec.classify().is_squishable())
-            .filter_map(|e| e.spec.proportion.map(|p| p.ppt()))
+            .iter()
+            .filter(|(_, _, e)| !e.spec.classify().is_squishable())
+            .filter_map(|(_, _, e)| e.spec.proportion.map(|p| p.ppt()))
             .sum()
     }
 
     /// The spec with `has_progress_metric` refreshed from the registry, so
     /// that attaching a queue at run time promotes a miscellaneous job to
     /// real-rate.
-    fn effective_spec(&self, job: JobId, entry: &JobEntry) -> JobSpec {
-        let has_metric = !self.registry.attachments_for(job.key()).is_empty();
-        entry.spec.with_progress_metric(has_metric)
+    fn effective_spec(&self, job: JobId, spec: JobSpec) -> JobSpec {
+        spec.with_progress_metric(self.registry.has_attachments(job.key()))
     }
 
-    /// Runs one control cycle at time `now_s` (seconds).
+    /// Runs one control cycle at time `now_s` (seconds) and returns a
+    /// reference to the reused output buffers.
     ///
-    /// `usage` supplies per-job usage feedback from the dispatcher; jobs
-    /// missing from the map are assumed to have used their full allocation.
-    /// Returns the reservations to actuate and any events raised.
-    pub fn control_cycle(
-        &mut self,
-        now_s: f64,
-        usage: &BTreeMap<JobId, UsageSnapshot>,
-    ) -> ControlOutput {
+    /// This is the steady-state entry point: once the scratch buffers have
+    /// warmed up it performs no heap allocation.  Usage feedback is taken
+    /// from the snapshots recorded via [`Controller::record_usage`] since
+    /// the previous cycle (full usage when none was recorded).
+    pub fn control_cycle_in_place(&mut self, now_s: f64) -> &ControlOutput {
         let dt = match self.last_cycle {
             Some(prev) if now_s > prev => now_s - prev,
             _ => self.config.controller_period_s,
@@ -320,148 +358,38 @@ impl Controller {
         self.last_cycle = Some(now_s);
         self.cycles += 1;
 
-        let mut events = Vec::new();
+        self.ctx.begin(now_s, dt);
+        pipeline::sense(
+            &self.registry,
+            &mut self.jobs,
+            self.config.period_estimation,
+            &mut self.ctx,
+        );
+        pipeline::classify(&self.config, &mut self.jobs, &mut self.ctx);
+        pipeline::estimate(&self.config, &self.estimator, &mut self.jobs, &mut self.ctx);
+        pipeline::allocate(&self.config, &mut self.ctx);
+        pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
+        &self.output
+    }
 
-        // Phase 1: per-job desired allocations.
-        let mut fixed: Vec<(JobId, Proportion, Period)> = Vec::new();
-        let mut adaptive: Vec<(JobId, Proportion, Period, f64)> = Vec::new();
-
-        let job_ids: Vec<JobId> = self.jobs.keys().copied().collect();
-        for job in job_ids {
-            let spec = {
-                let entry = self.jobs.get(&job).expect("job exists");
-                self.effective_spec(job, entry)
-            };
-            let class = spec.classify();
-            let entry = self.jobs.get_mut(&job).expect("job exists");
-
-            match class {
-                JobClass::RealTime => {
-                    let p = spec.proportion.expect("real-time has proportion");
-                    let t = spec.period.expect("real-time has period");
-                    entry.period = t;
-                    fixed.push((job, p, t));
-                }
-                JobClass::AperiodicRealTime => {
-                    let p = spec.proportion.expect("aperiodic has proportion");
-                    entry.period = self.config.default_period;
-                    fixed.push((job, p, entry.period));
-                }
-                JobClass::RealRate | JobClass::Miscellaneous => {
-                    let summed = if class == JobClass::RealRate {
-                        self.registry
-                            .summed_pressure(job.key())
-                            .unwrap_or(self.config.misc_pressure)
-                    } else {
-                        // Constant positive pressure: keep asking for more
-                        // CPU until satisfied or squished.
-                        self.config.misc_pressure
-                    };
-                    let q = entry.pressure.update(summed, dt);
-                    let usage_ratio = usage.get(&job).copied().unwrap_or_default().usage_ratio;
-                    let outcome = self.estimator.estimate(entry.granted, q, usage_ratio);
-                    if outcome.reclaimed {
-                        // Damp the PID state so the reclaimed allocation is
-                        // not immediately re-requested.
-                        let target = if entry.granted.ppt() > 0 {
-                            outcome.desired.ppt() as f64 / entry.granted.ppt() as f64
-                        } else {
-                            0.0
-                        };
-                        entry.pressure.scale_state(target.clamp(0.0, 1.0));
-                    }
-
-                    // Period assignment for adaptive jobs.
-                    if self.config.period_estimation && class == JobClass::RealRate {
-                        let fills: Vec<f64> = self
-                            .registry
-                            .attachments_for(job.key())
-                            .iter()
-                            .map(|a| a.sample().fraction())
-                            .collect();
-                        for f in fills {
-                            entry.period_estimator.observe_fill(f);
-                        }
-                        entry.period =
-                            entry.period_estimator.end_period(entry.granted, entry.period);
-                    } else if entry.spec.period.is_none() {
-                        entry.period = self.config.default_period;
-                    }
-                    adaptive.push((job, outcome.desired, entry.period, q));
-                }
+    /// Runs one control cycle at time `now_s` (seconds), with usage
+    /// feedback supplied as a map, and returns an owned copy of the output.
+    ///
+    /// Convenience wrapper over [`Controller::record_usage`] +
+    /// [`Controller::control_cycle_in_place`] for callers that are not on
+    /// the hot path; jobs missing from the map are assumed to have used
+    /// their full allocation.
+    pub fn control_cycle(
+        &mut self,
+        now_s: f64,
+        usage: &BTreeMap<JobId, UsageSnapshot>,
+    ) -> ControlOutput {
+        for (&job, &snapshot) in usage {
+            if let Some(slot) = self.jobs.slot_of(job) {
+                self.record_usage(slot, snapshot);
             }
         }
-
-        // Phase 2: overload detection and squishing.
-        let fixed_total: u32 = fixed.iter().map(|(_, p, _)| p.ppt()).sum();
-        let available_ppt = self
-            .config
-            .overload_threshold_ppt
-            .saturating_sub(fixed_total);
-        let desired_total: u64 = adaptive.iter().map(|(_, p, _, _)| p.ppt() as u64).sum();
-
-        let granted: Vec<Proportion> = if desired_total > available_ppt as u64 {
-            events.push(ControllerEvent::Squished {
-                desired_total_ppt: desired_total,
-                available_ppt,
-            });
-            let requests: Vec<SquishRequest> = adaptive
-                .iter()
-                .map(|(job, desired, _, _)| SquishRequest {
-                    desired: *desired,
-                    importance: self.jobs[job].importance,
-                    floor: self.config.min_proportion,
-                })
-                .collect();
-            squish(
-                self.config.squish_policy,
-                &requests,
-                Proportion::from_ppt(available_ppt),
-            )
-        } else {
-            adaptive.iter().map(|(_, p, _, _)| *p).collect()
-        };
-
-        // Phase 3: quality exceptions and actuation list.
-        let mut actuations = Vec::with_capacity(self.jobs.len());
-        let mut total_granted: u32 = 0;
-
-        for (job, proportion, period) in &fixed {
-            total_granted += proportion.ppt();
-            self.jobs.get_mut(job).expect("job exists").granted = *proportion;
-            actuations.push(Actuation {
-                job: *job,
-                reservation: Reservation::new(*proportion, *period),
-            });
-        }
-
-        for ((job, desired, period, q), grant) in adaptive.iter().zip(granted.iter()) {
-            total_granted += grant.ppt();
-            let entry = self.jobs.get_mut(job).expect("job exists");
-            entry.granted = *grant;
-            if grant.ppt() < desired.ppt()
-                && q.abs() >= self.config.quality_exception_pressure
-            {
-                events.push(ControllerEvent::Quality(QualityException {
-                    job: *job,
-                    desired: *desired,
-                    granted: *grant,
-                    pressure: *q,
-                    time: now_s,
-                }));
-            }
-            actuations.push(Actuation {
-                job: *job,
-                reservation: Reservation::new(*grant, *period),
-            });
-        }
-
-        ControlOutput {
-            actuations,
-            events,
-            cost_us: self.config.cost_model.invocation_cost_us(self.jobs.len()),
-            total_granted_ppt: total_granted,
-        }
+        self.control_cycle_in_place(now_s).clone()
     }
 }
 
@@ -469,6 +397,7 @@ impl Controller {
 mod tests {
     use super::*;
     use rrs_queue::{BoundedBuffer, Role};
+    use rrs_scheduler::Period;
     use std::sync::Arc;
 
     fn controller() -> (Controller, MetricRegistry) {
@@ -500,6 +429,23 @@ mod tests {
     }
 
     #[test]
+    fn slots_resolve_both_ways_and_go_stale_on_removal() {
+        let (mut c, _reg) = controller();
+        let slot = c.add_job(JobId(7), JobSpec::miscellaneous()).unwrap();
+        assert_eq!(c.slot_of(JobId(7)), Some(slot));
+        assert_eq!(c.job_of(slot), Some(JobId(7)));
+        assert!(c.granted_at(slot).is_some());
+        assert!(c.remove_slot(slot));
+        assert_eq!(c.job_of(slot), None, "slot is stale after removal");
+        assert!(!c.record_usage(slot, UsageSnapshot::default()));
+        // The freed slot index is reused under a fresh generation.
+        let next = c.add_job(JobId(8), JobSpec::miscellaneous()).unwrap();
+        assert_eq!(next.index(), slot.index());
+        assert_ne!(next, slot);
+        assert_eq!(c.granted_at(slot), None);
+    }
+
+    #[test]
     fn real_time_job_keeps_its_reservation() {
         let (mut c, _reg) = controller();
         let spec = JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(20));
@@ -514,8 +460,11 @@ mod tests {
     #[test]
     fn aperiodic_real_time_gets_default_period() {
         let (mut c, _reg) = controller();
-        c.add_job(JobId(1), JobSpec::aperiodic_real_time(Proportion::from_ppt(200)))
-            .unwrap();
+        c.add_job(
+            JobId(1),
+            JobSpec::aperiodic_real_time(Proportion::from_ppt(200)),
+        )
+        .unwrap();
         let out = run_cycles(&mut c, 1, 0.01);
         let a = out.actuation_for(JobId(1)).unwrap();
         assert_eq!(a.reservation.proportion.ppt(), 200);
@@ -553,8 +502,16 @@ mod tests {
 
         let first = run_cycles(&mut c, 1, 0.01);
         let later = run_cycles(&mut c, 30, 0.01);
-        let p_first = first.actuation_for(JobId(1)).unwrap().reservation.proportion;
-        let p_later = later.actuation_for(JobId(1)).unwrap().reservation.proportion;
+        let p_first = first
+            .actuation_for(JobId(1))
+            .unwrap()
+            .reservation
+            .proportion;
+        let p_later = later
+            .actuation_for(JobId(1))
+            .unwrap()
+            .reservation
+            .proportion;
         assert!(
             p_later.ppt() > p_first.ppt(),
             "allocation should grow under persistent positive pressure ({} -> {})",
@@ -748,6 +705,30 @@ mod tests {
     }
 
     #[test]
+    fn usage_snapshots_are_consumed_by_one_cycle() {
+        let (mut c, _reg) = controller();
+        let slot = c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        // Grow the allocation first.
+        for i in 1..=50 {
+            c.control_cycle_in_place(i as f64 * 0.01);
+        }
+        let grown = c.granted_at(slot).unwrap().ppt();
+        let reclaim = c.config().reclaim_ppt;
+        assert!(
+            grown > 2 * reclaim + 1,
+            "fixture needs headroom, got {grown}"
+        );
+        // One low-usage snapshot triggers exactly one −C reclamation.
+        c.record_usage(slot, UsageSnapshot { usage_ratio: 0.0 });
+        c.control_cycle_in_place(0.51);
+        assert_eq!(c.granted_at(slot).unwrap().ppt(), grown - reclaim);
+        // The snapshot was consumed: recording again reclaims again.
+        c.record_usage(slot, UsageSnapshot { usage_ratio: 0.0 });
+        c.control_cycle_in_place(0.52);
+        assert_eq!(c.granted_at(slot).unwrap().ppt(), grown - 2 * reclaim);
+    }
+
+    #[test]
     fn metric_attachment_promotes_misc_job_to_real_rate() {
         let (mut c, reg) = controller();
         c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
@@ -792,6 +773,31 @@ mod tests {
         assert!(out.quality_exceptions().is_empty());
         assert_eq!(c.cycles(), 1);
         assert_eq!(c.job_ids(), vec![JobId(5)]);
-        assert_eq!(c.granted(JobId(5)).unwrap().ppt() > 0, true);
+        assert!(c.granted(JobId(5)).unwrap().ppt() > 0);
+    }
+
+    #[test]
+    fn in_place_cycle_reuses_output_buffers() {
+        let (mut c, _reg) = controller();
+        for i in 0..8 {
+            c.add_job(JobId(i), JobSpec::miscellaneous()).unwrap();
+        }
+        // Warm up, then capture buffer capacities.
+        for i in 1..=50 {
+            c.control_cycle_in_place(i as f64 * 0.01);
+        }
+        let caps = {
+            let out = c.control_cycle_in_place(0.51);
+            (out.actuations.capacity(), out.events.capacity())
+        };
+        for i in 52..=300 {
+            let out = c.control_cycle_in_place(i as f64 * 0.01);
+            assert_eq!(out.actuations.len(), 8);
+            assert_eq!(
+                (out.actuations.capacity(), out.events.capacity()),
+                caps,
+                "steady-state cycles must not reallocate the output"
+            );
+        }
     }
 }

@@ -34,7 +34,10 @@ impl Default for ControllerCostModel {
 impl ControllerCostModel {
     /// Creates a cost model.
     pub fn new(fixed_us: f64, per_job_us: f64) -> Self {
-        Self { fixed_us, per_job_us }
+        Self {
+            fixed_us,
+            per_job_us,
+        }
     }
 
     /// A zero-cost model, for experiments that want to ignore controller

@@ -3,29 +3,44 @@
 //!
 //! The adaptive controller (§3.3) sits between the progress monitors (the
 //! symbiotic interfaces of `rrs-queue`) and the reservation scheduler
-//! (`rrs-scheduler`).  Every controller period it:
+//! (`rrs-scheduler`).  Every controller period one cycle flows through the
+//! staged control-plane pipeline of [`pipeline`]:
 //!
-//! 1. classifies each job by the [`taxonomy`] of Figure 2 — real-time,
-//!    aperiodic real-time, real-rate or miscellaneous;
-//! 2. samples each real-rate job's progress metrics and computes the
-//!    cumulative progress pressure `Q_t` via a PID control function
-//!    ([`pressure`], Figure 3);
-//! 3. estimates each job's new proportion `P'_t = k·Q_t`, reclaiming
-//!    allocation from jobs that do not use what they were given
-//!    ([`estimator`], Figure 4);
-//! 4. optionally adjusts aperiodic jobs' periods to trade quantization
-//!    error against jitter ([`period`]);
-//! 5. when the sum of desired allocations oversubscribes the CPU, performs
-//!    admission control on real-time jobs and *squishes* real-rate and
+//! ```text
+//!   Sense ──▶ Classify ──▶ Estimate ──▶ Allocate ──▶ Actuate
+//!     │           │            │            │            │
+//!  registry   taxonomy     PID + P'=kQ   squish /     reservations,
+//!  samples,   (Figure 2)   (Figures      admit        events
+//!  usage                    3 & 4)       (§3.3)
+//! ```
+//!
+//! 1. **Sense** samples each job's progress metrics through the
+//!    meta-interface and picks up the dispatcher's usage feedback;
+//! 2. **Classify** derives each job's class by the [`taxonomy`] of
+//!    Figure 2 — real-time, aperiodic real-time, real-rate or
+//!    miscellaneous — and pins reserved jobs' proportions and periods;
+//! 3. **Estimate** computes the cumulative progress pressure `Q_t` via a
+//!    PID control function ([`pressure`], Figure 3) and each adaptive
+//!    job's new proportion `P'_t = k·Q_t`, reclaiming allocation from jobs
+//!    that do not use what they were given ([`estimator`], Figure 4), and
+//!    optionally adjusts periods to trade quantization error against
+//!    jitter ([`period`]);
+//! 4. **Allocate** detects overload and *squishes* real-rate and
 //!    miscellaneous jobs by fair share or importance-weighted fair share
 //!    ([`squish`]);
-//! 6. raises quality exceptions when demand cannot be met ([`events`]).
+//! 5. **Actuate** emits the reservations to apply and raises quality
+//!    exceptions when demand cannot be met ([`events`]).
 //!
-//! The [`controller::Controller`] type ties the steps together and exposes
-//! a single [`controller::Controller::control_cycle`] entry point driven by
-//! the simulator or the wall-clock executor.  Its own execution cost is
-//! modelled by [`cost::ControllerCostModel`] so the Figure 5 overhead
-//! experiment can be reproduced.
+//! The stages share a reusable [`pipeline::CycleContext`] with
+//! pre-allocated scratch buffers and operate on dense [`slot`]-indexed
+//! job storage, so the steady-state cycle is allocation-free, `O(jobs)`,
+//! and each stage is independently testable.  The [`controller::Controller`]
+//! shell drives the pipeline via
+//! [`controller::Controller::control_cycle_in_place`] (hot path, borrowed
+//! output) or [`controller::Controller::control_cycle`] (convenience,
+//! owned output).  Its own execution cost is modelled by
+//! [`cost::ControllerCostModel`] so the Figure 5 overhead experiment can
+//! be reproduced.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,16 +51,20 @@ pub mod cost;
 pub mod estimator;
 pub mod events;
 pub mod period;
+pub mod pipeline;
 pub mod pressure;
+pub mod slot;
 pub mod squish;
 pub mod taxonomy;
 
 pub use config::ControllerConfig;
-pub use controller::{Actuation, ControlOutput, Controller, JobId, UsageSnapshot};
+pub use controller::{Actuation, AdmitError, ControlOutput, Controller, JobId, UsageSnapshot};
 pub use cost::ControllerCostModel;
 pub use estimator::ProportionEstimator;
 pub use events::{ControllerEvent, QualityException};
 pub use period::PeriodEstimator;
+pub use pipeline::CycleContext;
 pub use pressure::PressureEstimator;
+pub use slot::{JobSlot, SlotTable};
 pub use squish::{squish_fair_share, squish_weighted, Importance, SquishPolicy};
 pub use taxonomy::{JobClass, JobSpec};

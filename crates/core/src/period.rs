@@ -107,8 +107,7 @@ impl PeriodEstimator {
         self.max_fill_this_period = f64::NEG_INFINITY;
         self.have_sample = false;
 
-        let budget_us =
-            (period.as_micros() as f64 * proportion.as_fraction()).round() as u64;
+        let budget_us = (period.as_micros() as f64 * proportion.as_fraction()).round() as u64;
         let quanta = budget_us / self.config.dispatch_interval_us.max(1);
 
         let factor = self.config.adjust_factor.max(1.0 + f64::EPSILON);
@@ -120,10 +119,10 @@ impl PeriodEstimator {
             // Large oscillations: shrink the period to reduce jitter.
             next_us /= factor;
         }
-        let clamped = next_us
-            .round()
-            .clamp(self.config.min_period_us as f64, self.config.max_period_us as f64)
-            as u64;
+        let clamped = next_us.round().clamp(
+            self.config.min_period_us as f64,
+            self.config.max_period_us as f64,
+        ) as u64;
         Period::from_micros(clamped.max(1))
     }
 }

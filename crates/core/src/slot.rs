@@ -1,0 +1,288 @@
+//! Dense slot-indexed job storage.
+//!
+//! The controller's steady-state cycle iterates every managed job.  With a
+//! `BTreeMap<JobId, _>` that walk is pointer-chasing and every id lookup
+//! pays `O(log n)`; with a dense `Vec` it is a cache-friendly linear scan
+//! and a [`JobSlot`] resolves in `O(1)`.  Slots are generational so a
+//! handle left over from a removed job can never silently alias a new one:
+//! removal frees the slot index onto a free list and bumps its generation,
+//! invalidating stale handles.
+//!
+//! The same handle is shared by every layer of the system — the simulator,
+//! the wall-clock executor and the benches carry the `JobSlot` next to
+//! their own thread handle instead of re-deriving `JobId ↔ ThreadId ↔
+//! JobKey` mappings each cycle.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dense, generational handle to a job managed by the controller.
+///
+/// Obtained from [`crate::Controller::add_job`]; `O(1)` to resolve,
+/// invalidated by removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobSlot {
+    index: u32,
+    generation: u32,
+}
+
+impl JobSlot {
+    /// The dense index of this slot, usable for parallel side tables.
+    ///
+    /// Indices are reused after removal; pair with the generation (the full
+    /// `JobSlot`) when staleness matters.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The slot's generation; bumped each time the index is reused.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for JobSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot{}.{}", self.index, self.generation)
+    }
+}
+
+/// Dense storage of `T` keyed by [`JobSlot`], with a by-id index.
+///
+/// Iteration order is slot order (insertion order, with removed slots
+/// reused LIFO), not id order; [`SlotTable::ids`] provides the id-ordered
+/// view for queries that want determinism by id.
+#[derive(Debug)]
+pub struct SlotTable<Id: Ord + Copy, T> {
+    entries: Vec<Option<(Id, T)>>,
+    generations: Vec<u32>,
+    free: Vec<u32>,
+    by_id: BTreeMap<Id, JobSlot>,
+}
+
+impl<Id: Ord + Copy, T> Default for SlotTable<Id, T> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            by_id: BTreeMap::new(),
+        }
+    }
+}
+
+impl<Id: Ord + Copy, T> SlotTable<Id, T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Upper bound (exclusive) of live slot indices; the capacity side
+    /// tables indexed by [`JobSlot::index`] must have.
+    pub fn dense_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts an entry, returning its slot, or `None` if the id is taken.
+    pub fn insert(&mut self, id: Id, value: T) -> Option<JobSlot> {
+        if self.by_id.contains_key(&id) {
+            return None;
+        }
+        let slot = match self.free.pop() {
+            Some(index) => JobSlot {
+                index,
+                generation: self.generations[index as usize],
+            },
+            None => {
+                let index = u32::try_from(self.entries.len()).expect("fewer than 2^32 jobs");
+                self.entries.push(None);
+                self.generations.push(0);
+                JobSlot {
+                    index,
+                    generation: 0,
+                }
+            }
+        };
+        self.entries[slot.index()] = Some((id, value));
+        self.by_id.insert(id, slot);
+        Some(slot)
+    }
+
+    /// The slot currently assigned to `id`.
+    pub fn slot_of(&self, id: Id) -> Option<JobSlot> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// The id stored at `slot`, if the slot is live and current.
+    pub fn id_of(&self, slot: JobSlot) -> Option<Id> {
+        self.check(slot)?;
+        self.entries[slot.index()].as_ref().map(|(id, _)| *id)
+    }
+
+    fn check(&self, slot: JobSlot) -> Option<()> {
+        if self.generations.get(slot.index()) == Some(&slot.generation) {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Shared access by slot.
+    pub fn get(&self, slot: JobSlot) -> Option<&T> {
+        self.check(slot)?;
+        self.entries[slot.index()].as_ref().map(|(_, v)| v)
+    }
+
+    /// Exclusive access by slot.
+    pub fn get_mut(&mut self, slot: JobSlot) -> Option<&mut T> {
+        self.check(slot)?;
+        self.entries[slot.index()].as_mut().map(|(_, v)| v)
+    }
+
+    /// Shared access by id.
+    pub fn get_by_id(&self, id: Id) -> Option<&T> {
+        self.get(self.slot_of(id)?)
+    }
+
+    /// Exclusive access by id.
+    pub fn get_by_id_mut(&mut self, id: Id) -> Option<&mut T> {
+        self.get_mut(self.slot_of(id)?)
+    }
+
+    /// Removes the entry for `id`, freeing its slot for reuse.
+    pub fn remove(&mut self, id: Id) -> Option<(JobSlot, T)> {
+        let slot = self.by_id.remove(&id)?;
+        let (_, value) = self.entries[slot.index()]
+            .take()
+            .expect("indexed entry is live");
+        self.generations[slot.index()] = self.generations[slot.index()].wrapping_add(1);
+        self.free.push(slot.index);
+        Some((slot, value))
+    }
+
+    /// Removes the entry at `slot` if it is live and current.
+    pub fn remove_slot(&mut self, slot: JobSlot) -> Option<(Id, T)> {
+        let id = self.id_of(slot)?;
+        let (_, value) = self.remove(id)?;
+        Some((id, value))
+    }
+
+    /// Iterates live entries in slot order without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = (JobSlot, Id, &T)> {
+        self.entries.iter().enumerate().filter_map(move |(i, e)| {
+            e.as_ref().map(|(id, v)| {
+                (
+                    JobSlot {
+                        index: i as u32,
+                        generation: self.generations[i],
+                    },
+                    *id,
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Iterates live entries mutably in slot order without allocating.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (JobSlot, Id, &mut T)> {
+        let generations = &self.generations;
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, e)| {
+                e.as_mut().map(|(id, v)| {
+                    (
+                        JobSlot {
+                            index: i as u32,
+                            generation: generations[i],
+                        },
+                        *id,
+                        v,
+                    )
+                })
+            })
+    }
+
+    /// Live ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.by_id.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t: SlotTable<u64, &str> = SlotTable::new();
+        let a = t.insert(10, "a").unwrap();
+        let b = t.insert(20, "b").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get_by_id(20), Some(&"b"));
+        assert_eq!(t.slot_of(10), Some(a));
+        assert_eq!(t.id_of(b), Some(20));
+        assert_eq!(t.remove(10), Some((a, "a")));
+        assert_eq!(t.get(a), None, "stale handle must not resolve");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut t: SlotTable<u64, u8> = SlotTable::new();
+        t.insert(1, 0).unwrap();
+        assert!(t.insert(1, 1).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_with_new_generations() {
+        let mut t: SlotTable<u64, u8> = SlotTable::new();
+        let a = t.insert(1, 0).unwrap();
+        t.remove(1);
+        let b = t.insert(2, 1).unwrap();
+        assert_eq!(a.index(), b.index(), "freed slot index is reused");
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(t.get(a), None, "old generation stays dead");
+        assert_eq!(t.get(b), Some(&1));
+        assert_eq!(t.dense_len(), 1, "no dense growth on reuse");
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered_and_skips_holes() {
+        let mut t: SlotTable<u64, u8> = SlotTable::new();
+        t.insert(5, 50).unwrap();
+        t.insert(3, 30).unwrap();
+        t.insert(9, 90).unwrap();
+        t.remove(3);
+        let seen: Vec<(u64, u8)> = t.iter().map(|(_, id, v)| (id, *v)).collect();
+        assert_eq!(seen, vec![(5, 50), (9, 90)]);
+        let ids: Vec<u64> = t.ids().collect();
+        assert_eq!(ids, vec![5, 9]);
+        for (_, _, v) in t.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(t.get_by_id_mut(5), Some(&mut 51));
+    }
+
+    #[test]
+    fn remove_slot_checks_generation() {
+        let mut t: SlotTable<u64, u8> = SlotTable::new();
+        let a = t.insert(1, 0).unwrap();
+        t.remove(1);
+        t.insert(2, 1).unwrap();
+        assert!(t.remove_slot(a).is_none(), "stale slot cannot remove");
+        assert_eq!(t.len(), 1);
+    }
+}

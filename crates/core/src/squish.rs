@@ -78,6 +78,14 @@ impl SquishRequest {
     }
 }
 
+/// Reusable scratch buffers for the squish algorithms, so the controller's
+/// steady-state cycle performs no heap allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct SquishScratch {
+    grant: Vec<f64>,
+    capped: Vec<bool>,
+}
+
 /// Squishes requests by plain fair share: every request is scaled by the
 /// same factor so the total fits in `available`.
 ///
@@ -85,22 +93,34 @@ impl SquishRequest {
 /// job gets exactly its floor (the system is hopelessly oversubscribed and
 /// admission control or quality exceptions must resolve it).
 pub fn squish_fair_share(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
+    let mut out = Vec::new();
+    squish_fair_share_into(requests, available, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`squish_fair_share`]: grants are written
+/// into `out` (cleared first, capacity reused).
+pub fn squish_fair_share_into(
+    requests: &[SquishRequest],
+    available: Proportion,
+    out: &mut Vec<Proportion>,
+) {
+    out.clear();
     let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
     let avail = available.ppt() as u64;
     if total <= avail {
-        return requests.iter().map(|r| r.desired).collect();
+        out.extend(requests.iter().map(|r| r.desired));
+        return;
     }
     if total == 0 {
-        return requests.iter().map(|r| r.floor).collect();
+        out.extend(requests.iter().map(|r| r.floor));
+        return;
     }
     let scale = avail as f64 / total as f64;
-    requests
-        .iter()
-        .map(|r| {
-            let scaled = (r.desired.ppt() as f64 * scale).floor() as u32;
-            Proportion::from_ppt(scaled.max(r.floor.ppt()))
-        })
-        .collect()
+    out.extend(requests.iter().map(|r| {
+        let scaled = (r.desired.ppt() as f64 * scale).floor() as u32;
+        Proportion::from_ppt(scaled.max(r.floor.ppt()))
+    }));
 }
 
 /// Squishes requests by importance-weighted fair share (water-filling).
@@ -111,22 +131,42 @@ pub fn squish_fair_share(requests: &[SquishRequest], available: Proportion) -> V
 /// any job's request, never falls below its floor, and gives more important
 /// jobs a larger fraction of what they asked for.
 pub fn squish_weighted(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
+    let mut out = Vec::new();
+    squish_weighted_into(requests, available, &mut SquishScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`squish_weighted`]: grants are written into
+/// `out` and the water-fill working state lives in `scratch` (both cleared
+/// first, capacities reused).
+pub fn squish_weighted_into(
+    requests: &[SquishRequest],
+    available: Proportion,
+    scratch: &mut SquishScratch,
+    out: &mut Vec<Proportion>,
+) {
+    out.clear();
     let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
     let avail = available.ppt() as f64;
     if total <= available.ppt() as u64 {
-        return requests.iter().map(|r| r.desired).collect();
+        out.extend(requests.iter().map(|r| r.desired));
+        return;
     }
 
     let n = requests.len();
-    let mut grant = vec![0.0f64; n];
-    let mut capped = vec![false; n];
+    let grant = &mut scratch.grant;
+    let capped = &mut scratch.capped;
+    grant.clear();
+    grant.resize(n, 0.0);
+    capped.clear();
+    capped.resize(n, false);
     let mut remaining = avail;
 
     // Water-fill: at most n rounds.
     for _ in 0..n {
         let active_weight: f64 = requests
             .iter()
-            .zip(&capped)
+            .zip(capped.iter())
             .filter(|(_, &c)| !c)
             .map(|(r, _)| r.importance.weight())
             .sum();
@@ -158,14 +198,10 @@ pub fn squish_weighted(requests: &[SquishRequest], available: Proportion) -> Vec
         }
     }
 
-    requests
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let g = grant[i].floor() as u32;
-            Proportion::from_ppt(g.clamp(r.floor.ppt(), r.desired.ppt().max(r.floor.ppt())))
-        })
-        .collect()
+    out.extend(requests.iter().enumerate().map(|(i, r)| {
+        let g = grant[i].floor() as u32;
+        Proportion::from_ppt(g.clamp(r.floor.ppt(), r.desired.ppt().max(r.floor.ppt())))
+    }));
 }
 
 /// Applies the configured policy.
@@ -177,6 +213,21 @@ pub fn squish(
     match policy {
         SquishPolicy::FairShare => squish_fair_share(requests, available),
         SquishPolicy::WeightedFairShare => squish_weighted(requests, available),
+    }
+}
+
+/// Applies the configured policy without allocating: grants go to `out`,
+/// working state to `scratch` (capacities reused across calls).
+pub fn squish_into(
+    policy: SquishPolicy,
+    requests: &[SquishRequest],
+    available: Proportion,
+    scratch: &mut SquishScratch,
+    out: &mut Vec<Proportion>,
+) {
+    match policy {
+        SquishPolicy::FairShare => squish_fair_share_into(requests, available, out),
+        SquishPolicy::WeightedFairShare => squish_weighted_into(requests, available, scratch, out),
     }
 }
 
@@ -264,6 +315,64 @@ mod tests {
     }
 
     #[test]
+    fn weighted_with_equal_importances_degenerates_to_equal_split() {
+        // With equal weights the water-fill must match plain fair share on
+        // identical requests: no job is favoured.
+        let requests = [req_w(1000, 3.0), req_w(1000, 3.0), req_w(1000, 3.0)];
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 300);
+        assert_eq!(out[1].ppt(), 300);
+        assert_eq!(out[2].ppt(), 300);
+    }
+
+    #[test]
+    fn zero_desire_request_is_capped_at_its_floor() {
+        // A job that asks for nothing must not absorb capacity under either
+        // policy; it is held at its floor while the rest is distributed.
+        let requests = [req(0), req(1000), req(1000)];
+        for policy in [SquishPolicy::FairShare, SquishPolicy::WeightedFairShare] {
+            let out = squish(policy, &requests, Proportion::from_ppt(900));
+            assert_eq!(
+                out[0], requests[0].floor,
+                "zero-desire job held at floor under {policy:?}"
+            );
+            assert!(out[1].ppt() > 300 && out[2].ppt() > 300);
+        }
+    }
+
+    #[test]
+    fn desired_total_exactly_at_capacity_is_not_squished() {
+        let requests = [req(600), req(300)];
+        let out = squish_fair_share(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 600);
+        assert_eq!(out[1].ppt(), 300);
+        let out = squish_weighted(&requests, Proportion::from_ppt(900));
+        assert_eq!(out[0].ppt(), 600);
+        assert_eq!(out[1].ppt(), 300);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_the_allocating_api() {
+        let requests = [req_w(700, 2.0), req_w(600, 1.0), req_w(100, 1.0)];
+        let available = Proportion::from_ppt(800);
+        let mut scratch = SquishScratch::default();
+        let mut out = Vec::new();
+        for policy in [SquishPolicy::FairShare, SquishPolicy::WeightedFairShare] {
+            squish_into(policy, &requests, available, &mut scratch, &mut out);
+            assert_eq!(out, squish(policy, &requests, available));
+        }
+        let cap = out.capacity();
+        squish_into(
+            SquishPolicy::WeightedFairShare,
+            &requests,
+            available,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.capacity(), cap, "buffers are reused, not reallocated");
+    }
+
+    #[test]
     fn empty_request_list() {
         assert!(squish_fair_share(&[], Proportion::from_ppt(500)).is_empty());
         assert!(squish_weighted(&[], Proportion::from_ppt(500)).is_empty());
@@ -279,7 +388,11 @@ mod tests {
     #[test]
     fn policy_dispatcher() {
         let requests = [req(600), req(600)];
-        let a = squish(SquishPolicy::FairShare, &requests, Proportion::from_ppt(600));
+        let a = squish(
+            SquishPolicy::FairShare,
+            &requests,
+            Proportion::from_ppt(600),
+        );
         let b = squish(
             SquishPolicy::WeightedFairShare,
             &requests,
@@ -288,7 +401,7 @@ mod tests {
         assert_eq!(a[0].ppt() + a[1].ppt(), 600);
         // Weighted water-fill may round down each grant by at most 1 ‰.
         let total_b = b[0].ppt() + b[1].ppt();
-        assert!(total_b >= 598 && total_b <= 600);
+        assert!((598..=600).contains(&total_b));
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
             JobClass::AperiodicRealTime
         );
         assert_eq!(JobSpec::real_rate().classify(), JobClass::RealRate);
-        assert_eq!(
-            JobSpec::miscellaneous().classify(),
-            JobClass::Miscellaneous
-        );
+        assert_eq!(JobSpec::miscellaneous().classify(), JobClass::Miscellaneous);
     }
 
     #[test]

@@ -274,10 +274,11 @@ mod tests {
         let high_phase_start = 2.0 + (4.0 + 2.0) + (2.0 + 2.0) + (1.0 + 2.0);
         let mut t = high_phase_start;
         while t < high_phase_start + 15.0 {
-            match p.value(t) {
-                v if v == 100.0 => saw_high = true,
-                v if v == 50.0 => saw_low = true,
-                _ => {}
+            let v = p.value(t);
+            if v == 100.0 {
+                saw_high = true;
+            } else if v == 50.0 {
+                saw_low = true;
             }
             t += 0.1;
         }

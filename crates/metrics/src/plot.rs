@@ -89,9 +89,9 @@ pub fn ascii_plot(series: &TimeSeries, config: PlotConfig) -> String {
         // Connect vertically to the previous column for readability.
         if let Some(prev) = last_row {
             let (lo, hi) = if prev < row { (prev, row) } else { (row, prev) };
-            for r in lo..=hi {
-                if grid[r][col] == ' ' {
-                    grid[r][col] = '|';
+            for grid_row in &mut grid[lo..=hi] {
+                if grid_row[col] == ' ' {
+                    grid_row[col] = '|';
                 }
             }
         }

@@ -207,9 +207,8 @@ impl OnlineStats {
         let total = (self.count + other.count) as f64;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total;
-        let new_m2 = self.m2
-            + other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total;
+        let new_m2 =
+            self.m2 + other.m2 + delta * delta * self.count as f64 * other.count as f64 / total;
         self.count += other.count;
         self.mean = new_mean;
         self.m2 = new_m2;

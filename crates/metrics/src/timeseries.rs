@@ -193,7 +193,10 @@ impl TimeSeries {
         let n = self.len().min(other.len());
         let mut out = TimeSeries::with_capacity(format!("{}-{}", self.name, other.name), n);
         for i in 0..n {
-            out.push(self.samples[i].time, self.samples[i].value - other.samples[i].value);
+            out.push(
+                self.samples[i].time,
+                self.samples[i].value - other.samples[i].value,
+            );
         }
         out
     }

@@ -270,10 +270,7 @@ mod tests {
     fn push_timeout_times_out_when_full() {
         let buf = BoundedBuffer::new("q", 1);
         buf.try_push(1).unwrap();
-        assert_eq!(
-            buf.push_timeout(2, Duration::from_millis(10)),
-            Err(Full(2))
-        );
+        assert_eq!(buf.push_timeout(2, Duration::from_millis(10)), Err(Full(2)));
     }
 
     #[test]

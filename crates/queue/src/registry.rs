@@ -6,6 +6,10 @@
 //! queue (producer or consumer)" (§3.2).  `MetricRegistry` plays the role of
 //! that kernel-side table: jobs register attachments, the controller
 //! enumerates and samples them every controller period.
+//!
+//! Attachments are stored bucketed by job so the controller's sense stage
+//! can sample one job's metrics in `O(log jobs + attachments-of-job)` and —
+//! via [`MetricRegistry::for_each_attachment`] — without allocating.
 
 use crate::metric::{FillSample, SharedMetric};
 use crate::role::Role;
@@ -87,7 +91,15 @@ pub struct MetricRegistry {
 #[derive(Default)]
 struct RegistryInner {
     next_id: AtomicU64,
-    table: RwLock<BTreeMap<AttachmentId, Attachment>>,
+    table: RwLock<Buckets>,
+}
+
+/// Attachments bucketed by owning job, plus an id → job index so
+/// [`MetricRegistry::unregister`] stays cheap.
+#[derive(Default)]
+struct Buckets {
+    by_job: BTreeMap<JobKey, Vec<Attachment>>,
+    owner_of: BTreeMap<AttachmentId, JobKey>,
 }
 
 impl MetricRegistry {
@@ -105,69 +117,102 @@ impl MetricRegistry {
             role,
             metric,
         };
-        self.inner.table.write().insert(id, attachment);
+        let mut table = self.inner.table.write();
+        table.by_job.entry(job).or_default().push(attachment);
+        table.owner_of.insert(id, job);
         id
     }
 
     /// Removes an attachment; returns `true` if it existed.
     pub fn unregister(&self, id: AttachmentId) -> bool {
-        self.inner.table.write().remove(&id).is_some()
+        let mut table = self.inner.table.write();
+        let Some(job) = table.owner_of.remove(&id) else {
+            return false;
+        };
+        if let Some(bucket) = table.by_job.get_mut(&job) {
+            bucket.retain(|a| a.id != id);
+            if bucket.is_empty() {
+                table.by_job.remove(&job);
+            }
+        }
+        true
     }
 
     /// Removes every attachment belonging to `job` and returns how many were
     /// removed.  Called when a job exits.
     pub fn unregister_job(&self, job: JobKey) -> usize {
         let mut table = self.inner.table.write();
-        let ids: Vec<AttachmentId> = table
-            .values()
-            .filter(|a| a.job == job)
-            .map(|a| a.id)
-            .collect();
-        for id in &ids {
-            table.remove(id);
+        let Some(bucket) = table.by_job.remove(&job) else {
+            return 0;
+        };
+        for a in &bucket {
+            table.owner_of.remove(&a.id);
         }
-        ids.len()
+        bucket.len()
     }
 
     /// Returns all attachments for the given job.
+    ///
+    /// Allocates a fresh `Vec`; the controller's hot path uses
+    /// [`MetricRegistry::for_each_attachment`] instead.
     pub fn attachments_for(&self, job: JobKey) -> Vec<Attachment> {
         self.inner
             .table
             .read()
+            .by_job
+            .get(&job)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Visits every attachment of `job` without allocating.
+    ///
+    /// The registry's read lock is held for the duration of the call; do not
+    /// register or unregister from inside `f`.
+    pub fn for_each_attachment(&self, job: JobKey, mut f: impl FnMut(&Attachment)) {
+        if let Some(bucket) = self.inner.table.read().by_job.get(&job) {
+            for a in bucket {
+                f(a);
+            }
+        }
+    }
+
+    /// Returns `true` if `job` has at least one registered attachment —
+    /// the "progress metric visible" input to the Figure 2 taxonomy.
+    pub fn has_attachments(&self, job: JobKey) -> bool {
+        self.inner.table.read().by_job.contains_key(&job)
+    }
+
+    /// Returns every registered attachment, ordered by job then
+    /// registration order.
+    pub fn all_attachments(&self) -> Vec<Attachment> {
+        self.inner
+            .table
+            .read()
+            .by_job
             .values()
-            .filter(|a| a.job == job)
+            .flatten()
             .cloned()
             .collect()
     }
 
-    /// Returns every registered attachment.
-    pub fn all_attachments(&self) -> Vec<Attachment> {
-        self.inner.table.read().values().cloned().collect()
-    }
-
     /// Returns the distinct jobs that currently have attachments.
     pub fn jobs(&self) -> Vec<JobKey> {
-        let table = self.inner.table.read();
-        let mut jobs: Vec<JobKey> = table.values().map(|a| a.job).collect();
-        jobs.sort();
-        jobs.dedup();
-        jobs
+        self.inner.table.read().by_job.keys().copied().collect()
     }
 
     /// Returns the summed signed pressure `Σ_i R_{t,i} · F_{t,i}` for `job`,
     /// or `None` if the job has no attachments (i.e. no progress metric).
+    /// Does not allocate.
     pub fn summed_pressure(&self, job: JobKey) -> Option<f64> {
-        let attachments = self.attachments_for(job);
-        if attachments.is_empty() {
-            None
-        } else {
-            Some(attachments.iter().map(Attachment::signed_pressure).sum())
-        }
+        let table = self.inner.table.read();
+        let bucket = table.by_job.get(&job)?;
+        Some(bucket.iter().map(Attachment::signed_pressure).sum())
     }
 
     /// Number of registered attachments.
     pub fn len(&self) -> usize {
-        self.inner.table.read().len()
+        self.inner.table.read().owner_of.len()
     }
 
     /// Returns `true` if nothing is registered.
@@ -204,6 +249,8 @@ mod tests {
         assert_eq!(reg.jobs(), vec![JobKey(1), JobKey(2)]);
         assert_eq!(reg.attachments_for(JobKey(1)).len(), 1);
         assert_eq!(reg.attachments_for(JobKey(3)).len(), 0);
+        assert!(reg.has_attachments(JobKey(1)));
+        assert!(!reg.has_attachments(JobKey(3)));
     }
 
     #[test]
@@ -218,6 +265,7 @@ mod tests {
         assert_eq!(reg.unregister_job(JobKey(1)), 1);
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
+        assert!(!reg.has_attachments(JobKey(1)));
     }
 
     #[test]
@@ -260,6 +308,23 @@ mod tests {
     fn job_without_metrics_has_no_pressure() {
         let reg = MetricRegistry::new();
         assert_eq!(reg.summed_pressure(JobKey(9)), None);
+    }
+
+    #[test]
+    fn for_each_attachment_visits_only_the_given_job() {
+        let reg = MetricRegistry::new();
+        let q = buffer(4);
+        reg.register(JobKey(1), Role::Producer, q.clone());
+        reg.register(JobKey(1), Role::Consumer, q.clone());
+        reg.register(JobKey(2), Role::Consumer, q);
+        let mut visited = 0;
+        reg.for_each_attachment(JobKey(1), |a| {
+            assert_eq!(a.job, JobKey(1));
+            visited += 1;
+        });
+        assert_eq!(visited, 2);
+        reg.for_each_attachment(JobKey(9), |_| visited += 100);
+        assert_eq!(visited, 2);
     }
 
     #[test]

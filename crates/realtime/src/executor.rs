@@ -2,7 +2,7 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSpec, UsageSnapshot};
+use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSlot, JobSpec, UsageSnapshot};
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{Dispatcher, DispatcherConfig, Reservation, ThreadClass, ThreadId};
 use std::collections::BTreeMap;
@@ -24,22 +24,13 @@ pub enum StepOutcome {
 }
 
 /// Executor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExecutorConfig {
     /// Dispatcher configuration (dispatch interval is interpreted in real
     /// microseconds).
     pub dispatcher: DispatcherConfig,
     /// Controller configuration.
     pub controller: ControllerConfig,
-}
-
-impl Default for ExecutorConfig {
-    fn default() -> Self {
-        Self {
-            dispatcher: DispatcherConfig::default(),
-            controller: ControllerConfig::default(),
-        }
-    }
 }
 
 /// Handle to a task registered with the executor.
@@ -49,6 +40,8 @@ pub struct TaskHandle {
     pub job: JobId,
     /// Scheduler-side thread id.
     pub thread: ThreadId,
+    /// The controller's dense slot handle, shared by every layer.
+    pub slot: JobSlot,
 }
 
 enum WorkerMessage {
@@ -65,7 +58,7 @@ struct WorkerReport {
 }
 
 struct TaskSlot {
-    job: JobId,
+    slot: JobSlot,
     to_worker: Sender<WorkerMessage>,
     join: Option<JoinHandle<()>>,
     blocked: bool,
@@ -99,6 +92,9 @@ pub struct RealTimeExecutor {
     dispatcher: Dispatcher,
     controller: Controller,
     tasks: BTreeMap<ThreadId, TaskSlot>,
+    /// Slot-indexed map back to the dispatcher's thread id, so actuations
+    /// apply without re-deriving `JobId ↔ ThreadId`.
+    slot_threads: Vec<Option<ThreadId>>,
     reports: (Sender<WorkerReport>, Receiver<WorkerReport>),
     next_id: u64,
     start: Instant,
@@ -115,6 +111,7 @@ impl RealTimeExecutor {
             registry,
             config,
             tasks: BTreeMap::new(),
+            slot_threads: Vec::new(),
             reports: bounded(64),
             next_id: 1,
             start: Instant::now(),
@@ -180,9 +177,14 @@ impl RealTimeExecutor {
         self.next_id += 1;
         let job = JobId(raw);
         let thread = ThreadId(raw);
-        self.controller
+        let slot = self
+            .controller
             .add_job_with_importance(job, spec, importance)
             .expect("admission rejected: reduce the requested reservation");
+        if self.slot_threads.len() <= slot.index() {
+            self.slot_threads.resize(slot.index() + 1, None);
+        }
+        self.slot_threads[slot.index()] = Some(thread);
 
         let initial = Reservation::new(
             spec.proportion
@@ -239,14 +241,14 @@ impl RealTimeExecutor {
         self.tasks.insert(
             thread,
             TaskSlot {
-                job,
+                slot,
                 to_worker,
                 join: Some(join),
                 blocked: false,
                 done: false,
             },
         );
-        TaskHandle { job, thread }
+        TaskHandle { job, thread, slot }
     }
 
     fn now_us(&self) -> u64 {
@@ -256,8 +258,7 @@ impl RealTimeExecutor {
     /// Runs the scheduling loop for the given wall-clock duration.
     pub fn run_for(&mut self, duration: Duration) {
         let deadline = Instant::now() + duration;
-        let controller_period =
-            Duration::from_secs_f64(self.config.controller.controller_period_s);
+        let controller_period = Duration::from_secs_f64(self.config.controller.controller_period_s);
         let mut next_controller = Instant::now() + controller_period;
 
         while Instant::now() < deadline {
@@ -294,9 +295,7 @@ impl RealTimeExecutor {
                     }
                 }
                 None => {
-                    std::thread::sleep(Duration::from_micros(
-                        outcome.quantum_us.min(1_000).max(100),
-                    ));
+                    std::thread::sleep(Duration::from_micros(outcome.quantum_us.clamp(100, 1_000)));
                 }
             }
         }
@@ -320,11 +319,12 @@ impl RealTimeExecutor {
     }
 
     fn run_controller(&mut self) {
-        let mut usage = BTreeMap::new();
-        for (tid, slot) in &self.tasks {
-            if let Some(acct) = self.dispatcher.usage(*tid) {
-                usage.insert(
-                    slot.job,
+        // Feed the dispatcher's accounting to the controller by slot, then
+        // run the staged pipeline in place — no per-cycle allocation.
+        for (tid, task) in &self.tasks {
+            if let Some(acct) = self.dispatcher.usage_ref(*tid) {
+                self.controller.record_usage(
+                    task.slot,
                     UsageSnapshot {
                         usage_ratio: acct.last_period_usage_ratio(),
                     },
@@ -332,11 +332,11 @@ impl RealTimeExecutor {
             }
         }
         let now_s = self.start.elapsed().as_secs_f64();
-        let out = self.controller.control_cycle(now_s, &usage);
+        let out = self.controller.control_cycle_in_place(now_s);
         for actuation in &out.actuations {
-            let _ = self
-                .dispatcher
-                .set_reservation(ThreadId(actuation.job.0), actuation.reservation);
+            if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
+                let _ = self.dispatcher.set_reservation(*tid, actuation.reservation);
+            }
         }
     }
 

@@ -59,8 +59,14 @@ impl UsageAccount {
     }
 
     /// Returns `true` when the thread has exhausted its budget.
+    ///
+    /// A zero budget counts as exhausted as soon as any CPU is consumed:
+    /// an explicit zero-proportion reservation grants nothing, so the
+    /// thread must throttle after its first (minimal) quantum instead of
+    /// winning every rate-monotonic dispatch for free.  Best-effort
+    /// threads are governed by their time slice, not this check.
     pub fn exhausted(&self) -> bool {
-        self.budget_us > 0 && self.used_this_period_us >= self.budget_us
+        self.used_this_period_us >= self.budget_us && self.used_this_period_us > 0
     }
 
     /// Marks that the thread was runnable at some point this period.
@@ -149,10 +155,15 @@ mod tests {
     }
 
     #[test]
-    fn zero_budget_is_never_exhausted() {
-        // A zero budget means "no reservation yet", not "already exhausted".
-        let a = UsageAccount::new(0, 0);
+    fn zero_budget_exhausts_on_first_use() {
+        // A fresh zero-budget account is dispatchable (so a newly reserved
+        // or best-effort thread is not born throttled)...
+        let mut a = UsageAccount::new(0, 0);
         assert!(!a.exhausted());
+        // ...but a zero-proportion reservation grants nothing: the first
+        // consumed microsecond exhausts it.
+        a.charge(1);
+        assert!(a.exhausted());
     }
 
     #[test]

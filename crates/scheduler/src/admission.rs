@@ -68,11 +68,7 @@ impl AdmissionControl {
 
     /// Tests whether a new reservation of `requested` can be admitted given
     /// the `existing` total; returns the headroom error on rejection.
-    pub fn try_admit(
-        &self,
-        existing: Proportion,
-        requested: Proportion,
-    ) -> Result<(), SchedError> {
+    pub fn try_admit(&self, existing: Proportion, requested: Proportion) -> Result<(), SchedError> {
         let available = self.available(existing);
         if requested.ppt() <= available.ppt() {
             Ok(())

@@ -301,6 +301,21 @@ impl Dispatcher {
         self.threads.get(&id).map(|t| t.account)
     }
 
+    /// Borrows a thread's usage account without copying — the controller's
+    /// per-cycle accounting read.
+    pub fn usage_ref(&self, id: ThreadId) -> Option<&UsageAccount> {
+        self.threads.get(&id).map(|t| &t.account)
+    }
+
+    /// Visits every thread's usage account in one pass without allocating.
+    /// Drives the controller's usage feedback in the simulator and the
+    /// wall-clock executor.
+    pub fn for_each_usage(&self, mut f: impl FnMut(ThreadId, &UsageAccount)) {
+        for (&id, t) in &self.threads {
+            f(id, &t.account);
+        }
+    }
+
     /// Marks a thread as blocked (waiting on I/O or a queue).
     pub fn block(&mut self, id: ThreadId) -> Result<(), SchedError> {
         let entry = self
@@ -747,6 +762,24 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.dispatches, 10);
         assert!(stats.overhead_us >= 10.0 * 5.0);
+    }
+
+    #[test]
+    fn usage_views_agree() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(300, 10)).unwrap();
+        d.add_thread(ThreadId(2), reserved(200, 10)).unwrap();
+        for _ in 0..5 {
+            d.run_quantum();
+        }
+        let mut visited = 0;
+        d.for_each_usage(|id, acct| {
+            visited += 1;
+            assert_eq!(d.usage(id).unwrap().total_used_us, acct.total_used_us);
+            assert_eq!(d.usage_ref(id).unwrap().total_used_us, acct.total_used_us);
+        });
+        assert_eq!(visited, 2);
+        assert!(d.usage_ref(ThreadId(9)).is_none());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod types;
 
 pub use accounting::UsageAccount;
 pub use admission::AdmissionControl;
-pub use dispatcher::{Dispatcher, DispatcherConfig, DispatchOutcome, DispatchStats, ThreadClass};
+pub use dispatcher::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, ThreadClass};
 pub use error::SchedError;
 pub use reservation::Reservation;
 pub use types::{Period, Proportion, ThreadId, ThreadState};

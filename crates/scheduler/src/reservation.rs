@@ -94,7 +94,12 @@ mod tests {
     #[test]
     fn with_modifiers() {
         let r = Reservation::with_default_period(Proportion::from_ppt(100));
-        assert_eq!(r.with_proportion(Proportion::from_ppt(200)).proportion.ppt(), 200);
+        assert_eq!(
+            r.with_proportion(Proportion::from_ppt(200))
+                .proportion
+                .ppt(),
+            200
+        );
         assert_eq!(r.with_period(Period::from_millis(5)).period.as_millis(), 5);
     }
 

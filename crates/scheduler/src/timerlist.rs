@@ -50,7 +50,7 @@ impl TimerList {
     /// order.  Constant-time when nothing has expired, which is the common
     /// case the paper optimises for.
     pub fn pop_expired(&mut self, now_us: u64) -> Vec<ThreadId> {
-        if self.next_expiry().map_or(true, |t| t > now_us) {
+        if self.next_expiry().is_none_or(|t| t > now_us) {
             return Vec::new();
         }
         let mut expired = Vec::new();
@@ -153,7 +153,7 @@ mod tests {
             let should_expire = expected.iter().filter(|(_, &e)| e <= cutoff).count();
             prop_assert_eq!(expired.len(), should_expire);
             // Remaining timers are all after the cutoff.
-            prop_assert!(tl.next_expiry().map_or(true, |t| t > cutoff));
+            prop_assert!(tl.next_expiry().is_none_or(|t| t > cutoff));
         }
     }
 }

@@ -101,9 +101,7 @@ impl std::fmt::Display for Proportion {
 ///
 /// Periods are stored in microseconds so that sub-millisecond dispatch
 /// intervals (Figure 8 sweeps down to 100 µs) can be represented exactly.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Period(u64);
 
 impl Period {
@@ -154,7 +152,7 @@ impl Default for Period {
 
 impl std::fmt::Display for Period {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.0 % 1000 == 0 {
+        if self.0.is_multiple_of(1000) {
             write!(f, "{}ms", self.0 / 1000)
         } else {
             write!(f, "{}us", self.0)

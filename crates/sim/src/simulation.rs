@@ -4,7 +4,7 @@ use crate::trace::Trace;
 use crate::workload::WorkModel;
 use rrs_core::{
     controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobId,
-    JobSpec, UsageSnapshot,
+    JobSlot, JobSpec, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
@@ -71,6 +71,8 @@ pub struct JobHandle {
     pub job: JobId,
     /// The scheduler-side thread id (same raw value).
     pub thread: ThreadId,
+    /// The controller's dense slot handle, shared by every layer.
+    pub slot: JobSlot,
 }
 
 /// Aggregate statistics for a simulation run.
@@ -92,7 +94,7 @@ pub struct SimStats {
 
 struct SimThread {
     name: String,
-    job: JobId,
+    slot: JobSlot,
     work: Box<dyn WorkModel>,
     blocked: bool,
     last_progress: f64,
@@ -124,6 +126,9 @@ pub struct Simulation {
     dispatcher: Dispatcher,
     controller: Controller,
     threads: BTreeMap<ThreadId, SimThread>,
+    /// Slot-indexed map back to the dispatcher's thread id, so actuations
+    /// apply without re-deriving `JobId ↔ ThreadId`.
+    slot_threads: Vec<Option<ThreadId>>,
     next_id: u64,
     now_us: u64,
     next_controller_us: u64,
@@ -146,6 +151,7 @@ impl Simulation {
             dispatcher,
             controller,
             threads: BTreeMap::new(),
+            slot_threads: Vec::new(),
             next_id: 1,
             now_us: 0,
             next_controller_us: controller_period_us.max(1),
@@ -217,13 +223,23 @@ impl Simulation {
         let job = JobId(raw);
         let thread = ThreadId(raw);
 
-        if let Err(e) = self.controller.add_job_with_importance(job, spec, importance) {
-            if matches!(e, AdmitError::Rejected { .. }) {
-                self.stats.admission_rejections += 1;
+        let slot = match self
+            .controller
+            .add_job_with_importance(job, spec, importance)
+        {
+            Ok(slot) => slot,
+            Err(e) => {
+                if matches!(e, AdmitError::Rejected { .. }) {
+                    self.stats.admission_rejections += 1;
+                }
+                return Err(e);
             }
-            return Err(e);
-        }
+        };
         self.next_id += 1;
+        if self.slot_threads.len() <= slot.index() {
+            self.slot_threads.resize(slot.index() + 1, None);
+        }
+        self.slot_threads[slot.index()] = Some(thread);
 
         let initial = Reservation::new(
             spec.proportion
@@ -236,10 +252,7 @@ impl Simulation {
         self.dispatcher
             .add_thread(
                 thread,
-                ThreadClass::Reserved(Reservation::new(
-                    Proportion::MIN_NONZERO,
-                    initial.period,
-                )),
+                ThreadClass::Reserved(Reservation::new(Proportion::MIN_NONZERO, initial.period)),
             )
             .expect("fresh thread id cannot clash");
         self.dispatcher
@@ -250,20 +263,24 @@ impl Simulation {
             thread,
             SimThread {
                 name: name.to_string(),
-                job,
+                slot,
                 work,
                 blocked: false,
                 last_progress: 0.0,
             },
         );
-        Ok(JobHandle { job, thread })
+        Ok(JobHandle { job, thread, slot })
     }
 
     /// Removes a job from the simulation.
     pub fn remove_job(&mut self, handle: JobHandle) {
         self.threads.remove(&handle.thread);
         let _ = self.dispatcher.remove_thread(handle.thread);
-        self.controller.remove_job(handle.job);
+        if self.controller.remove_slot(handle.slot) {
+            if let Some(entry) = self.slot_threads.get_mut(handle.slot.index()) {
+                *entry = None;
+            }
+        }
     }
 
     /// The proportion currently reserved for a job, in parts per thousand.
@@ -301,8 +318,9 @@ impl Simulation {
         // Controller invocation.
         if self.config.controller_enabled && self.now_us >= self.next_controller_us {
             self.run_controller();
-            let period_us =
-                (self.config.controller.controller_period_s * 1e6).round().max(1.0) as u64;
+            let period_us = (self.config.controller.controller_period_s * 1e6)
+                .round()
+                .max(1.0) as u64;
             while self.next_controller_us <= self.now_us {
                 self.next_controller_us += period_us;
             }
@@ -327,7 +345,10 @@ impl Simulation {
             Some(tid) => {
                 let cpu_hz = self.config.cpu.clock_hz;
                 let now = self.now_us;
-                let entry = self.threads.get_mut(&tid).expect("dispatched thread exists");
+                let entry = self
+                    .threads
+                    .get_mut(&tid)
+                    .expect("dispatched thread exists");
                 let result = entry.work.run(now, outcome.quantum_us, cpu_hz);
                 let used = result.used_us.min(outcome.quantum_us);
                 self.dispatcher
@@ -363,11 +384,12 @@ impl Simulation {
     }
 
     fn run_controller(&mut self) {
-        let mut usage = BTreeMap::new();
+        // Feed the dispatcher's accounting to the controller by slot, then
+        // run the staged pipeline in place — no per-cycle allocation.
         for (tid, thread) in &self.threads {
-            if let Some(acct) = self.dispatcher.usage(*tid) {
-                usage.insert(
-                    thread.job,
+            if let Some(acct) = self.dispatcher.usage_ref(*tid) {
+                self.controller.record_usage(
+                    thread.slot,
                     UsageSnapshot {
                         usage_ratio: acct.last_period_usage_ratio(),
                     },
@@ -375,7 +397,7 @@ impl Simulation {
             }
         }
         let now_s = self.now_seconds();
-        let out = self.controller.control_cycle(now_s, &usage);
+        let out = self.controller.control_cycle_in_place(now_s);
         self.stats.controller_invocations += 1;
         self.stats.controller_cost_us += out.cost_us;
         for event in &out.events {
@@ -386,8 +408,9 @@ impl Simulation {
             }
         }
         for actuation in &out.actuations {
-            let tid = ThreadId(actuation.job.0);
-            let _ = self.dispatcher.set_reservation(tid, actuation.reservation);
+            if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
+                let _ = self.dispatcher.set_reservation(*tid, actuation.reservation);
+            }
         }
         if self.config.charge_controller_cost {
             self.now_us += out.cost_us.round() as u64;
@@ -409,8 +432,11 @@ impl Simulation {
         let interval = self.config.trace_interval_s.max(1e-9);
         for (tid, thread) in &mut self.threads {
             if let Some(r) = self.dispatcher.reservation(*tid) {
-                self.trace
-                    .record(&format!("alloc/{}", thread.name), t, r.proportion.ppt() as f64);
+                self.trace.record(
+                    &format!("alloc/{}", thread.name),
+                    t,
+                    r.proportion.ppt() as f64,
+                );
                 self.trace.record(
                     &format!("period/{}", thread.name),
                     t,
@@ -420,8 +446,7 @@ impl Simulation {
             if let Some(progress) = thread.work.progress_counter() {
                 let rate = (progress - thread.last_progress) / interval;
                 thread.last_progress = progress;
-                self.trace
-                    .record(&format!("rate/{}", thread.name), t, rate);
+                self.trace.record(&format!("rate/{}", thread.name), t, rate);
             }
         }
         // Queue fill levels (deduplicated by metric name).
@@ -500,7 +525,9 @@ mod tests {
     #[test]
     fn misc_job_alone_gets_most_of_the_cpu() {
         let mut sim = Simulation::new(SimConfig::default());
-        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let h = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.run_for(5.0);
         let alloc = sim.current_allocation_ppt(h);
         assert!(alloc > 500, "allocation grew to {alloc}");
@@ -511,8 +538,12 @@ mod tests {
     #[test]
     fn two_equal_misc_jobs_share_the_cpu() {
         let mut sim = Simulation::new(SimConfig::default());
-        let a = sim.add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
-        let b = sim.add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let a = sim
+            .add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let b = sim
+            .add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.run_for(10.0);
         let ua = sim.cpu_used_us(a) as f64;
         let ub = sim.cpu_used_us(b) as f64;
@@ -533,7 +564,9 @@ mod tests {
                 Box::new(Spin::new()),
             )
             .unwrap();
-        let _hog = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let _hog = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.run_for(5.0);
         let fraction = sim.cpu_used_us(rt) as f64 / sim.now_micros() as f64;
         assert!(
@@ -567,7 +600,9 @@ mod tests {
             ..SimConfig::default()
         };
         let mut sim = Simulation::new(config);
-        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let h = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.force_reservation(h, Proportion::from_ppt(123), Period::from_millis(10));
         sim.run_for(2.0);
         assert_eq!(sim.current_allocation_ppt(h), 123);
@@ -580,8 +615,12 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..5 {
             handles.push(
-                sim.add_job(&format!("dummy{i}"), JobSpec::miscellaneous(), Box::new(Dummy))
-                    .unwrap(),
+                sim.add_job(
+                    &format!("dummy{i}"),
+                    JobSpec::miscellaneous(),
+                    Box::new(Dummy),
+                )
+                .unwrap(),
             );
         }
         sim.run_for(2.0);
@@ -614,7 +653,8 @@ mod tests {
     #[test]
     fn trace_records_allocation_and_rate_series() {
         let mut sim = Simulation::new(SimConfig::default());
-        sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.run_for(1.0);
         let trace = sim.trace();
         assert!(trace.get("alloc/hog").is_some());
@@ -628,7 +668,9 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::default());
         let registry = sim.registry();
         let queue = Arc::new(rrs_queue::BoundedBuffer::<u8>::new("pipeline-q", 8));
-        let h = sim.add_job("consumer", JobSpec::real_rate(), Box::new(Spin::new())).unwrap();
+        let h = sim
+            .add_job("consumer", JobSpec::real_rate(), Box::new(Spin::new()))
+            .unwrap();
         registry.register(JobKey(h.job.0), Role::Consumer, queue);
         sim.run_for(1.0);
         assert!(sim.trace().get("fill/pipeline-q").is_some());
@@ -646,7 +688,9 @@ mod tests {
                 ..SimConfig::default()
             };
             let mut sim = Simulation::new(config);
-            let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+            let h = sim
+                .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+                .unwrap();
             sim.force_reservation(h, Proportion::from_ppt(1000), Period::from_millis(10));
             sim.run_for(2.0);
             sim.cpu_used_us(h) as f64 / sim.now_micros() as f64
@@ -663,7 +707,9 @@ mod tests {
     #[test]
     fn removing_a_job_stops_scheduling_it() {
         let mut sim = Simulation::new(SimConfig::default());
-        let h = sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new())).unwrap();
+        let h = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
         sim.run_for(0.5);
         let used_before = sim.cpu_used_us(h);
         assert!(used_before > 0);

@@ -81,7 +81,8 @@ impl Bencher {
             for _ in 0..self.iters_per_batch {
                 black_box(routine());
             }
-            self.batches.push(t0.elapsed() / self.iters_per_batch as u32);
+            self.batches
+                .push(t0.elapsed() / self.iters_per_batch as u32);
         }
     }
 

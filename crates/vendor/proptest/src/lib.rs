@@ -29,7 +29,10 @@ impl TestRng {
         for b in name.bytes() {
             seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
         }
-        Self { state: seed, case: 0 }
+        Self {
+            state: seed,
+            case: 0,
+        }
     }
 
     /// Advances and returns 64 pseudo-random bits (splitmix64).
@@ -53,8 +56,8 @@ impl TestRng {
             0 => Some(false),
             1 => Some(true),
             _ => {
-                if self.next_u64() % 16 == 0 {
-                    Some(self.next_u64() % 2 == 0)
+                if self.next_u64().is_multiple_of(16) {
+                    Some(self.next_u64().is_multiple_of(2))
                 } else {
                     None
                 }
@@ -189,7 +192,7 @@ pub mod bool {
     impl Strategy for Any {
         type Value = bool;
         fn sample(&self, rng: &mut TestRng) -> bool {
-            rng.next_u64() % 2 == 0
+            rng.next_u64().is_multiple_of(2)
         }
     }
 }

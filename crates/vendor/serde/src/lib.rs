@@ -60,9 +60,7 @@ impl Number {
         match self {
             Number::U(u) => Some(u),
             Number::I(i) if i >= 0 => Some(i as u64),
-            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }
     }

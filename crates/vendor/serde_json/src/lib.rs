@@ -67,19 +67,22 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Bool(false) => out.push_str("false"),
         Value::Num(n) => write_number(out, *n),
         Value::Str(s) => write_string(out, s),
-        Value::Arr(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, i, d| {
-            write_value(o, x, i, d)
-        }),
-        Value::Obj(entries) => {
-            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, x), i, d| {
+        Value::Arr(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), write_value),
+        Value::Obj(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), i, d| {
                 write_string(o, k);
                 o.push(':');
                 if i.is_some() {
                     o.push(' ');
                 }
                 write_value(o, x, i, d);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -99,7 +102,7 @@ fn write_seq<I, F>(
     for (i, item) in items.enumerate() {
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
         }
         write_item(out, item, indent, depth + 1);
         if i + 1 < n {
@@ -109,7 +112,7 @@ fn write_seq<I, F>(
     if n > 0 {
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * depth));
+            out.extend(std::iter::repeat_n(' ', step * depth));
         }
     }
     out.push(brackets.1);

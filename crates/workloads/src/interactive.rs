@@ -105,8 +105,8 @@ impl WorkModel for InteractiveJob {
 
     fn poll_unblock(&mut self, now_us: u64) -> bool {
         self.pending_keystroke_arrival_us.is_some()
-            || (self.next_keystroke_us != 0 && now_us + 1 >= self.next_keystroke_us)
             || self.next_keystroke_us == 0
+            || now_us + 1 >= self.next_keystroke_us
     }
 
     fn progress_counter(&self) -> Option<f64> {
@@ -128,8 +128,12 @@ mod tests {
     #[test]
     fn typist_keystrokes_are_handled() {
         let mut sim = Simulation::new(SimConfig::default());
-        sim.add_job("editor", JobSpec::miscellaneous(), Box::new(InteractiveJob::typist()))
-            .unwrap();
+        sim.add_job(
+            "editor",
+            JobSpec::miscellaneous(),
+            Box::new(InteractiveJob::typist()),
+        )
+        .unwrap();
         sim.run_for(10.0);
         let handled = sim
             .trace()
@@ -161,7 +165,10 @@ mod tests {
             .unwrap()
             .window_mean(5.0, 10.0)
             .unwrap();
-        assert!(handled > 2.0, "editor starved next to hog: {handled} keystrokes/s");
+        assert!(
+            handled > 2.0,
+            "editor starved next to hog: {handled} keystrokes/s"
+        );
     }
 
     #[test]

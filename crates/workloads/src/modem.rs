@@ -197,11 +197,19 @@ mod tests {
         let (_handle, stats) =
             SoftwareModem::install_with_reservation(&mut sim, ModemConfig::default(), 400e6);
         for i in 0..3 {
-            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-                .unwrap();
+            sim.add_job(
+                &format!("hog{i}"),
+                JobSpec::miscellaneous(),
+                Box::new(CpuHog::new()),
+            )
+            .unwrap();
         }
         sim.run_for(10.0);
-        assert!(stats.batches_completed() > 900, "completed {}", stats.batches_completed());
+        assert!(
+            stats.batches_completed() > 900,
+            "completed {}",
+            stats.batches_completed()
+        );
         assert!(
             stats.miss_ratio() < 0.01,
             "reserved modem should essentially never miss, ratio {}",
@@ -214,8 +222,12 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::default());
         let (_handle, stats) = SoftwareModem::install_best_effort(&mut sim, ModemConfig::default());
         for i in 0..6 {
-            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-                .unwrap();
+            sim.add_job(
+                &format!("hog{i}"),
+                JobSpec::miscellaneous(),
+                Box::new(CpuHog::new()),
+            )
+            .unwrap();
         }
         sim.run_for(10.0);
         // Without a reservation (and without a progress metric) the modem is

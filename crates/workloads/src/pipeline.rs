@@ -52,7 +52,13 @@ impl Default for PipelineConfig {
             block_bytes: 250,
             producer_proportion: Proportion::from_ppt(200),
             producer_period: Period::from_millis(10),
-            production_rate: PulseTrain::rising_then_falling(2.5e-5, 5.0e-5, 4.0, &[4.0, 2.0, 1.0], 2.0),
+            production_rate: PulseTrain::rising_then_falling(
+                2.5e-5,
+                5.0e-5,
+                4.0,
+                &[4.0, 2.0, 1.0],
+                2.0,
+            ),
             consumer_bytes_per_cycle: 2.5e-5,
             initial_fill: 0.5,
         }
@@ -290,8 +296,18 @@ mod tests {
         let handles = PulsePipeline::install(&mut sim, PipelineConfig::default());
         assert_eq!(handles.queue.capacity(), 40);
         assert_eq!(handles.queue.len(), 20); // preloaded to half full
-        assert_eq!(sim.registry().attachments_for(JobKey(handles.producer.job.0)).len(), 1);
-        assert_eq!(sim.registry().attachments_for(JobKey(handles.consumer.job.0)).len(), 1);
+        assert_eq!(
+            sim.registry()
+                .attachments_for(JobKey(handles.producer.job.0))
+                .len(),
+            1
+        );
+        assert_eq!(
+            sim.registry()
+                .attachments_for(JobKey(handles.consumer.job.0))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -317,9 +333,11 @@ mod tests {
     #[test]
     fn consumer_tracks_producer_rate_doubling() {
         let mut sim = fast_sim();
-        let mut config = PipelineConfig::default();
         // One long pulse starting at t = 5 s.
-        config.production_rate = PulseTrain::new(2.5e-5, 5.0e-5, vec![(5.0, 30.0)]);
+        let config = PipelineConfig {
+            production_rate: PulseTrain::new(2.5e-5, 5.0e-5, vec![(5.0, 30.0)]),
+            ..PipelineConfig::default()
+        };
         let handles = PulsePipeline::install(&mut sim, config);
         sim.run_for(4.0);
         let before = sim.current_allocation_ppt(handles.consumer);

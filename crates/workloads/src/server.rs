@@ -242,7 +242,10 @@ mod tests {
             now += 1_000;
         }
         let made = generator.generated();
-        assert!((45..=55).contains(&made), "generated {made} requests in 1 s");
+        assert!(
+            (45..=55).contains(&made),
+            "generated {made} requests in 1 s"
+        );
         assert_eq!(generator.dropped(), 0);
     }
 

@@ -301,6 +301,9 @@ mod tests {
             now += 5_000;
         }
         let emitted = source.seq;
-        assert!((55..=65).contains(&emitted), "emitted {emitted} frames in 2 s");
+        assert!(
+            (55..=65).contains(&emitted),
+            "emitted {emitted} frames in 2 s"
+        );
     }
 }

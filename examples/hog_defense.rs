@@ -15,15 +15,23 @@ fn main() {
     // A well-behaved real-rate pipeline and an interactive editor.
     let pipeline = PulsePipeline::install(&mut sim, PipelineConfig::steady(2.5e-5));
     let editor = sim
-        .add_job("editor", JobSpec::miscellaneous(), Box::new(InteractiveJob::typist()))
+        .add_job(
+            "editor",
+            JobSpec::miscellaneous(),
+            Box::new(InteractiveJob::typist()),
+        )
         .unwrap();
 
     // Ten hostile hogs, each trying to take everything.
     let mut hogs = Vec::new();
     for i in 0..10 {
         hogs.push(
-            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-                .unwrap(),
+            sim.add_job(
+                &format!("hog{i}"),
+                JobSpec::miscellaneous(),
+                Box::new(CpuHog::new()),
+            )
+            .unwrap(),
         );
     }
 

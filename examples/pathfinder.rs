@@ -134,8 +134,12 @@ fn main() {
     // The "medium-priority" communication tasks that starved the weather
     // task on the real spacecraft are just CPU hogs here.
     for i in 0..3 {
-        sim.add_job(&format!("comm{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-            .unwrap();
+        sim.add_job(
+            &format!("comm{i}"),
+            JobSpec::miscellaneous(),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
     }
 
     let registry = sim.registry();
@@ -159,8 +163,14 @@ fn main() {
     println!("--------------------------------------------------");
     println!("weather readings produced : {weather_rate:.1} per second");
     println!("bus transactions completed: {bus_rate:.1} per second");
-    println!("weather allocation        : {} ‰", sim.current_allocation_ppt(weather));
-    println!("bus allocation            : {} ‰", sim.current_allocation_ppt(bus));
+    println!(
+        "weather allocation        : {} ‰",
+        sim.current_allocation_ppt(weather)
+    );
+    println!(
+        "bus allocation            : {} ‰",
+        sim.current_allocation_ppt(bus)
+    );
     println!();
     if bus_rate > 0.0 && weather_rate > 0.0 {
         println!(

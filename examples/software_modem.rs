@@ -8,9 +8,9 @@
 //!
 //! Run with `cargo run --release --example software_modem`.
 
+use realrate::core::JobSpec;
 use realrate::sim::{SimConfig, Simulation};
 use realrate::workloads::{CpuHog, ModemConfig, SoftwareModem};
-use realrate::core::JobSpec;
 
 fn run(reserved: bool) -> (u64, u64) {
     let mut sim = Simulation::new(SimConfig::default());
@@ -21,8 +21,12 @@ fn run(reserved: bool) -> (u64, u64) {
         SoftwareModem::install_best_effort(&mut sim, config)
     };
     for i in 0..3 {
-        sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-            .expect("misc jobs are always admitted");
+        sim.add_job(
+            &format!("hog{i}"),
+            JobSpec::miscellaneous(),
+            Box::new(CpuHog::new()),
+        )
+        .expect("misc jobs are always admitted");
     }
     sim.run_for(20.0);
     (stats.batches_completed(), stats.deadlines_missed())
@@ -38,9 +42,11 @@ fn main() {
     println!();
 
     let (done, missed) = run(true);
-    println!("with a reservation ({} ‰ over {} ms):",
+    println!(
+        "with a reservation ({} ‰ over {} ms):",
         config.required_proportion(400e6, 1.2).ppt(),
-        config.batch_period_us / 1000);
+        config.batch_period_us / 1000
+    );
     println!("  batches completed: {done}");
     println!("  deadlines missed : {missed}");
 

@@ -25,9 +25,18 @@ fn main() {
 
     println!();
     println!("allocations discovered by the controller (parts per thousand):");
-    println!("  source   : {:>4} ‰ (fixed reservation)", sim.current_allocation_ppt(handles.source));
-    println!("  decoder  : {:>4} ‰", sim.current_allocation_ppt(handles.decoder));
-    println!("  renderer : {:>4} ‰", sim.current_allocation_ppt(handles.renderer));
+    println!(
+        "  source   : {:>4} ‰ (fixed reservation)",
+        sim.current_allocation_ppt(handles.source)
+    );
+    println!(
+        "  decoder  : {:>4} ‰",
+        sim.current_allocation_ppt(handles.decoder)
+    );
+    println!(
+        "  renderer : {:>4} ‰",
+        sim.current_allocation_ppt(handles.renderer)
+    );
 
     if let Some(rate) = sim.trace().get("rate/renderer") {
         let fps = rate.window_mean(10.0, 30.0).unwrap_or(0.0);

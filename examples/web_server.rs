@@ -35,7 +35,10 @@ fn main() {
     );
     if let Some(rate) = sim.trace().get("rate/server") {
         let served = rate.window_mean(10.0, 30.0).unwrap_or(0.0);
-        println!("sustained service rate: {served:.1} req/s (offered {:.0})", config.arrival_rate_hz);
+        println!(
+            "sustained service rate: {served:.1} req/s (offered {:.0})",
+            config.arrival_rate_hz
+        );
         print!("{}", ascii_plot(rate, PlotConfig::default()));
     }
     if let Some(fill) = sim.trace().get("fill/server-backlog") {

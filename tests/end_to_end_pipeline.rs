@@ -63,7 +63,10 @@ fn pipeline_survives_competing_load_without_starvation() {
         consumed > produced * 0.75,
         "consumer ({consumed}) starved by hog (producer {produced})"
     );
-    assert!(sim.current_allocation_ppt(hog) > 100, "hog should get leftover CPU");
+    assert!(
+        sim.current_allocation_ppt(hog) > 100,
+        "hog should get leftover CPU"
+    );
     // The producer's reservation is untouched.
     assert_eq!(sim.current_allocation_ppt(handles.producer), 200);
     // Granted allocations never exceed the overload threshold.
@@ -77,15 +80,25 @@ fn pipeline_survives_competing_load_without_starvation() {
 fn overload_raises_squish_events_and_controller_stays_within_budget() {
     let mut sim = Simulation::new(SimConfig::default());
     for i in 0..5 {
-        sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-            .unwrap();
+        sim.add_job(
+            &format!("hog{i}"),
+            JobSpec::miscellaneous(),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
     }
     sim.run_for(10.0);
-    assert!(sim.stats().squish_events > 0, "five hogs must trigger squishing");
+    assert!(
+        sim.stats().squish_events > 0,
+        "five hogs must trigger squishing"
+    );
 
     // Controller overhead stays in the single-digit percent range.
     let overhead = sim.stats().controller_cost_us / sim.now_micros() as f64;
-    assert!(overhead < 0.02, "controller overhead {overhead} too high for 5 jobs");
+    assert!(
+        overhead < 0.02,
+        "controller overhead {overhead} too high for 5 jobs"
+    );
 }
 
 #[test]
@@ -93,8 +106,12 @@ fn five_hogs_share_the_machine_roughly_equally() {
     let mut sim = Simulation::new(SimConfig::default());
     let handles: Vec<_> = (0..5)
         .map(|i| {
-            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(CpuHog::new()))
-                .unwrap()
+            sim.add_job(
+                &format!("hog{i}"),
+                JobSpec::miscellaneous(),
+                Box::new(CpuHog::new()),
+            )
+            .unwrap()
         })
         .collect();
     sim.run_for(20.0);
@@ -109,5 +126,8 @@ fn five_hogs_share_the_machine_roughly_equally() {
         "equal hogs should get similar CPU shares: {used:?}"
     );
     let total: f64 = used.iter().sum();
-    assert!(total > 0.8, "the machine should be nearly fully used, got {total}");
+    assert!(
+        total > 0.8,
+        "the machine should be nearly fully used, got {total}"
+    );
 }

@@ -30,7 +30,10 @@ fn figure8_quick_sweep_shows_monotone_overhead() {
     });
     let normalised = &record.series[1];
     let values = normalised.values();
-    assert_eq!(values[0], 1.0, "the series is normalised to the first point");
+    assert_eq!(
+        values[0], 1.0,
+        "the series is normalised to the first point"
+    );
     assert!(
         values.last().unwrap() < &values[0],
         "higher dispatcher frequency must cost CPU"

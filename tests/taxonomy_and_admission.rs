@@ -42,8 +42,14 @@ fn real_time_jobs_are_admission_controlled_and_isolated() {
     let fh = sim.cpu_used_us(hog) as f64 / sim.now_micros() as f64;
     assert!((f1 - 0.5).abs() < 0.05, "rt1 got {f1}, wanted ≈ 0.5");
     assert!((f2 - 0.3).abs() < 0.05, "rt2 got {f2}, wanted ≈ 0.3");
-    assert!(fh > 0.05, "the hog should still get the leftovers, got {fh}");
-    assert!(fh < 0.25, "the hog must not encroach on reservations, got {fh}");
+    assert!(
+        fh > 0.05,
+        "the hog should still get the leftovers, got {fh}"
+    );
+    assert!(
+        fh < 0.25,
+        "the hog must not encroach on reservations, got {fh}"
+    );
 }
 
 #[test]
@@ -95,6 +101,114 @@ fn rate_monotonic_ordering_prefers_short_period_threads() {
 }
 
 #[test]
+fn admission_admits_exactly_at_capacity_and_rejects_one_past_it() {
+    use realrate::core::{Controller, ControllerConfig, JobId};
+    use realrate::queue::MetricRegistry;
+
+    let config = ControllerConfig::default();
+    let threshold = config.overload_threshold_ppt;
+    let mut c = Controller::new(config, MetricRegistry::new());
+    c.add_job(
+        JobId(1),
+        JobSpec::real_time(Proportion::from_ppt(500), Period::from_millis(10)),
+    )
+    .unwrap();
+    // Exactly filling the remaining capacity must be admitted...
+    c.add_job(
+        JobId(2),
+        JobSpec::real_time(
+            Proportion::from_ppt(threshold - 500),
+            Period::from_millis(10),
+        ),
+    )
+    .expect("a reservation exactly at capacity is admissible");
+    // ...and a single extra part-per-thousand must be rejected.
+    let err = c
+        .add_job(
+            JobId(3),
+            JobSpec::real_time(Proportion::from_ppt(1), Period::from_millis(10)),
+        )
+        .unwrap_err();
+    match err {
+        AdmitError::Rejected {
+            requested,
+            available,
+        } => {
+            assert_eq!(requested.ppt(), 1);
+            assert_eq!(available.ppt(), 0);
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_proportion_real_time_job_is_admitted_and_stays_at_zero() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let zero = sim
+        .add_job(
+            "zero",
+            JobSpec::real_time(Proportion::from_ppt(0), Period::from_millis(10)),
+            Box::new(CpuHog::new()),
+        )
+        .expect("a zero-proportion reservation consumes no capacity");
+    let _hog = sim
+        .add_job("hog", JobSpec::miscellaneous(), Box::new(CpuHog::new()))
+        .unwrap();
+    sim.run_for(3.0);
+    // The reservation is honoured verbatim: never squished, never grown.
+    assert_eq!(sim.current_allocation_ppt(zero), 0);
+    // A zero reservation may still ride otherwise-idle dispatch slots, but
+    // with a hog present it must get essentially nothing.
+    let fraction = sim.cpu_used_us(zero) as f64 / sim.now_micros() as f64;
+    assert!(fraction < 0.02, "zero-proportion job used {fraction}");
+}
+
+#[test]
+fn duplicate_registration_is_reported_as_duplicate() {
+    use realrate::core::{Controller, ControllerConfig, JobId};
+    use realrate::queue::MetricRegistry;
+
+    let mut c = Controller::new(ControllerConfig::default(), MetricRegistry::new());
+    let slot = c.add_job(JobId(42), JobSpec::miscellaneous()).unwrap();
+    let err = c.add_job(JobId(42), JobSpec::real_rate()).unwrap_err();
+    assert_eq!(err, AdmitError::Duplicate(JobId(42)));
+    assert!(err.to_string().contains("job42"));
+    // The failed registration must not have disturbed the original.
+    assert_eq!(c.slot_of(JobId(42)), Some(slot));
+    assert_eq!(c.job_count(), 1);
+}
+
+#[test]
+fn equal_importances_split_the_overload_equally() {
+    use realrate::core::Importance;
+    let mut sim = Simulation::new(SimConfig::default());
+    let a = sim
+        .add_job_with_importance(
+            "a",
+            JobSpec::miscellaneous(),
+            Importance::new(2.0),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    let b = sim
+        .add_job_with_importance(
+            "b",
+            JobSpec::miscellaneous(),
+            Importance::new(2.0),
+            Box::new(CpuHog::new()),
+        )
+        .unwrap();
+    sim.run_for(15.0);
+    let ua = sim.cpu_used_us(a) as f64;
+    let ub = sim.cpu_used_us(b) as f64;
+    let ratio = ua / ub.max(1.0);
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "equal importances must not bias the split (ratio {ratio})"
+    );
+}
+
+#[test]
 fn importance_changes_the_overload_split_but_never_starves() {
     use realrate::core::Importance;
     let mut sim = Simulation::new(SimConfig::default());
@@ -117,7 +231,10 @@ fn importance_changes_the_overload_split_but_never_starves() {
     sim.run_for(15.0);
     let imp = sim.cpu_used_us(important);
     let hum = sim.cpu_used_us(humble);
-    assert!(imp > hum, "importance should bias the split ({imp} vs {hum})");
+    assert!(
+        imp > hum,
+        "importance should bias the split ({imp} vs {hum})"
+    );
     assert!(
         hum as f64 / sim.now_micros() as f64 > 0.02,
         "the humble job must not starve"

@@ -4,7 +4,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSlot, JobSpec, UsageSnapshot};
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{Dispatcher, DispatcherConfig, Reservation, ThreadClass, ThreadId};
+use rrs_scheduler::{Dispatcher, DispatcherConfig, Reservation, ThreadId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -191,18 +191,10 @@ impl RealTimeExecutor {
                 .unwrap_or(self.config.controller.min_proportion),
             spec.period.unwrap_or(self.config.controller.default_period),
         );
+        // The controller already ruled on admission above.
         self.dispatcher
-            .add_thread(
-                thread,
-                ThreadClass::Reserved(Reservation::new(
-                    self.config.controller.min_proportion,
-                    initial.period,
-                )),
-            )
+            .add_thread_preadmitted(thread, initial)
             .expect("fresh id");
-        self.dispatcher
-            .set_reservation(thread, initial)
-            .expect("just added");
 
         let (to_worker, from_executor) = bounded::<WorkerMessage>(1);
         let report_tx = self.reports.0.clone();

@@ -227,6 +227,25 @@ impl Dispatcher {
         Ok(())
     }
 
+    /// Registers a thread whose reservation was already admitted by a
+    /// higher authority (the adaptive controller), bypassing this
+    /// dispatcher's own admission test.
+    ///
+    /// The controller squishes allocations instead of rejecting them, so
+    /// its running jobs can legitimately sit at the admission threshold;
+    /// re-checking here would spuriously reject late arrivals.  Fails only
+    /// on a duplicate id.
+    pub fn add_thread_preadmitted(
+        &mut self,
+        id: ThreadId,
+        reservation: Reservation,
+    ) -> Result<(), SchedError> {
+        self.add_thread(id, ThreadClass::BestEffort)?;
+        self.set_reservation(id, reservation)
+            .expect("thread was just added");
+        Ok(())
+    }
+
     /// Removes a thread from the dispatcher.
     pub fn remove_thread(&mut self, id: ThreadId) -> Result<(), SchedError> {
         if self.threads.remove(&id).is_none() {
@@ -762,6 +781,21 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.dispatches, 10);
         assert!(stats.overhead_us >= 10.0 * 5.0);
+    }
+
+    #[test]
+    fn preadmitted_thread_bypasses_admission_but_not_duplicates() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(900, 10)).unwrap();
+        // The regular path is full; a pre-admitted reservation still lands.
+        let r = Reservation::new(Proportion::from_ppt(300), Period::from_millis(10));
+        d.add_thread_preadmitted(ThreadId(2), r).unwrap();
+        assert_eq!(d.reservation(ThreadId(2)), Some(r));
+        assert!(d.is_overloaded());
+        assert_eq!(
+            d.add_thread_preadmitted(ThreadId(2), r),
+            Err(SchedError::DuplicateThread(ThreadId(2)))
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@ use rrs_core::{
     JobSlot, JobSpec, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{
-    Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadClass, ThreadId,
-};
+use rrs_scheduler::{Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -246,18 +244,10 @@ impl Simulation {
                 .unwrap_or(self.config.controller.min_proportion),
             spec.period.unwrap_or(self.config.controller.default_period),
         );
-        // Register with the dispatcher starting from a minimal reservation,
-        // then grow it through the actuation path (which does not re-check
-        // admission — the controller already did).
+        // The controller already ruled on admission above.
         self.dispatcher
-            .add_thread(
-                thread,
-                ThreadClass::Reserved(Reservation::new(Proportion::MIN_NONZERO, initial.period)),
-            )
+            .add_thread_preadmitted(thread, initial)
             .expect("fresh thread id cannot clash");
-        self.dispatcher
-            .set_reservation(thread, initial)
-            .expect("thread was just added");
 
         self.threads.insert(
             thread,
@@ -717,6 +707,40 @@ mod tests {
         sim.run_for(0.5);
         assert_eq!(sim.cpu_used_us(h), 0, "removed job no longer tracked");
         assert_eq!(sim.controller().job_count(), 0);
+    }
+
+    #[test]
+    fn jobs_can_join_a_saturated_machine() {
+        // Regression: adding a job after the running jobs' adaptive
+        // allocations have grown to the overload threshold used to panic,
+        // because the dispatcher's admission test rejected even the
+        // bootstrap reservation.  Late arrivals must be admitted and
+        // squished in like everyone else.
+        let mut sim = Simulation::new(SimConfig::default());
+        let first = sim
+            .add_job("first", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(3.0);
+        assert!(
+            sim.current_allocation_ppt(first) > 800,
+            "machine is saturated"
+        );
+        let late = sim
+            .add_job("late", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .expect("late arrivals are admitted, not panicked on");
+        sim.run_for(5.0);
+        let a = sim.current_allocation_ppt(first);
+        let b = sim.current_allocation_ppt(late);
+        assert!(b > 100, "late job must ramp up, got {b}");
+        assert!(a + b <= 952, "squish keeps the pair under the threshold");
+        // The reused machinery also holds after a removal.
+        sim.remove_job(first);
+        let third = sim
+            .add_job("third", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        assert_eq!(third.slot.index(), first.slot.index(), "slot reused");
+        sim.run_for(3.0);
+        assert!(sim.current_allocation_ppt(third) > 100);
     }
 
     #[test]

@@ -25,6 +25,18 @@ fn main() {
     println!("producer reservation : {producer_alloc} ‰ (fixed by the application)");
     println!("consumer allocation  : {consumer_alloc} ‰ (discovered by the controller)");
 
+    // Job handles carry the controller's dense slot, so every layer can
+    // query the control plane in O(1) without id lookups.
+    let class = sim
+        .controller()
+        .job_of(handles.consumer.slot)
+        .and_then(|id| sim.controller().job_class(id));
+    println!(
+        "consumer class       : {} ({})",
+        class.unwrap(),
+        handles.consumer.slot
+    );
+
     if let Some(fill) = sim.trace().get("fill/pipeline") {
         println!();
         println!("queue fill level over time (target is 0.5):");

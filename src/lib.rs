@@ -7,7 +7,9 @@
 //!
 //! * [`core`] (`rrs-core`) — the adaptive controller: thread taxonomy,
 //!   progress pressure, PID control, proportion estimation, squishing and
-//!   admission control.
+//!   admission control, organised as a staged control-plane pipeline
+//!   (Sense → Classify → Estimate → Allocate → Actuate) over dense
+//!   slot-indexed job storage whose steady-state cycle is allocation-free.
 //! * [`scheduler`] (`rrs-scheduler`) — the reservation-based
 //!   proportion/period dispatcher.
 //! * [`queue`] (`rrs-queue`) — symbiotic interfaces: bounded buffers, pipes
@@ -43,6 +45,10 @@
 //! // Without any reservation or priority, the controller discovered that
 //! // the job can use the CPU and grew its proportion.
 //! assert!(sim.current_allocation_ppt(job) > 100);
+//! // The handle carries the controller's dense slot, shared by every
+//! // layer — the same grant is visible through it.
+//! let granted = sim.controller().granted_at(job.slot).unwrap();
+//! assert_eq!(granted.ppt(), sim.current_allocation_ppt(job));
 //! ```
 
 #![warn(missing_docs)]

@@ -12,6 +12,7 @@
 //! | [`fig6`] | Figure 6 | controller responsiveness to a variable-rate producer |
 //! | [`fig7`] | Figure 7 | the same pipeline competing with a CPU hog |
 //! | [`fig8`] | Figure 8 | dispatch overhead vs. dispatcher frequency |
+//! | [`fig9`] | — (beyond the paper) | aggregate throughput vs. number of CPUs (machine layer) |
 //! | [`ablations`] | — | design-choice ablations (PID gains, squish policy, controller period, period estimation, buffer size) |
 
 #![warn(missing_docs)]
@@ -22,6 +23,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 
 use rrs_metrics::plot::{ascii_plot, PlotConfig};
 use rrs_metrics::ExperimentRecord;

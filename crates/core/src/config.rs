@@ -52,6 +52,45 @@ pub struct ControllerConfig {
     pub period_estimation: bool,
     /// Model of the controller's own execution cost (Figure 5).
     pub cost_model: ControllerCostModel,
+    /// Multi-CPU placement: how many CPUs the Place stage spreads jobs
+    /// over, and when it migrates.  Defaults to the paper's single CPU.
+    pub placement: PlacementConfig,
+}
+
+/// Configuration of the pipeline's Place stage (multi-CPU placement and
+/// migration).
+///
+/// With the default single CPU the stage pins every job to `cpu0` and
+/// never migrates, which is exactly the paper's machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Number of CPUs jobs are placed onto (at least 1).
+    pub cpus: u32,
+    /// Migration trigger: when the most loaded CPU's granted proportion
+    /// exceeds the least loaded CPU's by more than this bound (in parts
+    /// per thousand), one job is migrated per cycle to rebalance.
+    pub imbalance_threshold_ppt: u32,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self {
+            cpus: 1,
+            imbalance_threshold_ppt: 200,
+        }
+    }
+}
+
+impl PlacementConfig {
+    /// The largest machine the Place stage will address.  Bounds the
+    /// per-CPU accumulators (and keeps `threshold × CPUs` far from u32
+    /// overflow) while comfortably exceeding any real machine.
+    pub const MAX_CPUS: u32 = 4096;
+
+    /// Number of CPUs, clamped to `1..=MAX_CPUS`.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.clamp(1, Self::MAX_CPUS) as usize
+    }
 }
 
 impl Default for ControllerConfig {
@@ -77,6 +116,7 @@ impl Default for ControllerConfig {
             quality_exception_pressure: 0.45,
             period_estimation: false,
             cost_model: ControllerCostModel::default(),
+            placement: PlacementConfig::default(),
         }
     }
 }
@@ -106,6 +146,13 @@ impl ControllerConfig {
         self
     }
 
+    /// Returns a copy placing jobs over `cpus` CPUs (clamped to
+    /// `1..=PlacementConfig::MAX_CPUS`).
+    pub fn with_cpus(mut self, cpus: u32) -> Self {
+        self.placement.cpus = cpus.clamp(1, PlacementConfig::MAX_CPUS);
+        self
+    }
+
     /// Sampling frequency in Hz.
     pub fn frequency_hz(&self) -> f64 {
         1.0 / self.controller_period_s
@@ -125,6 +172,36 @@ mod tests {
         assert_eq!(c.overload_threshold_ppt, 950);
         assert!(!c.period_estimation);
         assert_eq!(c.min_proportion.ppt(), 1);
+        assert_eq!(c.placement.cpus, 1, "the paper's machine has one CPU");
+        assert_eq!(c.placement.cpu_count(), 1);
+    }
+
+    #[test]
+    fn with_cpus_clamps_to_the_supported_range() {
+        assert_eq!(ControllerConfig::default().with_cpus(4).placement.cpus, 4);
+        assert_eq!(ControllerConfig::default().with_cpus(0).placement.cpus, 1);
+        assert_eq!(
+            ControllerConfig::default()
+                .with_cpus(u32::MAX)
+                .placement
+                .cpus,
+            PlacementConfig::MAX_CPUS
+        );
+        assert_eq!(
+            PlacementConfig {
+                cpus: 0,
+                imbalance_threshold_ppt: 1
+            }
+            .cpu_count(),
+            1
+        );
+        // An absurd raw cpus value cannot overflow the machine capacity
+        // (threshold × CPUs) or balloon the per-CPU accumulators.
+        let wild = PlacementConfig {
+            cpus: u32::MAX,
+            imbalance_threshold_ppt: 1,
+        };
+        assert_eq!(wild.cpu_count(), PlacementConfig::MAX_CPUS as usize);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::slot::JobSlot;
 use crate::squish::Importance;
 use crate::taxonomy::{JobClass, JobSpec};
 use rrs_queue::{JobKey, MetricRegistry};
-use rrs_scheduler::{Proportion, Reservation};
+use rrs_scheduler::{CpuId, Proportion, Reservation};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -70,6 +70,10 @@ pub struct Actuation {
     pub job: JobId,
     /// The new reservation.
     pub reservation: Reservation,
+    /// The CPU the Place stage has the job on.  Consumers holding the
+    /// thread on a different CPU should migrate it; on a single-CPU
+    /// machine this is always `cpu0`.
+    pub cpu: CpuId,
 }
 
 /// The result of one control cycle.
@@ -174,7 +178,14 @@ impl Controller {
             registry,
             jobs: JobTable::new(),
             ctx: CycleContext::new(),
-            output: ControlOutput::default(),
+            output: {
+                let mut output = ControlOutput::default();
+                // Room for a squish event, a migration and a couple of
+                // quality exceptions before the event buffer ever grows,
+                // so a rare first-ever event does not allocate mid-cycle.
+                output.events.reserve(4);
+                output
+            },
             last_cycle: None,
             cycles: 0,
         }
@@ -263,19 +274,28 @@ impl Controller {
             return Err(AdmitError::Duplicate(job));
         }
         let class = spec.classify();
-        if matches!(class, JobClass::RealTime | JobClass::AperiodicRealTime) {
+        let cpu = if matches!(class, JobClass::RealTime | JobClass::AperiodicRealTime) {
+            // Real-time reservations must fit on one specific CPU: admit
+            // against the CPU with the lightest fixed load (least-loaded
+            // fit), which on a single CPU is the paper's original test.
             let requested = spec.proportion.unwrap_or(Proportion::ZERO);
-            let reserved = self.fixed_total_ppt();
-            let available =
-                Proportion::from_ppt(self.config.overload_threshold_ppt.saturating_sub(reserved));
+            let (cpu, reserved) = self.least_loaded_cpu(true);
+            let available = Proportion::from_ppt(
+                (self.config.overload_threshold_ppt as u64).saturating_sub(reserved) as u32,
+            );
             if requested.ppt() > available.ppt() {
                 return Err(AdmitError::Rejected {
                     requested,
                     available,
                 });
             }
-        }
-        let entry = JobEntry::new(spec, importance, &self.config);
+            cpu
+        } else {
+            // Adaptive jobs go wherever the granted load is lightest.
+            self.least_loaded_cpu(false).0
+        };
+        let mut entry = JobEntry::new(spec, importance, &self.config);
+        entry.cpu = cpu;
         Ok(self
             .jobs
             .insert(job, entry)
@@ -326,14 +346,48 @@ impl Controller {
         }
     }
 
-    /// Sum of the proportions promised to real-time and aperiodic real-time
-    /// jobs (these cannot be squished).
-    fn fixed_total_ppt(&self) -> u32 {
-        self.jobs
-            .iter()
-            .filter(|(_, _, e)| !e.spec.classify().is_squishable())
-            .filter_map(|(_, _, e)| e.spec.proportion.map(|p| p.ppt()))
-            .sum()
+    /// The least-loaded CPU and its load in parts per thousand — by fixed
+    /// reservations when admitting a real-time job (`fixed_only`), by
+    /// granted proportions otherwise.  One pass over the job table into a
+    /// per-CPU accumulator (the admission path may allocate; only control
+    /// cycles are allocation-free).  Lowest id wins ties, so a single-CPU
+    /// machine always answers `cpu0`.
+    fn least_loaded_cpu(&self, fixed_only: bool) -> (CpuId, u64) {
+        let cpus = self.config.placement.cpu_count();
+        let mut loads = vec![0u64; cpus];
+        for (_, _, e) in self.jobs.iter() {
+            let Some(load) = loads.get_mut(e.cpu.index()) else {
+                // A stale CPU from a shrunken machine; the Place stage
+                // pulls the job back on next cycle.
+                continue;
+            };
+            if fixed_only {
+                if !e.spec.classify().is_squishable() {
+                    *load += e.spec.proportion.map(|p| p.ppt() as u64).unwrap_or(0);
+                }
+            } else {
+                *load += e.granted.ppt() as u64;
+            }
+        }
+        let mut best = CpuId::ZERO;
+        let mut best_load = u64::MAX;
+        for (i, &load) in loads.iter().enumerate() {
+            if load < best_load {
+                best_load = load;
+                best = CpuId(i as u32);
+            }
+        }
+        (best, best_load)
+    }
+
+    /// The CPU the Place stage currently has a job on.
+    pub fn cpu_of(&self, job: JobId) -> Option<CpuId> {
+        self.jobs.get_by_id(job).map(|e| e.cpu)
+    }
+
+    /// The CPU the Place stage currently has the job at `slot` on.
+    pub fn cpu_of_slot(&self, slot: JobSlot) -> Option<CpuId> {
+        self.jobs.get(slot).map(|e| e.cpu)
     }
 
     /// The spec with `has_progress_metric` refreshed from the registry, so
@@ -368,6 +422,7 @@ impl Controller {
         pipeline::classify(&self.config, &mut self.jobs, &mut self.ctx);
         pipeline::estimate(&self.config, &self.estimator, &mut self.jobs, &mut self.ctx);
         pipeline::allocate(&self.config, &mut self.ctx);
+        pipeline::place(&self.config, &mut self.jobs, &mut self.ctx);
         pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
         &self.output
     }
@@ -736,6 +791,71 @@ mod tests {
         let queue = Arc::new(BoundedBuffer::<u8>::new("q", 4));
         reg.register(JobKey(1), Role::Consumer, queue);
         assert_eq!(c.job_class(JobId(1)), Some(JobClass::RealRate));
+    }
+
+    #[test]
+    fn multi_cpu_admission_fits_real_time_jobs_per_cpu() {
+        let config = ControllerConfig::default().with_cpus(2);
+        let registry = MetricRegistry::new();
+        let mut c = Controller::new(config, registry);
+        // Two 800 ‰ reservations: one per CPU.
+        c.add_job(
+            JobId(1),
+            JobSpec::real_time(Proportion::from_ppt(800), Period::from_millis(10)),
+        )
+        .unwrap();
+        c.add_job(
+            JobId(2),
+            JobSpec::real_time(Proportion::from_ppt(800), Period::from_millis(10)),
+        )
+        .unwrap();
+        assert_ne!(c.cpu_of(JobId(1)), c.cpu_of(JobId(2)));
+        // A third fits on neither CPU.
+        let err = c
+            .add_job(
+                JobId(3),
+                JobSpec::real_time(Proportion::from_ppt(800), Period::from_millis(10)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Rejected { .. }));
+        let slot = c.slot_of(JobId(1)).unwrap();
+        assert_eq!(c.cpu_of_slot(slot), c.cpu_of(JobId(1)));
+    }
+
+    #[test]
+    fn adaptive_jobs_spread_over_cpus_by_granted_load() {
+        let config = ControllerConfig::default().with_cpus(2);
+        let registry = MetricRegistry::new();
+        let mut c = Controller::new(config, registry);
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        // Let job 1's grant grow so cpu0 carries real load.
+        for i in 1..=100 {
+            c.control_cycle_in_place(i as f64 * 0.01);
+        }
+        assert!(c.granted(JobId(1)).unwrap().ppt() > 100);
+        // The newcomer lands on the other, empty CPU.
+        c.add_job(JobId(2), JobSpec::miscellaneous()).unwrap();
+        assert_ne!(c.cpu_of(JobId(1)), c.cpu_of(JobId(2)));
+    }
+
+    #[test]
+    fn multi_cpu_capacity_lets_two_hogs_saturate_two_cpus() {
+        let config = ControllerConfig::default().with_cpus(2);
+        let registry = MetricRegistry::new();
+        let mut c = Controller::new(config, registry);
+        c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        c.add_job(JobId(2), JobSpec::miscellaneous()).unwrap();
+        let mut last = 0;
+        for i in 1..=300 {
+            last = c.control_cycle_in_place(i as f64 * 0.01).total_granted_ppt;
+        }
+        // On one CPU the pair would be squished under 950 ‰; two CPUs let
+        // both grow toward a full CPU each.
+        assert!(
+            last > 1200,
+            "aggregate grant should exceed one CPU, got {last}"
+        );
+        assert!(c.cpu_of(JobId(1)).is_some());
     }
 
     #[test]

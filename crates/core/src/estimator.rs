@@ -62,7 +62,7 @@ impl ProportionEstimator {
     ///   actually used, in `[0, 1]`.
     ///
     /// When `usage_ratio` falls below the configured threshold the job is
-    /// considered "too generous[ly]" provisioned and its allocation is
+    /// considered "too generous\[ly\]" provisioned and its allocation is
     /// reduced by the constant `C`; otherwise the allocation is `k·Q_t`.
     /// The result is clamped to the configured `[min, max]` proportion so
     /// every job always keeps a non-zero allocation (no starvation).

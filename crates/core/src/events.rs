@@ -1,7 +1,7 @@
 //! Controller events: quality exceptions and admission decisions.
 
 use crate::controller::JobId;
-use rrs_scheduler::Proportion;
+use rrs_scheduler::{CpuId, Proportion};
 use serde::{Deserialize, Serialize};
 
 /// A quality exception raised towards an application.
@@ -56,6 +56,15 @@ pub enum ControllerEvent {
         /// Capacity that was actually available for adaptive jobs, in parts
         /// per thousand.
         available_ppt: u32,
+    },
+    /// The Place stage moved a job to another CPU to rebalance load.
+    Migrated {
+        /// The job that moved.
+        job: JobId,
+        /// The CPU it left.
+        from: CpuId,
+        /// The CPU it now runs on.
+        to: CpuId,
     },
 }
 

@@ -7,10 +7,10 @@
 //! staged control-plane pipeline of [`pipeline`]:
 //!
 //! ```text
-//!   Sense ──▶ Classify ──▶ Estimate ──▶ Allocate ──▶ Actuate
-//!     │           │            │            │            │
-//!  registry   taxonomy     PID + P'=kQ   squish /     reservations,
-//!  samples,   (Figure 2)   (Figures      admit        events
+//!   Sense ──▶ Classify ──▶ Estimate ──▶ Allocate ──▶ Place ──▶ Actuate
+//!     │           │            │            │           │          │
+//!  registry   taxonomy     PID + P'=kQ   squish /    CPU fit,  reservations
+//!  samples,   (Figure 2)   (Figures      admit       migrate   + CPU, events
 //!  usage                    3 & 4)       (§3.3)
 //! ```
 //!
@@ -25,11 +25,17 @@
 //!    that do not use what they were given ([`estimator`], Figure 4), and
 //!    optionally adjusts periods to trade quantization error against
 //!    jitter ([`period`]);
-//! 4. **Allocate** detects overload and *squishes* real-rate and
-//!    miscellaneous jobs by fair share or importance-weighted fair share
-//!    ([`squish`]);
-//! 5. **Actuate** emits the reservations to apply and raises quality
-//!    exceptions when demand cannot be met ([`events`]).
+//! 4. **Allocate** detects overload against the machine-wide capacity
+//!    (`threshold × CPUs`) and *squishes* real-rate and miscellaneous
+//!    jobs by fair share or importance-weighted fair share ([`squish`]);
+//! 5. **Place** assigns each job a CPU ([`config::PlacementConfig`]):
+//!    least-loaded fit at admission, sticky placement in steady state,
+//!    and threshold-triggered migration of one squishable job per cycle
+//!    when the CPU load imbalance exceeds the configured bound — a no-op
+//!    on the paper's single CPU;
+//! 6. **Actuate** emits the reservations to apply (each tagged with its
+//!    CPU) and raises quality exceptions when demand cannot be met
+//!    ([`events`]).
 //!
 //! The stages share a reusable [`pipeline::CycleContext`] with
 //! pre-allocated scratch buffers and operate on dense [`slot`]-indexed
@@ -57,7 +63,7 @@ pub mod slot;
 pub mod squish;
 pub mod taxonomy;
 
-pub use config::ControllerConfig;
+pub use config::{ControllerConfig, PlacementConfig};
 pub use controller::{Actuation, AdmitError, ControlOutput, Controller, JobId, UsageSnapshot};
 pub use cost::ControllerCostModel;
 pub use estimator::ProportionEstimator;

@@ -1,20 +1,27 @@
 //! The staged control-plane pipeline.
 //!
-//! One controller period flows through five explicit stages, each a named
+//! One controller period flows through six explicit stages, each a named
 //! function over a shared, reusable [`CycleContext`]:
 //!
-//! 1. [`sense`] — sample every job's progress metrics (fill levels, signed
+//! 1. **sense** — sample every job's progress metrics (fill levels, signed
 //!    pressure) and dispatcher usage feedback into dense cycle records;
-//! 2. [`classify`] — derive each job's effective Figure 2 class from its
+//! 2. **classify** — derive each job's effective Figure 2 class from its
 //!    spec plus the sensed metric visibility, and fix reserved jobs'
 //!    proportions and periods;
-//! 3. [`estimate`] — run the per-job PID pressure function (Figure 3) and
+//! 3. **estimate** — run the per-job PID pressure function (Figure 3) and
 //!    the proportion estimator (Figure 4) for adaptive jobs, including the
 //!    usage-based reclamation branch and optional period estimation;
-//! 4. [`allocate`] — detect overload against the admission threshold and
-//!    squish adaptive allocations by the configured policy (§3.3);
-//! 5. [`actuate`] — commit grants to the job table and emit the
-//!    reservation actuations, squish events and quality exceptions.
+//! 4. **allocate** — detect overload against the machine-wide admission
+//!    threshold (`threshold × CPUs`) and squish adaptive allocations by
+//!    the configured policy (§3.3);
+//! 5. **place** — assign each job a CPU: keep the placement the job
+//!    already has, pull jobs that fell off a shrunken machine back on,
+//!    and migrate one squishable job per cycle from the most to the
+//!    least loaded CPU when the imbalance exceeds the configured bound
+//!    (a no-op on the paper's single CPU);
+//! 6. **actuate** — commit grants and placements to the job table and
+//!    emit the reservation actuations, squish/migration events and
+//!    quality exceptions.
 //!
 //! Every buffer the stages touch lives in the [`CycleContext`] (or the
 //! reused [`crate::ControlOutput`]), so a warmed-up steady-state cycle
@@ -33,7 +40,7 @@ use crate::slot::{JobSlot, SlotTable};
 use crate::squish::{squish_into, Importance, SquishRequest, SquishScratch};
 use crate::taxonomy::{JobClass, JobSpec};
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{Period, Proportion, Reservation};
+use rrs_scheduler::{CpuId, Period, Proportion, Reservation};
 
 /// Per-job controller state: the payload of the controller's slot table.
 #[derive(Debug)]
@@ -44,6 +51,8 @@ pub(crate) struct JobEntry {
     pub(crate) period_estimator: PeriodEstimator,
     pub(crate) period: Period,
     pub(crate) granted: Proportion,
+    /// The CPU the Place stage has the job on.
+    pub(crate) cpu: CpuId,
     /// Usage feedback recorded since the last cycle; reset to the default
     /// (full usage) when the cycle consumes it.
     pub(crate) usage: UsageSnapshot,
@@ -73,6 +82,11 @@ pub(crate) struct CycleRecord {
     pub(crate) desired: Proportion,
     /// Classify (fixed) / Estimate (adaptive): period to actuate.
     pub(crate) period: Period,
+    /// Place: the grant this cycle settled on (desired for fixed jobs,
+    /// the squish result for adaptive ones).
+    pub(crate) granted: Proportion,
+    /// Place: the CPU the job runs on this cycle.
+    pub(crate) cpu: CpuId,
 }
 
 /// Reusable scratch shared by the pipeline stages.
@@ -97,12 +111,21 @@ pub struct CycleContext {
     pub(crate) available_ppt: u32,
     pub(crate) desired_total_ppt: u64,
     pub(crate) squished: bool,
+    /// Place: granted load per CPU, in parts per thousand.
+    pub(crate) cpu_load: Vec<u64>,
+    /// Place: the migrations decided this cycle (at most one).
+    pub(crate) migrations: Vec<(JobId, CpuId, CpuId)>,
 }
 
 impl CycleContext {
     /// Creates an empty context.
     pub fn new() -> Self {
-        Self::default()
+        let mut ctx = Self::default();
+        // The Place stage decides at most one migration per cycle; holding
+        // the slot up front keeps the first-ever migration from allocating
+        // inside a steady-state cycle.
+        ctx.migrations.reserve(1);
+        ctx
     }
 
     /// Begins a cycle: stores the clock and resets per-cycle accumulators.
@@ -114,6 +137,7 @@ impl CycleContext {
         self.adaptive.clear();
         self.requests.clear();
         self.granted.clear();
+        self.migrations.clear();
         self.fixed_total_ppt = 0;
         self.available_ppt = 0;
         self.desired_total_ppt = 0;
@@ -192,6 +216,8 @@ pub(crate) fn sense(
             pressure_q: 0.0,
             desired: Proportion::ZERO,
             period: entry.period,
+            granted: Proportion::ZERO,
+            cpu: entry.cpu,
         });
     }
 }
@@ -296,15 +322,16 @@ pub(crate) fn estimate(
 /// "Responding to Overload").
 ///
 /// Sums the adaptive jobs' desired proportions against the capacity left
-/// under the overload threshold by the fixed reservations.  Under
-/// overload, applies the configured squish policy (fair share or
-/// importance-weighted water-fill); otherwise grants every desire
-/// unchanged.  Grants land in the context, aligned with the adaptive
-/// index list.
+/// under the overload threshold by the fixed reservations.  The machine's
+/// capacity is `overload_threshold × CPUs`: on the paper's single CPU
+/// this is exactly the original threshold, and each extra CPU adds one
+/// threshold's worth of grantable allocation.  Under overload, applies
+/// the configured squish policy (fair share or importance-weighted
+/// water-fill); otherwise grants every desire unchanged.  Grants land in
+/// the context, aligned with the adaptive index list.
 pub(crate) fn allocate(config: &ControllerConfig, ctx: &mut CycleContext) {
-    ctx.available_ppt = config
-        .overload_threshold_ppt
-        .saturating_sub(ctx.fixed_total_ppt);
+    let capacity_ppt = config.overload_threshold_ppt * config.placement.cpu_count() as u32;
+    ctx.available_ppt = capacity_ppt.saturating_sub(ctx.fixed_total_ppt);
     ctx.desired_total_ppt = ctx
         .adaptive
         .iter()
@@ -325,7 +352,7 @@ pub(crate) fn allocate(config: &ControllerConfig, ctx: &mut CycleContext) {
         squish_into(
             config.squish_policy,
             &ctx.requests,
-            Proportion::from_ppt(ctx.available_ppt),
+            ctx.available_ppt,
             &mut ctx.squish_scratch,
             &mut ctx.granted,
         );
@@ -337,10 +364,102 @@ pub(crate) fn allocate(config: &ControllerConfig, ctx: &mut CycleContext) {
     }
 }
 
-/// Stage 5 — **Actuate**: commits grants to the job table and writes the
-/// cycle's outputs — reservation actuations, the squish event, and
-/// quality exceptions for adaptive jobs whose demand could not be met —
-/// into the reusable [`ControlOutput`].
+/// Stage 5 — **Place**: assigns each job a CPU and decides migrations.
+///
+/// Jobs keep the CPU they are on (placement is sticky — moving a thread
+/// costs cache and, on a real machine, TLB state); jobs whose CPU fell
+/// off a shrunken machine are pulled back onto it.  When the most loaded
+/// CPU's granted proportion exceeds the least loaded CPU's by more than
+/// the configured imbalance bound, the squishable job whose grant is
+/// closest to half the gap migrates — moving half the gap is the largest
+/// step that cannot overshoot and flip the imbalance, and one migration
+/// per cycle keeps the stage `O(jobs)` and the system stable.  Real-time
+/// jobs never migrate: their reservation was admitted against a specific
+/// CPU.  Per-CPU over-subscription that placement cannot resolve (for
+/// example three equal grants on two CPUs) is left to the dispatcher's
+/// rate-monotonic best effort and heals through usage feedback: a job
+/// that cannot actually consume its grant on a crowded CPU is reclaimed
+/// by the Estimate stage the following cycles.
+///
+/// On the default single CPU this stage only pins every job to `cpu0`
+/// and computes the (single) load sum: grants, periods and ordering are
+/// untouched, so the paper's figures reproduce exactly.
+pub(crate) fn place(config: &ControllerConfig, jobs: &mut JobTable, ctx: &mut CycleContext) {
+    let cpus = config.placement.cpu_count();
+    ctx.cpu_load.clear();
+    ctx.cpu_load.resize(cpus, 0);
+    ctx.migrations.clear();
+
+    // Fold the Allocate stage's grants back into the records so every
+    // record carries its final grant (fixed jobs keep their desire).
+    for record in ctx.records.iter_mut() {
+        if !record.class.is_squishable() {
+            record.granted = record.desired;
+        }
+    }
+    for (&i, &grant) in ctx.adaptive.iter().zip(ctx.granted.iter()) {
+        ctx.records[i as usize].granted = grant;
+    }
+
+    // Sticky placement + per-CPU load accounting.
+    for record in ctx.records.iter_mut() {
+        let entry = jobs.get_mut(record.slot).expect("record slot is live");
+        if entry.cpu.index() >= cpus {
+            entry.cpu = CpuId((entry.cpu.index() % cpus) as u32);
+        }
+        record.cpu = entry.cpu;
+        ctx.cpu_load[entry.cpu.index()] += record.granted.ppt() as u64;
+    }
+    if cpus == 1 {
+        return;
+    }
+
+    // Threshold-triggered migration: most → least loaded CPU.
+    let (mut max_c, mut min_c) = (0usize, 0usize);
+    for (i, &load) in ctx.cpu_load.iter().enumerate() {
+        if load > ctx.cpu_load[max_c] {
+            max_c = i;
+        }
+        if load < ctx.cpu_load[min_c] {
+            min_c = i;
+        }
+    }
+    let gap = ctx.cpu_load[max_c] - ctx.cpu_load[min_c];
+    if gap <= config.placement.imbalance_threshold_ppt as u64 {
+        return;
+    }
+    let mut best: Option<(u64, usize)> = None;
+    for (idx, record) in ctx.records.iter().enumerate() {
+        if record.cpu.index() != max_c || !record.class.is_squishable() {
+            continue;
+        }
+        let g = record.granted.ppt() as u64;
+        // Only moves that strictly reduce the gap qualify (0 < g < gap);
+        // among those, prefer the grant closest to half the gap.
+        if g == 0 || g >= gap {
+            continue;
+        }
+        let dist = g.abs_diff(gap / 2);
+        if best.is_none_or(|(d, _)| dist < d) {
+            best = Some((dist, idx));
+        }
+    }
+    let Some((_, idx)) = best else { return };
+    let record = &mut ctx.records[idx];
+    let from = record.cpu;
+    let to = CpuId(min_c as u32);
+    record.cpu = to;
+    jobs.get_mut(record.slot).expect("record slot is live").cpu = to;
+    ctx.cpu_load[max_c] -= record.granted.ppt() as u64;
+    ctx.cpu_load[min_c] += record.granted.ppt() as u64;
+    ctx.migrations.push((record.job, from, to));
+}
+
+/// Stage 6 — **Actuate**: commits grants to the job table and writes the
+/// cycle's outputs — reservation actuations (each carrying its Place-stage
+/// CPU), the squish and migration events, and quality exceptions for
+/// adaptive jobs whose demand could not be met — into the reusable
+/// [`ControlOutput`].
 pub(crate) fn actuate(
     config: &ControllerConfig,
     jobs: &mut JobTable,
@@ -357,6 +476,9 @@ pub(crate) fn actuate(
             available_ppt: ctx.available_ppt,
         });
     }
+    for &(job, from, to) in &ctx.migrations {
+        out.events.push(ControllerEvent::Migrated { job, from, to });
+    }
 
     // Fixed reservations first, then adaptive grants, mirroring the order
     // in which they were decided.
@@ -371,6 +493,7 @@ pub(crate) fn actuate(
             slot: record.slot,
             job: record.job,
             reservation: Reservation::new(record.desired, record.period),
+            cpu: record.cpu,
         });
     }
 
@@ -394,6 +517,7 @@ pub(crate) fn actuate(
             slot: record.slot,
             job: record.job,
             reservation: Reservation::new(grant, record.period),
+            cpu: record.cpu,
         });
     }
 
@@ -417,6 +541,7 @@ impl JobEntry {
             period_estimator: PeriodEstimator::with_defaults(),
             period,
             granted: initial,
+            cpu: CpuId::ZERO,
             usage: UsageSnapshot::default(),
         }
     }
@@ -598,6 +723,109 @@ mod tests {
         let total: u32 = ctx.granted.iter().map(|p| p.ppt()).sum();
         assert!(total <= config.overload_threshold_ppt);
         assert!(ctx.granted.iter().all(|p| p.ppt() >= 1), "no starvation");
+    }
+
+    #[test]
+    fn place_is_a_noop_on_a_single_cpu() {
+        let (mut jobs, config) =
+            table_with(&[(1, JobSpec::miscellaneous()), (2, JobSpec::miscellaneous())]);
+        let registry = MetricRegistry::new();
+        let estimator = ProportionEstimator::new(&config);
+        let mut ctx = CycleContext::new();
+        ctx.begin(0.01, 0.01);
+        sense(&registry, &mut jobs, false, &mut ctx);
+        classify(&config, &mut jobs, &mut ctx);
+        estimate(&config, &estimator, &mut jobs, &mut ctx);
+        allocate(&config, &mut ctx);
+        let grants_before = ctx.granted.clone();
+        place(&config, &mut jobs, &mut ctx);
+        assert_eq!(ctx.granted, grants_before, "grants untouched");
+        assert!(ctx.migrations.is_empty());
+        assert_eq!(ctx.cpu_load.len(), 1);
+        assert!(ctx.records.iter().all(|r| r.cpu == CpuId::ZERO));
+    }
+
+    #[test]
+    fn place_migrates_one_job_when_imbalance_exceeds_the_bound() {
+        use rrs_scheduler::Proportion;
+        let config = ControllerConfig::default().with_cpus(2);
+        let mut jobs = JobTable::new();
+        for id in 1..=3 {
+            let entry = JobEntry::new(JobSpec::miscellaneous(), Importance::NORMAL, &config);
+            jobs.insert(JobId(id), entry).unwrap();
+        }
+        // All three jobs crowded onto cpu0 with meaningful grants.
+        for (_, _, e) in jobs.iter_mut() {
+            e.cpu = CpuId(0);
+        }
+        let registry = MetricRegistry::new();
+        let mut ctx = CycleContext::new();
+        ctx.begin(0.01, 0.01);
+        sense(&registry, &mut jobs, false, &mut ctx);
+        classify(&config, &mut jobs, &mut ctx);
+        // Plant grants directly (stage isolation): 300 ‰ each on cpu0.
+        ctx.granted.clear();
+        for _ in 0..ctx.adaptive.len() {
+            ctx.granted.push(Proportion::from_ppt(300));
+        }
+        place(&config, &mut jobs, &mut ctx);
+        // Gap was 900 > 200: exactly one job moved to cpu1.
+        assert_eq!(ctx.migrations.len(), 1);
+        let (job, from, to) = ctx.migrations[0];
+        assert_eq!((from, to), (CpuId(0), CpuId(1)));
+        assert_eq!(ctx.cpu_load, vec![600, 300]);
+        let moved = jobs.get_by_id(job).unwrap();
+        assert_eq!(moved.cpu, CpuId(1));
+        // A second cycle with the same grants is already balanced enough:
+        // gap 300 > 200 but moving a 300 ‰ job cannot shrink it.
+        ctx.begin(0.02, 0.01);
+        sense(&registry, &mut jobs, false, &mut ctx);
+        classify(&config, &mut jobs, &mut ctx);
+        ctx.granted.clear();
+        for _ in 0..ctx.adaptive.len() {
+            ctx.granted.push(Proportion::from_ppt(300));
+        }
+        place(&config, &mut jobs, &mut ctx);
+        assert!(ctx.migrations.is_empty(), "no oscillation");
+    }
+
+    #[test]
+    fn place_pulls_jobs_back_onto_a_shrunken_machine() {
+        let config = ControllerConfig::default(); // one CPU
+        let mut jobs = JobTable::new();
+        let entry = JobEntry::new(JobSpec::miscellaneous(), Importance::NORMAL, &config);
+        jobs.insert(JobId(1), entry).unwrap();
+        jobs.get_by_id_mut(JobId(1)).unwrap().cpu = CpuId(5);
+        let registry = MetricRegistry::new();
+        let mut ctx = CycleContext::new();
+        ctx.begin(0.01, 0.01);
+        sense(&registry, &mut jobs, false, &mut ctx);
+        classify(&config, &mut jobs, &mut ctx);
+        allocate(&config, &mut ctx);
+        place(&config, &mut jobs, &mut ctx);
+        assert_eq!(jobs.get_by_id(JobId(1)).unwrap().cpu, CpuId(0));
+        assert_eq!(ctx.records[0].cpu, CpuId(0));
+    }
+
+    #[test]
+    fn place_never_migrates_fixed_reservations() {
+        use rrs_scheduler::{Period, Proportion};
+        let config = ControllerConfig::default().with_cpus(2);
+        let mut jobs = JobTable::new();
+        let spec = JobSpec::real_time(Proportion::from_ppt(600), Period::from_millis(10));
+        let entry = JobEntry::new(spec, Importance::NORMAL, &config);
+        jobs.insert(JobId(1), entry).unwrap();
+        let registry = MetricRegistry::new();
+        let mut ctx = CycleContext::new();
+        ctx.begin(0.01, 0.01);
+        sense(&registry, &mut jobs, false, &mut ctx);
+        classify(&config, &mut jobs, &mut ctx);
+        allocate(&config, &mut ctx);
+        place(&config, &mut jobs, &mut ctx);
+        // 600 vs 0 exceeds the bound, but a real-time job stays put.
+        assert_eq!(ctx.cpu_load, vec![600, 0]);
+        assert!(ctx.migrations.is_empty());
+        assert_eq!(jobs.get_by_id(JobId(1)).unwrap().cpu, CpuId(0));
     }
 
     #[test]

@@ -94,20 +94,24 @@ pub struct SquishScratch {
 /// admission control or quality exceptions must resolve it).
 pub fn squish_fair_share(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
     let mut out = Vec::new();
-    squish_fair_share_into(requests, available, &mut out);
+    squish_fair_share_into(requests, available.ppt(), &mut out);
     out
 }
 
 /// Allocation-free variant of [`squish_fair_share`]: grants are written
 /// into `out` (cleared first, capacity reused).
+///
+/// `available_ppt` is the machine-wide capacity in parts per thousand and
+/// may exceed 1000 on a multi-CPU machine; individual grants are still
+/// capped at each job's (single-CPU) request.
 pub fn squish_fair_share_into(
     requests: &[SquishRequest],
-    available: Proportion,
+    available_ppt: u32,
     out: &mut Vec<Proportion>,
 ) {
     out.clear();
     let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
-    let avail = available.ppt() as u64;
+    let avail = available_ppt as u64;
     if total <= avail {
         out.extend(requests.iter().map(|r| r.desired));
         return;
@@ -132,23 +136,32 @@ pub fn squish_fair_share_into(
 /// jobs a larger fraction of what they asked for.
 pub fn squish_weighted(requests: &[SquishRequest], available: Proportion) -> Vec<Proportion> {
     let mut out = Vec::new();
-    squish_weighted_into(requests, available, &mut SquishScratch::default(), &mut out);
+    squish_weighted_into(
+        requests,
+        available.ppt(),
+        &mut SquishScratch::default(),
+        &mut out,
+    );
     out
 }
 
 /// Allocation-free variant of [`squish_weighted`]: grants are written into
 /// `out` and the water-fill working state lives in `scratch` (both cleared
 /// first, capacities reused).
+///
+/// `available_ppt` is the machine-wide capacity in parts per thousand and
+/// may exceed 1000 on a multi-CPU machine; individual grants are still
+/// capped at each job's (single-CPU) request.
 pub fn squish_weighted_into(
     requests: &[SquishRequest],
-    available: Proportion,
+    available_ppt: u32,
     scratch: &mut SquishScratch,
     out: &mut Vec<Proportion>,
 ) {
     out.clear();
     let total: u64 = requests.iter().map(|r| r.desired.ppt() as u64).sum();
-    let avail = available.ppt() as f64;
-    if total <= available.ppt() as u64 {
+    let avail = available_ppt as f64;
+    if total <= available_ppt as u64 {
         out.extend(requests.iter().map(|r| r.desired));
         return;
     }
@@ -218,16 +231,19 @@ pub fn squish(
 
 /// Applies the configured policy without allocating: grants go to `out`,
 /// working state to `scratch` (capacities reused across calls).
+/// `available_ppt` may exceed 1000 on a multi-CPU machine.
 pub fn squish_into(
     policy: SquishPolicy,
     requests: &[SquishRequest],
-    available: Proportion,
+    available_ppt: u32,
     scratch: &mut SquishScratch,
     out: &mut Vec<Proportion>,
 ) {
     match policy {
-        SquishPolicy::FairShare => squish_fair_share_into(requests, available, out),
-        SquishPolicy::WeightedFairShare => squish_weighted_into(requests, available, scratch, out),
+        SquishPolicy::FairShare => squish_fair_share_into(requests, available_ppt, out),
+        SquishPolicy::WeightedFairShare => {
+            squish_weighted_into(requests, available_ppt, scratch, out)
+        }
     }
 }
 
@@ -358,18 +374,43 @@ mod tests {
         let mut scratch = SquishScratch::default();
         let mut out = Vec::new();
         for policy in [SquishPolicy::FairShare, SquishPolicy::WeightedFairShare] {
-            squish_into(policy, &requests, available, &mut scratch, &mut out);
+            squish_into(policy, &requests, available.ppt(), &mut scratch, &mut out);
             assert_eq!(out, squish(policy, &requests, available));
         }
         let cap = out.capacity();
         squish_into(
             SquishPolicy::WeightedFairShare,
             &requests,
-            available,
+            available.ppt(),
             &mut scratch,
             &mut out,
         );
         assert_eq!(out.capacity(), cap, "buffers are reused, not reallocated");
+    }
+
+    #[test]
+    fn multi_cpu_capacity_above_one_cpu_is_respected() {
+        // A 4-CPU machine offers 3800 ‰; three greedy jobs fit without
+        // squishing, each still capped at one CPU's worth.
+        let requests = [req(1000), req(1000), req(1000)];
+        let mut scratch = SquishScratch::default();
+        let mut out = Vec::new();
+        for policy in [SquishPolicy::FairShare, SquishPolicy::WeightedFairShare] {
+            squish_into(policy, &requests, 3800, &mut scratch, &mut out);
+            assert_eq!(out.iter().map(|p| p.ppt()).sum::<u32>(), 3000);
+        }
+        // Five such jobs exceed 3800 ‰ and are squished to fit it.
+        let requests = [req(1000); 5];
+        squish_into(
+            SquishPolicy::WeightedFairShare,
+            &requests,
+            3800,
+            &mut scratch,
+            &mut out,
+        );
+        let total: u32 = out.iter().map(|p| p.ppt()).sum();
+        assert!((3700..=3800).contains(&total), "got {total}");
+        assert!(out.iter().all(|p| p.ppt() <= 1000));
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! The cooperative wall-clock executor.
+//!
+//! Emulates an `N`-CPU machine over real OS threads: every scheduling
+//! round dispatches each CPU of an [`rrs_scheduler::Machine`], releases
+//! the selected workers in parallel, and waits for all of them to report
+//! back (logical sharding — workers are not pinned to hardware cores, but
+//! at most one worker runs per simulated CPU at a time).  `N = 1` (the
+//! default) behaves exactly like the original single-CPU executor.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSlot, JobSpec, UsageSnapshot};
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{Dispatcher, DispatcherConfig, Reservation, ThreadId};
+use rrs_scheduler::{CpuId, DispatcherConfig, Machine, Reservation, ThreadId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,13 +31,51 @@ pub enum StepOutcome {
 }
 
 /// Executor configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecutorConfig {
     /// Dispatcher configuration (dispatch interval is interpreted in real
     /// microseconds).
     pub dispatcher: DispatcherConfig,
-    /// Controller configuration.
+    /// Controller configuration.  Its `placement.cpus` sets how many
+    /// logical CPUs the executor shards workers over (default 1).
     pub controller: ControllerConfig,
+    /// Shortest sleep when no task is runnable, in microseconds.  The
+    /// idle sleep is the dispatcher's idle quantum clamped to
+    /// [`ExecutorConfig::idle_sleep_min_us`,
+    /// `ExecutorConfig::idle_sleep_max_us`]: the lower bound stops the
+    /// loop from busy-spinning on sub-100 µs quanta the OS timer cannot
+    /// honour anyway, the upper bound keeps the executor responsive to
+    /// period boundaries however long the quantum.
+    pub idle_sleep_min_us: u64,
+    /// Longest sleep when no task is runnable, in microseconds.
+    pub idle_sleep_max_us: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            dispatcher: DispatcherConfig::default(),
+            controller: ControllerConfig::default(),
+            idle_sleep_min_us: 100,
+            idle_sleep_max_us: 1_000,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Returns a copy sharding workers over `cpus` logical CPUs (clamped
+    /// to at least one).
+    pub fn with_cpus(mut self, cpus: u32) -> Self {
+        self.controller = self.controller.with_cpus(cpus);
+        self
+    }
+
+    /// The idle sleep for a given idle quantum: the quantum clamped to the
+    /// configured bounds.
+    pub fn idle_sleep(&self, quantum_us: u64) -> Duration {
+        let max = self.idle_sleep_max_us.max(self.idle_sleep_min_us);
+        Duration::from_micros(quantum_us.clamp(self.idle_sleep_min_us, max))
+    }
 }
 
 /// Handle to a task registered with the executor.
@@ -89,7 +134,7 @@ struct TaskSlot {
 pub struct RealTimeExecutor {
     config: ExecutorConfig,
     registry: MetricRegistry,
-    dispatcher: Dispatcher,
+    machine: Machine,
     controller: Controller,
     tasks: BTreeMap<ThreadId, TaskSlot>,
     /// Slot-indexed map back to the dispatcher's thread id, so actuations
@@ -105,9 +150,10 @@ impl RealTimeExecutor {
     /// Creates an executor.
     pub fn new(config: ExecutorConfig) -> Self {
         let registry = MetricRegistry::new();
+        let cpus = config.controller.placement.cpu_count();
         Self {
             controller: Controller::new(config.controller, registry.clone()),
-            dispatcher: Dispatcher::new(config.dispatcher),
+            machine: Machine::new(config.dispatcher, cpus),
             registry,
             config,
             tasks: BTreeMap::new(),
@@ -117,6 +163,16 @@ impl RealTimeExecutor {
             start: Instant::now(),
             cpu_time: Arc::new(Mutex::new(BTreeMap::new())),
         }
+    }
+
+    /// The number of logical CPUs workers are sharded over.
+    pub fn cpu_count(&self) -> usize {
+        self.machine.cpu_count()
+    }
+
+    /// The CPU a task is currently placed on.
+    pub fn cpu_of(&self, handle: TaskHandle) -> Option<CpuId> {
+        self.machine.cpu_of(handle.thread)
     }
 
     /// The progress-metric registry shared with tasks.
@@ -140,7 +196,7 @@ impl RealTimeExecutor {
 
     /// The proportion currently reserved for a task, in parts per thousand.
     pub fn current_allocation_ppt(&self, handle: TaskHandle) -> u32 {
-        self.dispatcher
+        self.machine
             .reservation(handle.thread)
             .map(|r| r.proportion.ppt())
             .unwrap_or(0)
@@ -191,9 +247,13 @@ impl RealTimeExecutor {
                 .unwrap_or(self.config.controller.min_proportion),
             spec.period.unwrap_or(self.config.controller.default_period),
         );
-        // The controller already ruled on admission above.
-        self.dispatcher
-            .add_thread_preadmitted(thread, initial)
+        // The controller already ruled on admission and chose the CPU.
+        let cpu = self
+            .controller
+            .cpu_of_slot(slot)
+            .expect("slot was just created");
+        self.machine
+            .add_thread_preadmitted_on(cpu, thread, initial)
             .expect("fresh id");
 
         let (to_worker, from_executor) = bounded::<WorkerMessage>(1);
@@ -266,28 +326,42 @@ impl RealTimeExecutor {
                     .collect();
                 for tid in blocked {
                     self.tasks.get_mut(&tid).expect("exists").blocked = false;
-                    let _ = self.dispatcher.unblock(tid);
+                    let _ = self.machine.unblock(tid);
                 }
             }
 
-            self.dispatcher.advance_to(self.now_us());
-            let outcome = self.dispatcher.dispatch();
-            match outcome.thread {
-                Some(tid) => {
-                    let quantum = Duration::from_micros(outcome.quantum_us);
-                    let slot = self.tasks.get_mut(&tid).expect("dispatched task exists");
-                    if slot.done || slot.to_worker.send(WorkerMessage::Run(quantum)).is_err() {
-                        let _ = self.dispatcher.block(tid);
-                        continue;
-                    }
-                    // Wait for the step to finish (single-CPU emulation).
-                    match self.reports.1.recv_timeout(Duration::from_secs(5)) {
-                        Ok(report) => self.handle_report(report),
-                        Err(_) => break,
-                    }
+            self.machine.advance_to(self.now_us());
+
+            // Dispatch every CPU, release the selected workers in
+            // parallel, then wait for all of them (each simulated CPU runs
+            // at most one worker at a time).
+            let mut running = 0usize;
+            let mut min_idle_quantum = u64::MAX;
+            for cpu in 0..self.machine.cpu_count() {
+                let outcome = self.machine.dispatch(CpuId(cpu as u32));
+                let Some(tid) = outcome.thread else {
+                    min_idle_quantum = min_idle_quantum.min(outcome.quantum_us);
+                    continue;
+                };
+                let quantum = Duration::from_micros(outcome.quantum_us);
+                let slot = self.tasks.get_mut(&tid).expect("dispatched task exists");
+                if slot.done || slot.to_worker.send(WorkerMessage::Run(quantum)).is_err() {
+                    let _ = self.machine.block(tid);
+                    continue;
                 }
-                None => {
-                    std::thread::sleep(Duration::from_micros(outcome.quantum_us.clamp(100, 1_000)));
+                running += 1;
+            }
+
+            if running == 0 {
+                if min_idle_quantum < u64::MAX {
+                    std::thread::sleep(self.config.idle_sleep(min_idle_quantum));
+                }
+                continue;
+            }
+            for _ in 0..running {
+                match self.reports.1.recv_timeout(Duration::from_secs(5)) {
+                    Ok(report) => self.handle_report(report),
+                    Err(_) => return,
                 }
             }
         }
@@ -295,26 +369,26 @@ impl RealTimeExecutor {
 
     fn handle_report(&mut self, report: WorkerReport) {
         let used_us = report.elapsed.as_micros().max(1) as u64;
-        let _ = self.dispatcher.charge(report.thread, used_us);
+        let _ = self.machine.charge(report.thread, used_us);
         let slot = self.tasks.get_mut(&report.thread).expect("task exists");
         match report.outcome {
             StepOutcome::Continue => {}
             StepOutcome::Blocked => {
                 slot.blocked = true;
-                let _ = self.dispatcher.block(report.thread);
+                let _ = self.machine.block(report.thread);
             }
             StepOutcome::Done => {
                 slot.done = true;
-                let _ = self.dispatcher.block(report.thread);
+                let _ = self.machine.block(report.thread);
             }
         }
     }
 
     fn run_controller(&mut self) {
-        // Feed the dispatcher's accounting to the controller by slot, then
+        // Feed the machine's accounting to the controller by slot, then
         // run the staged pipeline in place — no per-cycle allocation.
         for (tid, task) in &self.tasks {
-            if let Some(acct) = self.dispatcher.usage_ref(*tid) {
+            if let Some(acct) = self.machine.usage_ref(*tid) {
                 self.controller.record_usage(
                     task.slot,
                     UsageSnapshot {
@@ -327,7 +401,12 @@ impl RealTimeExecutor {
         let out = self.controller.control_cycle_in_place(now_s);
         for actuation in &out.actuations {
             if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
-                let _ = self.dispatcher.set_reservation(*tid, actuation.reservation);
+                let _ = self.machine.set_reservation(*tid, actuation.reservation);
+                // Apply the Place stage's decision: logically reshard the
+                // worker onto its assigned CPU.
+                if self.machine.cpu_of(*tid) != Some(actuation.cpu) {
+                    let _ = self.machine.migrate(*tid, actuation.cpu);
+                }
             }
         }
     }
@@ -435,6 +514,66 @@ mod tests {
         let alloc = exec.current_allocation_ppt(rt);
         exec.shutdown();
         assert_eq!(alloc, 300);
+    }
+
+    #[test]
+    fn idle_sleep_is_the_quantum_clamped_to_the_configured_bounds() {
+        let config = ExecutorConfig::default();
+        assert_eq!(config.idle_sleep_min_us, 100);
+        assert_eq!(config.idle_sleep_max_us, 1_000);
+        assert_eq!(config.idle_sleep(5), Duration::from_micros(100));
+        assert_eq!(config.idle_sleep(500), Duration::from_micros(500));
+        assert_eq!(config.idle_sleep(50_000), Duration::from_micros(1_000));
+
+        let wide = ExecutorConfig {
+            idle_sleep_min_us: 10,
+            idle_sleep_max_us: 20_000,
+            ..ExecutorConfig::default()
+        };
+        assert_eq!(wide.idle_sleep(50_000), Duration::from_micros(20_000));
+        assert_eq!(wide.idle_sleep(15), Duration::from_micros(15));
+        // A min above the max is forgiven, not panicked on.
+        let crossed = ExecutorConfig {
+            idle_sleep_min_us: 5_000,
+            idle_sleep_max_us: 10,
+            ..ExecutorConfig::default()
+        };
+        assert_eq!(crossed.idle_sleep(1), Duration::from_micros(5_000));
+    }
+
+    #[test]
+    fn idle_executor_honours_a_larger_sleep_bound() {
+        // With no tasks at all, the loop is pure idle sleeping; it must
+        // still return promptly and not busy-spin.
+        let mut exec = RealTimeExecutor::new(ExecutorConfig {
+            idle_sleep_min_us: 2_000,
+            idle_sleep_max_us: 4_000,
+            ..ExecutorConfig::default()
+        });
+        let t0 = Instant::now();
+        exec.run_for(Duration::from_millis(30));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert!(t0.elapsed() < Duration::from_millis(300));
+    }
+
+    #[test]
+    fn two_cpu_executor_runs_two_workers_concurrently() {
+        let mut exec = RealTimeExecutor::new(ExecutorConfig::default().with_cpus(2));
+        assert_eq!(exec.cpu_count(), 2);
+        let a = exec.spawn("a", JobSpec::miscellaneous(), move |q| {
+            spin_for(q.min(Duration::from_micros(500)));
+            StepOutcome::Continue
+        });
+        let b = exec.spawn("b", JobSpec::miscellaneous(), move |q| {
+            spin_for(q.min(Duration::from_micros(500)));
+            StepOutcome::Continue
+        });
+        exec.run_for(Duration::from_millis(200));
+        let (ca, cb) = (exec.cpu_of(a), exec.cpu_of(b));
+        let (ta, tb) = (exec.cpu_time(a), exec.cpu_time(b));
+        exec.shutdown();
+        assert_ne!(ca, cb, "workers sharded over distinct CPUs");
+        assert!(ta > Duration::ZERO && tb > Duration::ZERO);
     }
 
     #[test]

@@ -100,6 +100,41 @@ struct ThreadEntry {
     last_picked_seq: u64,
 }
 
+/// A thread lifted out of one dispatcher for insertion into another — the
+/// payload of a cross-CPU migration.
+///
+/// Carries everything the destination CPU needs to continue the thread's
+/// current period exactly where the source CPU left it: the class
+/// (reservation), run state, the full usage account (budget, consumption,
+/// lifetime totals) and the remaining best-effort slice.  Obtained from
+/// [`Dispatcher::take_thread`], consumed by [`Dispatcher::inject_thread`].
+#[derive(Debug, Clone, Copy)]
+pub struct MigratedThread {
+    /// The migrating thread's id.
+    pub id: ThreadId,
+    class: ThreadClass,
+    state: ThreadState,
+    account: UsageAccount,
+    remaining_slice_us: u64,
+}
+
+impl MigratedThread {
+    /// The thread's scheduling class (reservation or best-effort).
+    pub fn class(&self) -> ThreadClass {
+        self.class
+    }
+
+    /// The thread's run state at the moment it was taken.
+    pub fn state(&self) -> ThreadState {
+        self.state
+    }
+
+    /// The thread's usage account at the moment it was taken.
+    pub fn account(&self) -> UsageAccount {
+        self.account
+    }
+}
+
 /// The reservation-based dispatcher.
 ///
 /// # Examples
@@ -244,6 +279,82 @@ impl Dispatcher {
         self.set_reservation(id, reservation)
             .expect("thread was just added");
         Ok(())
+    }
+
+    /// Lifts a thread out of this dispatcher for migration to another CPU,
+    /// preserving its class, run state and usage account.
+    ///
+    /// A running thread is demoted to Ready (it is not running on the
+    /// destination CPU); its period timer is cancelled here and re-armed by
+    /// [`Dispatcher::inject_thread`].
+    pub fn take_thread(&mut self, id: ThreadId) -> Result<MigratedThread, SchedError> {
+        let entry = self
+            .threads
+            .remove(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        self.timers.cancel(id);
+        if self.running == Some(id) {
+            self.running = None;
+        }
+        let state = match entry.state {
+            ThreadState::Running => ThreadState::Ready,
+            other => other,
+        };
+        Ok(MigratedThread {
+            id,
+            class: entry.class,
+            state,
+            account: entry.account,
+            remaining_slice_us: entry.remaining_slice_us,
+        })
+    }
+
+    /// Inserts a migrated thread, continuing its current period.
+    ///
+    /// The period timer is re-armed at the boundary the source CPU had
+    /// scheduled (`period_start + period`); if that boundary has already
+    /// passed on this CPU's clock it fires at the next
+    /// [`Dispatcher::advance_to`].  Admission is not re-checked: placement
+    /// is the migrating authority's responsibility, exactly like the
+    /// controller's actuation path.
+    pub fn inject_thread(&mut self, thread: MigratedThread) -> Result<(), SchedError> {
+        if self.threads.contains_key(&thread.id) {
+            return Err(SchedError::DuplicateThread(thread.id));
+        }
+        if let ThreadClass::Reserved(r) = thread.class {
+            let boundary = thread.account.period_start_us + r.period.as_micros();
+            self.timers.arm(thread.id, boundary.max(self.now_us + 1));
+        }
+        self.threads.insert(
+            thread.id,
+            ThreadEntry {
+                class: thread.class,
+                state: thread.state,
+                account: thread.account,
+                remaining_slice_us: thread.remaining_slice_us,
+                last_picked_seq: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// The earliest armed period timer, if any — the next instant at which
+    /// an idle CPU has work to do.
+    pub fn next_timer_expiry(&self) -> Option<u64> {
+        self.timers.next_expiry()
+    }
+
+    /// Re-books idle time after an idle dispatch.
+    ///
+    /// An idle [`Dispatcher::dispatch`] charges its returned quantum to
+    /// [`DispatchStats::idle_us`] on the assumption that the caller idles
+    /// for exactly that long.  A lockstep driver may advance the shared
+    /// clock by a different amount — less when another CPU's thread
+    /// yielded early, more when it fast-forwards across a quiet gap — and
+    /// calls this with what was recorded and what actually elapsed so the
+    /// statistic stays truthful.
+    pub fn rebook_idle_us(&mut self, recorded_us: u64, actual_us: u64) {
+        self.stats.idle_us = self.stats.idle_us.saturating_sub(recorded_us) + actual_us;
     }
 
     /// Removes a thread from the dispatcher.
@@ -814,6 +925,62 @@ mod tests {
         });
         assert_eq!(visited, 2);
         assert!(d.usage_ref(ThreadId(9)).is_none());
+    }
+
+    #[test]
+    fn take_and_inject_preserve_account_and_throttle() {
+        let mut src = Dispatcher::new(DispatcherConfig::default());
+        let mut dst = Dispatcher::new(DispatcherConfig::default());
+        src.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        // Exhaust the budget so the thread is throttled mid-period.
+        let o = src.dispatch();
+        src.charge(ThreadId(1), o.quantum_us).unwrap();
+        assert_eq!(src.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        let used = src.usage(ThreadId(1)).unwrap().total_used_us;
+
+        let taken = src.take_thread(ThreadId(1)).unwrap();
+        assert_eq!(taken.state(), ThreadState::Throttled);
+        assert!(src.take_thread(ThreadId(1)).is_err(), "already taken");
+        dst.inject_thread(taken).unwrap();
+        // Still throttled on the destination, with the account intact.
+        assert_eq!(dst.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        assert_eq!(dst.usage(ThreadId(1)).unwrap().total_used_us, used);
+        assert_eq!(dst.dispatch().thread, None);
+        // The period boundary scheduled by the source replenishes it here.
+        dst.advance_to(10_000);
+        assert_eq!(dst.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        assert_eq!(dst.dispatch().thread, Some(ThreadId(1)));
+        // Duplicate injection is rejected.
+        assert_eq!(
+            dst.inject_thread(MigratedThread {
+                id: ThreadId(1),
+                class: reserved(10, 10),
+                state: ThreadState::Ready,
+                account: UsageAccount::new(0, 0),
+                remaining_slice_us: 0,
+            }),
+            Err(SchedError::DuplicateThread(ThreadId(1)))
+        );
+    }
+
+    #[test]
+    fn taking_the_running_thread_demotes_it_to_ready() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        d.add_thread(ThreadId(1), reserved(500, 10)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        let taken = d.take_thread(ThreadId(1)).unwrap();
+        assert_eq!(taken.state(), ThreadState::Ready);
+        assert!(matches!(taken.class(), ThreadClass::Reserved(_)));
+        // The source no longer schedules it.
+        assert_eq!(d.dispatch().thread, None);
+    }
+
+    #[test]
+    fn next_timer_expiry_tracks_reserved_threads() {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        assert_eq!(d.next_timer_expiry(), None);
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        assert_eq!(d.next_timer_expiry(), Some(10_000));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   RBS threads, time-slice based for best-effort threads).
 //! * [`Dispatcher`] — run queue, sorted timer list, per-period accounting,
 //!   deadline-miss detection and dispatch-overhead modelling.
+//! * [`Machine`] — the multi-CPU layer: `N` per-CPU dispatchers in
+//!   lockstep behind the single-CPU API, with thread placement and
+//!   cross-CPU migration ([`CpuId`]).  `N = 1` is bit-for-bit the
+//!   single-dispatcher system.
 //! * [`accounting::UsageAccount`] — per-thread usage the controller reads to
 //!   reclaim over-allocated CPU.
 
@@ -31,13 +35,17 @@ pub mod admission;
 pub mod dispatcher;
 pub mod error;
 pub mod goodness;
+pub mod machine;
 pub mod reservation;
 pub mod timerlist;
 pub mod types;
 
 pub use accounting::UsageAccount;
 pub use admission::AdmissionControl;
-pub use dispatcher::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, ThreadClass};
+pub use dispatcher::{
+    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, MigratedThread, ThreadClass,
+};
 pub use error::SchedError;
+pub use machine::Machine;
 pub use reservation::Reservation;
-pub use types::{Period, Proportion, ThreadId, ThreadState};
+pub use types::{CpuId, Period, Proportion, ThreadId, ThreadState};

@@ -1,0 +1,516 @@
+//! The multi-CPU machine layer.
+//!
+//! The paper's prototype ran on one 400 MHz CPU; this module makes "the
+//! machine" a first-class abstraction so the same dispatcher state machine
+//! scales to `N` CPUs.  A [`Machine`] owns one [`Dispatcher`] per CPU —
+//! each with its own run queue, timer list, admission control and
+//! accounting — plus the thread→CPU placement map, and routes every
+//! single-CPU call (`add_thread`, `charge`, `set_reservation`,
+//! `advance_to`, usage queries) to the owning CPU.  With `N = 1` it is a
+//! transparent shell around one dispatcher: every operation takes the
+//! exact code path the single-CPU system took, so the paper's figures
+//! reproduce bit-for-bit.
+//!
+//! CPUs share one logical clock: [`Machine::advance_to`] moves every
+//! dispatcher in lockstep, which is how both the discrete-event simulator
+//! and the wall-clock executor drive it.  Cross-CPU migration
+//! ([`Machine::migrate`]) transplants a thread's full mid-period state —
+//! reservation, throttle status, usage account — via
+//! [`Dispatcher::take_thread`] / [`Dispatcher::inject_thread`], so a
+//! throttled thread stays throttled until the period boundary its source
+//! CPU had scheduled.
+
+use crate::dispatcher::{
+    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, ThreadClass,
+};
+use crate::error::SchedError;
+use crate::reservation::Reservation;
+use crate::types::{CpuId, Proportion, ThreadId};
+use crate::UsageAccount;
+use std::collections::BTreeMap;
+
+/// A machine of `N` per-CPU dispatchers behind the single-CPU API.
+///
+/// # Examples
+///
+/// ```
+/// use rrs_scheduler::{CpuId, Machine, DispatcherConfig, Period, Proportion, Reservation, ThreadId};
+///
+/// let mut m = Machine::new(DispatcherConfig::default(), 2);
+/// let r = Reservation::new(Proportion::from_ppt(400), Period::from_millis(10));
+/// // Least-loaded placement: the second thread lands on the other CPU.
+/// m.add_thread_preadmitted(ThreadId(1), r).unwrap();
+/// m.add_thread_preadmitted(ThreadId(2), r).unwrap();
+/// assert_ne!(m.cpu_of(ThreadId(1)), m.cpu_of(ThreadId(2)));
+/// assert_eq!(m.dispatch(CpuId(0)).thread.is_some(), true);
+/// assert_eq!(m.dispatch(CpuId(1)).thread.is_some(), true);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cpus: Vec<Dispatcher>,
+    placement: BTreeMap<ThreadId, CpuId>,
+}
+
+impl Machine {
+    /// Creates a machine with `cpus` CPUs (clamped to `1..=4096`, the
+    /// same bound as the control pipeline's placement config), each
+    /// running a dispatcher with the given configuration.
+    pub fn new(config: DispatcherConfig, cpus: usize) -> Self {
+        let n = cpus.clamp(1, 4096);
+        Self {
+            cpus: (0..n).map(|_| Dispatcher::new(config)).collect(),
+            placement: BTreeMap::new(),
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// All CPU ids, in order.
+    pub fn cpu_ids(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.cpus.len() as u32).map(CpuId)
+    }
+
+    /// Read-only access to one CPU's dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn dispatcher(&self, cpu: CpuId) -> &Dispatcher {
+        &self.cpus[cpu.index()]
+    }
+
+    /// The CPU a thread is currently placed on.
+    pub fn cpu_of(&self, id: ThreadId) -> Option<CpuId> {
+        self.placement.get(&id).copied()
+    }
+
+    /// Total number of threads across all CPUs.
+    pub fn thread_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// The shared logical clock, in microseconds (all CPUs advance in
+    /// lockstep, so CPU 0's clock is the machine's).
+    pub fn now_us(&self) -> u64 {
+        self.cpus[0].now_us()
+    }
+
+    /// Sum of reserved proportions across all CPUs, in parts per thousand.
+    /// Unclamped: an `N`-CPU machine can legitimately report up to
+    /// `N × 1000`.
+    pub fn total_reserved_ppt(&self) -> u32 {
+        self.cpus.iter().map(|d| d.total_reserved_ppt()).sum()
+    }
+
+    /// One CPU's reserved load, in parts per thousand.
+    pub fn cpu_load_ppt(&self, cpu: CpuId) -> u32 {
+        self.cpus[cpu.index()].total_reserved_ppt()
+    }
+
+    /// The least-loaded CPU (by reserved proportion), lowest id winning
+    /// ties — the machine-level analogue of least-loaded-fit placement.
+    pub fn least_loaded_cpu(&self) -> CpuId {
+        let mut best = CpuId::ZERO;
+        let mut best_load = u32::MAX;
+        for (i, d) in self.cpus.iter().enumerate() {
+            let load = d.total_reserved_ppt();
+            if load < best_load {
+                best_load = load;
+                best = CpuId(i as u32);
+            }
+        }
+        best
+    }
+
+    /// Aggregate dispatch statistics summed over all CPUs.
+    pub fn stats(&self) -> DispatchStats {
+        let mut total = DispatchStats::default();
+        for d in &self.cpus {
+            let s = d.stats();
+            total.dispatches += s.dispatches;
+            total.context_switches += s.context_switches;
+            total.period_rollovers += s.period_rollovers;
+            total.deadlines_missed += s.deadlines_missed;
+            total.overhead_us += s.overhead_us;
+            total.idle_us += s.idle_us;
+        }
+        total
+    }
+
+    /// Registers a thread on the least-loaded CPU, subject to that CPU's
+    /// admission control.  Returns the chosen CPU.
+    pub fn add_thread(&mut self, id: ThreadId, class: ThreadClass) -> Result<CpuId, SchedError> {
+        self.add_thread_on(self.least_loaded_cpu(), id, class)
+    }
+
+    /// Registers a thread on an explicit CPU, subject to that CPU's
+    /// admission control.
+    pub fn add_thread_on(
+        &mut self,
+        cpu: CpuId,
+        id: ThreadId,
+        class: ThreadClass,
+    ) -> Result<CpuId, SchedError> {
+        if self.placement.contains_key(&id) {
+            return Err(SchedError::DuplicateThread(id));
+        }
+        self.cpus[cpu.index()].add_thread(id, class)?;
+        self.placement.insert(id, cpu);
+        Ok(cpu)
+    }
+
+    /// Registers a pre-admitted thread on the least-loaded CPU (the
+    /// controller already ruled on admission).  Returns the chosen CPU.
+    pub fn add_thread_preadmitted(
+        &mut self,
+        id: ThreadId,
+        reservation: Reservation,
+    ) -> Result<CpuId, SchedError> {
+        self.add_thread_preadmitted_on(self.least_loaded_cpu(), id, reservation)
+    }
+
+    /// Registers a pre-admitted thread on an explicit CPU — the placement
+    /// authority (the control pipeline's Place stage) has already chosen.
+    pub fn add_thread_preadmitted_on(
+        &mut self,
+        cpu: CpuId,
+        id: ThreadId,
+        reservation: Reservation,
+    ) -> Result<CpuId, SchedError> {
+        if self.placement.contains_key(&id) {
+            return Err(SchedError::DuplicateThread(id));
+        }
+        self.cpus[cpu.index()].add_thread_preadmitted(id, reservation)?;
+        self.placement.insert(id, cpu);
+        Ok(cpu)
+    }
+
+    /// Removes a thread from whichever CPU holds it.
+    pub fn remove_thread(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        let cpu = self
+            .placement
+            .remove(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        self.cpus[cpu.index()].remove_thread(id)
+    }
+
+    /// Moves a thread to another CPU, preserving its reservation, throttle
+    /// state and mid-period usage account.  Returns the CPU it came from;
+    /// migrating a thread to the CPU it is already on is a no-op.
+    pub fn migrate(&mut self, id: ThreadId, to: CpuId) -> Result<CpuId, SchedError> {
+        let from = self.cpu_of(id).ok_or(SchedError::UnknownThread(id))?;
+        if to.index() >= self.cpus.len() {
+            return Err(SchedError::InvalidState(id, "destination CPU out of range"));
+        }
+        if from == to {
+            return Ok(from);
+        }
+        let thread = self.cpus[from.index()].take_thread(id)?;
+        self.cpus[to.index()]
+            .inject_thread(thread)
+            .expect("destination cannot already hold the thread");
+        self.placement.insert(id, to);
+        Ok(from)
+    }
+
+    fn on(&mut self, id: ThreadId) -> Result<&mut Dispatcher, SchedError> {
+        let cpu = self
+            .placement
+            .get(&id)
+            .ok_or(SchedError::UnknownThread(id))?;
+        Ok(&mut self.cpus[cpu.index()])
+    }
+
+    /// Changes a thread's reservation on its current CPU (the controller's
+    /// per-cycle actuation path).
+    pub fn set_reservation(
+        &mut self,
+        id: ThreadId,
+        reservation: Reservation,
+    ) -> Result<(), SchedError> {
+        self.on(id)?.set_reservation(id, reservation)
+    }
+
+    /// Returns a thread's current reservation, if it is reserved.
+    pub fn reservation(&self, id: ThreadId) -> Option<Reservation> {
+        let cpu = self.placement.get(&id)?;
+        self.cpus[cpu.index()].reservation(id)
+    }
+
+    /// Marks a thread as blocked.
+    pub fn block(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        self.on(id)?.block(id)
+    }
+
+    /// Wakes a blocked thread.
+    pub fn unblock(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        self.on(id)?.unblock(id)
+    }
+
+    /// Charges CPU consumption to a thread on its current CPU.
+    pub fn charge(&mut self, id: ThreadId, us: u64) -> Result<(), SchedError> {
+        self.on(id)?.charge(id, us)
+    }
+
+    /// Returns a copy of a thread's usage account.
+    pub fn usage(&self, id: ThreadId) -> Option<UsageAccount> {
+        let cpu = self.placement.get(&id)?;
+        self.cpus[cpu.index()].usage(id)
+    }
+
+    /// Borrows a thread's usage account without copying.
+    pub fn usage_ref(&self, id: ThreadId) -> Option<&UsageAccount> {
+        let cpu = self.placement.get(&id)?;
+        self.cpus[cpu.index()].usage_ref(id)
+    }
+
+    /// Visits every thread's usage account across all CPUs in one pass.
+    pub fn for_each_usage(&self, mut f: impl FnMut(CpuId, ThreadId, &UsageAccount)) {
+        for (i, d) in self.cpus.iter().enumerate() {
+            let cpu = CpuId(i as u32);
+            d.for_each_usage(|id, acct| f(cpu, id, acct));
+        }
+    }
+
+    /// Advances every CPU's clock to `now_us` in lockstep, processing each
+    /// CPU's expired period timers.
+    pub fn advance_to(&mut self, now_us: u64) {
+        for d in &mut self.cpus {
+            d.advance_to(now_us);
+        }
+    }
+
+    /// Takes one dispatch decision on one CPU.
+    pub fn dispatch(&mut self, cpu: CpuId) -> DispatchOutcome {
+        self.cpus[cpu.index()].dispatch()
+    }
+
+    /// The earliest armed period timer across all CPUs — the next instant
+    /// at which an entirely idle machine has work to do.
+    pub fn next_timer_expiry(&self) -> Option<u64> {
+        self.cpus.iter().filter_map(|d| d.next_timer_expiry()).min()
+    }
+
+    /// Re-books one CPU's idle time after a lockstep round whose actual
+    /// elapsed time differed from the idle quantum the CPU recorded (see
+    /// [`Dispatcher::rebook_idle_us`]).
+    pub fn rebook_idle_us(&mut self, cpu: CpuId, recorded_us: u64, actual_us: u64) {
+        self.cpus[cpu.index()].rebook_idle_us(recorded_us, actual_us);
+    }
+
+    /// Sum of missed deadlines (and clears the counters) across all CPUs.
+    pub fn take_missed_deadlines(&mut self) -> u64 {
+        self.cpus
+            .iter_mut()
+            .map(|d| d.take_missed_deadlines())
+            .sum()
+    }
+
+    /// Total proportion granted across the machine as a fraction of one
+    /// CPU, clamped — the aggregate view a single-CPU caller expects.
+    pub fn total_reserved(&self) -> Proportion {
+        Proportion::from_ppt(self.total_reserved_ppt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Period, ThreadState};
+
+    fn res(ppt: u32, period_ms: u64) -> Reservation {
+        Reservation::new(Proportion::from_ppt(ppt), Period::from_millis(period_ms))
+    }
+
+    #[test]
+    fn single_cpu_machine_matches_dispatcher_behaviour() {
+        let mut m = Machine::new(DispatcherConfig::default(), 1);
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        m.add_thread_preadmitted(ThreadId(1), res(300, 10)).unwrap();
+        d.add_thread_preadmitted(ThreadId(1), res(300, 10)).unwrap();
+        for _ in 0..50 {
+            let om = m.dispatch(CpuId::ZERO);
+            let od = d.dispatch();
+            assert_eq!(om, od);
+            if let Some(t) = om.thread {
+                m.charge(t, om.quantum_us).unwrap();
+                d.charge(t, od.quantum_us).unwrap();
+            }
+            let next = m.now_us() + om.quantum_us;
+            m.advance_to(next);
+            d.advance_to(next);
+        }
+        assert_eq!(m.stats(), d.stats());
+        assert_eq!(
+            m.usage(ThreadId(1)).unwrap().total_used_us,
+            d.usage(ThreadId(1)).unwrap().total_used_us
+        );
+    }
+
+    #[test]
+    fn zero_cpus_clamps_to_one() {
+        let m = Machine::new(DispatcherConfig::default(), 0);
+        assert_eq!(m.cpu_count(), 1);
+        assert_eq!(m.cpu_ids().collect::<Vec<_>>(), vec![CpuId(0)]);
+    }
+
+    #[test]
+    fn least_loaded_placement_spreads_threads() {
+        let mut m = Machine::new(DispatcherConfig::default(), 4);
+        for i in 0..8 {
+            m.add_thread_preadmitted(ThreadId(i), res(200, 10)).unwrap();
+        }
+        // Two threads per CPU: every CPU carries 400 ppt.
+        for cpu in m.cpu_ids() {
+            assert_eq!(m.cpu_load_ppt(cpu), 400);
+        }
+        assert_eq!(m.total_reserved_ppt(), 1600, "aggregate is unclamped");
+        assert_eq!(m.total_reserved(), Proportion::FULL, "clamped view");
+        assert_eq!(m.thread_count(), 8);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_across_cpus() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread_on(CpuId(0), ThreadId(1), ThreadClass::Reserved(res(100, 10)))
+            .unwrap();
+        assert_eq!(
+            m.add_thread_on(CpuId(1), ThreadId(1), ThreadClass::BestEffort),
+            Err(SchedError::DuplicateThread(ThreadId(1))),
+            "a thread exists once per machine, not once per CPU"
+        );
+        assert_eq!(
+            m.add_thread_preadmitted_on(CpuId(1), ThreadId(1), res(1, 10)),
+            Err(SchedError::DuplicateThread(ThreadId(1)))
+        );
+    }
+
+    #[test]
+    fn saturated_cpu_admission_is_per_cpu() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread_on(CpuId(0), ThreadId(1), ThreadClass::Reserved(res(900, 10)))
+            .unwrap();
+        // CPU 0 is full; the same reservation still fits on CPU 1, and
+        // least-loaded placement finds it.
+        let cpu = m
+            .add_thread(ThreadId(2), ThreadClass::Reserved(res(900, 10)))
+            .unwrap();
+        assert_eq!(cpu, CpuId(1));
+        // A third such reservation fits nowhere.
+        assert!(matches!(
+            m.add_thread(ThreadId(3), ThreadClass::Reserved(res(900, 10))),
+            Err(SchedError::Oversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn migration_preserves_throttled_state_mid_period() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread_preadmitted_on(CpuId(0), ThreadId(1), res(100, 10))
+            .unwrap();
+        let o = m.dispatch(CpuId(0));
+        m.charge(ThreadId(1), o.quantum_us).unwrap();
+        assert_eq!(
+            m.dispatcher(CpuId(0)).thread_state(ThreadId(1)),
+            Some(ThreadState::Throttled)
+        );
+        let used = m.usage(ThreadId(1)).unwrap().total_used_us;
+
+        let from = m.migrate(ThreadId(1), CpuId(1)).unwrap();
+        assert_eq!(from, CpuId(0));
+        assert_eq!(m.cpu_of(ThreadId(1)), Some(CpuId(1)));
+        assert_eq!(
+            m.dispatcher(CpuId(1)).thread_state(ThreadId(1)),
+            Some(ThreadState::Throttled),
+            "throttle survives migration"
+        );
+        assert_eq!(m.usage(ThreadId(1)).unwrap().total_used_us, used);
+        assert_eq!(m.dispatch(CpuId(1)).thread, None, "still parked");
+        // The original period boundary replenishes it on the new CPU.
+        m.advance_to(10_000);
+        assert_eq!(m.dispatch(CpuId(1)).thread, Some(ThreadId(1)));
+        // The source CPU no longer knows it.
+        assert_eq!(m.dispatch(CpuId(0)).thread, None);
+        assert_eq!(m.cpu_load_ppt(CpuId(0)), 0);
+        assert_eq!(m.cpu_load_ppt(CpuId(1)), 100);
+    }
+
+    #[test]
+    fn migrate_to_same_cpu_is_a_noop() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread_preadmitted_on(CpuId(1), ThreadId(1), res(100, 10))
+            .unwrap();
+        assert_eq!(m.migrate(ThreadId(1), CpuId(1)), Ok(CpuId(1)));
+        assert_eq!(m.cpu_of(ThreadId(1)), Some(CpuId(1)));
+    }
+
+    #[test]
+    fn migrate_errors() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        assert_eq!(
+            m.migrate(ThreadId(9), CpuId(1)),
+            Err(SchedError::UnknownThread(ThreadId(9)))
+        );
+        m.add_thread_preadmitted_on(CpuId(0), ThreadId(1), res(100, 10))
+            .unwrap();
+        assert!(matches!(
+            m.migrate(ThreadId(1), CpuId(7)),
+            Err(SchedError::InvalidState(_, _))
+        ));
+    }
+
+    #[test]
+    fn lockstep_advance_and_aggregate_stats() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread_preadmitted_on(CpuId(0), ThreadId(1), res(300, 10))
+            .unwrap();
+        m.add_thread_preadmitted_on(CpuId(1), ThreadId(2), res(300, 10))
+            .unwrap();
+        for _ in 0..20 {
+            let mut max_q = 1;
+            for cpu in [CpuId(0), CpuId(1)] {
+                let o = m.dispatch(cpu);
+                if let Some(t) = o.thread {
+                    m.charge(t, o.quantum_us).unwrap();
+                }
+                max_q = max_q.max(o.quantum_us);
+            }
+            m.advance_to(m.now_us() + max_q);
+        }
+        for cpu in m.cpu_ids() {
+            assert_eq!(m.dispatcher(cpu).now_us(), m.now_us(), "lockstep clocks");
+        }
+        let agg = m.stats();
+        assert_eq!(agg.dispatches, 40);
+        assert!(agg.period_rollovers > 0);
+        // Usage visits both CPUs.
+        let mut seen = Vec::new();
+        m.for_each_usage(|cpu, id, acct| {
+            assert!(acct.total_used_us > 0);
+            seen.push((cpu, id));
+        });
+        assert_eq!(seen, vec![(CpuId(0), ThreadId(1)), (CpuId(1), ThreadId(2))]);
+        assert_eq!(m.take_missed_deadlines(), 0);
+        assert!(m.next_timer_expiry().is_some());
+    }
+
+    #[test]
+    fn remove_thread_frees_its_cpu() {
+        let mut m = Machine::new(DispatcherConfig::default(), 2);
+        m.add_thread(ThreadId(1), ThreadClass::Reserved(res(500, 10)))
+            .unwrap();
+        m.remove_thread(ThreadId(1)).unwrap();
+        assert_eq!(m.thread_count(), 0);
+        assert_eq!(m.total_reserved_ppt(), 0);
+        assert_eq!(
+            m.remove_thread(ThreadId(1)),
+            Err(SchedError::UnknownThread(ThreadId(1)))
+        );
+        assert_eq!(m.reservation(ThreadId(1)), None);
+        assert!(m.usage(ThreadId(1)).is_none());
+        assert!(m.usage_ref(ThreadId(1)).is_none());
+    }
+}

@@ -20,6 +20,31 @@ impl std::fmt::Display for ThreadId {
     }
 }
 
+/// Identifies one CPU of a [`crate::Machine`].
+///
+/// The paper's prototype ran on a single 400 MHz Pentium II; the machine
+/// layer generalises the same dispatcher to `N` CPUs, each with its own
+/// run queue, timer list and accounting.  `CpuId(0)` is the CPU a
+/// single-CPU machine consists of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpuId(pub u32);
+
+impl CpuId {
+    /// The first (and on a single-CPU machine, only) CPU.
+    pub const ZERO: CpuId = CpuId(0);
+
+    /// The CPU's index, usable for dense per-CPU side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
 /// A CPU proportion in parts per thousand, as specified in §3.1.
 ///
 /// "The proportion is a percentage, specified in parts-per-thousand, of the
@@ -252,6 +277,14 @@ mod tests {
         let id = ThreadId(42);
         assert_eq!(id.to_string(), "t42");
         assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn cpu_id_display_and_index() {
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+        assert_eq!(CpuId(3).index(), 3);
+        assert_eq!(CpuId::ZERO, CpuId(0));
+        assert!(CpuId(0) < CpuId(1));
     }
 
     proptest! {

@@ -1,4 +1,18 @@
 //! The simulation event loop.
+//!
+//! Since the machine-layer refactor the simulator drives an
+//! [`rrs_scheduler::Machine`] of `N` per-CPU dispatchers advancing in
+//! lockstep on the explicit clock: every step dispatches each CPU, runs
+//! the selected work models for the shortest granted quantum, and moves
+//! the shared clock once.  `N = 1` (the default) takes exactly the code
+//! path of the original single-dispatcher simulator: with
+//! [`SimConfig::idle_fast_forward`] disabled it reproduces the
+//! pre-refactor run bit for bit (clock, stats, floating-point overhead
+//! sums), and with it enabled (the default) idle dispatch rounds are
+//! skipped — scheduling outcomes and the paper's figure results are
+//! unchanged, while step counts and idle bookkeeping shrink.  Cross-CPU
+//! migrations decided by the control pipeline's Place stage are applied
+//! between cycles and charged a configurable cost.
 
 use crate::trace::Trace;
 use crate::workload::WorkModel;
@@ -7,7 +21,10 @@ use rrs_core::{
     JobSlot, JobSpec, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadId};
+use rrs_scheduler::{
+    CpuId, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, Period, Proportion, Reservation,
+    ThreadId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,6 +63,14 @@ pub struct SimConfig {
     pub charge_dispatch_overhead: bool,
     /// Interval between trace samples, in seconds.
     pub trace_interval_s: f64,
+    /// Modelled cost of one cross-CPU migration, in microseconds, charged
+    /// to the migrating thread's budget (cache and TLB refill on the
+    /// destination CPU).
+    pub migration_cost_us: u64,
+    /// When no thread anywhere is runnable (and none is blocked waiting to
+    /// be polled), jump the clock straight to the next timer, controller or
+    /// trace event instead of burning one dispatch tick at a time.
+    pub idle_fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -58,7 +83,23 @@ impl Default for SimConfig {
             charge_controller_cost: true,
             charge_dispatch_overhead: true,
             trace_interval_s: 0.1,
+            migration_cost_us: 50,
+            idle_fast_forward: true,
         }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy simulating a machine of `cpus` CPUs (clamped to at
+    /// least one).  The default configuration is the paper's single CPU.
+    pub fn with_cpus(mut self, cpus: u32) -> Self {
+        self.controller = self.controller.with_cpus(cpus);
+        self
+    }
+
+    /// Number of simulated CPUs.
+    pub fn cpus(&self) -> usize {
+        self.controller.placement.cpu_count()
     }
 }
 
@@ -88,6 +129,11 @@ pub struct SimStats {
     pub squish_events: u64,
     /// Number of real-time admission rejections observed.
     pub admission_rejections: u64,
+    /// Number of cross-CPU migrations applied.
+    pub migrations: u64,
+    /// Number of simulation steps executed (one lockstep dispatch round
+    /// each); idle fast-forward makes this drop on quiet workloads.
+    pub steps: u64,
 }
 
 struct SimThread {
@@ -121,16 +167,24 @@ struct SimThread {
 pub struct Simulation {
     config: SimConfig,
     registry: MetricRegistry,
-    dispatcher: Dispatcher,
+    machine: Machine,
     controller: Controller,
     threads: BTreeMap<ThreadId, SimThread>,
     /// Slot-indexed map back to the dispatcher's thread id, so actuations
     /// apply without re-deriving `JobId ↔ ThreadId`.
     slot_threads: Vec<Option<ThreadId>>,
+    /// Per-step dispatch outcomes, one per CPU (reused across steps).
+    cpu_outcomes: Vec<DispatchOutcome>,
+    /// Per-step CPU time actually consumed, aligned with `cpu_outcomes`
+    /// (reused across steps).
+    cpu_used: Vec<u64>,
     next_id: u64,
     now_us: u64,
     next_controller_us: u64,
     next_trace_us: u64,
+    /// End bound of the `run_until_micros` call in progress, clamping how
+    /// far an idle fast-forward may jump past the requested horizon.
+    run_end_us: Option<u64>,
     last_dispatch_overhead_us: f64,
     trace: Trace,
     stats: SimStats,
@@ -141,19 +195,22 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Self {
         let registry = MetricRegistry::new();
         let controller = Controller::new(config.controller, registry.clone());
-        let dispatcher = Dispatcher::new(config.dispatcher);
+        let machine = Machine::new(config.dispatcher, config.cpus());
         let controller_period_us = (config.controller.controller_period_s * 1e6).round() as u64;
         Self {
             config,
             registry,
-            dispatcher,
+            machine,
             controller,
             threads: BTreeMap::new(),
             slot_threads: Vec::new(),
+            cpu_outcomes: Vec::new(),
+            cpu_used: Vec::new(),
             next_id: 1,
             now_us: 0,
             next_controller_us: controller_period_us.max(1),
             next_trace_us: 0,
+            run_end_us: None,
             last_dispatch_overhead_us: 0.0,
             trace: Trace::new(),
             stats: SimStats::default(),
@@ -185,9 +242,21 @@ impl Simulation {
         self.stats
     }
 
-    /// Read-only access to the dispatcher (for usage and overhead queries).
+    /// Read-only access to CPU 0's dispatcher — the whole machine on the
+    /// default single-CPU configuration.  Multi-CPU queries should go
+    /// through [`Simulation::machine`].
     pub fn dispatcher(&self) -> &Dispatcher {
-        &self.dispatcher
+        self.machine.dispatcher(CpuId::ZERO)
+    }
+
+    /// Read-only access to the multi-CPU machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The CPU a job's thread is currently placed on.
+    pub fn cpu_of(&self, handle: JobHandle) -> Option<CpuId> {
+        self.machine.cpu_of(handle.thread)
     }
 
     /// Read-only access to the controller.
@@ -244,9 +313,14 @@ impl Simulation {
                 .unwrap_or(self.config.controller.min_proportion),
             spec.period.unwrap_or(self.config.controller.default_period),
         );
-        // The controller already ruled on admission above.
-        self.dispatcher
-            .add_thread_preadmitted(thread, initial)
+        // The controller already ruled on admission and chose the CPU
+        // (least-loaded fit) above.
+        let cpu = self
+            .controller
+            .cpu_of_slot(slot)
+            .expect("slot was just created");
+        self.machine
+            .add_thread_preadmitted_on(cpu, thread, initial)
             .expect("fresh thread id cannot clash");
 
         self.threads.insert(
@@ -265,7 +339,7 @@ impl Simulation {
     /// Removes a job from the simulation.
     pub fn remove_job(&mut self, handle: JobHandle) {
         self.threads.remove(&handle.thread);
-        let _ = self.dispatcher.remove_thread(handle.thread);
+        let _ = self.machine.remove_thread(handle.thread);
         if self.controller.remove_slot(handle.slot) {
             if let Some(entry) = self.slot_threads.get_mut(handle.slot.index()) {
                 *entry = None;
@@ -275,7 +349,7 @@ impl Simulation {
 
     /// The proportion currently reserved for a job, in parts per thousand.
     pub fn current_allocation_ppt(&self, handle: JobHandle) -> u32 {
-        self.dispatcher
+        self.machine
             .reservation(handle.thread)
             .map(|r| r.proportion.ppt())
             .unwrap_or(0)
@@ -283,7 +357,7 @@ impl Simulation {
 
     /// Total CPU time a job has consumed so far, in microseconds.
     pub fn cpu_used_us(&self, handle: JobHandle) -> u64 {
-        self.dispatcher
+        self.machine
             .usage(handle.thread)
             .map(|u| u.total_used_us)
             .unwrap_or(0)
@@ -297,14 +371,18 @@ impl Simulation {
 
     /// Runs the simulation until the given absolute simulated time.
     pub fn run_until_micros(&mut self, end_us: u64) {
+        self.run_end_us = Some(end_us);
         while self.now_us < end_us {
             self.step();
         }
+        self.run_end_us = None;
     }
 
-    /// Executes one scheduling step (controller if due, one dispatch, one
-    /// quantum of work).
+    /// Executes one scheduling step: controller if due, one lockstep
+    /// dispatch round over every CPU, one quantum of work per busy CPU.
     pub fn step(&mut self) {
+        self.stats.steps += 1;
+
         // Controller invocation.
         if self.config.controller_enabled && self.now_us >= self.next_controller_us {
             self.run_controller();
@@ -325,33 +403,112 @@ impl Simulation {
             }
         }
 
-        self.dispatcher.advance_to(self.now_us);
+        self.machine.advance_to(self.now_us);
         self.poll_blocked();
 
-        let outcome = self.dispatcher.dispatch();
+        // Dispatch every CPU; the machine runs in lockstep for the
+        // shortest quantum any CPU granted.
+        self.cpu_outcomes.clear();
+        let mut any_thread = false;
+        let mut min_quantum = u64::MAX;
+        for cpu in 0..self.machine.cpu_count() {
+            let outcome = self.machine.dispatch(CpuId(cpu as u32));
+            any_thread |= outcome.thread.is_some();
+            min_quantum = min_quantum.min(outcome.quantum_us);
+            self.cpu_outcomes.push(outcome);
+        }
         self.charge_dispatch_overhead();
 
-        match outcome.thread {
-            Some(tid) => {
-                let cpu_hz = self.config.cpu.clock_hz;
-                let now = self.now_us;
-                let entry = self
-                    .threads
-                    .get_mut(&tid)
-                    .expect("dispatched thread exists");
-                let result = entry.work.run(now, outcome.quantum_us, cpu_hz);
-                let used = result.used_us.min(outcome.quantum_us);
-                self.dispatcher
-                    .charge(tid, used)
-                    .expect("dispatched thread exists");
-                if result.blocked {
-                    self.dispatcher.block(tid).expect("thread exists");
-                    self.threads.get_mut(&tid).expect("exists").blocked = true;
-                }
-                self.now_us += used.max(1);
+        if !any_thread {
+            self.advance_idle(min_quantum.max(1));
+            return;
+        }
+
+        let dt = min_quantum.max(1);
+        let cpu_hz = self.config.cpu.clock_hz;
+        let now = self.now_us;
+        // The clock advances by the longest time any CPU was actually busy
+        // this round; a CPU whose thread yielded early idles out the rest.
+        let mut max_used = 0;
+        self.cpu_used.clear();
+        for i in 0..self.cpu_outcomes.len() {
+            let Some(tid) = self.cpu_outcomes[i].thread else {
+                self.cpu_used.push(0);
+                continue;
+            };
+            let entry = self
+                .threads
+                .get_mut(&tid)
+                .expect("dispatched thread exists");
+            let result = entry.work.run(now, dt, cpu_hz);
+            let used = result.used_us.min(dt);
+            self.machine
+                .charge(tid, used)
+                .expect("dispatched thread exists");
+            if result.blocked {
+                self.machine.block(tid).expect("thread exists");
+                self.threads.get_mut(&tid).expect("exists").blocked = true;
             }
-            None => {
-                self.now_us += outcome.quantum_us.max(1);
+            self.cpu_used.push(used);
+            max_used = max_used.max(used);
+        }
+        let advance = max_used.max(1);
+        self.rebook_idle_cpus(advance);
+        self.now_us += advance;
+    }
+
+    /// Moves the clock across a fully idle dispatch round.  With idle
+    /// fast-forward enabled (and no blocked thread waiting to be polled)
+    /// the clock jumps straight to the next event — a period timer, the
+    /// controller tick or the trace sampler — instead of accumulating one
+    /// bounded idle quantum per step.
+    fn advance_idle(&mut self, idle_quantum: u64) {
+        let pollable_blocked = self.threads.values().any(|t| t.blocked);
+        let advance = if !self.config.idle_fast_forward || pollable_blocked {
+            idle_quantum
+        } else {
+            let mut target = u64::MAX;
+            if let Some(t) = self.machine.next_timer_expiry() {
+                target = target.min(t);
+            }
+            if self.config.controller_enabled {
+                target = target.min(self.next_controller_us);
+            }
+            target = target.min(self.next_trace_us);
+            if target == u64::MAX {
+                target = self.now_us + idle_quantum;
+            }
+            // Never overshoot the caller's horizon: pre-refactor runs
+            // ended within one dispatch quantum of the requested time.
+            if let Some(end) = self.run_end_us {
+                target = target.min(end);
+            }
+            target.max(self.now_us + 1) - self.now_us
+        };
+        self.rebook_idle_cpus(advance);
+        self.now_us += advance;
+    }
+
+    /// An idle dispatch books its returned quantum as idle time, but the
+    /// lockstep round may elapse a different span (another CPU's thread
+    /// yielded early, or fast-forward jumped a quiet gap); re-book every
+    /// idle CPU's statistic to what actually passed.  A CPU whose thread
+    /// ran for less than the round booked nothing at dispatch time, so its
+    /// unused remainder is added here.
+    fn rebook_idle_cpus(&mut self, actual_us: u64) {
+        for (i, outcome) in self.cpu_outcomes.iter().enumerate() {
+            match outcome.thread {
+                None => {
+                    self.machine
+                        .rebook_idle_us(CpuId(i as u32), outcome.quantum_us, actual_us);
+                }
+                Some(_) => {
+                    let used = self.cpu_used.get(i).copied().unwrap_or(actual_us);
+                    if actual_us > used {
+                        self.machine
+                            .rebook_idle_us(CpuId(i as u32), 0, actual_us - used);
+                    }
+                }
             }
         }
     }
@@ -368,16 +525,16 @@ impl Simulation {
             let entry = self.threads.get_mut(&tid).expect("exists");
             if entry.work.poll_unblock(now) {
                 entry.blocked = false;
-                let _ = self.dispatcher.unblock(tid);
+                let _ = self.machine.unblock(tid);
             }
         }
     }
 
     fn run_controller(&mut self) {
-        // Feed the dispatcher's accounting to the controller by slot, then
+        // Feed the machine's accounting to the controller by slot, then
         // run the staged pipeline in place — no per-cycle allocation.
         for (tid, thread) in &self.threads {
-            if let Some(acct) = self.dispatcher.usage_ref(*tid) {
+            if let Some(acct) = self.machine.usage_ref(*tid) {
                 self.controller.record_usage(
                     thread.slot,
                     UsageSnapshot {
@@ -397,9 +554,21 @@ impl Simulation {
                 _ => {}
             }
         }
+        let migration_cost = self.config.migration_cost_us;
         for actuation in &out.actuations {
             if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
-                let _ = self.dispatcher.set_reservation(*tid, actuation.reservation);
+                let _ = self.machine.set_reservation(*tid, actuation.reservation);
+                // Apply the Place stage's decision: move the thread to its
+                // assigned CPU and charge the modelled migration cost to
+                // its budget (cache and TLB refill on the new CPU).
+                if self.machine.cpu_of(*tid) != Some(actuation.cpu)
+                    && self.machine.migrate(*tid, actuation.cpu).is_ok()
+                {
+                    self.stats.migrations += 1;
+                    if migration_cost > 0 {
+                        let _ = self.machine.charge(*tid, migration_cost);
+                    }
+                }
             }
         }
         if self.config.charge_controller_cost {
@@ -408,12 +577,16 @@ impl Simulation {
     }
 
     fn charge_dispatch_overhead(&mut self) {
-        let total = self.dispatcher.stats().overhead_us;
+        let total = self.machine.stats().overhead_us;
         let delta = total - self.last_dispatch_overhead_us;
         self.last_dispatch_overhead_us = total;
         self.stats.dispatch_overhead_us += delta;
         if self.config.charge_dispatch_overhead && delta > 0.0 {
-            self.now_us += delta.round() as u64;
+            // CPUs pay their dispatch overhead in parallel: the shared
+            // clock advances by the per-CPU average, which on one CPU is
+            // exactly the original charge.
+            let wall = delta / self.machine.cpu_count() as f64;
+            self.now_us += wall.round() as u64;
         }
     }
 
@@ -421,7 +594,7 @@ impl Simulation {
         let t = self.now_seconds();
         let interval = self.config.trace_interval_s.max(1e-9);
         for (tid, thread) in &mut self.threads {
-            if let Some(r) = self.dispatcher.reservation(*tid) {
+            if let Some(r) = self.machine.reservation(*tid) {
                 self.trace.record(
                     &format!("alloc/{}", thread.name),
                     t,
@@ -455,7 +628,7 @@ impl Simulation {
     /// example the Figure 8 sweep, which runs without the controller).
     pub fn force_reservation(&mut self, handle: JobHandle, proportion: Proportion, period: Period) {
         let _ = self
-            .dispatcher
+            .machine
             .set_reservation(handle.thread, Reservation::new(proportion, period));
     }
 }
@@ -667,6 +840,71 @@ mod tests {
     }
 
     #[test]
+    fn multicore_idle_accounting_tracks_actual_elapsed_time() {
+        // One throttled spinner on cpu0 leaves cpu1 permanently idle.
+        // Every lockstep round cpu1 books an idle quantum that may exceed
+        // what actually elapses; the rebooking correction must keep total
+        // idle time within the machine's physical capacity.
+        let config = SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default().with_cpus(2)
+        };
+        let mut sim = Simulation::new(config);
+        let h = sim
+            .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
+        sim.run_for(2.0);
+        let idle = sim.machine().stats().idle_us;
+        let capacity = sim.now_micros() * sim.machine().cpu_count() as u64;
+        assert!(
+            idle <= capacity,
+            "idle_us {idle} cannot exceed machine capacity {capacity}"
+        );
+        // cpu1 never runs anything and cpu0 idles ~90 % of each period:
+        // idle should be most of the capacity, not a wild overcount.
+        assert!(idle > capacity / 2, "idle {idle} of {capacity}");
+    }
+
+    #[test]
+    fn early_yielding_thread_books_its_idle_remainder() {
+        /// Sips 1 µs of every quantum, then blocks until the next poll.
+        struct Sip;
+        impl WorkModel for Sip {
+            fn run(&mut self, _now: u64, _quantum_us: u64, _hz: f64) -> RunResult {
+                RunResult::blocked_after(1)
+            }
+            fn poll_unblock(&mut self, _now_us: u64) -> bool {
+                true
+            }
+        }
+        let config = SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default().with_cpus(2)
+        };
+        let mut sim = Simulation::new(config);
+        let hog = sim
+            .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let sip = sim
+            .add_job("sip", JobSpec::miscellaneous(), Box::new(Sip))
+            .unwrap();
+        sim.force_reservation(hog, Proportion::from_ppt(1000), Period::from_millis(10));
+        sim.force_reservation(sip, Proportion::from_ppt(500), Period::from_millis(10));
+        assert_ne!(sim.cpu_of(hog), sim.cpu_of(sip));
+        sim.run_for(1.0);
+        // The sipper's CPU is idle for ~999/1000 of every busy round; that
+        // remainder must show up in the machine's idle accounting.
+        let idle = sim.machine().stats().idle_us;
+        let now = sim.now_micros();
+        assert!(
+            idle > now * 8 / 10,
+            "sipper CPU idleness must be booked: idle {idle} of {now}"
+        );
+        assert!(idle <= now * 2, "idle cannot exceed 2-CPU capacity");
+    }
+
+    #[test]
     fn dispatch_overhead_reduces_available_cpu_at_high_frequency() {
         let available = |interval_us: u64| {
             let config = SimConfig {
@@ -750,5 +988,147 @@ mod tests {
         assert!(sim.now_seconds() >= 1.0);
         let dbg = format!("{sim:?}");
         assert!(dbg.contains("Simulation"));
+
+        // Idle fast-forward: with nothing runnable the clock jumps from
+        // event to event (controller ticks at 10 ms, trace at 100 ms)
+        // instead of burning one dispatch tick (1 ms) at a time, so the
+        // default run above takes far fewer steps than the tick-at-a-time
+        // configuration.
+        let fast_steps = sim.stats().steps;
+        let mut slow = Simulation::new(SimConfig {
+            idle_fast_forward: false,
+            ..SimConfig::default()
+        });
+        slow.run_for(1.0);
+        let slow_steps = slow.stats().steps;
+        assert!(
+            fast_steps * 4 < slow_steps,
+            "fast-forward must cut the step count ({fast_steps} vs {slow_steps})"
+        );
+    }
+
+    #[test]
+    fn idle_fast_forward_respects_the_run_horizon() {
+        // No jobs, no controller, a 10 s trace interval: the only jump
+        // target is far beyond the requested run; the clock must still
+        // stop at (not overshoot) the horizon.
+        let config = SimConfig {
+            controller_enabled: false,
+            trace_interval_s: 10.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config);
+        sim.run_for(0.5);
+        assert!(sim.now_seconds() >= 0.5);
+        assert!(
+            sim.now_seconds() < 0.51,
+            "fast-forward overshot the requested horizon: {}",
+            sim.now_seconds()
+        );
+    }
+
+    #[test]
+    fn idle_fast_forward_jumps_to_throttle_replenishment() {
+        // A single reserved thread that exhausts its budget leaves the
+        // machine idle until its period boundary; fast-forward must jump
+        // there, not change how much CPU the thread receives.
+        let run = |ff: bool| {
+            let config = SimConfig {
+                idle_fast_forward: ff,
+                controller_enabled: false,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(config);
+            let h = sim
+                .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+                .unwrap();
+            sim.force_reservation(h, Proportion::from_ppt(200), Period::from_millis(10));
+            sim.run_for(2.0);
+            (
+                sim.cpu_used_us(h) as f64 / sim.now_micros() as f64,
+                sim.stats().steps,
+            )
+        };
+        let (fast_frac, fast_steps) = run(true);
+        let (slow_frac, slow_steps) = run(false);
+        assert!(
+            (fast_frac - slow_frac).abs() < 0.02,
+            "fast-forward must not change delivered CPU ({fast_frac} vs {slow_frac})"
+        );
+        assert!(fast_steps < slow_steps);
+    }
+
+    #[test]
+    fn multicore_sim_runs_jobs_in_parallel() {
+        let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+        let a = sim
+            .add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let b = sim
+            .add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(5.0);
+        // Each hog has a whole CPU: both should consume most of the
+        // elapsed time, which is impossible on one CPU.
+        let elapsed = sim.now_micros() as f64;
+        let fa = sim.cpu_used_us(a) as f64 / elapsed;
+        let fb = sim.cpu_used_us(b) as f64 / elapsed;
+        assert!(fa > 0.6, "hog a got {fa}");
+        assert!(fb > 0.6, "hog b got {fb}");
+        assert_ne!(sim.cpu_of(a), sim.cpu_of(b), "placed on different CPUs");
+        assert_eq!(sim.machine().cpu_count(), 2);
+    }
+
+    #[test]
+    fn saturated_cpu_arrival_lands_on_the_empty_one() {
+        let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+        let first = sim
+            .add_job("first", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(3.0);
+        assert!(
+            sim.current_allocation_ppt(first) > 800,
+            "first hog saturates its CPU"
+        );
+        let late = sim
+            .add_job("late", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        assert_ne!(
+            sim.cpu_of(first),
+            sim.cpu_of(late),
+            "least-loaded fit places the newcomer on the empty CPU"
+        );
+        sim.run_for(5.0);
+        // Both can now grow toward a full CPU each — no squish fight.
+        assert!(sim.current_allocation_ppt(first) > 700);
+        assert!(sim.current_allocation_ppt(late) > 500);
+    }
+
+    #[test]
+    fn imbalance_triggers_migration_to_the_emptied_cpu() {
+        // A, B, C land cpu0/cpu1/cpu0; removing B empties cpu1 while A and
+        // C crowd cpu0.  The Place stage must notice the widening gap and
+        // migrate one of the survivors across.
+        let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+        let a = sim
+            .add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let b = sim
+            .add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let c = sim
+            .add_job("c", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        assert_eq!(sim.cpu_of(a), sim.cpu_of(c), "tie placement crowds cpu0");
+        assert_ne!(sim.cpu_of(a), sim.cpu_of(b));
+        sim.run_for(2.0);
+        sim.remove_job(b);
+        sim.run_for(5.0);
+        assert!(sim.stats().migrations >= 1, "a survivor migrated");
+        assert_ne!(sim.cpu_of(a), sim.cpu_of(c), "the pair ends up one per CPU");
+        // Rebalanced, both can use most of a CPU each.
+        let elapsed = sim.now_micros() as f64;
+        assert!(sim.cpu_used_us(a) as f64 / elapsed > 0.4);
+        assert!(sim.cpu_used_us(c) as f64 / elapsed > 0.4);
     }
 }

@@ -8,10 +8,16 @@
 //! * [`core`] (`rrs-core`) — the adaptive controller: thread taxonomy,
 //!   progress pressure, PID control, proportion estimation, squishing and
 //!   admission control, organised as a staged control-plane pipeline
-//!   (Sense → Classify → Estimate → Allocate → Actuate) over dense
-//!   slot-indexed job storage whose steady-state cycle is allocation-free.
+//!   (Sense → Classify → Estimate → Allocate → Place → Actuate) over
+//!   dense slot-indexed job storage whose steady-state cycle is
+//!   allocation-free.  The Place stage assigns each job a CPU:
+//!   least-loaded fit at admission, threshold-triggered migration under
+//!   imbalance.
 //! * [`scheduler`] (`rrs-scheduler`) — the reservation-based
-//!   proportion/period dispatcher.
+//!   proportion/period dispatcher, and the **machine layer**
+//!   ([`scheduler::Machine`]): `N` per-CPU dispatchers advancing in
+//!   lockstep behind the single-CPU API, with cross-CPU migration that
+//!   preserves mid-period accounting ([`scheduler::CpuId`]).
 //! * [`queue`] (`rrs-queue`) — symbiotic interfaces: bounded buffers, pipes
 //!   and the progress-metric registry.
 //! * [`feedback`] (`rrs-feedback`) — the software feedback toolkit (PID,
@@ -39,6 +45,9 @@
 //!     }
 //! }
 //!
+//! // `SimConfig::default()` is the paper's machine: a single CPU.  Ask
+//! // for more with `.with_cpus(n)` and the Place stage spreads jobs
+//! // over the machine; everything below is unchanged either way.
 //! let mut sim = Simulation::new(SimConfig::default());
 //! let job = sim.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
 //! sim.run_for(2.0);
@@ -49,6 +58,30 @@
 //! // layer — the same grant is visible through it.
 //! let granted = sim.controller().granted_at(job.slot).unwrap();
 //! assert_eq!(granted.ppt(), sim.current_allocation_ppt(job));
+//! ```
+//!
+//! ## Multi-CPU machines
+//!
+//! ```
+//! use realrate::core::JobSpec;
+//! use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+//!
+//! struct Spin;
+//! impl WorkModel for Spin {
+//!     fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+//!         RunResult::ran(quantum_us)
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+//! let a = sim.add_job("a", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! let b = sim.add_job("b", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! sim.run_for(2.0);
+//! // Least-loaded fit put the hogs on different CPUs, so together they
+//! // consume more than one CPU's worth of time.
+//! assert_ne!(sim.cpu_of(a), sim.cpu_of(b));
+//! let total = sim.cpu_used_us(a) + sim.cpu_used_us(b);
+//! assert!(total > sim.now_micros());
 //! ```
 
 #![warn(missing_docs)]

@@ -1,0 +1,149 @@
+//! N = 1 equivalence: the machine-layer refactor must not change the
+//! single-CPU system's behaviour in any observable way.
+//!
+//! The expected values below were captured by running this exact workload
+//! on the pre-refactor simulator (single `Dispatcher`, no Place stage, no
+//! idle fast-forward) at commit `df90dc9`.  The refactored stack — a
+//! one-CPU `Machine`, the Place stage in the control pipeline, lockstep
+//! dispatch — must reproduce them bit for bit: same clock, same dispatch
+//! counts, same floating-point overhead sums, same per-job usage.
+
+use realrate::core::JobSpec;
+use realrate::queue::{BoundedBuffer, JobKey, Role};
+use realrate::scheduler::{CpuId, Period, Proportion};
+use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+use std::sync::Arc;
+
+struct Spin;
+
+impl WorkModel for Spin {
+    fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        RunResult::ran(quantum_us)
+    }
+}
+
+/// The fixed workload: a 300 ‰ / 10 ms real-time spinner, a greedy
+/// miscellaneous hog, and a real-rate consumer of a permanently full
+/// queue, run for 2 simulated seconds.
+fn run_fixed_workload() -> (Simulation, [realrate::sim::JobHandle; 3]) {
+    // Idle fast-forward is disabled to match the pre-refactor stepper,
+    // which burned one dispatch tick at a time through idle gaps.
+    let mut sim = Simulation::new(SimConfig {
+        idle_fast_forward: false,
+        ..SimConfig::default()
+    });
+    let registry = sim.registry();
+    let rt = sim
+        .add_job(
+            "rt",
+            JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(10)),
+            Box::new(Spin),
+        )
+        .unwrap();
+    let hog = sim
+        .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin))
+        .unwrap();
+    let consumer = sim
+        .add_job("consumer", JobSpec::real_rate(), Box::new(Spin))
+        .unwrap();
+    let queue = Arc::new(BoundedBuffer::<u8>::new("q", 8));
+    for i in 0..8 {
+        queue.try_push(i).unwrap();
+    }
+    registry.register(JobKey(consumer.job.0), Role::Consumer, queue);
+    sim.run_for(2.0);
+    (sim, [rt, hog, consumer])
+}
+
+#[test]
+fn one_cpu_machine_reproduces_the_pre_refactor_simulation_exactly() {
+    let (sim, [rt, hog, consumer]) = run_fixed_workload();
+
+    // Clock and controller, captured pre-refactor.
+    assert_eq!(sim.now_micros(), 2_000_898);
+    let stats = sim.stats();
+    assert_eq!(stats.controller_invocations, 199);
+    assert_eq!(stats.controller_cost_us, 5074.499999999999);
+    assert_eq!(stats.dispatch_overhead_us, 16836.89999999904);
+    assert_eq!(stats.quality_exceptions, 347);
+    assert_eq!(stats.squish_events, 181);
+    assert_eq!(stats.admission_rejections, 0);
+    assert_eq!(stats.migrations, 0, "one CPU has nowhere to migrate to");
+
+    // Dispatcher state, captured pre-refactor.
+    let d = sim.dispatcher().stats();
+    assert_eq!(d.dispatches, 2065);
+    assert_eq!(d.context_switches, 1471);
+    assert_eq!(d.period_rollovers, 329);
+    assert_eq!(d.deadlines_missed, 17);
+    assert_eq!(d.overhead_us, 16836.89999999904);
+    assert_eq!(d.idle_us, 126_256);
+
+    // Per-job delivery and final allocations, captured pre-refactor.
+    assert_eq!(sim.cpu_used_us(rt), 594_000);
+    assert_eq!(sim.cpu_used_us(hog), 607_210);
+    assert_eq!(sim.cpu_used_us(consumer), 651_060);
+    assert_eq!(sim.current_allocation_ppt(rt), 300);
+    assert_eq!(sim.current_allocation_ppt(hog), 325);
+    assert_eq!(sim.current_allocation_ppt(consumer), 325);
+
+    // The machine view agrees with the single-dispatcher view.
+    assert_eq!(sim.machine().cpu_count(), 1);
+    for h in [rt, hog, consumer] {
+        assert_eq!(sim.cpu_of(h), Some(CpuId::ZERO));
+    }
+    assert_eq!(sim.machine().stats(), d);
+}
+
+#[test]
+fn default_config_remains_single_cpu() {
+    // `SimConfig::default()` is the paper's machine: one CPU, so figures
+    // 5–8 keep reproducing without opting into anything.
+    let config = SimConfig::default();
+    assert_eq!(config.cpus(), 1);
+    assert_eq!(config.controller.placement.cpus, 1);
+    let sim = Simulation::new(config);
+    assert_eq!(sim.machine().cpu_count(), 1);
+}
+
+#[test]
+fn idle_fast_forward_preserves_scheduling_outcomes() {
+    // Fast-forward skips idle dispatch rounds (and their modelled
+    // overhead), so clocks and stats differ — but what each job actually
+    // received must stay equivalent on this nearly saturated workload.
+    let (slow, [rt_s, hog_s, con_s]) = run_fixed_workload();
+    let mut fast = Simulation::new(SimConfig::default());
+    let registry = fast.registry();
+    let rt = fast
+        .add_job(
+            "rt",
+            JobSpec::real_time(Proportion::from_ppt(300), Period::from_millis(10)),
+            Box::new(Spin),
+        )
+        .unwrap();
+    let hog = fast
+        .add_job("hog", JobSpec::miscellaneous(), Box::new(Spin))
+        .unwrap();
+    let consumer = fast
+        .add_job("consumer", JobSpec::real_rate(), Box::new(Spin))
+        .unwrap();
+    let queue = Arc::new(BoundedBuffer::<u8>::new("q", 8));
+    for i in 0..8 {
+        queue.try_push(i).unwrap();
+    }
+    registry.register(JobKey(consumer.job.0), Role::Consumer, queue);
+    fast.run_for(2.0);
+
+    for ((a, sa), (b, sb)) in [(rt_s, &slow), (hog_s, &slow), (con_s, &slow)]
+        .into_iter()
+        .zip([(rt, &fast), (hog, &fast), (consumer, &fast)])
+    {
+        let frac_a = sa.cpu_used_us(a) as f64 / sa.now_micros() as f64;
+        let frac_b = sb.cpu_used_us(b) as f64 / sb.now_micros() as f64;
+        assert!(
+            (frac_a - frac_b).abs() < 0.02,
+            "job delivery changed: {frac_a} vs {frac_b}"
+        );
+    }
+    assert!(fast.stats().steps <= slow.stats().steps);
+}

@@ -35,10 +35,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-#[test]
-fn steady_state_control_cycle_is_allocation_free() {
+/// Runs the representative job mix against a controller with the given
+/// configuration and asserts the measured steady-state window performs no
+/// heap allocation.  Exercised twice: on the paper's single CPU and on a
+/// 4-CPU machine, where the Place stage's CPU-load accounting and sticky
+/// placement run every cycle.
+fn assert_steady_state_allocation_free(config: ControllerConfig) {
     let registry = MetricRegistry::new();
-    let mut controller = Controller::new(ControllerConfig::default(), registry.clone());
+    let mut controller = Controller::new(config, registry.clone());
 
     // A representative mix: a real-time reservation, a real-rate consumer
     // of a full queue, and enough greedy miscellaneous jobs to keep the
@@ -95,4 +99,13 @@ fn steady_state_control_cycle_is_allocation_free() {
         0,
         "steady-state control cycles must perform no heap allocation"
     );
+}
+
+#[test]
+fn steady_state_control_cycle_is_allocation_free() {
+    // The paper's single CPU, and a 4-CPU machine with the Place stage
+    // doing per-CPU load accounting (run sequentially: the counting
+    // allocator is process-global).
+    assert_steady_state_allocation_free(ControllerConfig::default());
+    assert_steady_state_allocation_free(ControllerConfig::default().with_cpus(4));
 }

@@ -1,0 +1,81 @@
+//! Runs the built-in scenario corpus and writes one JSON report per
+//! scenario into `results/`.
+//!
+//! ```sh
+//! cargo run --release --bin scenario_runner              # full corpus
+//! cargo run --release --bin scenario_runner -- --smoke   # CI smoke subset
+//! cargo run --release --bin scenario_runner -- steady_video hog_storm
+//! ```
+//!
+//! Exits non-zero if any scenario fails an SLO (or an argument names no
+//! corpus scenario), so CI can gate on scenario regressions.
+
+use rrs_scenario::{corpus, run_scenario, scenario_by_name, smoke_corpus, ScenarioReport};
+
+fn print_report(report: &ScenarioReport) {
+    let verdict = if report.passed { "PASS" } else { "FAIL" };
+    println!(
+        "[{verdict}] {:<18} {:>5.1} s  {:>2} cpus  jobs +{}/-{}  migrations {}",
+        report.scenario,
+        report.elapsed_s,
+        report.cpus,
+        report.jobs.installed + report.jobs.spawned,
+        report.jobs.departed,
+        report.stats.migrations,
+    );
+    for slo in &report.slos {
+        let mark = if slo.passed { "ok " } else { "FAIL" };
+        println!("    {mark} {}", slo.description);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs = if args.iter().any(|a| a == "--smoke") {
+        smoke_corpus()
+    } else if args.is_empty() {
+        corpus()
+    } else {
+        let mut specs = Vec::new();
+        for name in &args {
+            match scenario_by_name(name) {
+                Some(s) => specs.push(s),
+                None => {
+                    eprintln!("unknown scenario '{name}'; the corpus is:");
+                    for s in corpus() {
+                        eprintln!("  {}", s.name);
+                    }
+                    std::process::exit(2);
+                }
+            }
+        }
+        specs
+    };
+
+    let mut failures = 0;
+    for spec in &specs {
+        let report = match run_scenario(spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[FAIL] {}: invalid spec: {e}", spec.name);
+                failures += 1;
+                continue;
+            }
+        };
+        print_report(&report);
+        if let Some(path) = rrs_scenario::write_report(&report) {
+            println!("    wrote {}", path.display());
+        }
+        if !report.passed {
+            failures += 1;
+        }
+    }
+    println!(
+        "\n{} of {} scenarios passed",
+        specs.len() - failures,
+        specs.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

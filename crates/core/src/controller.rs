@@ -196,6 +196,19 @@ impl Controller {
         &self.config
     }
 
+    /// Changes the number of CPUs the Place stage spreads jobs over
+    /// (clamped to `1..=PlacementConfig::MAX_CPUS`), mid-run.
+    ///
+    /// Growing the machine takes effect on the next control cycle: the
+    /// Allocate stage's capacity (`overload_threshold × CPUs`) widens and
+    /// the Place stage starts fitting jobs onto the new CPUs.  Shrinking
+    /// remaps any job placed on a now-out-of-range CPU on the next cycle;
+    /// callers driving a real [`rrs_scheduler::Machine`] should only ever
+    /// grow, since the machine layer has no hot-remove.
+    pub fn set_cpus(&mut self, cpus: u32) {
+        self.config.placement.cpus = cpus.clamp(1, crate::config::PlacementConfig::MAX_CPUS);
+    }
+
     /// The metric registry the controller samples.
     pub fn registry(&self) -> &MetricRegistry {
         &self.registry

@@ -1,0 +1,568 @@
+//! Turns a [`ScenarioSpec`] into a machine-backed simulation run and a
+//! pass/fail [`ScenarioReport`].
+//!
+//! The runner installs the static members, pre-computes every event of
+//! the schedule — phase starts (load steps, hog storms, CPU hot-adds),
+//! seeded transient arrivals and their departures — and then drives the
+//! simulation from event to event with `run_until_micros`.  At the end it
+//! assembles the [`Observations`] the SLOs are
+//! evaluated against and, optionally, writes the report to
+//! `results/scenario_<name>.json`.
+
+use crate::arrivals::ArrivalRng;
+use crate::slo::{Observations, SloOutcome};
+use crate::spec::{Member, ScenarioSpec, SpecError, TransientJob};
+use rrs_core::JobSpec;
+use rrs_scheduler::{Period, Proportion};
+use rrs_sim::{JobHandle, RunResult, SimConfig, SimStats, Simulation, WorkModel};
+use rrs_workloads::{
+    CpuHog, DiskReader, DummyProcess, InteractiveJob, ModemConfig, PipelineConfig, PulsePipeline,
+    ServerConfig, SoftwareModem, VideoPipeline, VideoPipelineConfig, WebServer,
+};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Job-population counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobCounts {
+    /// Jobs installed by static members at `t = 0`.
+    pub installed: u64,
+    /// Transient jobs spawned by arrival streams and hog storms.
+    pub spawned: u64,
+    /// Transient jobs removed at the end of their lifetime.
+    pub departed: u64,
+    /// Spawn attempts rejected by admission control.
+    pub rejected: u64,
+}
+
+/// The machine-checkable result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name (also the report file name).
+    pub scenario: String,
+    /// The spec's description.
+    pub description: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Elapsed simulated seconds (at least the spec's horizon).
+    pub elapsed_s: f64,
+    /// Final CPU count (after any hot-adds).
+    pub cpus: u32,
+    /// Machine capacity delivered over the run, in CPU-microseconds.
+    pub capacity_us: f64,
+    /// Job-population counters.
+    pub jobs: JobCounts,
+    /// The simulator's aggregate statistics, per-CPU breakdown included.
+    pub stats: SimStats,
+    /// Every SLO's outcome, in spec order.
+    pub slos: Vec<SloOutcome>,
+    /// Whether every SLO passed.
+    pub passed: bool,
+}
+
+/// A transient job with a fixed amount of work: spins until done, then
+/// blocks until its scheduled departure.
+#[derive(Debug)]
+struct FiniteWork {
+    cycles_remaining: f64,
+}
+
+impl WorkModel for FiniteWork {
+    fn run(&mut self, _now_us: u64, quantum_us: u64, cpu_hz: f64) -> RunResult {
+        if self.cycles_remaining <= 0.0 {
+            return RunResult::blocked_after(0);
+        }
+        let offered = quantum_us as f64 * cpu_hz / 1e6;
+        if offered < self.cycles_remaining {
+            self.cycles_remaining -= offered;
+            RunResult::ran(quantum_us)
+        } else {
+            let used_us = (self.cycles_remaining / cpu_hz * 1e6).round() as u64;
+            self.cycles_remaining = 0.0;
+            RunResult::blocked_after(used_us.min(quantum_us))
+        }
+    }
+
+    fn poll_unblock(&mut self, _now_us: u64) -> bool {
+        false
+    }
+
+    fn label(&self) -> &str {
+        "finite-work"
+    }
+}
+
+/// What a member contributed to the observation groups.
+#[derive(Default)]
+struct Installed {
+    /// Persistent jobs whose allocation the controller adapts and that
+    /// keep wanting CPU (hogs and queue-coupled real-rate stages).
+    adaptive: Vec<JobHandle>,
+    /// The fairness group: identical persistent hogs.
+    hogs: Vec<JobHandle>,
+    /// Real-time spinners with their reserved parts per thousand.
+    rt_spin: Vec<(JobHandle, u32)>,
+    /// Application-level statistics of installed modems.
+    modems: Vec<std::sync::Arc<rrs_workloads::ModemStats>>,
+    /// Every handle installed (for the `installed` count).
+    count: u64,
+}
+
+fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
+    match member {
+        Member::Hog { name } => {
+            let h = sim
+                .add_job(name, JobSpec::miscellaneous(), Box::new(CpuHog::new()))
+                .expect("miscellaneous jobs are always admitted");
+            out.adaptive.push(h);
+            out.hogs.push(h);
+            out.count += 1;
+        }
+        Member::Dummy { name } => {
+            sim.add_job(
+                name,
+                JobSpec::miscellaneous(),
+                Box::new(DummyProcess::new()),
+            )
+            .expect("miscellaneous jobs are always admitted");
+            out.count += 1;
+        }
+        Member::RealTimeSpin {
+            name,
+            ppt,
+            period_ms,
+        } => {
+            match sim.add_job(
+                name,
+                JobSpec::real_time(Proportion::from_ppt(*ppt), Period::from_millis(*period_ms)),
+                Box::new(CpuHog::new()),
+            ) {
+                Ok(h) => {
+                    out.rt_spin.push((h, *ppt));
+                    out.count += 1;
+                }
+                Err(_) => {
+                    // Rejected by admission control: the spec oversubscribed
+                    // its machine; the RtDelivery SLO will surface it.
+                }
+            }
+        }
+        Member::Interactive {
+            name,
+            keystrokes_hz,
+            mcycles_per_keystroke,
+        } => {
+            sim.add_job(
+                name,
+                JobSpec::miscellaneous(),
+                Box::new(InteractiveJob::new(
+                    *keystrokes_hz,
+                    mcycles_per_keystroke * 1e6,
+                )),
+            )
+            .expect("miscellaneous jobs are always admitted");
+            out.count += 1;
+        }
+        Member::VideoPipeline {
+            fps,
+            decode_mcycles,
+            render_mcycles,
+        } => {
+            let handles = VideoPipeline::install(
+                sim,
+                VideoPipelineConfig {
+                    fps: *fps,
+                    decode_cycles_per_frame: decode_mcycles * 1e6,
+                    render_cycles_per_frame: render_mcycles * 1e6,
+                    ..VideoPipelineConfig::default()
+                },
+            );
+            out.adaptive.push(handles.decoder);
+            out.adaptive.push(handles.renderer);
+            out.count += 3;
+        }
+        Member::WebServer {
+            rate_hz,
+            mcycles_per_request,
+            backlog,
+        } => {
+            let (_, server) = WebServer::install(
+                sim,
+                ServerConfig {
+                    queue_capacity: *backlog,
+                    arrival_rate_hz: *rate_hz,
+                    cycles_per_request: mcycles_per_request * 1e6,
+                },
+            );
+            out.adaptive.push(server);
+            out.count += 2;
+        }
+        Member::PulsePipeline {
+            steady_bytes_per_cycle,
+        } => {
+            let config = match steady_bytes_per_cycle {
+                Some(rate) => PipelineConfig::steady(*rate),
+                None => PipelineConfig::default(),
+            };
+            let handles = PulsePipeline::install(sim, config);
+            out.adaptive.push(handles.consumer);
+            out.count += 2;
+        }
+        Member::Modem { reserved } => {
+            let (_, stats) = if *reserved {
+                SoftwareModem::install_with_reservation(sim, ModemConfig::default(), 400e6)
+            } else {
+                SoftwareModem::install_best_effort(sim, ModemConfig::default())
+            };
+            out.modems.push(stats);
+            out.count += 1;
+        }
+        Member::DiskIo {
+            bandwidth_bytes_per_s,
+            cycles_per_byte,
+        } => {
+            let (_, reader) =
+                DiskReader::install(sim, *bandwidth_bytes_per_s, 4096, *cycles_per_byte, 16);
+            out.adaptive.push(reader);
+            out.count += 2;
+        }
+    }
+}
+
+/// A scheduled spawn or removal of one transient job.
+#[derive(Debug, Clone)]
+struct TransientDesc {
+    name: String,
+    job: TransientJob,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Apply phase `i`'s machine changes (CPU hot-add).
+    PhaseStart(usize),
+    /// Remove transient `i` (ordered before spawns at the same instant so
+    /// departing jobs free capacity first).
+    Depart(usize),
+    /// Spawn transient `i`.
+    Spawn(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at_us: u64,
+    kind: EventKind,
+}
+
+fn spawn_model(job: &TransientJob) -> Box<dyn WorkModel> {
+    match *job {
+        TransientJob::Hog { .. } => Box::new(CpuHog::new()),
+        TransientJob::Worker { mcycles, .. } => Box::new(FiniteWork {
+            cycles_remaining: mcycles * 1e6,
+        }),
+        TransientJob::Interactive {
+            keystrokes_hz,
+            mcycles_per_keystroke,
+            ..
+        } => Box::new(InteractiveJob::new(
+            keystrokes_hz,
+            mcycles_per_keystroke * 1e6,
+        )),
+    }
+}
+
+/// Runs a scenario end to end and evaluates its SLOs.
+///
+/// The run is fully determined by the spec (including its seed): the same
+/// spec always yields the same report.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
+    spec.validate()?;
+    let horizon_us = (spec.horizon_s() * 1e6).round() as u64;
+    let windows = spec.phase_windows();
+
+    // Pre-compute the whole schedule: phase starts, seeded arrivals and
+    // their departures, and each phase's hog storm.
+    let mut transients: Vec<TransientDesc> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    for (i, &(start_s, _)) in windows.iter().enumerate() {
+        events.push(Event {
+            at_us: (start_s * 1e6).round() as u64,
+            kind: EventKind::PhaseStart(i),
+        });
+    }
+    let mut rng = ArrivalRng::new(spec.seed);
+    for (si, stream) in spec.streams.iter().enumerate() {
+        let mut seq = 0u64;
+        for (pi, &(start_s, end_s)) in windows.iter().enumerate() {
+            let load = spec.phases[pi].load;
+            for t_s in stream.process.sample(&mut rng, start_s, end_s, load) {
+                let at_us = (t_s * 1e6).round() as u64;
+                let idx = transients.len();
+                transients.push(TransientDesc {
+                    name: format!("{}-{}-{seq}", stream.name, si),
+                    job: stream.job,
+                });
+                seq += 1;
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Spawn(idx),
+                });
+                let depart_us = at_us + (stream.job.lifetime_s() * 1e6).round() as u64;
+                if depart_us < horizon_us {
+                    events.push(Event {
+                        at_us: depart_us,
+                        kind: EventKind::Depart(idx),
+                    });
+                }
+            }
+        }
+    }
+    for (pi, phase) in spec.phases.iter().enumerate() {
+        let (start_s, end_s) = windows[pi];
+        for k in 0..phase.inject_hogs {
+            let idx = transients.len();
+            transients.push(TransientDesc {
+                name: format!("storm-{}-{k}", phase.name),
+                job: TransientJob::Hog {
+                    lifetime_s: phase.duration_s,
+                },
+            });
+            events.push(Event {
+                at_us: (start_s * 1e6).round() as u64,
+                kind: EventKind::Spawn(idx),
+            });
+            let depart_us = (end_s * 1e6).round() as u64;
+            if depart_us < horizon_us {
+                events.push(Event {
+                    at_us: depart_us,
+                    kind: EventKind::Depart(idx),
+                });
+            }
+        }
+    }
+    let priority = |k: EventKind| match k {
+        EventKind::PhaseStart(_) => 0u8,
+        EventKind::Depart(_) => 1,
+        EventKind::Spawn(_) => 2,
+    };
+    events.sort_by_key(|e| (e.at_us, priority(e.kind)));
+
+    // Install the static population and drive the schedule.
+    let mut sim = Simulation::new(SimConfig::default().with_cpus(spec.cpus));
+    let mut installed = Installed::default();
+    for member in &spec.members {
+        install_member(&mut sim, member, &mut installed);
+    }
+    let mut counts = JobCounts {
+        installed: installed.count,
+        ..JobCounts::default()
+    };
+    let mut live: Vec<Option<JobHandle>> = vec![None; transients.len()];
+    let mut capacity_us = 0.0;
+    let advance = |sim: &mut Simulation, to_us: u64, capacity_us: &mut f64| {
+        if to_us > sim.now_micros() {
+            let before = sim.now_micros();
+            sim.run_until_micros(to_us);
+            *capacity_us += (sim.now_micros() - before) as f64 * sim.machine().cpu_count() as f64;
+        }
+    };
+    for event in &events {
+        advance(&mut sim, event.at_us.min(horizon_us), &mut capacity_us);
+        match event.kind {
+            EventKind::PhaseStart(i) => {
+                if let Some(n) = spec.phases[i].cpus {
+                    sim.grow_cpus(n);
+                }
+            }
+            EventKind::Spawn(i) => {
+                let desc = &transients[i];
+                match sim.add_job(&desc.name, JobSpec::miscellaneous(), spawn_model(&desc.job)) {
+                    Ok(h) => {
+                        live[i] = Some(h);
+                        counts.spawned += 1;
+                    }
+                    Err(_) => counts.rejected += 1,
+                }
+            }
+            EventKind::Depart(i) => {
+                if let Some(h) = live[i].take() {
+                    sim.remove_job(h);
+                    counts.departed += 1;
+                }
+            }
+        }
+    }
+    advance(&mut sim, horizon_us, &mut capacity_us);
+
+    // Assemble the observations and evaluate every SLO.
+    let stats = sim.stats();
+    let machine_stats = sim.machine().stats();
+    let elapsed_s = sim.now_seconds();
+    // Real-time deadlines: spinner periods denied their budget (from the
+    // dispatcher's per-thread accounts) plus the modems' own late-batch
+    // counters.  Voluntary under-use by queue generators is not a miss.
+    let mut rt_deadline_misses = 0u64;
+    let mut rt_periods = 0u64;
+    for &(h, _) in &installed.rt_spin {
+        if let Some(acct) = sim.machine().usage(h.thread) {
+            rt_deadline_misses += acct.deadlines_missed;
+            rt_periods += acct.periods_completed;
+        }
+    }
+    for modem in &installed.modems {
+        rt_deadline_misses += modem.deadlines_missed();
+        rt_periods += modem.batches_completed();
+    }
+    let total_used_us: u64 = stats.per_cpu.iter().map(|c| c.used_us).sum();
+    let fair_used_us: Vec<u64> = installed.hogs.iter().map(|h| sim.cpu_used_us(*h)).collect();
+    let min_adaptive_alloc_ppt = installed
+        .adaptive
+        .iter()
+        .map(|h| sim.current_allocation_ppt(*h))
+        .min();
+    let rt_delivery_min = installed
+        .rt_spin
+        .iter()
+        .map(|&(h, ppt)| {
+            let delivered = sim.cpu_used_us(h) as f64 / (elapsed_s * 1e6);
+            delivered / (ppt as f64 / 1000.0)
+        })
+        .min_by(|a, b| a.total_cmp(b));
+    let obs = Observations {
+        trace: sim.trace(),
+        elapsed_s,
+        capacity_us,
+        total_used_us,
+        idle_us: machine_stats.idle_us,
+        migrations: stats.migrations,
+        deadlines_missed: rt_deadline_misses,
+        period_rollovers: rt_periods,
+        fair_used_us: &fair_used_us,
+        min_adaptive_alloc_ppt,
+        rt_delivery_min,
+    };
+    let slos: Vec<SloOutcome> = spec.slos.iter().map(|s| s.evaluate(&obs)).collect();
+    let passed = slos.iter().all(|o| o.passed);
+    Ok(ScenarioReport {
+        scenario: spec.name.clone(),
+        description: spec.description.clone(),
+        seed: spec.seed,
+        elapsed_s,
+        cpus: sim.machine().cpu_count() as u32,
+        capacity_us,
+        jobs: counts,
+        stats,
+        slos,
+        passed,
+    })
+}
+
+/// Writes a report as pretty JSON to `results/scenario_<name>.json`
+/// (creating `results/` if needed).  Returns the path written, or `None`
+/// if the filesystem refused.
+pub fn write_report(report: &ScenarioReport) -> Option<PathBuf> {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("scenario_{}.json", report.scenario));
+    let json = serde_json::to_string_pretty(report).expect("reports are always serialisable");
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+    use crate::spec::{ArrivalStream, Phase};
+    use crate::Slo;
+
+    fn hogs_and_churn() -> ScenarioSpec {
+        let mut s = ScenarioSpec::named("unit_churn", "two hogs plus Poisson churn");
+        s.cpus = 2;
+        s.members.push(Member::Hog { name: "h0".into() });
+        s.members.push(Member::Hog { name: "h1".into() });
+        s.streams.push(ArrivalStream {
+            name: "bg".into(),
+            process: ArrivalProcess::Poisson { rate_hz: 4.0 },
+            job: TransientJob::Worker {
+                mcycles: 20.0,
+                lifetime_s: 0.4,
+            },
+        });
+        s.phases.push(Phase::steady("all", 2.0));
+        s.slos.push(Slo::MinThroughput { min_cpus: 1.0 });
+        s.slos.push(Slo::FairShare { min_ratio: 0.5 });
+        s
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let spec = hogs_and_churn();
+        let a = run_scenario(&spec).unwrap();
+        let b = run_scenario(&spec).unwrap();
+        assert_eq!(a, b, "same spec, same seed, same report");
+        let mut other = spec.clone();
+        other.seed = 99;
+        let c = run_scenario(&other).unwrap();
+        assert_ne!(
+            a.jobs.spawned, 0,
+            "the stream must actually spawn transients"
+        );
+        assert!(c.jobs.spawned != a.jobs.spawned || c.stats != a.stats);
+    }
+
+    #[test]
+    fn transients_depart_and_capacity_is_conserved() {
+        let spec = hogs_and_churn();
+        let report = run_scenario(&spec).unwrap();
+        assert!(report.jobs.departed > 0);
+        assert!(report.jobs.departed <= report.jobs.spawned);
+        assert_eq!(report.jobs.rejected, 0);
+        // Conservation: consumed work cannot exceed delivered capacity
+        // (plus the budget-only migration penalties).
+        let used: u64 = report.stats.per_cpu.iter().map(|c| c.used_us).sum();
+        let slack = report.stats.migrations * SimConfig::default().migration_cost_us;
+        assert!(
+            used as f64 <= report.capacity_us + slack as f64,
+            "used {used} exceeds capacity {}",
+            report.capacity_us
+        );
+        let idle: u64 = report.stats.per_cpu.iter().map(|c| c.idle_us).sum();
+        assert!(idle as f64 <= report.capacity_us * 1.001);
+        assert!(report.passed, "SLOs hold: {:?}", report.slos);
+    }
+
+    #[test]
+    fn phase_hot_add_grows_the_machine() {
+        let mut s = ScenarioSpec::named("unit_grow", "hot-add mid-run");
+        s.cpus = 1;
+        s.members.push(Member::Hog { name: "a".into() });
+        s.members.push(Member::Hog { name: "b".into() });
+        s.phases.push(Phase::steady("cramped", 1.0));
+        let mut grow = Phase::steady("roomy", 2.0);
+        grow.cpus = Some(2);
+        s.phases.push(grow);
+        s.slos.push(Slo::MinThroughput { min_cpus: 1.0 });
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.cpus, 2);
+        assert!(report.capacity_us > 4.9e6, "1 s × 1 CPU + 2 s × 2 CPUs");
+        assert!(report.passed, "{:?}", report.slos);
+    }
+
+    #[test]
+    fn invalid_specs_are_refused() {
+        let s = ScenarioSpec::named("bad", "no phases");
+        assert!(run_scenario(&s).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut spec = hogs_and_churn();
+        spec.phases[0].duration_s = 0.5;
+        let report = run_scenario(&spec).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -106,8 +106,9 @@ struct ThreadEntry {
 /// Carries everything the destination CPU needs to continue the thread's
 /// current period exactly where the source CPU left it: the class
 /// (reservation), run state, the full usage account (budget, consumption,
-/// lifetime totals) and the remaining best-effort slice.  Obtained from
-/// [`Dispatcher::take_thread`], consumed by [`Dispatcher::inject_thread`].
+/// lifetime totals), the remaining best-effort slice and the armed period
+/// boundary.  Obtained from [`Dispatcher::take_thread`], consumed by
+/// [`Dispatcher::inject_thread`].
 #[derive(Debug, Clone, Copy)]
 pub struct MigratedThread {
     /// The migrating thread's id.
@@ -116,6 +117,11 @@ pub struct MigratedThread {
     state: ThreadState,
     account: UsageAccount,
     remaining_slice_us: u64,
+    /// The expiry the source CPU had armed for the thread's next period
+    /// boundary.  Carried verbatim so a mid-period reservation change
+    /// (which re-arms from the change instant, not the period start)
+    /// survives migration.
+    next_boundary_us: Option<u64>,
 }
 
 impl MigratedThread {
@@ -292,6 +298,7 @@ impl Dispatcher {
             .threads
             .remove(&id)
             .ok_or(SchedError::UnknownThread(id))?;
+        let next_boundary_us = self.timers.expiry_of(id);
         self.timers.cancel(id);
         if self.running == Some(id) {
             self.running = None;
@@ -306,14 +313,16 @@ impl Dispatcher {
             state,
             account: entry.account,
             remaining_slice_us: entry.remaining_slice_us,
+            next_boundary_us,
         })
     }
 
     /// Inserts a migrated thread, continuing its current period.
     ///
-    /// The period timer is re-armed at the boundary the source CPU had
-    /// scheduled (`period_start + period`); if that boundary has already
-    /// passed on this CPU's clock it fires at the next
+    /// The period timer is re-armed at exactly the boundary the source CPU
+    /// had scheduled (falling back to `period_start + period` for
+    /// payloads with no armed timer); if that boundary has already passed
+    /// on this CPU's clock it fires at the next
     /// [`Dispatcher::advance_to`].  Admission is not re-checked: placement
     /// is the migrating authority's responsibility, exactly like the
     /// controller's actuation path.
@@ -322,7 +331,9 @@ impl Dispatcher {
             return Err(SchedError::DuplicateThread(thread.id));
         }
         if let ThreadClass::Reserved(r) = thread.class {
-            let boundary = thread.account.period_start_us + r.period.as_micros();
+            let boundary = thread
+                .next_boundary_us
+                .unwrap_or(thread.account.period_start_us + r.period.as_micros());
             self.timers.arm(thread.id, boundary.max(self.now_us + 1));
         }
         self.threads.insert(
@@ -958,6 +969,7 @@ mod tests {
                 state: ThreadState::Ready,
                 account: UsageAccount::new(0, 0),
                 remaining_slice_us: 0,
+                next_boundary_us: None,
             }),
             Err(SchedError::DuplicateThread(ThreadId(1)))
         );

@@ -52,11 +52,16 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Creates a machine with `cpus` CPUs (clamped to `1..=4096`, the
-    /// same bound as the control pipeline's placement config), each
-    /// running a dispatcher with the given configuration.
+    /// The largest machine supported — the same bound as the control
+    /// pipeline's `PlacementConfig::MAX_CPUS`, so the placement authority
+    /// can never address a CPU the machine refuses to grow to.
+    pub const MAX_CPUS: usize = 4096;
+
+    /// Creates a machine with `cpus` CPUs (clamped to
+    /// `1..=`[`Machine::MAX_CPUS`]), each running a dispatcher with the
+    /// given configuration.
     pub fn new(config: DispatcherConfig, cpus: usize) -> Self {
-        let n = cpus.clamp(1, 4096);
+        let n = cpus.clamp(1, Self::MAX_CPUS);
         Self {
             cpus: (0..n).map(|_| Dispatcher::new(config)).collect(),
             placement: BTreeMap::new(),
@@ -66,6 +71,24 @@ impl Machine {
     /// Number of CPUs.
     pub fn cpu_count(&self) -> usize {
         self.cpus.len()
+    }
+
+    /// Hot-adds one CPU: a fresh dispatcher (same configuration as the
+    /// rest of the machine) advanced to the shared clock, starting with an
+    /// empty run queue.  Returns the new CPU's id, or `None` if the
+    /// machine is already at [`Machine::MAX_CPUS`].
+    ///
+    /// There is no hot-*remove*: draining a CPU would require migrating
+    /// every thread off it, which is a placement-authority decision, not a
+    /// machine-layer one.
+    pub fn add_cpu(&mut self) -> Option<CpuId> {
+        if self.cpus.len() >= Self::MAX_CPUS {
+            return None;
+        }
+        let mut d = Dispatcher::new(self.cpus[0].config());
+        d.advance_to(self.now_us());
+        self.cpus.push(d);
+        Some(CpuId(self.cpus.len() as u32 - 1))
     }
 
     /// All CPU ids, in order.

@@ -46,6 +46,14 @@ impl TimerList {
         self.timers.iter().next().map(|(t, _)| *t)
     }
 
+    /// The armed expiry of `thread`'s timer, if it has one.
+    pub fn expiry_of(&self, thread: ThreadId) -> Option<u64> {
+        self.timers
+            .iter()
+            .find(|(_, t)| *t == thread)
+            .map(|(e, _)| *e)
+    }
+
     /// Removes and returns every timer with `expiry <= now_us`, in expiry
     /// order.  Constant-time when nothing has expired, which is the common
     /// case the paper optimises for.

@@ -1,0 +1,185 @@
+//! Property tests for cross-CPU migration.
+//!
+//! `Dispatcher::take_thread` / `Dispatcher::inject_thread` (via
+//! `Machine::migrate`) must transplant a thread's *entire* scheduling
+//! state: whatever interleaving of dispatches, partial charges, blocks,
+//! reservation changes and clock advances preceded the migration, the
+//! thread must continue on the destination CPU exactly as it would have
+//! on the source.  The oracle is a plain single-CPU [`Dispatcher`] driven
+//! with the identical operation sequence but no migrations: reservation,
+//! throttle state and mid-period usage accounting must stay bit-for-bit
+//! equal after every operation.
+
+use proptest::prelude::*;
+use rrs_scheduler::{
+    CpuId, Dispatcher, DispatcherConfig, Machine, Period, Proportion, Reservation, ThreadId,
+    UsageAccount,
+};
+
+fn assert_accounts_equal(machine: &UsageAccount, oracle: &UsageAccount) {
+    assert_eq!(machine.period_start_us, oracle.period_start_us);
+    assert_eq!(machine.budget_us, oracle.budget_us);
+    assert_eq!(machine.used_this_period_us, oracle.used_this_period_us);
+    assert_eq!(
+        machine.was_runnable_this_period,
+        oracle.was_runnable_this_period
+    );
+    assert_eq!(machine.total_used_us, oracle.total_used_us);
+    assert_eq!(machine.total_budget_us, oracle.total_budget_us);
+    assert_eq!(machine.periods_completed, oracle.periods_completed);
+    assert_eq!(machine.deadlines_missed, oracle.deadlines_missed);
+    assert_eq!(machine.last_period_used_us, oracle.last_period_used_us);
+    assert_eq!(machine.last_period_budget_us, oracle.last_period_budget_us);
+}
+
+proptest! {
+    #[test]
+    fn migrating_thread_tracks_a_single_cpu_oracle(
+        cpus in 2usize..=4,
+        ppt in 50u32..=900,
+        period_ms in 1u64..=20,
+        ops in collection::vec((0u8..=4, 0u64..4096, 1u64..=2000), 1..=60),
+    ) {
+        let config = DispatcherConfig::default();
+        let mut machine = Machine::new(config, cpus);
+        let mut oracle = Dispatcher::new(config);
+        let id = ThreadId(1);
+        let reservation = Reservation::new(
+            Proportion::from_ppt(ppt),
+            Period::from_millis(period_ms),
+        );
+        machine
+            .add_thread_preadmitted_on(CpuId(0), id, reservation)
+            .unwrap();
+        oracle.add_thread_preadmitted(id, reservation).unwrap();
+
+        for (op, target, param) in ops {
+            match op {
+                // One dispatch round on the thread's CPU, charging a
+                // random share of the granted quantum.
+                0 => {
+                    let cpu = machine.cpu_of(id).unwrap();
+                    let got = machine.dispatch(cpu);
+                    let want = oracle.dispatch();
+                    prop_assert_eq!(got, want, "dispatch outcomes diverged");
+                    if let Some(t) = got.thread {
+                        let used = (got.quantum_us * (param % 101) / 100)
+                            .clamp(1, got.quantum_us);
+                        machine.charge(t, used).unwrap();
+                        oracle.charge(t, used).unwrap();
+                    }
+                    let next = machine.now_us() + got.quantum_us.max(1);
+                    machine.advance_to(next);
+                    oracle.advance_to(next);
+                }
+                // A bare clock advance (possibly across period boundaries).
+                1 => {
+                    let next = machine.now_us() + param;
+                    machine.advance_to(next);
+                    oracle.advance_to(next);
+                }
+                // Block / unblock (both sides must agree on the outcome).
+                2 => {
+                    if param % 2 == 0 {
+                        prop_assert_eq!(machine.block(id).is_ok(), oracle.block(id).is_ok());
+                    } else {
+                        prop_assert_eq!(machine.unblock(id).is_ok(), oracle.unblock(id).is_ok());
+                    }
+                }
+                // The operation under test: migrate to an arbitrary CPU
+                // (possibly the one it is already on).  The oracle does
+                // nothing — migration must be invisible to the thread.
+                3 => {
+                    let to = CpuId((target % cpus as u64) as u32);
+                    machine.migrate(id, to).unwrap();
+                    prop_assert_eq!(machine.cpu_of(id), Some(to));
+                }
+                // A controller-style reservation change.
+                _ => {
+                    let new = Reservation::new(
+                        Proportion::from_ppt(50 + (param % 850) as u32),
+                        Period::from_millis(1 + target % 20),
+                    );
+                    prop_assert_eq!(
+                        machine.set_reservation(id, new).is_ok(),
+                        oracle.set_reservation(id, new).is_ok()
+                    );
+                }
+            }
+
+            // After *every* operation the thread must be indistinguishable
+            // from the never-migrated oracle.
+            prop_assert_eq!(machine.reservation(id), oracle.reservation(id));
+            let cpu = machine.cpu_of(id).unwrap();
+            prop_assert_eq!(
+                machine.dispatcher(cpu).thread_state(id),
+                oracle.thread_state(id),
+                "throttle/run state diverged"
+            );
+            assert_accounts_equal(
+                machine.usage_ref(id).unwrap(),
+                oracle.usage_ref(id).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn migration_is_a_pure_move_in_a_populated_machine(
+        cpus in 2usize..=4,
+        threads in 2u64..=6,
+        rounds in collection::vec((0u64..4096, 0u64..4096), 1..=40),
+    ) {
+        // Several reserved threads run concurrently; random migrations
+        // interleave with dispatch rounds on every CPU.  Each migration
+        // must move exactly one thread's reservation and account without
+        // touching anyone else's, and machine-wide load must always equal
+        // the sum of the per-thread reservations.
+        let config = DispatcherConfig::default();
+        let mut machine = Machine::new(config, cpus);
+        let mut expected_total = 0;
+        for i in 0..threads {
+            let r = Reservation::new(
+                Proportion::from_ppt(100 + (i as u32 * 37) % 200),
+                Period::from_millis(5 + i % 10),
+            );
+            expected_total += r.proportion.ppt();
+            machine.add_thread_preadmitted(ThreadId(i), r).unwrap();
+        }
+        for (pick, to) in rounds {
+            // One lockstep dispatch round.
+            let mut max_q = 1;
+            for cpu in 0..cpus {
+                let o = machine.dispatch(CpuId(cpu as u32));
+                if let Some(t) = o.thread {
+                    machine.charge(t, o.quantum_us).unwrap();
+                }
+                max_q = max_q.max(o.quantum_us);
+            }
+            machine.advance_to(machine.now_us() + max_q);
+
+            // Migrate one random thread and snapshot it across the move.
+            let id = ThreadId(pick % threads);
+            let to = CpuId((to % cpus as u64) as u32);
+            let before_account = machine.usage(id).unwrap();
+            let before_reservation = machine.reservation(id).unwrap();
+            let before_state = machine
+                .dispatcher(machine.cpu_of(id).unwrap())
+                .thread_state(id)
+                .unwrap();
+            machine.migrate(id, to).unwrap();
+            prop_assert_eq!(machine.cpu_of(id), Some(to));
+            prop_assert_eq!(machine.reservation(id), Some(before_reservation));
+            prop_assert_eq!(
+                machine.dispatcher(to).thread_state(id),
+                Some(before_state)
+            );
+            assert_accounts_equal(machine.usage_ref(id).unwrap(), &before_account);
+
+            // Conservation: nobody was lost, duplicated or re-weighted.
+            prop_assert_eq!(machine.thread_count(), threads as usize);
+            prop_assert_eq!(machine.total_reserved_ppt(), expected_total);
+            let spread: u32 = machine.cpu_ids().map(|c| machine.cpu_load_ppt(c)).sum();
+            prop_assert_eq!(spread, expected_total);
+        }
+    }
+}

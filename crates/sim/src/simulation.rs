@@ -114,8 +114,33 @@ pub struct JobHandle {
     pub slot: JobSlot,
 }
 
-/// Aggregate statistics for a simulation run.
+/// Per-CPU breakdown of a simulation run, one entry per CPU in
+/// [`SimStats::per_cpu`].
+///
+/// `used_us` counts CPU time consumed by work models while their thread
+/// was placed on this CPU (time follows the thread's placement, so a
+/// migrating thread's consumption splits across CPUs).  `idle_us` and
+/// `deadlines_missed` mirror the owning dispatcher's accounting; the
+/// migration counters attribute each applied migration to both its source
+/// (`migrations_out`) and destination (`migrations_in`) CPU.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// CPU time consumed by threads while placed on this CPU, in
+    /// microseconds.
+    pub used_us: u64,
+    /// Time this CPU had nothing runnable, in microseconds (rebooked to
+    /// actual elapsed time under lockstep, like the machine aggregate).
+    pub idle_us: u64,
+    /// Migrations that moved a thread onto this CPU.
+    pub migrations_in: u64,
+    /// Migrations that moved a thread off this CPU.
+    pub migrations_out: u64,
+    /// Deadlines missed at period boundaries on this CPU.
+    pub deadlines_missed: u64,
+}
+
+/// Aggregate statistics for a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Number of controller invocations.
     pub controller_invocations: u64,
@@ -134,6 +159,11 @@ pub struct SimStats {
     /// Number of simulation steps executed (one lockstep dispatch round
     /// each); idle fast-forward makes this drop on quiet workloads.
     pub steps: u64,
+    /// Per-CPU breakdown (usage, idle, migrations), one entry per CPU.
+    /// The machine-wide aggregates above are sums over these entries plus
+    /// the controller's own counters, so consumers no longer recompute
+    /// per-CPU views from job handles.
+    pub per_cpu: Vec<CpuStats>,
 }
 
 struct SimThread {
@@ -197,6 +227,10 @@ impl Simulation {
         let controller = Controller::new(config.controller, registry.clone());
         let machine = Machine::new(config.dispatcher, config.cpus());
         let controller_period_us = (config.controller.controller_period_s * 1e6).round() as u64;
+        let stats = SimStats {
+            per_cpu: vec![CpuStats::default(); machine.cpu_count()],
+            ..SimStats::default()
+        };
         Self {
             config,
             registry,
@@ -213,13 +247,19 @@ impl Simulation {
             run_end_us: None,
             last_dispatch_overhead_us: 0.0,
             trace: Trace::new(),
-            stats: SimStats::default(),
+            stats,
         }
     }
 
     /// The progress-metric registry; workloads register their queues here.
     pub fn registry(&self) -> MetricRegistry {
         self.registry.clone()
+    }
+
+    /// The simulation's current configuration (mid-run setters like
+    /// [`Simulation::set_migration_cost_us`] are visible here).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Current simulated time in microseconds.
@@ -237,9 +277,49 @@ impl Simulation {
         &self.trace
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics, with the per-CPU breakdown filled in from the
+    /// machine's dispatchers at read time.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats.clone();
+        for (i, cpu) in stats.per_cpu.iter_mut().enumerate() {
+            let d = self.machine.dispatcher(CpuId(i as u32)).stats();
+            cpu.idle_us = d.idle_us;
+            cpu.deadlines_missed = d.deadlines_missed;
+        }
+        stats
+    }
+
+    /// Grows the machine to `cpus` CPUs mid-run (hot-add), returning the
+    /// resulting CPU count.
+    ///
+    /// New CPUs join with empty run queues at the shared clock; the
+    /// control pipeline's Place stage starts fitting jobs onto them (and
+    /// the Allocate stage's machine-wide capacity widens) on its next
+    /// cycle.  Shrinking is not supported — the machine layer has no
+    /// hot-remove — so a `cpus` at or below the current count is a no-op.
+    /// The count stays clamped to the Place stage's 4096-CPU bound.
+    pub fn grow_cpus(&mut self, cpus: u32) -> usize {
+        while self.machine.cpu_count() < cpus as usize {
+            if self.machine.add_cpu().is_none() {
+                break;
+            }
+        }
+        let n = self.machine.cpu_count();
+        self.controller.set_cpus(n as u32);
+        self.config.controller.placement.cpus = n as u32;
+        self.stats.per_cpu.resize(n, CpuStats::default());
+        n
+    }
+
+    /// Changes the trace sampling interval mid-run.  Takes effect after
+    /// the next already-scheduled sample.
+    pub fn set_trace_interval_s(&mut self, interval_s: f64) {
+        self.config.trace_interval_s = interval_s.max(1e-6);
+    }
+
+    /// Changes the modelled cross-CPU migration cost mid-run.
+    pub fn set_migration_cost_us(&mut self, cost_us: u64) {
+        self.config.migration_cost_us = cost_us;
     }
 
     /// Read-only access to CPU 0's dispatcher — the whole machine on the
@@ -450,6 +530,7 @@ impl Simulation {
                 self.threads.get_mut(&tid).expect("exists").blocked = true;
             }
             self.cpu_used.push(used);
+            self.stats.per_cpu[i].used_us += used;
             max_used = max_used.max(used);
         }
         let advance = max_used.max(1);
@@ -561,10 +642,14 @@ impl Simulation {
                 // Apply the Place stage's decision: move the thread to its
                 // assigned CPU and charge the modelled migration cost to
                 // its budget (cache and TLB refill on the new CPU).
-                if self.machine.cpu_of(*tid) != Some(actuation.cpu)
-                    && self.machine.migrate(*tid, actuation.cpu).is_ok()
+                let from = self.machine.cpu_of(*tid);
+                if from != Some(actuation.cpu) && self.machine.migrate(*tid, actuation.cpu).is_ok()
                 {
                     self.stats.migrations += 1;
+                    if let Some(from) = from {
+                        self.stats.per_cpu[from.index()].migrations_out += 1;
+                    }
+                    self.stats.per_cpu[actuation.cpu.index()].migrations_in += 1;
                     if migration_cost > 0 {
                         let _ = self.machine.charge(*tid, migration_cost);
                     }
@@ -1102,6 +1187,144 @@ mod tests {
         // Both can now grow toward a full CPU each — no squish fight.
         assert!(sim.current_allocation_ppt(first) > 700);
         assert!(sim.current_allocation_ppt(late) > 500);
+    }
+
+    #[test]
+    fn per_cpu_breakdown_sums_to_the_aggregates() {
+        let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+        let a = sim
+            .add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let b = sim
+            .add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(3.0);
+        let stats = sim.stats();
+        assert_eq!(stats.per_cpu.len(), 2);
+        let used: u64 = stats.per_cpu.iter().map(|c| c.used_us).sum();
+        assert_eq!(used, sim.cpu_used_us(a) + sim.cpu_used_us(b));
+        let idle: u64 = stats.per_cpu.iter().map(|c| c.idle_us).sum();
+        assert_eq!(idle, sim.machine().stats().idle_us);
+        let migs: u64 = stats
+            .per_cpu
+            .iter()
+            .map(|c| c.migrations_in + c.migrations_out)
+            .sum();
+        assert_eq!(migs, stats.migrations * 2, "each migration has two ends");
+    }
+
+    #[test]
+    fn grow_cpus_hot_adds_capacity_mid_run() {
+        // Two hogs contending for one CPU; hot-adding a second CPU lets
+        // the Place stage spread them and the Allocate stage hand out two
+        // CPUs' worth of proportion.
+        let mut sim = Simulation::new(SimConfig::default());
+        let a = sim
+            .add_job("a", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        let b = sim
+            .add_job("b", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(3.0);
+        assert_eq!(sim.cpu_of(a), sim.cpu_of(b), "one CPU holds both");
+        let one_cpu_used = sim.cpu_used_us(a) + sim.cpu_used_us(b);
+        assert!(one_cpu_used <= sim.now_micros());
+
+        assert_eq!(sim.grow_cpus(2), 2);
+        assert_eq!(sim.machine().cpu_count(), 2);
+        assert_eq!(sim.stats().per_cpu.len(), 2);
+        let before = sim.now_micros();
+        sim.run_for(5.0);
+        assert_ne!(sim.cpu_of(a), sim.cpu_of(b), "rebalanced onto the new CPU");
+        assert!(sim.stats().migrations >= 1);
+        let both_used = sim.cpu_used_us(a) + sim.cpu_used_us(b) - one_cpu_used;
+        let elapsed = sim.now_micros() - before;
+        assert!(
+            both_used as f64 > elapsed as f64 * 1.2,
+            "two CPUs deliver more than one: {both_used} in {elapsed}"
+        );
+        // Shrinking is a documented no-op.
+        assert_eq!(sim.grow_cpus(1), 2);
+    }
+
+    #[test]
+    fn mid_run_config_setters_take_effect() {
+        let mut sim = Simulation::new(SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        });
+        let h = sim
+            .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(500), Period::from_millis(10));
+        sim.run_for(1.0);
+        let coarse = sim.trace().get("alloc/spin").unwrap().len();
+        sim.set_trace_interval_s(0.01);
+        sim.set_migration_cost_us(123);
+        assert_eq!(sim.config().migration_cost_us, 123);
+        assert_eq!(sim.config().trace_interval_s, 0.01);
+        sim.run_for(1.0);
+        let fine = sim.trace().get("alloc/spin").unwrap().len() - coarse;
+        assert!(
+            fine > coarse * 4,
+            "10x finer sampling must record more: {coarse} then {fine}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_never_skips_events_landing_on_the_run_horizon() {
+        // A 100 ‰ spinner throttles 1 ms into every 10 ms period, so the
+        // machine idles up to each boundary and fast-forward jumps from
+        // event to event.  With a 100 ms trace interval and a 0.5 s
+        // horizon, the final trace sample lands *exactly* on the horizon:
+        // the run must stop there, and the sample must still be recorded
+        // (at exactly t = 0.5) once the simulation continues.
+        let run = |ff: bool| {
+            let mut sim = Simulation::new(SimConfig {
+                idle_fast_forward: ff,
+                controller_enabled: false,
+                ..SimConfig::default()
+            });
+            let h = sim
+                .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+                .unwrap();
+            sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
+            sim.run_for(0.5);
+            let at_horizon = sim.now_seconds();
+            sim.run_for(0.1);
+            (sim, at_horizon)
+        };
+        let (fast, at_horizon) = run(true);
+        assert_eq!(at_horizon, 0.5, "fast-forward stops exactly at the horizon");
+        let times = fast.trace().get("alloc/spin").unwrap().times();
+        assert!(
+            times.contains(&0.5),
+            "the boundary sample must fire on resume: {times:?}"
+        );
+        let (slow, _) = run(false);
+        assert_eq!(
+            fast.trace().get("alloc/spin").unwrap().len(),
+            slow.trace().get("alloc/spin").unwrap().len(),
+            "fast-forward must not skip any trace event"
+        );
+
+        // The same holds for a controller tick on the boundary: after
+        // continuing past the horizon both paths have run the controller
+        // the same number of times.
+        let run_ctl = |ff: bool| {
+            let mut sim = Simulation::new(SimConfig {
+                idle_fast_forward: ff,
+                ..SimConfig::default()
+            });
+            let h = sim
+                .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+                .unwrap();
+            sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
+            sim.run_until_micros(500_000);
+            sim.run_until_micros(600_000);
+            sim.stats().controller_invocations
+        };
+        assert_eq!(run_ctl(true), run_ctl(false));
     }
 
     #[test]

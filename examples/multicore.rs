@@ -64,23 +64,32 @@ fn main() {
         report(&format!("hog{i}"), *h);
     }
 
+    // The simulator keeps the per-CPU breakdown itself — no need to
+    // recompute machine-wide aggregates from job handles.
+    let stats = sim.stats();
     let machine = sim.machine();
-    println!("\nper-CPU reserved load:");
-    for cpu in machine.cpu_ids() {
-        println!("  {cpu}: {:>5} ‰", machine.cpu_load_ppt(cpu));
+    println!(
+        "\n{:<6} {:>8} {:>10} {:>9} {:>9}",
+        "cpu", "load ‰", "used ms", "idle ms", "migr +/-"
+    );
+    for (i, cpu) in stats.per_cpu.iter().enumerate() {
+        println!(
+            "cpu{i:<3} {:>8} {:>10.1} {:>9.1} {:>5}/{}",
+            machine.cpu_load_ppt(realrate::scheduler::CpuId(i as u32)),
+            cpu.used_us as f64 / 1e3,
+            cpu.idle_us as f64 / 1e3,
+            cpu.migrations_in,
+            cpu.migrations_out,
+        );
     }
 
-    let total_used: u64 = hogs
-        .iter()
-        .chain(std::iter::once(&rt))
-        .map(|h| sim.cpu_used_us(*h))
-        .sum();
+    let total_used: u64 = stats.per_cpu.iter().map(|c| c.used_us).sum();
     let throughput = total_used as f64 / sim.now_micros() as f64;
     println!(
         "\naggregate throughput : {throughput:.2} CPUs of work \
          (one CPU could deliver at most 1.0)"
     );
-    println!("cross-CPU migrations : {}", sim.stats().migrations);
+    println!("cross-CPU migrations : {}", stats.migrations);
     println!(
         "machine-wide grants  : {} ‰ across {CPUS} CPUs",
         machine.total_reserved_ppt()

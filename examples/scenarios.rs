@@ -1,0 +1,78 @@
+//! Scenarios: declare a workload, run it, check its SLOs.
+//!
+//! Builds a custom declarative scenario — a web server plus hogs under a
+//! flash-crowd arrival process, with a mid-run CPU hot-add — runs it, and
+//! prints the SLO verdicts.  The built-in corpus is available through
+//! `cargo run --release --bin scenario_runner`.
+//!
+//! Run with `cargo run --release --example scenarios`.
+
+use realrate::scenario::{run_scenario, ArrivalProcess, Slo};
+use realrate::scenario::{ArrivalStream, Member, Phase, ScenarioSpec, TransientJob};
+
+fn main() {
+    let mut spec = ScenarioSpec::named(
+        "example_flash",
+        "web server + hogs surviving a flash crowd, scaling from 2 to 4 CPUs",
+    );
+    spec.seed = 7;
+    spec.cpus = 2;
+    spec.members.push(Member::WebServer {
+        rate_hz: 150.0,
+        mcycles_per_request: 1.0,
+        backlog: 64,
+    });
+    spec.members.push(Member::Hog { name: "h0".into() });
+    spec.members.push(Member::Hog { name: "h1".into() });
+    spec.streams.push(ArrivalStream {
+        name: "crowd".into(),
+        process: ArrivalProcess::FlashCrowd {
+            base_hz: 1.0,
+            at_s: 3.0,
+            duration_s: 2.0,
+            spike_hz: 20.0,
+        },
+        job: TransientJob::Worker {
+            mcycles: 10.0,
+            lifetime_s: 1.0,
+        },
+    });
+    spec.phases.push(Phase::steady("before", 3.0));
+    let mut surge = Phase::steady("surge", 3.0);
+    surge.cpus = Some(4);
+    spec.phases.push(surge);
+    spec.phases.push(Phase::steady("after", 3.0));
+    spec.slos.push(Slo::FillBand {
+        queue: "server-backlog".into(),
+        min: 0.0,
+        max: 0.9,
+        warmup_s: 2.0,
+    });
+    spec.slos.push(Slo::FairShare { min_ratio: 0.5 });
+    spec.slos.push(Slo::MinThroughput { min_cpus: 1.0 });
+
+    let report = run_scenario(&spec).expect("spec validates");
+    println!(
+        "{}: {:.1} simulated seconds, {} CPUs at the end, {} jobs spawned, {} departed\n",
+        report.scenario, report.elapsed_s, report.cpus, report.jobs.spawned, report.jobs.departed
+    );
+    for (i, cpu) in report.stats.per_cpu.iter().enumerate() {
+        println!(
+            "  cpu{i}: {:>8.1} ms used, {:>8.1} ms idle, {}/{} migrations in/out",
+            cpu.used_us as f64 / 1e3,
+            cpu.idle_us as f64 / 1e3,
+            cpu.migrations_in,
+            cpu.migrations_out,
+        );
+    }
+    println!();
+    for slo in &report.slos {
+        println!(
+            "  {} {}",
+            if slo.passed { "ok  " } else { "FAIL" },
+            slo.description
+        );
+    }
+    assert!(report.passed, "every SLO must hold");
+    println!("\nall SLOs hold");
+}

@@ -28,6 +28,9 @@
 //!   paper's evaluation.
 //! * [`realtime`] (`rrs-realtime`) — a wall-clock executor applying the same
 //!   scheduler and controller to real OS threads.
+//! * [`scenario`] (`rrs-scenario`) — declarative scenarios: seeded arrival
+//!   processes, phase schedules (load steps, hog storms, CPU hot-adds)
+//!   and SLO-checked runs, with a built-in corpus.
 //! * [`metrics`] (`rrs-metrics`) — time series, statistics and experiment
 //!   export.
 //!
@@ -92,6 +95,7 @@ pub use rrs_feedback as feedback;
 pub use rrs_metrics as metrics;
 pub use rrs_queue as queue;
 pub use rrs_realtime as realtime;
+pub use rrs_scenario as scenario;
 pub use rrs_scheduler as scheduler;
 pub use rrs_sim as sim;
 pub use rrs_workloads as workloads;

@@ -4,13 +4,18 @@
 //! ```sh
 //! cargo run --release --bin scenario_runner              # full corpus
 //! cargo run --release --bin scenario_runner -- --smoke   # CI smoke subset
+//! cargo run --release --bin scenario_runner -- --smoke --time 60
 //! cargo run --release --bin scenario_runner -- steady_video hog_storm
 //! ```
 //!
 //! Exits non-zero if any scenario fails an SLO (or an argument names no
-//! corpus scenario), so CI can gate on scenario regressions.
+//! corpus scenario), so CI can gate on scenario regressions.  With
+//! `--time <seconds>`, also exits non-zero if the whole run exceeds the
+//! wall-clock budget — the CI guard against simulator hot paths quietly
+//! regressing to their pre-indexed cost.
 
 use rrs_scenario::{corpus, run_scenario, scenario_by_name, smoke_corpus, ScenarioReport};
+use std::time::Instant;
 
 fn print_report(report: &ScenarioReport) {
     let verdict = if report.passed { "PASS" } else { "FAIL" };
@@ -31,13 +36,30 @@ fn print_report(report: &ScenarioReport) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let specs = if args.iter().any(|a| a == "--smoke") {
+    let mut time_budget_s: Option<f64> = None;
+    let mut smoke = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--time" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => time_budget_s = Some(s),
+                _ => {
+                    eprintln!("--time needs a positive number of seconds");
+                    std::process::exit(2);
+                }
+            },
+            name => names.push(name.to_string()),
+        }
+    }
+    let specs = if smoke {
         smoke_corpus()
-    } else if args.is_empty() {
+    } else if names.is_empty() {
         corpus()
     } else {
         let mut specs = Vec::new();
-        for name in &args {
+        for name in &names {
             match scenario_by_name(name) {
                 Some(s) => specs.push(s),
                 None => {
@@ -52,6 +74,7 @@ fn main() {
         specs
     };
 
+    let start = Instant::now();
     let mut failures = 0;
     for spec in &specs {
         let report = match run_scenario(spec) {
@@ -70,11 +93,18 @@ fn main() {
             failures += 1;
         }
     }
+    let elapsed_s = start.elapsed().as_secs_f64();
     println!(
-        "\n{} of {} scenarios passed",
+        "\n{} of {} scenarios passed in {elapsed_s:.2} s wall",
         specs.len() - failures,
         specs.len()
     );
+    if let Some(budget) = time_budget_s {
+        if elapsed_s > budget {
+            eprintln!("wall-clock budget exceeded: {elapsed_s:.2} s > {budget:.2} s");
+            std::process::exit(3);
+        }
+    }
     if failures > 0 {
         std::process::exit(1);
     }

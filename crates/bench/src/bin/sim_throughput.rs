@@ -1,0 +1,86 @@
+//! Measures simulator throughput and records it under `results/`.
+//!
+//! ```sh
+//! cargo run --release --bin sim_throughput                      # measure, write results/bench_sim_throughput.json
+//! cargo run --release --bin sim_throughput -- --budget-s 2.0
+//! cargo run --release --bin sim_throughput -- --save /tmp/before.json       # save a bare report (baseline capture)
+//! cargo run --release --bin sim_throughput -- --baseline /tmp/before.json   # embed that report as the before side
+//! ```
+
+use rrs_bench::sim_throughput::{measure, record, speedup_at, ThroughputReport};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget_s = 1.0f64;
+    let mut baseline_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget-s" => {
+                budget_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--budget-s needs a number"));
+            }
+            "--baseline" => {
+                baseline_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    usage("--baseline needs a path");
+                }));
+            }
+            "--save" => {
+                save_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    usage("--save needs a path");
+                }));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if save_path.is_some() && baseline_path.is_some() {
+        usage("--save and --baseline are mutually exclusive: save a bare baseline first, then embed it in a second run");
+    }
+
+    let report = measure(Duration::from_secs_f64(budget_s), |p| {
+        println!(
+            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} steps in {:.2} s)",
+            p.jobs, p.cpus, p.sim_us_per_wall_s, p.steps, p.wall_s
+        );
+    });
+    println!(
+        "corpus: {} scenarios in {:.2} s wall",
+        report.corpus.scenarios, report.corpus.wall_s
+    );
+
+    if let Some(path) = save_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(&path, json).expect("writable save path");
+        println!("saved bare report to {path}");
+        return;
+    }
+
+    let before: Option<ThroughputReport> = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot read baseline {path}: {e}")));
+        serde_json::from_str(&text)
+            .unwrap_or_else(|e| usage(&format!("baseline {path} is not a report: {e}")))
+    });
+    let rec = record(before, report);
+    if let Some(s) = speedup_at(&rec, 10_000, 8) {
+        println!("speedup at 10k jobs x 8 cpus: {s:.2}x");
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("results/ is creatable");
+    let path = dir.join(format!("{}.json", rec.id));
+    let json = serde_json::to_string_pretty(&rec).expect("record serialises");
+    std::fs::write(&path, json).expect("results file is writable");
+    println!("wrote {}", path.display());
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: sim_throughput [--budget-s <seconds>] [--baseline <report.json>] [--save <report.json>]"
+    );
+    std::process::exit(2);
+}

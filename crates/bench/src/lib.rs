@@ -14,6 +14,7 @@
 //! | [`fig8`] | Figure 8 | dispatch overhead vs. dispatcher frequency |
 //! | [`fig9`] | — (beyond the paper) | aggregate throughput vs. number of CPUs (machine layer) |
 //! | [`ablations`] | — | design-choice ablations (PID gains, squish policy, controller period, period estimation, buffer size) |
+//! | [`sim_throughput`] | — (beyond the paper) | simulator throughput sweep: simulated-us per wall-second over a jobs × CPUs grid, plus scenario-corpus wall time |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sim_throughput;
 
 use rrs_metrics::plot::{ascii_plot, PlotConfig};
 use rrs_metrics::ExperimentRecord;

@@ -1,0 +1,230 @@
+//! Simulator throughput sweep: how much simulated time the stack chews
+//! through per wall-clock second as the job population grows.
+//!
+//! The paper's overhead argument (§4.1, Figure 8) is that the scheduling
+//! machinery stays cheap because nothing does work unless an event arrived.
+//! This sweep is the reproduction's own version of that claim: it runs a
+//! saturated machine of adaptive spinners at {100, 1k, 10k} jobs ×
+//! {1, 8, 64} CPUs for a fixed wall-clock budget and reports simulated
+//! microseconds (and simulation steps) per wall second, plus the wall time
+//! of the full scenario corpus.  `results/bench_sim_throughput.json` keeps
+//! the recorded before/after numbers so every future PR can check the
+//! trajectory.
+
+use rrs_core::JobSpec;
+use rrs_sim::{RunResult, SimConfig, Simulation, WorkModel};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The job-count axis of the sweep.
+pub const JOB_COUNTS: [usize; 3] = [100, 1_000, 10_000];
+/// The CPU-count axis of the sweep.
+pub const CPU_COUNTS: [u32; 3] = [1, 8, 64];
+
+/// A greedy adaptive job: uses every cycle offered, never blocks — the
+/// steady-state stressor for dispatch, accounting and controller paths.
+struct Spin;
+
+impl WorkModel for Spin {
+    fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        RunResult::ran(quantum_us)
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Number of jobs in the simulation.
+    pub jobs: usize,
+    /// Number of simulated CPUs.
+    pub cpus: u32,
+    /// Wall-clock seconds actually spent stepping (excludes setup).
+    pub wall_s: f64,
+    /// Simulated microseconds covered within the wall budget.
+    pub sim_us: u64,
+    /// Simulation steps executed within the wall budget.
+    pub steps: u64,
+    /// The headline rate: simulated microseconds per wall second.
+    pub sim_us_per_wall_s: f64,
+}
+
+/// Wall time of the scenario corpus, the end-to-end workload mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusTiming {
+    /// Number of scenarios run.
+    pub scenarios: usize,
+    /// Total wall-clock seconds for the whole corpus.
+    pub wall_s: f64,
+}
+
+/// One full measurement: the sweep grid plus the corpus timing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Per-point wall budget used, in seconds.
+    pub budget_s: f64,
+    /// The measured grid, in sweep order (jobs major, cpus minor).
+    pub points: Vec<ThroughputPoint>,
+    /// Scenario-corpus wall time.
+    pub corpus: CorpusTiming,
+}
+
+/// The recorded artifact: a labelled before/after pair so the speedup is
+/// part of the repo's history, not a one-off terminal read-out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputRecord {
+    /// Artifact id (also the results file name).
+    pub id: String,
+    /// What the numbers mean and how to regenerate them.
+    pub notes: String,
+    /// Measurement on the pre-optimisation tree, if one was recorded.
+    pub before: Option<ThroughputReport>,
+    /// Measurement on the current tree.
+    pub after: ThroughputReport,
+    /// `after / before` throughput ratio per grid point (same order as
+    /// `after.points`); empty when there is no baseline.
+    pub speedups: Vec<f64>,
+}
+
+/// Measures one grid point: `jobs` greedy spinners on `cpus` CPUs, stepped
+/// for roughly `budget` of wall time.
+///
+/// Tracing is effectively disabled (one sample per 1000 simulated seconds)
+/// so the measurement targets the steady-state stepping hot path rather
+/// than string formatting in the trace recorder.
+pub fn measure_point(jobs: usize, cpus: u32, budget: Duration) -> ThroughputPoint {
+    let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
+    sim.set_trace_interval_s(1000.0);
+    for i in 0..jobs {
+        sim.add_job(&format!("j{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+            .expect("miscellaneous jobs are always admitted");
+    }
+    let t0 = sim.now_micros();
+    let steps0 = sim.stats().steps;
+    let start = Instant::now();
+    loop {
+        for _ in 0..64 {
+            sim.step();
+        }
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let sim_us = sim.now_micros() - t0;
+    ThroughputPoint {
+        jobs,
+        cpus,
+        wall_s,
+        sim_us,
+        steps: sim.stats().steps - steps0,
+        sim_us_per_wall_s: sim_us as f64 / wall_s,
+    }
+}
+
+/// Runs the full scenario corpus once, timing the wall clock.
+pub fn measure_corpus() -> CorpusTiming {
+    let specs = rrs_scenario::corpus();
+    let start = Instant::now();
+    for spec in &specs {
+        let report = rrs_scenario::run_scenario(spec).expect("corpus specs are valid");
+        assert!(report.passed, "corpus scenario {} failed", report.scenario);
+    }
+    CorpusTiming {
+        scenarios: specs.len(),
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the whole sweep (grid + corpus) with the given per-point budget.
+pub fn measure(budget: Duration, mut progress: impl FnMut(&ThroughputPoint)) -> ThroughputReport {
+    let mut points = Vec::new();
+    for &jobs in &JOB_COUNTS {
+        for &cpus in &CPU_COUNTS {
+            let p = measure_point(jobs, cpus, budget);
+            progress(&p);
+            points.push(p);
+        }
+    }
+    ThroughputReport {
+        budget_s: budget.as_secs_f64(),
+        points,
+        corpus: measure_corpus(),
+    }
+}
+
+/// Pairs a fresh measurement with an optional baseline into the recorded
+/// artifact, computing per-point speedups where the grids line up.
+pub fn record(before: Option<ThroughputReport>, after: ThroughputReport) -> ThroughputRecord {
+    let speedups = match &before {
+        Some(b) => after
+            .points
+            .iter()
+            .zip(&b.points)
+            .map(|(a, b)| {
+                debug_assert_eq!((a.jobs, a.cpus), (b.jobs, b.cpus));
+                a.sim_us_per_wall_s / b.sim_us_per_wall_s
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    ThroughputRecord {
+        id: "bench_sim_throughput".to_string(),
+        notes: "Simulated microseconds per wall second for a saturated machine of adaptive \
+                spinners, plus scenario-corpus wall time. Regenerate with `cargo run --release \
+                --bin sim_throughput` (use `--baseline <file>` to embed a previously saved \
+                report as the before side)."
+            .to_string(),
+        before,
+        after,
+        speedups,
+    }
+}
+
+/// The speedup at one grid point of a record, if both sides were measured.
+pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: u32) -> Option<f64> {
+    let idx = rec
+        .after
+        .points
+        .iter()
+        .position(|p| p.jobs == jobs && p.cpus == cpus)?;
+    rec.speedups.get(idx).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_makes_progress() {
+        let p = measure_point(3, 1, Duration::from_millis(50));
+        assert_eq!(p.jobs, 3);
+        assert!(p.sim_us > 0, "simulation must advance");
+        assert!(p.steps > 0);
+        assert!(p.sim_us_per_wall_s > 0.0);
+    }
+
+    #[test]
+    fn record_computes_speedups() {
+        let mk = |rate: f64| ThroughputReport {
+            budget_s: 0.1,
+            points: vec![ThroughputPoint {
+                jobs: 10,
+                cpus: 1,
+                wall_s: 0.1,
+                sim_us: (rate * 0.1) as u64,
+                steps: 1,
+                sim_us_per_wall_s: rate,
+            }],
+            corpus: CorpusTiming {
+                scenarios: 0,
+                wall_s: 0.0,
+            },
+        };
+        let rec = record(Some(mk(100.0)), mk(300.0));
+        assert_eq!(rec.speedups, vec![3.0]);
+        assert_eq!(speedup_at(&rec, 10, 1), Some(3.0));
+        assert_eq!(speedup_at(&rec, 99, 1), None);
+        let solo = record(None, mk(300.0));
+        assert!(solo.speedups.is_empty());
+    }
+}

@@ -18,8 +18,10 @@
 //! * [`AdmissionControl`] — the overload threshold and admission test.
 //! * [`goodness`] — the Linux-style goodness function (rate monotonic for
 //!   RBS threads, time-slice based for best-effort threads).
-//! * [`Dispatcher`] — run queue, sorted timer list, per-period accounting,
-//!   deadline-miss detection and dispatch-overhead modelling.
+//! * [`Dispatcher`] — goodness-indexed run queue over dense slot-indexed
+//!   thread storage (`O(1)` pick, `O(log n)` re-rank), sorted timer list
+//!   with a per-thread reverse index, per-period accounting, deadline-miss
+//!   detection and dispatch-overhead modelling.
 //! * [`Machine`] — the multi-CPU layer: `N` per-CPU dispatchers in
 //!   lockstep behind the single-CPU API, with thread placement and
 //!   cross-CPU migration ([`CpuId`]).  `N = 1` is bit-for-bit the
@@ -37,6 +39,7 @@ pub mod error;
 pub mod goodness;
 pub mod machine;
 pub mod reservation;
+mod runqueue;
 pub mod timerlist;
 pub mod types;
 

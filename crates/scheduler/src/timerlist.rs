@@ -3,14 +3,24 @@
 //! "We keep a list of timers used by RBS threads, sorted by time of expiry,
 //! and cache the next expiration time to avoid doing any work unless at
 //! least one timer has expired" (§4.1).
+//!
+//! The sorted set is paired with a per-thread reverse index so that
+//! [`TimerList::arm`], [`TimerList::cancel`] and [`TimerList::expiry_of`]
+//! are `O(log n)` — the original scanned the whole set to find a thread's
+//! timer, which put an `O(n)` walk (and a collect-into-`Vec`) on the
+//! migration and removal paths.  The next expiry is cached so the
+//! nothing-expired check stays `O(1)`.
 
 use crate::types::ThreadId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// A sorted set of `(expiry, thread)` timers with a cached next expiry.
+/// A sorted set of `(expiry, thread)` timers with a per-thread reverse
+/// index and a cached next expiry.
 #[derive(Debug, Clone, Default)]
 pub struct TimerList {
     timers: BTreeSet<(u64, ThreadId)>,
+    by_thread: BTreeMap<ThreadId, u64>,
+    cached_next: Option<u64>,
 }
 
 impl TimerList {
@@ -19,54 +29,62 @@ impl TimerList {
         Self::default()
     }
 
+    fn refresh_cache(&mut self) {
+        self.cached_next = self.timers.first().map(|&(t, _)| t);
+    }
+
     /// Arms (or re-arms) a timer for `thread` at `expiry_us`.  A thread has
-    /// at most one timer: any existing timer for it is removed first.
+    /// at most one timer: any existing timer for it is replaced.
     pub fn arm(&mut self, thread: ThreadId, expiry_us: u64) {
-        self.cancel(thread);
+        if let Some(old) = self.by_thread.insert(thread, expiry_us) {
+            self.timers.remove(&(old, thread));
+        }
         self.timers.insert((expiry_us, thread));
+        self.refresh_cache();
     }
 
     /// Cancels the timer for `thread`; returns `true` if one existed.
     pub fn cancel(&mut self, thread: ThreadId) -> bool {
-        let existing: Vec<(u64, ThreadId)> = self
-            .timers
-            .iter()
-            .filter(|(_, t)| *t == thread)
-            .copied()
-            .collect();
-        let found = !existing.is_empty();
-        for e in existing {
-            self.timers.remove(&e);
+        match self.by_thread.remove(&thread) {
+            Some(expiry) => {
+                self.timers.remove(&(expiry, thread));
+                self.refresh_cache();
+                true
+            }
+            None => false,
         }
-        found
     }
 
     /// The cached next expiry time, if any timer is armed.
     pub fn next_expiry(&self) -> Option<u64> {
-        self.timers.iter().next().map(|(t, _)| *t)
+        self.cached_next
     }
 
     /// The armed expiry of `thread`'s timer, if it has one.
     pub fn expiry_of(&self, thread: ThreadId) -> Option<u64> {
-        self.timers
-            .iter()
-            .find(|(_, t)| *t == thread)
-            .map(|(e, _)| *e)
+        self.by_thread.get(&thread).copied()
+    }
+
+    /// Removes and returns the earliest timer with `expiry <= now_us`, if
+    /// any.  Constant-time when nothing has expired, which is the common
+    /// case the paper optimises for; callers drain expiries one at a time
+    /// without the intermediate `Vec` of [`TimerList::pop_expired`].
+    pub fn pop_next_expired(&mut self, now_us: u64) -> Option<ThreadId> {
+        if self.cached_next.is_none_or(|t| t > now_us) {
+            return None;
+        }
+        let &(expiry, thread) = self.timers.first().expect("cache says non-empty");
+        self.timers.remove(&(expiry, thread));
+        self.by_thread.remove(&thread);
+        self.refresh_cache();
+        Some(thread)
     }
 
     /// Removes and returns every timer with `expiry <= now_us`, in expiry
-    /// order.  Constant-time when nothing has expired, which is the common
-    /// case the paper optimises for.
+    /// order.
     pub fn pop_expired(&mut self, now_us: u64) -> Vec<ThreadId> {
-        if self.next_expiry().is_none_or(|t| t > now_us) {
-            return Vec::new();
-        }
         let mut expired = Vec::new();
-        while let Some(&(expiry, thread)) = self.timers.iter().next() {
-            if expiry > now_us {
-                break;
-            }
-            self.timers.remove(&(expiry, thread));
+        while let Some(thread) = self.pop_next_expired(now_us) {
             expired.push(thread);
         }
         expired
@@ -106,6 +124,7 @@ mod tests {
         let mut tl = TimerList::new();
         tl.arm(ThreadId(1), 1000);
         assert!(tl.pop_expired(500).is_empty());
+        assert_eq!(tl.pop_next_expired(500), None);
         assert_eq!(tl.len(), 1);
         assert!(TimerList::new().pop_expired(1_000_000).is_empty());
     }
@@ -116,8 +135,10 @@ mod tests {
         tl.arm(ThreadId(1), 100);
         tl.arm(ThreadId(1), 500);
         assert_eq!(tl.len(), 1);
+        assert_eq!(tl.expiry_of(ThreadId(1)), Some(500));
         assert!(tl.pop_expired(200).is_empty());
         assert_eq!(tl.pop_expired(500), vec![ThreadId(1)]);
+        assert_eq!(tl.expiry_of(ThreadId(1)), None);
     }
 
     #[test]
@@ -128,6 +149,7 @@ mod tests {
         assert!(!tl.cancel(ThreadId(1)));
         assert!(tl.is_empty());
         assert_eq!(tl.next_expiry(), None);
+        assert_eq!(tl.expiry_of(ThreadId(1)), None);
     }
 
     #[test]
@@ -137,6 +159,22 @@ mod tests {
         tl.arm(ThreadId(2), 100);
         let expired = tl.pop_expired(100);
         assert_eq!(expired.len(), 2);
+    }
+
+    #[test]
+    fn pop_one_at_a_time_matches_pop_expired() {
+        let mut a = TimerList::new();
+        let mut b = TimerList::new();
+        for (t, e) in [(1, 50), (2, 10), (3, 30), (4, 70)] {
+            a.arm(ThreadId(t), e);
+            b.arm(ThreadId(t), e);
+        }
+        let mut drained = Vec::new();
+        while let Some(t) = a.pop_next_expired(60) {
+            drained.push(t);
+        }
+        assert_eq!(drained, b.pop_expired(60));
+        assert_eq!(a.len(), b.len());
     }
 
     proptest! {
@@ -152,6 +190,10 @@ mod tests {
                 tl.arm(ThreadId(tid), expiry);
                 expected.insert(tid, expiry);
             }
+            // The reverse index agrees with the final arms.
+            for (&tid, &expiry) in &expected {
+                prop_assert_eq!(tl.expiry_of(ThreadId(tid)), Some(expiry));
+            }
             let expired = tl.pop_expired(cutoff);
             // Every returned thread's final expiry is within the cutoff.
             for t in &expired {
@@ -162,6 +204,28 @@ mod tests {
             prop_assert_eq!(expired.len(), should_expire);
             // Remaining timers are all after the cutoff.
             prop_assert!(tl.next_expiry().is_none_or(|t| t > cutoff));
+            // Popped threads are gone from the reverse index too.
+            for t in &expired {
+                prop_assert_eq!(tl.expiry_of(*t), None);
+            }
+        }
+
+        #[test]
+        fn cancel_against_oracle(
+            entries in proptest::collection::vec((0u64..1000, 0u64..20), 0..40),
+            cancels in proptest::collection::vec(0u64..20, 0..20),
+        ) {
+            let mut tl = TimerList::new();
+            let mut oracle: std::collections::BTreeMap<u64, u64> = Default::default();
+            for &(expiry, tid) in &entries {
+                tl.arm(ThreadId(tid), expiry);
+                oracle.insert(tid, expiry);
+            }
+            for &tid in &cancels {
+                prop_assert_eq!(tl.cancel(ThreadId(tid)), oracle.remove(&tid).is_some());
+            }
+            prop_assert_eq!(tl.len(), oracle.len());
+            prop_assert_eq!(tl.next_expiry(), oracle.values().min().copied());
         }
     }
 }

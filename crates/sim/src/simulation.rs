@@ -13,6 +13,24 @@
 //! unchanged, while step counts and idle bookkeeping shrink.  Cross-CPU
 //! migrations decided by the control pipeline's Place stage are applied
 //! between cycles and charged a configurable cost.
+//!
+//! # Event-calendar stepping
+//!
+//! A step's cost is bounded by what actually happened, not by the
+//! population: the simulator keeps a blocked-thread calendar (only
+//! blocked work models are polled, in id order), the dispatcher keeps
+//! every runnable thread ranked in a goodness index (an idle or
+//! steady-state CPU re-dispatches in `O(1)`/`O(log n)` rather than
+//! scanning every registered thread), and the timer list pops expired
+//! period boundaries without collecting.  Each CPU is still *booked* a
+//! dispatch decision per lockstep round — the modelled overhead of the
+//! paper's 1 ms dispatch timer feeds the simulated clock, so skipping
+//! the bookkeeping would change every downstream number — but the work
+//! behind that booking no longer touches per-thread state unless an
+//! event (timer expiry, unblock, controller actuation, migration)
+//! arrived for it, generalising the machine-wide idle fast-forward.
+//! `tests/sim_golden_stats.rs` pins `SimStats` bit for bit at `N = 1`
+//! and `N = 8` to keep these optimisations observationally invisible.
 
 use crate::trace::Trace;
 use crate::workload::WorkModel;
@@ -170,7 +188,6 @@ struct SimThread {
     name: String,
     slot: JobSlot,
     work: Box<dyn WorkModel>,
-    blocked: bool,
     last_progress: f64,
 }
 
@@ -203,6 +220,13 @@ pub struct Simulation {
     /// Slot-indexed map back to the dispatcher's thread id, so actuations
     /// apply without re-deriving `JobId ↔ ThreadId`.
     slot_threads: Vec<Option<ThreadId>>,
+    /// The blocked-thread calendar: ids whose work model reported a block
+    /// and has not yet been polled awake.  Keeping them indexed (in id
+    /// order, matching the original full scan) makes the per-step poll
+    /// `O(blocked)` instead of a scan-and-collect over every thread.
+    blocked: BTreeSet<ThreadId>,
+    /// Scratch for the ids polled this step (reused across steps).
+    poll_buf: Vec<ThreadId>,
     /// Per-step dispatch outcomes, one per CPU (reused across steps).
     cpu_outcomes: Vec<DispatchOutcome>,
     /// Per-step CPU time actually consumed, aligned with `cpu_outcomes`
@@ -238,6 +262,8 @@ impl Simulation {
             controller,
             threads: BTreeMap::new(),
             slot_threads: Vec::new(),
+            blocked: BTreeSet::new(),
+            poll_buf: Vec::new(),
             cpu_outcomes: Vec::new(),
             cpu_used: Vec::new(),
             next_id: 1,
@@ -409,7 +435,6 @@ impl Simulation {
                 name: name.to_string(),
                 slot,
                 work,
-                blocked: false,
                 last_progress: 0.0,
             },
         );
@@ -419,6 +444,7 @@ impl Simulation {
     /// Removes a job from the simulation.
     pub fn remove_job(&mut self, handle: JobHandle) {
         self.threads.remove(&handle.thread);
+        self.blocked.remove(&handle.thread);
         let _ = self.machine.remove_thread(handle.thread);
         if self.controller.remove_slot(handle.slot) {
             if let Some(entry) = self.slot_threads.get_mut(handle.slot.index()) {
@@ -527,7 +553,7 @@ impl Simulation {
                 .expect("dispatched thread exists");
             if result.blocked {
                 self.machine.block(tid).expect("thread exists");
-                self.threads.get_mut(&tid).expect("exists").blocked = true;
+                self.blocked.insert(tid);
             }
             self.cpu_used.push(used);
             self.stats.per_cpu[i].used_us += used;
@@ -544,7 +570,7 @@ impl Simulation {
     /// controller tick or the trace sampler — instead of accumulating one
     /// bounded idle quantum per step.
     fn advance_idle(&mut self, idle_quantum: u64) {
-        let pollable_blocked = self.threads.values().any(|t| t.blocked);
+        let pollable_blocked = !self.blocked.is_empty();
         let advance = if !self.config.idle_fast_forward || pollable_blocked {
             idle_quantum
         } else {
@@ -596,16 +622,15 @@ impl Simulation {
 
     fn poll_blocked(&mut self) {
         let now = self.now_us;
-        let blocked: Vec<ThreadId> = self
-            .threads
-            .iter()
-            .filter(|(_, t)| t.blocked)
-            .map(|(&id, _)| id)
-            .collect();
-        for tid in blocked {
+        // Snapshot into the reusable scratch buffer (same id order as the
+        // original full scan) so waking a thread can mutate the calendar.
+        self.poll_buf.clear();
+        self.poll_buf.extend(self.blocked.iter().copied());
+        for i in 0..self.poll_buf.len() {
+            let tid = self.poll_buf[i];
             let entry = self.threads.get_mut(&tid).expect("exists");
             if entry.work.poll_unblock(now) {
-                entry.blocked = false;
+                self.blocked.remove(&tid);
                 let _ = self.machine.unblock(tid);
             }
         }

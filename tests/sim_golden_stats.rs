@@ -1,0 +1,125 @@
+//! Golden `SimStats` pins: the indexed hot paths must be observationally
+//! invisible.
+//!
+//! The expected JSON blobs below were captured by running this exact
+//! workload on the pre-optimisation simulator (commit `84db007`: full-scan
+//! dispatch pick, O(n) timer cancel, lockstep stepping with per-step
+//! blocked scans).  Any rework of the dispatcher's runnable index, the
+//! timer list or the simulator's stepping must reproduce every field —
+//! clock, counters, floating-point overhead sums and the whole `per_cpu`
+//! breakdown — bit for bit, at `N = 1` and at `N = 8`.
+//!
+//! To re-capture after an *intentional* behaviour change, run
+//! `GOLDEN_PRINT=1 cargo test --release --test sim_golden_stats -- --nocapture`
+//! and paste the printed JSON over the constants.
+
+use realrate::core::JobSpec;
+use realrate::scheduler::{Period, Proportion};
+use realrate::sim::{RunResult, SimConfig, SimStats, Simulation, WorkModel};
+
+/// Uses every cycle offered, never blocks.
+struct Spin;
+
+impl WorkModel for Spin {
+    fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        RunResult::ran(quantum_us)
+    }
+}
+
+/// Runs `burst_us`, then blocks until `now + sleep_us` — a deterministic
+/// periodic I/O-ish job exercising block/unblock and the poll path.
+struct BurstSleep {
+    burst_us: u64,
+    sleep_us: u64,
+    wake_at_us: u64,
+}
+
+impl WorkModel for BurstSleep {
+    fn run(&mut self, now_us: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        let used = self.burst_us.min(quantum_us);
+        if used < quantum_us {
+            self.wake_at_us = now_us + used + self.sleep_us;
+            RunResult::blocked_after(used)
+        } else {
+            RunResult::ran(used)
+        }
+    }
+
+    fn poll_unblock(&mut self, now_us: u64) -> bool {
+        now_us >= self.wake_at_us
+    }
+}
+
+/// The fixed mixed workload: real-time spinners, greedy hogs and periodic
+/// burst-sleep jobs; at `N = 8` a mid-run removal forces rebalancing
+/// migrations.  Populations scale with the CPU count so every CPU carries
+/// work.
+fn run_mixed_workload(cpus: u32) -> SimStats {
+    let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
+    let n = cpus as u64;
+    for i in 0..n {
+        sim.add_job(
+            &format!("rt{i}"),
+            JobSpec::real_time(Proportion::from_ppt(250), Period::from_millis(10)),
+            Box::new(Spin),
+        )
+        .unwrap();
+    }
+    let mut hogs = Vec::new();
+    for i in 0..2 * n {
+        hogs.push(
+            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+                .unwrap(),
+        );
+    }
+    for i in 0..2 * n {
+        sim.add_job(
+            &format!("io{i}"),
+            JobSpec::miscellaneous(),
+            Box::new(BurstSleep {
+                burst_us: 300 + 70 * i,
+                sleep_us: 2_000 + 500 * i,
+                wake_at_us: 0,
+            }),
+        )
+        .unwrap();
+    }
+    sim.run_for(1.5);
+    // Remove every other hog: the emptied CPUs pull survivors across,
+    // exercising take/inject (and thus the timer reverse index) mid-period.
+    for h in hogs.iter().step_by(2) {
+        sim.remove_job(*h);
+    }
+    sim.run_for(1.5);
+    sim.stats()
+}
+
+fn check(cpus: u32, expected_json: &str) {
+    let stats = run_mixed_workload(cpus);
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!(
+            "golden for {cpus} cpu(s):\n{}",
+            serde_json::to_string(&stats).unwrap()
+        );
+        return;
+    }
+    let expected: SimStats = serde_json::from_str(expected_json).expect("golden blob parses");
+    assert_eq!(
+        stats, expected,
+        "SimStats diverged from the pre-optimisation capture at {cpus} cpu(s)"
+    );
+}
+
+const GOLDEN_1CPU: &str = r#"{"controller_invocations":300,"controller_cost_us":10613.40000000004,"dispatch_overhead_us":35018.30000000067,"quality_exceptions":401,"squish_events":282,"admission_rejections":0,"migrations":0,"steps":4271,"per_cpu":[{"used_us":2665210,"idle_us":289132,"migrations_in":0,"migrations_out":0,"deadlines_missed":234}]}"#;
+
+const GOLDEN_8CPU: &str = r#"{"controller_invocations":299,"controller_cost_us":72720.29999999996,"dispatch_overhead_us":231424.99999999697,"quality_exceptions":5365,"squish_events":285,"admission_rejections":0,"migrations":118,"steps":3497,"per_cpu":[{"used_us":2337768,"idle_us":560252,"migrations_in":48,"migrations_out":40,"deadlines_missed":416},{"used_us":2664125,"idle_us":233895,"migrations_in":22,"migrations_out":23,"deadlines_missed":202},{"used_us":2661913,"idle_us":236107,"migrations_in":10,"migrations_out":11,"deadlines_missed":235},{"used_us":2675698,"idle_us":222322,"migrations_in":11,"migrations_out":12,"deadlines_missed":215},{"used_us":2688441,"idle_us":209579,"migrations_in":8,"migrations_out":9,"deadlines_missed":170},{"used_us":2586303,"idle_us":311717,"migrations_in":1,"migrations_out":3,"deadlines_missed":220},{"used_us":2661292,"idle_us":236728,"migrations_in":8,"migrations_out":9,"deadlines_missed":135},{"used_us":2624116,"idle_us":273904,"migrations_in":10,"migrations_out":11,"deadlines_missed":141}]}"#;
+
+#[test]
+fn golden_simstats_1cpu() {
+    check(1, GOLDEN_1CPU);
+}
+
+#[test]
+fn golden_simstats_8cpu() {
+    check(8, GOLDEN_8CPU);
+}

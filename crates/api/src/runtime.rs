@@ -1,0 +1,115 @@
+//! Building hosts: `Runtime::sim().cpus(8).build()`.
+
+use crate::host::{Backend, Host};
+use crate::wall_clock::{WallClockConfig, WallClockHost};
+use rrs_core::ControllerConfig;
+use rrs_sim::{SimConfig, Simulation};
+
+/// Entry point of the backend-agnostic API.
+///
+/// ```
+/// use rrs_api::Runtime;
+///
+/// let sim = Runtime::sim().cpus(8).build();
+/// assert_eq!(sim.cpu_count(), 8);
+/// let wall = Runtime::wall_clock().cpus(2).build();
+/// assert_eq!(wall.cpu_count(), 2);
+/// ```
+pub struct Runtime;
+
+impl Runtime {
+    /// A builder for the deterministic simulator backend.
+    pub fn sim() -> RuntimeBuilder {
+        RuntimeBuilder::new(Backend::Sim)
+    }
+
+    /// A builder for the wall-clock (real OS threads) backend.
+    pub fn wall_clock() -> RuntimeBuilder {
+        RuntimeBuilder::new(Backend::WallClock)
+    }
+
+    /// A builder for the given backend — for callers that carry the
+    /// choice as data (scenario specs, CLI flags).
+    pub fn backend(backend: Backend) -> RuntimeBuilder {
+        RuntimeBuilder::new(backend)
+    }
+}
+
+/// Configures and builds a [`Host`].
+///
+/// The defaults are the paper's machine — one 400 MHz CPU, the
+/// prototype's controller gains — on either backend.  `cpus(n)` is the
+/// common knob; `sim_config` / `wall_clock_config` are the full escape
+/// hatches for experiment-grade control.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeBuilder {
+    backend: Backend,
+    cpus: Option<usize>,
+    sim: SimConfig,
+    wall: WallClockConfig,
+}
+
+impl RuntimeBuilder {
+    fn new(backend: Backend) -> Self {
+        Self {
+            backend,
+            cpus: None,
+            sim: SimConfig::default(),
+            wall: WallClockConfig::default(),
+        }
+    }
+
+    /// The backend this builder will construct.
+    pub fn backend_kind(&self) -> Backend {
+        self.backend
+    }
+
+    /// Number of CPUs (simulated CPUs, or logical worker shards on the
+    /// wall-clock backend).  Overrides whatever the backend config says.
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.cpus = Some(cpus);
+        self
+    }
+
+    /// Replaces the controller configuration (applies to whichever
+    /// backend is built).
+    pub fn controller_config(mut self, config: ControllerConfig) -> Self {
+        self.sim.controller = config;
+        self.wall.executor.controller = config;
+        self
+    }
+
+    /// Full simulator configuration (used only when the backend is
+    /// [`Backend::Sim`]).
+    pub fn sim_config(mut self, config: SimConfig) -> Self {
+        self.sim = config;
+        self
+    }
+
+    /// Full wall-clock configuration (used only when the backend is
+    /// [`Backend::WallClock`]).
+    pub fn wall_clock_config(mut self, config: WallClockConfig) -> Self {
+        self.wall = config;
+        self
+    }
+
+    /// Builds the host.
+    pub fn build(self) -> Box<dyn Host> {
+        match self.backend {
+            Backend::Sim => {
+                let config = match self.cpus {
+                    Some(n) => self.sim.with_cpus(n),
+                    None => self.sim,
+                };
+                Box::new(Simulation::new(config))
+            }
+            Backend::WallClock => {
+                let mut config = self.wall;
+                if let Some(n) = self.cpus {
+                    config.executor = config.executor.with_cpus(n);
+                }
+                Box::new(WallClockHost::new(config))
+            }
+        }
+    }
+}

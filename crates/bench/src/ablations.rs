@@ -91,18 +91,16 @@ pub fn squish_policy(duration_s: f64) -> ExperimentRecord {
         };
         let mut sim = Simulation::new(config);
         let important = sim
-            .add_job_with_importance(
+            .add_job(
                 "important",
-                JobSpec::miscellaneous(),
-                rrs_core::Importance::new(4.0),
+                JobSpec::miscellaneous().with_importance(rrs_core::Importance::new(4.0)),
                 Box::new(CpuHog::new()),
             )
             .expect("misc always admitted");
         let normal = sim
-            .add_job_with_importance(
+            .add_job(
                 "normal",
-                JobSpec::miscellaneous(),
-                rrs_core::Importance::new(1.0),
+                JobSpec::miscellaneous().with_importance(rrs_core::Importance::new(1.0)),
                 Box::new(CpuHog::new()),
             )
             .expect("misc always admitted");

@@ -2,11 +2,19 @@
 //! scenario into `results/`.
 //!
 //! ```sh
-//! cargo run --release --bin scenario_runner              # full corpus
+//! cargo run --release --bin scenario_runner              # full corpus (sim)
 //! cargo run --release --bin scenario_runner -- --smoke   # CI smoke subset
 //! cargo run --release --bin scenario_runner -- --smoke --time 60
 //! cargo run --release --bin scenario_runner -- steady_video hog_storm
+//! # the same machinery on real OS threads:
+//! cargo run --release --bin scenario_runner -- --smoke --backend wall_clock
+//! cargo run --release --bin scenario_runner -- --backend wall_clock steady_video
 //! ```
+//!
+//! `--backend wall_clock` selects the wall-clock smoke corpus (short
+//! tolerance-band scenarios that spend real seconds); with explicit
+//! scenario names it instead re-runs those corpus scenarios on the
+//! wall-clock executor.
 //!
 //! Exits non-zero if any scenario fails an SLO (or an argument names no
 //! corpus scenario), so CI can gate on scenario regressions.  With
@@ -14,14 +22,18 @@
 //! wall-clock budget — the CI guard against simulator hot paths quietly
 //! regressing to their pre-indexed cost.
 
-use rrs_scenario::{corpus, run_scenario, scenario_by_name, smoke_corpus, ScenarioReport};
+use rrs_scenario::{
+    corpus, run_scenario, scenario_by_name, smoke_corpus, wall_clock_smoke_corpus, Backend,
+    ScenarioReport,
+};
 use std::time::Instant;
 
 fn print_report(report: &ScenarioReport) {
     let verdict = if report.passed { "PASS" } else { "FAIL" };
     println!(
-        "[{verdict}] {:<18} {:>5.1} s  {:>2} cpus  jobs +{}/-{}  migrations {}",
+        "[{verdict}] {:<18} {:<10} {:>5.1} s  {:>2} cpus  jobs +{}/-{}  migrations {}",
         report.scenario,
+        report.backend.to_string(),
         report.elapsed_s,
         report.cpus,
         report.jobs.installed + report.jobs.spawned,
@@ -38,11 +50,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut time_budget_s: Option<f64> = None;
     let mut smoke = false;
+    let mut backend: Option<Backend> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--backend" => match it.next().map(|v| v.parse::<Backend>()) {
+                Some(Ok(b)) => backend = Some(b),
+                _ => {
+                    eprintln!("--backend needs one of: sim, wall_clock");
+                    std::process::exit(2);
+                }
+            },
             "--time" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(s) if s > 0.0 => time_budget_s = Some(s),
                 _ => {
@@ -53,18 +73,14 @@ fn main() {
             name => names.push(name.to_string()),
         }
     }
-    let specs = if smoke {
-        smoke_corpus()
-    } else if names.is_empty() {
-        corpus()
-    } else {
+    let mut specs = if !names.is_empty() {
         let mut specs = Vec::new();
         for name in &names {
             match scenario_by_name(name) {
                 Some(s) => specs.push(s),
                 None => {
                     eprintln!("unknown scenario '{name}'; the corpus is:");
-                    for s in corpus() {
+                    for s in corpus().iter().chain(&wall_clock_smoke_corpus()) {
                         eprintln!("  {}", s.name);
                     }
                     std::process::exit(2);
@@ -72,7 +88,26 @@ fn main() {
             }
         }
         specs
+    } else if backend == Some(Backend::WallClock) {
+        // The wall-clock corpus *is* its smoke subset: scenarios there
+        // spend real seconds, so the full sim corpus is not replayed.
+        wall_clock_smoke_corpus()
+    } else if smoke {
+        smoke_corpus()
+    } else {
+        corpus()
     };
+    if let Some(b) = backend {
+        for spec in &mut specs {
+            spec.backend = b;
+        }
+        for spec in &specs {
+            if let Err(e) = spec.validate() {
+                eprintln!("{} cannot run on {b}: {e}", spec.name);
+                std::process::exit(2);
+            }
+        }
+    }
 
     let start = Instant::now();
     let mut failures = 0;

@@ -17,7 +17,7 @@ use rrs_workloads::CpuHog;
 #[derive(Debug, Clone)]
 pub struct Fig9Params {
     /// CPU counts to test.
-    pub cpu_counts: Vec<u32>,
+    pub cpu_counts: Vec<usize>,
     /// Fleet sizes (number of concurrent CPU-bound jobs) to test.
     pub job_counts: Vec<usize>,
     /// Simulated seconds per data point.
@@ -37,7 +37,7 @@ impl Default for Fig9Params {
 /// Runs one configuration and returns the aggregate throughput in "CPUs
 /// worth of delivered work" (total CPU time consumed by all jobs divided
 /// by elapsed simulated time; an ideal `N`-CPU machine yields `N`).
-pub fn aggregate_throughput(cpus: u32, jobs: usize, seconds: f64) -> f64 {
+pub fn aggregate_throughput(cpus: usize, jobs: usize, seconds: f64) -> f64 {
     let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
     let mut handles = Vec::with_capacity(jobs);
     for i in 0..jobs {

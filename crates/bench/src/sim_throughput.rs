@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 /// The job-count axis of the sweep.
 pub const JOB_COUNTS: [usize; 3] = [100, 1_000, 10_000];
 /// The CPU-count axis of the sweep.
-pub const CPU_COUNTS: [u32; 3] = [1, 8, 64];
+pub const CPU_COUNTS: [usize; 3] = [1, 8, 64];
 
 /// A greedy adaptive job: uses every cycle offered, never blocks — the
 /// steady-state stressor for dispatch, accounting and controller paths.
@@ -37,7 +37,7 @@ pub struct ThroughputPoint {
     /// Number of jobs in the simulation.
     pub jobs: usize,
     /// Number of simulated CPUs.
-    pub cpus: u32,
+    pub cpus: usize,
     /// Wall-clock seconds actually spent stepping (excludes setup).
     pub wall_s: f64,
     /// Simulated microseconds covered within the wall budget.
@@ -91,7 +91,7 @@ pub struct ThroughputRecord {
 /// Tracing is effectively disabled (one sample per 1000 simulated seconds)
 /// so the measurement targets the steady-state stepping hot path rather
 /// than string formatting in the trace recorder.
-pub fn measure_point(jobs: usize, cpus: u32, budget: Duration) -> ThroughputPoint {
+pub fn measure_point(jobs: usize, cpus: usize, budget: Duration) -> ThroughputPoint {
     let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
     sim.set_trace_interval_s(1000.0);
     for i in 0..jobs {
@@ -181,7 +181,7 @@ pub fn record(before: Option<ThroughputReport>, after: ThroughputReport) -> Thro
 }
 
 /// The speedup at one grid point of a record, if both sides were measured.
-pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: u32) -> Option<f64> {
+pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: usize) -> Option<f64> {
     let idx = rec
         .after
         .points

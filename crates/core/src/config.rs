@@ -65,7 +65,7 @@ pub struct ControllerConfig {
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PlacementConfig {
     /// Number of CPUs jobs are placed onto (at least 1).
-    pub cpus: u32,
+    pub cpus: usize,
     /// Migration trigger: when the most loaded CPU's granted proportion
     /// exceeds the least loaded CPU's by more than this bound (in parts
     /// per thousand), one job is migrated per cycle to rebalance.
@@ -85,11 +85,11 @@ impl PlacementConfig {
     /// The largest machine the Place stage will address.  Bounds the
     /// per-CPU accumulators (and keeps `threshold × CPUs` far from u32
     /// overflow) while comfortably exceeding any real machine.
-    pub const MAX_CPUS: u32 = 4096;
+    pub const MAX_CPUS: usize = 4096;
 
     /// Number of CPUs, clamped to `1..=MAX_CPUS`.
     pub fn cpu_count(&self) -> usize {
-        self.cpus.clamp(1, Self::MAX_CPUS) as usize
+        self.cpus.clamp(1, Self::MAX_CPUS)
     }
 }
 
@@ -148,7 +148,7 @@ impl ControllerConfig {
 
     /// Returns a copy placing jobs over `cpus` CPUs (clamped to
     /// `1..=PlacementConfig::MAX_CPUS`).
-    pub fn with_cpus(mut self, cpus: u32) -> Self {
+    pub fn with_cpus(mut self, cpus: usize) -> Self {
         self.placement.cpus = cpus.clamp(1, PlacementConfig::MAX_CPUS);
         self
     }
@@ -182,7 +182,7 @@ mod tests {
         assert_eq!(ControllerConfig::default().with_cpus(0).placement.cpus, 1);
         assert_eq!(
             ControllerConfig::default()
-                .with_cpus(u32::MAX)
+                .with_cpus(usize::MAX)
                 .placement
                 .cpus,
             PlacementConfig::MAX_CPUS
@@ -198,10 +198,10 @@ mod tests {
         // An absurd raw cpus value cannot overflow the machine capacity
         // (threshold × CPUs) or balloon the per-CPU accumulators.
         let wild = PlacementConfig {
-            cpus: u32::MAX,
+            cpus: usize::MAX,
             imbalance_threshold_ppt: 1,
         };
-        assert_eq!(wild.cpu_count(), PlacementConfig::MAX_CPUS as usize);
+        assert_eq!(wild.cpu_count(), PlacementConfig::MAX_CPUS);
     }
 
     #[test]

@@ -205,7 +205,7 @@ impl Controller {
     /// remaps any job placed on a now-out-of-range CPU on the next cycle;
     /// callers driving a real [`rrs_scheduler::Machine`] should only ever
     /// grow, since the machine layer has no hot-remove.
-    pub fn set_cpus(&mut self, cpus: u32) {
+    pub fn set_cpus(&mut self, cpus: usize) {
         self.config.placement.cpus = cpus.clamp(1, crate::config::PlacementConfig::MAX_CPUS);
     }
 
@@ -265,9 +265,12 @@ impl Controller {
         self.jobs.get(slot).map(|e| e.granted)
     }
 
-    /// Registers a job with default importance and returns its dense slot.
+    /// Registers a job and returns its dense slot.
+    ///
+    /// The importance weight is read from the spec
+    /// ([`JobSpec::with_importance`]).
     pub fn add_job(&mut self, job: JobId, spec: JobSpec) -> Result<JobSlot, AdmitError> {
-        self.add_job_with_importance(job, spec, Importance::NORMAL)
+        self.add_job_with_importance(job, spec, spec.importance)
     }
 
     /// Registers a job with an explicit importance weight and returns its

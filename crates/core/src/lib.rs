@@ -56,6 +56,7 @@ pub mod controller;
 pub mod cost;
 pub mod estimator;
 pub mod events;
+pub mod handle;
 pub mod period;
 pub mod pipeline;
 pub mod pressure;
@@ -68,6 +69,7 @@ pub use controller::{Actuation, AdmitError, ControlOutput, Controller, JobId, Us
 pub use cost::ControllerCostModel;
 pub use estimator::ProportionEstimator;
 pub use events::{ControllerEvent, QualityException};
+pub use handle::JobHandle;
 pub use period::PeriodEstimator;
 pub use pipeline::CycleContext;
 pub use pressure::PressureEstimator;

@@ -7,6 +7,7 @@
 //! | no  | —   | yes | real-rate |
 //! | no  | —   | no  | miscellaneous |
 
+use crate::squish::Importance;
 use rrs_scheduler::{Period, Proportion, Reservation};
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,12 @@ pub struct JobSpec {
     /// Whether the job exposes at least one progress metric through the
     /// meta-interface.
     pub has_progress_metric: bool,
+    /// The job's importance weight under weighted fair-share squishing.
+    /// Defaults to [`Importance::NORMAL`]; set it with
+    /// [`JobSpec::with_importance`] — the importance knob lives on the
+    /// spec, not on per-backend `*_with_importance` method pairs.
+    #[serde(default)]
+    pub importance: Importance,
 }
 
 impl JobSpec {
@@ -76,6 +83,7 @@ impl JobSpec {
             proportion: Some(proportion),
             period: Some(period),
             has_progress_metric: false,
+            importance: Importance::NORMAL,
         }
     }
 
@@ -85,6 +93,7 @@ impl JobSpec {
             proportion: Some(proportion),
             period: None,
             has_progress_metric: false,
+            importance: Importance::NORMAL,
         }
     }
 
@@ -94,6 +103,7 @@ impl JobSpec {
             proportion: None,
             period: None,
             has_progress_metric: true,
+            importance: Importance::NORMAL,
         }
     }
 
@@ -103,6 +113,7 @@ impl JobSpec {
             proportion: None,
             period: None,
             has_progress_metric: false,
+            importance: Importance::NORMAL,
         }
     }
 
@@ -129,6 +140,15 @@ impl JobSpec {
     /// run time.
     pub fn with_progress_metric(mut self, has: bool) -> Self {
         self.has_progress_metric = has;
+        self
+    }
+
+    /// Returns a copy with the given importance weight.
+    ///
+    /// Importance biases weighted fair-share squishing under overload; it
+    /// never affects classification and can never starve another job.
+    pub fn with_importance(mut self, importance: Importance) -> Self {
+        self.importance = importance;
         self
     }
 }
@@ -187,6 +207,21 @@ mod tests {
         assert!(JobClass::Miscellaneous.is_squishable());
         assert!(!JobClass::RealTime.proportion_is_adaptive());
         assert!(JobClass::RealRate.proportion_is_adaptive());
+    }
+
+    #[test]
+    fn importance_lives_on_the_spec() {
+        let spec = JobSpec::miscellaneous();
+        assert_eq!(spec.importance, Importance::NORMAL);
+        let weighted = spec.with_importance(Importance::new(4.0));
+        assert_eq!(weighted.importance.weight(), 4.0);
+        // Importance never changes the Figure 2 classification.
+        assert_eq!(weighted.classify(), spec.classify());
+        // Serde: specs written before the field existed deserialise to
+        // the default importance.
+        let legacy = r#"{"proportion":null,"period":null,"has_progress_metric":false}"#;
+        let back: JobSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.importance, Importance::NORMAL);
     }
 
     #[test]

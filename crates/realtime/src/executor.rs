@@ -9,9 +9,14 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rrs_core::{Controller, ControllerConfig, Importance, JobId, JobSlot, JobSpec, UsageSnapshot};
+use rrs_core::{
+    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobHandle,
+    JobId, JobSlot, JobSpec, UsageSnapshot,
+};
 use rrs_queue::MetricRegistry;
-use rrs_scheduler::{CpuId, DispatcherConfig, Machine, Reservation, ThreadId};
+use rrs_scheduler::{
+    CpuId, CpuStats, DispatcherConfig, Machine, Reservation, ThreadId, UsageAccount,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -65,7 +70,7 @@ impl Default for ExecutorConfig {
 impl ExecutorConfig {
     /// Returns a copy sharding workers over `cpus` logical CPUs (clamped
     /// to at least one).
-    pub fn with_cpus(mut self, cpus: u32) -> Self {
+    pub fn with_cpus(mut self, cpus: usize) -> Self {
         self.controller = self.controller.with_cpus(cpus);
         self
     }
@@ -79,14 +84,39 @@ impl ExecutorConfig {
 }
 
 /// Handle to a task registered with the executor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TaskHandle {
-    /// Controller-side job id.
-    pub job: JobId,
-    /// Scheduler-side thread id.
-    pub thread: ThreadId,
-    /// The controller's dense slot handle, shared by every layer.
-    pub slot: JobSlot,
+///
+/// Historical alias: the executor now hands out the same
+/// [`rrs_core::JobHandle`] as every other backend.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `rrs_core::JobHandle` (re-exported as `JobHandle`)"
+)]
+pub type TaskHandle = JobHandle;
+
+/// Aggregate statistics of an executor run.
+///
+/// The wall-clock analogue of the simulator's `SimStats`: the same
+/// control-plane counters and the same per-CPU breakdown
+/// ([`rrs_scheduler::CpuStats`]), measured over real time instead of
+/// simulated time.  Timing-dependent fields (usage, idle) are only as
+/// deterministic as the OS scheduler underneath.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutorStats {
+    /// Number of controller invocations.
+    pub controller_invocations: u64,
+    /// Number of quality exceptions raised.
+    pub quality_exceptions: u64,
+    /// Number of control cycles in which allocations were squished.
+    pub squish_events: u64,
+    /// Number of real-time admission rejections observed.
+    pub admission_rejections: u64,
+    /// Number of cross-CPU worker re-shards (migrations) applied.
+    pub migrations: u64,
+    /// Number of scheduling rounds executed (one dispatch sweep over
+    /// every CPU each).
+    pub rounds: u64,
+    /// Per-CPU breakdown (usage, idle, migrations), one entry per CPU.
+    pub per_cpu: Vec<CpuStats>,
 }
 
 enum WorkerMessage {
@@ -144,6 +174,7 @@ pub struct RealTimeExecutor {
     next_id: u64,
     start: Instant,
     cpu_time: Arc<Mutex<BTreeMap<u64, Duration>>>,
+    stats: ExecutorStats,
 }
 
 impl RealTimeExecutor {
@@ -162,6 +193,10 @@ impl RealTimeExecutor {
             next_id: 1,
             start: Instant::now(),
             cpu_time: Arc::new(Mutex::new(BTreeMap::new())),
+            stats: ExecutorStats {
+                per_cpu: vec![CpuStats::default(); cpus],
+                ..ExecutorStats::default()
+            },
         }
     }
 
@@ -171,8 +206,52 @@ impl RealTimeExecutor {
     }
 
     /// The CPU a task is currently placed on.
-    pub fn cpu_of(&self, handle: TaskHandle) -> Option<CpuId> {
+    pub fn cpu_of(&self, handle: JobHandle) -> Option<CpuId> {
         self.machine.cpu_of(handle.thread)
+    }
+
+    /// Read-only access to the multi-CPU machine the workers are sharded
+    /// over — the same [`rrs_scheduler::Machine`] the simulator drives.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Read-only access to the controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Grows the machine to `cpus` logical CPUs mid-run (hot-add),
+    /// returning the resulting CPU count.
+    ///
+    /// New CPUs join with empty run queues; the next scheduling round
+    /// dispatches them, and the control pipeline's Place stage starts
+    /// re-sharding workers onto them on its next cycle.  Shrinking is not
+    /// supported, so a `cpus` at or below the current count is a no-op.
+    pub fn grow_cpus(&mut self, cpus: usize) -> usize {
+        let n = self.machine.grow_to(cpus);
+        self.controller.set_cpus(n);
+        self.config.controller.placement.cpus = n;
+        self.stats.per_cpu.resize(n, CpuStats::default());
+        n
+    }
+
+    /// Wall-clock time elapsed since the executor was created — the
+    /// executor's notion of "now".
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Aggregate statistics, with the per-CPU idle and deadline counters
+    /// filled in from the machine's dispatchers at read time.
+    pub fn stats(&self) -> ExecutorStats {
+        let mut stats = self.stats.clone();
+        for (i, cpu) in stats.per_cpu.iter_mut().enumerate() {
+            let d = self.machine.dispatcher(CpuId(i as u32)).stats();
+            cpu.idle_us = d.idle_us;
+            cpu.deadlines_missed = d.deadlines_missed;
+        }
+        stats
     }
 
     /// The progress-metric registry shared with tasks.
@@ -186,7 +265,7 @@ impl RealTimeExecutor {
     }
 
     /// Total CPU time granted to a task so far.
-    pub fn cpu_time(&self, handle: TaskHandle) -> Duration {
+    pub fn cpu_time(&self, handle: JobHandle) -> Duration {
         self.cpu_time
             .lock()
             .get(&handle.thread.raw())
@@ -195,48 +274,96 @@ impl RealTimeExecutor {
     }
 
     /// The proportion currently reserved for a task, in parts per thousand.
-    pub fn current_allocation_ppt(&self, handle: TaskHandle) -> u32 {
+    pub fn current_allocation_ppt(&self, handle: JobHandle) -> u32 {
         self.machine
             .reservation(handle.thread)
             .map(|r| r.proportion.ppt())
             .unwrap_or(0)
     }
 
-    /// Spawns a task with default importance.
+    /// The reservation currently held by a task.
+    pub fn reservation(&self, handle: JobHandle) -> Option<Reservation> {
+        self.machine.reservation(handle.thread)
+    }
+
+    /// A task's dispatcher-side usage account (budget, period rollovers,
+    /// missed deadlines).
+    pub fn usage(&self, handle: JobHandle) -> Option<UsageAccount> {
+        self.machine.usage(handle.thread)
+    }
+
+    /// Forces a reservation directly on the dispatcher, bypassing the
+    /// controller — the wall-clock analogue of the simulator's
+    /// `force_reservation`.  The controller may overwrite it on its next
+    /// cycle unless the job is real-time.
+    pub fn force_reservation(&mut self, handle: JobHandle, reservation: Reservation) {
+        let _ = self.machine.set_reservation(handle.thread, reservation);
+    }
+
+    /// Spawns a task.
     ///
     /// `step` is called once per granted quantum with the quantum length and
     /// must return whether the task wants to continue, block or finish.
-    pub fn spawn<F>(&mut self, name: &str, spec: JobSpec, step: F) -> TaskHandle
-    where
-        F: FnMut(Duration) -> StepOutcome + Send + 'static,
-    {
-        self.spawn_with_importance(name, spec, Importance::NORMAL, step)
-    }
-
-    /// Spawns a task with an explicit importance weight.
+    /// The importance weight is read from the spec
+    /// ([`JobSpec::with_importance`]).
     ///
     /// # Panics
     ///
     /// Panics if a real-time reservation is rejected by admission control;
-    /// check capacity with smaller reservations first.
+    /// use [`RealTimeExecutor::try_spawn`] to handle rejection.
+    pub fn spawn<F>(&mut self, name: &str, spec: JobSpec, step: F) -> JobHandle
+    where
+        F: FnMut(Duration) -> StepOutcome + Send + 'static,
+    {
+        self.try_spawn(name, spec, step)
+            .expect("admission rejected: reduce the requested reservation")
+    }
+
+    /// Spawns a task with an explicit importance weight.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the weight on the spec with `JobSpec::with_importance` and call `spawn`"
+    )]
     pub fn spawn_with_importance<F>(
         &mut self,
         name: &str,
         spec: JobSpec,
         importance: Importance,
+        step: F,
+    ) -> JobHandle
+    where
+        F: FnMut(Duration) -> StepOutcome + Send + 'static,
+    {
+        self.spawn(name, spec.with_importance(importance), step)
+    }
+
+    /// Spawns a task, reporting real-time admission rejection instead of
+    /// panicking.
+    ///
+    /// `step` is called once per granted quantum with the quantum length and
+    /// must return whether the task wants to continue, block or finish.
+    pub fn try_spawn<F>(
+        &mut self,
+        name: &str,
+        spec: JobSpec,
         mut step: F,
-    ) -> TaskHandle
+    ) -> Result<JobHandle, AdmitError>
     where
         F: FnMut(Duration) -> StepOutcome + Send + 'static,
     {
         let raw = self.next_id;
-        self.next_id += 1;
         let job = JobId(raw);
         let thread = ThreadId(raw);
-        let slot = self
-            .controller
-            .add_job_with_importance(job, spec, importance)
-            .expect("admission rejected: reduce the requested reservation");
+        let slot = match self.controller.add_job(job, spec) {
+            Ok(slot) => slot,
+            Err(e) => {
+                if matches!(e, AdmitError::Rejected { .. }) {
+                    self.stats.admission_rejections += 1;
+                }
+                return Err(e);
+            }
+        };
+        self.next_id += 1;
         if self.slot_threads.len() <= slot.index() {
             self.slot_threads.resize(slot.index() + 1, None);
         }
@@ -300,7 +427,33 @@ impl RealTimeExecutor {
                 done: false,
             },
         );
-        TaskHandle { job, thread, slot }
+        Ok(JobHandle { job, thread, slot })
+    }
+
+    /// Removes a task: stops its worker thread, deregisters it from the
+    /// controller and withdraws its reservation.
+    ///
+    /// Safe to call between scheduling rounds (workers only run inside
+    /// [`RealTimeExecutor::run_for`], which waits for every released
+    /// worker before returning).  Removing an unknown or already-removed
+    /// handle is a no-op.
+    pub fn remove(&mut self, handle: JobHandle) {
+        let Some(mut slot) = self.tasks.remove(&handle.thread) else {
+            return;
+        };
+        let _ = slot.to_worker.send(WorkerMessage::Stop);
+        if let Some(join) = slot.join.take() {
+            let _ = join.join();
+        }
+        let _ = self.machine.remove_thread(handle.thread);
+        // Thread ids are never reused, so the per-task counter would
+        // otherwise accumulate forever under job churn.
+        self.cpu_time.lock().remove(&handle.thread.raw());
+        if self.controller.remove_slot(handle.slot) {
+            if let Some(entry) = self.slot_threads.get_mut(handle.slot.index()) {
+                *entry = None;
+            }
+        }
     }
 
     fn now_us(&self) -> u64 {
@@ -314,6 +467,7 @@ impl RealTimeExecutor {
         let mut next_controller = Instant::now() + controller_period;
 
         while Instant::now() < deadline {
+            self.stats.rounds += 1;
             if Instant::now() >= next_controller {
                 self.run_controller();
                 next_controller += controller_period;
@@ -369,8 +523,20 @@ impl RealTimeExecutor {
 
     fn handle_report(&mut self, report: WorkerReport) {
         let used_us = report.elapsed.as_micros().max(1) as u64;
+        // Attribute the consumption to the CPU the worker ran on, like the
+        // simulator's per-CPU breakdown.
+        if let Some(cpu) = self.machine.cpu_of(report.thread) {
+            if let Some(c) = self.stats.per_cpu.get_mut(cpu.index()) {
+                c.used_us += used_us;
+            }
+        }
         let _ = self.machine.charge(report.thread, used_us);
-        let slot = self.tasks.get_mut(&report.thread).expect("task exists");
+        // A report may outlive its task: if `run_for` timed out waiting
+        // while a worker was mid-step and the task was then removed, the
+        // stale report drains here on the next round.  Drop it.
+        let Some(slot) = self.tasks.get_mut(&report.thread) else {
+            return;
+        };
         match report.outcome {
             StepOutcome::Continue => {}
             StepOutcome::Blocked => {
@@ -399,13 +565,27 @@ impl RealTimeExecutor {
         }
         let now_s = self.start.elapsed().as_secs_f64();
         let out = self.controller.control_cycle_in_place(now_s);
+        self.stats.controller_invocations += 1;
+        for event in &out.events {
+            match event {
+                ControllerEvent::Quality(_) => self.stats.quality_exceptions += 1,
+                ControllerEvent::Squished { .. } => self.stats.squish_events += 1,
+                _ => {}
+            }
+        }
         for actuation in &out.actuations {
             if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
                 let _ = self.machine.set_reservation(*tid, actuation.reservation);
                 // Apply the Place stage's decision: logically reshard the
                 // worker onto its assigned CPU.
-                if self.machine.cpu_of(*tid) != Some(actuation.cpu) {
-                    let _ = self.machine.migrate(*tid, actuation.cpu);
+                let from = self.machine.cpu_of(*tid);
+                if from != Some(actuation.cpu) && self.machine.migrate(*tid, actuation.cpu).is_ok()
+                {
+                    self.stats.migrations += 1;
+                    if let Some(from) = from {
+                        self.stats.per_cpu[from.index()].migrations_out += 1;
+                    }
+                    self.stats.per_cpu[actuation.cpu.index()].migrations_in += 1;
                 }
             }
         }

@@ -13,10 +13,21 @@
 //! quantum and return control — because a user-space library cannot preempt
 //! arbitrary code.  The paper makes the same concession: its RBS can only
 //! enforce allocations at dispatch time.
+//!
+//! Since the machine-layer refactor the executor emulates an `N`-CPU
+//! machine (logical worker sharding), supports mid-run CPU hot-add
+//! ([`executor::RealTimeExecutor::grow_cpus`]) and task removal, and
+//! reports the same per-CPU statistics breakdown as the simulator
+//! ([`executor::ExecutorStats`]) — the parity that lets the
+//! backend-agnostic `realrate::api` host trait treat it interchangeably
+//! with `rrs-sim`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod executor;
 
-pub use executor::{ExecutorConfig, RealTimeExecutor, StepOutcome, TaskHandle};
+#[allow(deprecated)]
+pub use executor::TaskHandle;
+pub use executor::{ExecutorConfig, ExecutorStats, RealTimeExecutor, StepOutcome};
+pub use rrs_core::JobHandle;

@@ -11,8 +11,9 @@
 use crate::arrivals::ArrivalProcess;
 use crate::slo::Slo;
 use crate::spec::{ArrivalStream, Member, Phase, ScenarioSpec, TransientJob};
+use rrs_api::Backend;
 
-fn phase(name: &str, duration_s: f64, load: f64, inject_hogs: u32, cpus: Option<u32>) -> Phase {
+fn phase(name: &str, duration_s: f64, load: f64, inject_hogs: u32, cpus: Option<usize>) -> Phase {
     Phase {
         name: name.into(),
         duration_s,
@@ -360,9 +361,91 @@ pub fn smoke_corpus() -> Vec<ScenarioSpec> {
     ]
 }
 
-/// Looks a corpus scenario up by name.
+/// `wall_steady_mix`: a real-time spinner holding its reservation
+/// against two hogs — on **real OS threads**.  Three real seconds; the
+/// SLOs are tolerance bands (wall-clock runs carry OS timing noise), not
+/// the simulator's exact expectations.
+pub fn wall_steady_mix() -> ScenarioSpec {
+    let mut s = ScenarioSpec::named(
+        "wall_steady_mix",
+        "reserved spinner plus two hogs on the wall-clock backend; the \
+         reservation is delivered within tolerance and nobody starves",
+    );
+    s.backend = Backend::WallClock;
+    s.seed = 21;
+    s.cpus = 1;
+    s.members.push(Member::RealTimeSpin {
+        name: "rt".into(),
+        ppt: 200,
+        period_ms: 20,
+    });
+    s.members.push(Member::Hog { name: "h0".into() });
+    s.members.push(Member::Hog { name: "h1".into() });
+    s.phases.push(phase("steady", 3.0, 1.0, 0, None));
+    // Tolerance bands: the spinner must see a meaningful fraction of its
+    // reservation, the hogs must not starve, and the executor must
+    // deliver real work — but none of the simulator's exact numbers.
+    s.slos.push(Slo::RtDelivery { min_ratio: 0.3 });
+    s.slos.push(Slo::DeadlineMissRate { max: 0.5 });
+    s.slos.push(Slo::NoStarvation { min_ppt: 1 });
+    s.slos.push(Slo::MinThroughput { min_cpus: 0.15 });
+    s
+}
+
+/// `wall_pipeline_churn`: the Figure 6 pulse pipeline plus Poisson
+/// worker churn and a mid-run hog storm, sharded over two logical CPUs —
+/// on **real OS threads**.
+pub fn wall_pipeline_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::named(
+        "wall_pipeline_churn",
+        "steady pulse pipeline under transient churn and a hog injection on \
+         the two-CPU wall-clock backend; the queue stays regulated within \
+         a wide band",
+    );
+    s.backend = Backend::WallClock;
+    s.seed = 22;
+    s.cpus = 2;
+    s.members.push(Member::PulsePipeline {
+        steady_bytes_per_cycle: Some(2.5e-5),
+    });
+    s.members.push(Member::Hog { name: "bg".into() });
+    s.streams.push(ArrivalStream {
+        name: "churn".into(),
+        process: ArrivalProcess::Poisson { rate_hz: 2.0 },
+        job: TransientJob::Worker {
+            mcycles: 5.0,
+            lifetime_s: 0.5,
+        },
+    });
+    s.phases.push(phase("warm", 1.5, 1.0, 0, None));
+    s.phases.push(phase("surge", 1.5, 2.0, 1, None));
+    s.slos.push(Slo::FillBand {
+        queue: "pipeline".into(),
+        min: 0.02,
+        max: 0.98,
+        warmup_s: 1.0,
+    });
+    s.slos.push(Slo::NoStarvation { min_ppt: 1 });
+    s.slos.push(Slo::MinThroughput { min_cpus: 0.15 });
+    s.slos.push(Slo::MigrationBudget { max: 200 });
+    s
+}
+
+/// The wall-clock smoke subset: short tolerance-band scenarios CI runs
+/// on real OS threads, proving the corpus machinery is backend-agnostic
+/// (`scenario_runner --smoke --backend wall_clock`).  Kept separate from
+/// [`smoke_corpus`] because wall-clock scenarios spend *real* seconds.
+pub fn wall_clock_smoke_corpus() -> Vec<ScenarioSpec> {
+    vec![wall_steady_mix(), wall_pipeline_churn()]
+}
+
+/// Looks a corpus scenario up by name (wall-clock smoke scenarios
+/// included).
 pub fn scenario_by_name(name: &str) -> Option<ScenarioSpec> {
-    corpus().into_iter().find(|s| s.name == name)
+    corpus()
+        .into_iter()
+        .chain(wall_clock_smoke_corpus())
+        .find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -370,6 +453,28 @@ mod tests {
     use super::*;
     use crate::runner::run_scenario;
     use proptest::prelude::*;
+
+    #[test]
+    fn wall_clock_smoke_corpus_is_valid_and_distinctly_named() {
+        let wall = wall_clock_smoke_corpus();
+        assert!(wall.len() >= 2);
+        let sim_names: Vec<String> = corpus().iter().map(|s| s.name.clone()).collect();
+        for s in &wall {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(s.backend, Backend::WallClock);
+            assert!(!s.slos.is_empty(), "{} declares no SLOs", s.name);
+            assert!(
+                !sim_names.contains(&s.name),
+                "wall scenario {} shadows a sim scenario",
+                s.name
+            );
+            assert!(
+                scenario_by_name(&s.name).is_some(),
+                "{} must be addressable by name",
+                s.name
+            );
+        }
+    }
 
     #[test]
     fn corpus_is_at_least_eight_valid_uniquely_named_scenarios() {
@@ -414,7 +519,7 @@ mod tests {
         #[test]
         fn random_scenarios_never_panic_and_conserve_capacity(
             seed in 0u64..1_000_000,
-            cpus in 1u32..=3,
+            cpus in 1usize..=3,
             rate10 in 0u32..=60,
             lifetime_ms in (50u64..=1200),
             load10 in 0u32..=20,

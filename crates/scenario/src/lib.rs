@@ -7,8 +7,10 @@
 //! [`ArrivalProcess`]es spawning transient jobs, and a phase schedule
 //! (load steps, hog storms, CPU hot-adds) — plus the [`Slo`] assertions
 //! the run must satisfy.  [`run_scenario`] turns the spec into a full
-//! machine-backed `rrs-sim` run and a pass/fail [`ScenarioReport`] that
-//! can be written to `results/` as JSON.
+//! machine-backed run on the backend the spec names — the deterministic
+//! simulator by default, or the wall-clock executor
+//! ([`spec::ScenarioSpec::backend`]) — and a pass/fail
+//! [`ScenarioReport`] that can be written to `results/` as JSON.
 //!
 //! The decomposition follows the entity/workload/schedule split of
 //! network-simulator scenario engines: *what runs* ([`spec::Member`],
@@ -38,7 +40,8 @@ pub mod slo;
 pub mod spec;
 
 pub use arrivals::{ArrivalProcess, ArrivalRng};
-pub use corpus::{corpus, scenario_by_name, smoke_corpus};
-pub use runner::{run_scenario, write_report, JobCounts, ScenarioReport};
+pub use corpus::{corpus, scenario_by_name, smoke_corpus, wall_clock_smoke_corpus};
+pub use rrs_api::Backend;
+pub use runner::{run_scenario, run_scenario_on, write_report, JobCounts, ScenarioReport};
 pub use slo::{Slo, SloOutcome};
 pub use spec::{ArrivalStream, Member, Phase, ScenarioSpec, SpecError, TransientJob};

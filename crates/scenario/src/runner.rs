@@ -1,20 +1,27 @@
-//! Turns a [`ScenarioSpec`] into a machine-backed simulation run and a
+//! Turns a [`ScenarioSpec`] into a machine-backed host run and a
 //! pass/fail [`ScenarioReport`].
 //!
 //! The runner installs the static members, pre-computes every event of
 //! the schedule — phase starts (load steps, hog storms, CPU hot-adds),
 //! seeded transient arrivals and their departures — and then drives the
-//! simulation from event to event with `run_until_micros`.  At the end it
-//! assembles the [`Observations`] the SLOs are
-//! evaluated against and, optionally, writes the report to
-//! `results/scenario_<name>.json`.
+//! host from event to event.  At the end it assembles the
+//! [`Observations`] the SLOs are evaluated against and, optionally,
+//! writes the report to `results/scenario_<name>.json`.
+//!
+//! The run is backend-agnostic: the spec's `backend` field picks the
+//! deterministic simulator (the default — same spec, same seed, same
+//! report, bit for bit) or the wall-clock executor (real OS threads; the
+//! schedule's times are real seconds, and reports vary within scheduling
+//! tolerance).  Everything in between — members, arrivals, phases, SLO
+//! evaluation — is one code path over [`rrs_api::Host`].
 
 use crate::arrivals::ArrivalRng;
 use crate::slo::{Observations, SloOutcome};
 use crate::spec::{Member, ScenarioSpec, SpecError, TransientJob};
-use rrs_core::JobSpec;
+use rrs_api::{Host, HostStats, Runtime, SimTime};
+use rrs_core::{JobHandle, JobSpec};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, SimConfig, SimStats, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use rrs_workloads::{
     CpuHog, DiskReader, DummyProcess, InteractiveJob, ModemConfig, PipelineConfig, PulsePipeline,
     ServerConfig, SoftwareModem, VideoPipeline, VideoPipelineConfig, WebServer,
@@ -42,18 +49,21 @@ pub struct ScenarioReport {
     pub scenario: String,
     /// The spec's description.
     pub description: String,
+    /// The backend the run executed on.
+    #[serde(default)]
+    pub backend: rrs_api::Backend,
     /// The seed the run used.
     pub seed: u64,
-    /// Elapsed simulated seconds (at least the spec's horizon).
+    /// Elapsed host seconds (at least the spec's horizon).
     pub elapsed_s: f64,
     /// Final CPU count (after any hot-adds).
-    pub cpus: u32,
+    pub cpus: usize,
     /// Machine capacity delivered over the run, in CPU-microseconds.
     pub capacity_us: f64,
     /// Job-population counters.
     pub jobs: JobCounts,
-    /// The simulator's aggregate statistics, per-CPU breakdown included.
-    pub stats: SimStats,
+    /// The host's aggregate statistics, per-CPU breakdown included.
+    pub stats: HostStats,
     /// Every SLO's outcome, in spec order.
     pub slos: Vec<SloOutcome>,
     /// Whether every SLO passed.
@@ -108,10 +118,10 @@ struct Installed {
     count: u64,
 }
 
-fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
+fn install_member(host: &mut dyn Host, member: &Member, out: &mut Installed) {
     match member {
         Member::Hog { name } => {
-            let h = sim
+            let h = host
                 .add_job(name, JobSpec::miscellaneous(), Box::new(CpuHog::new()))
                 .expect("miscellaneous jobs are always admitted");
             out.adaptive.push(h);
@@ -119,7 +129,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             out.count += 1;
         }
         Member::Dummy { name } => {
-            sim.add_job(
+            host.add_job(
                 name,
                 JobSpec::miscellaneous(),
                 Box::new(DummyProcess::new()),
@@ -132,7 +142,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             ppt,
             period_ms,
         } => {
-            match sim.add_job(
+            match host.add_job(
                 name,
                 JobSpec::real_time(Proportion::from_ppt(*ppt), Period::from_millis(*period_ms)),
                 Box::new(CpuHog::new()),
@@ -152,7 +162,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             keystrokes_hz,
             mcycles_per_keystroke,
         } => {
-            sim.add_job(
+            host.add_job(
                 name,
                 JobSpec::miscellaneous(),
                 Box::new(InteractiveJob::new(
@@ -169,7 +179,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             render_mcycles,
         } => {
             let handles = VideoPipeline::install(
-                sim,
+                host,
                 VideoPipelineConfig {
                     fps: *fps,
                     decode_cycles_per_frame: decode_mcycles * 1e6,
@@ -187,7 +197,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             backlog,
         } => {
             let (_, server) = WebServer::install(
-                sim,
+                host,
                 ServerConfig {
                     queue_capacity: *backlog,
                     arrival_rate_hz: *rate_hz,
@@ -204,15 +214,15 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
                 Some(rate) => PipelineConfig::steady(*rate),
                 None => PipelineConfig::default(),
             };
-            let handles = PulsePipeline::install(sim, config);
+            let handles = PulsePipeline::install(host, config);
             out.adaptive.push(handles.consumer);
             out.count += 2;
         }
         Member::Modem { reserved } => {
             let (_, stats) = if *reserved {
-                SoftwareModem::install_with_reservation(sim, ModemConfig::default(), 400e6)
+                SoftwareModem::install_with_reservation(host, ModemConfig::default())
             } else {
-                SoftwareModem::install_best_effort(sim, ModemConfig::default())
+                SoftwareModem::install_best_effort(host, ModemConfig::default())
             };
             out.modems.push(stats);
             out.count += 1;
@@ -222,7 +232,7 @@ fn install_member(sim: &mut Simulation, member: &Member, out: &mut Installed) {
             cycles_per_byte,
         } => {
             let (_, reader) =
-                DiskReader::install(sim, *bandwidth_bytes_per_s, 4096, *cycles_per_byte, 16);
+                DiskReader::install(host, *bandwidth_bytes_per_s, 4096, *cycles_per_byte, 16);
             out.adaptive.push(reader);
             out.count += 2;
         }
@@ -270,11 +280,28 @@ fn spawn_model(job: &TransientJob) -> Box<dyn WorkModel> {
     }
 }
 
-/// Runs a scenario end to end and evaluates its SLOs.
+/// Runs a scenario end to end on the backend its spec names and
+/// evaluates its SLOs.
 ///
-/// The run is fully determined by the spec (including its seed): the same
-/// spec always yields the same report.
+/// On the simulator backend the run is fully determined by the spec
+/// (including its seed): the same spec always yields the same report.
+/// On the wall-clock backend the schedule is identical but measured
+/// quantities carry OS timing noise.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
+    spec.validate()?;
+    let mut host = Runtime::backend(spec.backend).cpus(spec.cpus).build();
+    run_scenario_on(host.as_mut(), spec)
+}
+
+/// Runs a scenario on a caller-provided [`Host`] — the backend-agnostic
+/// core of [`run_scenario`].
+///
+/// The host should be freshly built with the spec's CPU count; jobs the
+/// caller installed beforehand simply compete with the scenario.
+pub fn run_scenario_on(
+    host: &mut dyn Host,
+    spec: &ScenarioSpec,
+) -> Result<ScenarioReport, SpecError> {
     spec.validate()?;
     let horizon_us = (spec.horizon_s() * 1e6).round() as u64;
     let windows = spec.phase_windows();
@@ -346,11 +373,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
     };
     events.sort_by_key(|e| (e.at_us, priority(e.kind)));
 
-    // Install the static population and drive the schedule.
-    let mut sim = Simulation::new(SimConfig::default().with_cpus(spec.cpus));
+    // Install the static population and drive the schedule.  Event times
+    // are relative to the host's clock at entry, so a pre-warmed host
+    // (wall-clock hosts spend real time being built) still runs the whole
+    // schedule.
+    let epoch_us = host.now().as_micros();
     let mut installed = Installed::default();
     for member in &spec.members {
-        install_member(&mut sim, member, &mut installed);
+        install_member(host, member, &mut installed);
     }
     let mut counts = JobCounts {
         installed: installed.count,
@@ -358,24 +388,28 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
     };
     let mut live: Vec<Option<JobHandle>> = vec![None; transients.len()];
     let mut capacity_us = 0.0;
-    let advance = |sim: &mut Simulation, to_us: u64, capacity_us: &mut f64| {
-        if to_us > sim.now_micros() {
-            let before = sim.now_micros();
-            sim.run_until_micros(to_us);
-            *capacity_us += (sim.now_micros() - before) as f64 * sim.machine().cpu_count() as f64;
+    let advance = |host: &mut dyn Host, to_us: u64, capacity_us: &mut f64| {
+        let now_us = host.now().as_micros();
+        if to_us > now_us {
+            host.advance(SimTime::from_micros(to_us - now_us));
+            *capacity_us += (host.now().as_micros() - now_us) as f64 * host.cpu_count() as f64;
         }
     };
     for event in &events {
-        advance(&mut sim, event.at_us.min(horizon_us), &mut capacity_us);
+        advance(
+            host,
+            epoch_us + event.at_us.min(horizon_us),
+            &mut capacity_us,
+        );
         match event.kind {
             EventKind::PhaseStart(i) => {
                 if let Some(n) = spec.phases[i].cpus {
-                    sim.grow_cpus(n);
+                    host.grow_cpus(n);
                 }
             }
             EventKind::Spawn(i) => {
                 let desc = &transients[i];
-                match sim.add_job(&desc.name, JobSpec::miscellaneous(), spawn_model(&desc.job)) {
+                match host.add_job(&desc.name, JobSpec::miscellaneous(), spawn_model(&desc.job)) {
                     Ok(h) => {
                         live[i] = Some(h);
                         counts.spawned += 1;
@@ -385,25 +419,24 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
             }
             EventKind::Depart(i) => {
                 if let Some(h) = live[i].take() {
-                    sim.remove_job(h);
+                    host.remove_job(h);
                     counts.departed += 1;
                 }
             }
         }
     }
-    advance(&mut sim, horizon_us, &mut capacity_us);
+    advance(host, epoch_us + horizon_us, &mut capacity_us);
 
     // Assemble the observations and evaluate every SLO.
-    let stats = sim.stats();
-    let machine_stats = sim.machine().stats();
-    let elapsed_s = sim.now_seconds();
+    let stats = host.stats();
+    let elapsed_s = (host.now().as_micros() - epoch_us) as f64 / 1e6;
     // Real-time deadlines: spinner periods denied their budget (from the
     // dispatcher's per-thread accounts) plus the modems' own late-batch
     // counters.  Voluntary under-use by queue generators is not a miss.
     let mut rt_deadline_misses = 0u64;
     let mut rt_periods = 0u64;
     for &(h, _) in &installed.rt_spin {
-        if let Some(acct) = sim.machine().usage(h.thread) {
+        if let Some(acct) = host.usage(h) {
             rt_deadline_misses += acct.deadlines_missed;
             rt_periods += acct.periods_completed;
         }
@@ -412,27 +445,31 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
         rt_deadline_misses += modem.deadlines_missed();
         rt_periods += modem.batches_completed();
     }
-    let total_used_us: u64 = stats.per_cpu.iter().map(|c| c.used_us).sum();
-    let fair_used_us: Vec<u64> = installed.hogs.iter().map(|h| sim.cpu_used_us(*h)).collect();
+    let total_used_us = stats.total_used_us();
+    let fair_used_us: Vec<u64> = installed
+        .hogs
+        .iter()
+        .map(|h| host.cpu_used(*h).as_micros())
+        .collect();
     let min_adaptive_alloc_ppt = installed
         .adaptive
         .iter()
-        .map(|h| sim.current_allocation_ppt(*h))
+        .map(|h| host.allocation_ppt(*h))
         .min();
     let rt_delivery_min = installed
         .rt_spin
         .iter()
         .map(|&(h, ppt)| {
-            let delivered = sim.cpu_used_us(h) as f64 / (elapsed_s * 1e6);
+            let delivered = host.cpu_used(h).as_micros() as f64 / (elapsed_s * 1e6);
             delivered / (ppt as f64 / 1000.0)
         })
         .min_by(|a, b| a.total_cmp(b));
     let obs = Observations {
-        trace: sim.trace(),
+        trace: host.trace(),
         elapsed_s,
         capacity_us,
         total_used_us,
-        idle_us: machine_stats.idle_us,
+        idle_us: stats.idle_us(),
         migrations: stats.migrations,
         deadlines_missed: rt_deadline_misses,
         period_rollovers: rt_periods,
@@ -445,9 +482,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
     Ok(ScenarioReport {
         scenario: spec.name.clone(),
         description: spec.description.clone(),
+        backend: host.backend(),
         seed: spec.seed,
         elapsed_s,
-        cpus: sim.machine().cpu_count() as u32,
+        cpus: host.cpu_count(),
         capacity_us,
         jobs: counts,
         stats,
@@ -522,7 +560,7 @@ mod tests {
         // Conservation: consumed work cannot exceed delivered capacity
         // (plus the budget-only migration penalties).
         let used: u64 = report.stats.per_cpu.iter().map(|c| c.used_us).sum();
-        let slack = report.stats.migrations * SimConfig::default().migration_cost_us;
+        let slack = report.stats.migrations * rrs_sim::SimConfig::default().migration_cost_us;
         assert!(
             used as f64 <= report.capacity_us + slack as f64,
             "used {used} exceeds capacity {}",
@@ -548,6 +586,49 @@ mod tests {
         assert_eq!(report.cpus, 2);
         assert!(report.capacity_us > 4.9e6, "1 s × 1 CPU + 2 s × 2 CPUs");
         assert!(report.passed, "{:?}", report.slos);
+    }
+
+    #[test]
+    fn wall_clock_backend_runs_the_same_schedule() {
+        use rrs_api::Backend;
+        // A short real-time run: the declarative schedule (members,
+        // arrivals, departures) drives the wall-clock executor through
+        // the same code path as the simulator.
+        let mut s = ScenarioSpec::named("unit_wall", "wall-clock smoke");
+        s.backend = Backend::WallClock;
+        s.cpus = 1;
+        s.members.push(Member::Hog { name: "h0".into() });
+        s.streams.push(ArrivalStream {
+            name: "bg".into(),
+            process: ArrivalProcess::Poisson { rate_hz: 10.0 },
+            job: TransientJob::Worker {
+                mcycles: 2.0,
+                lifetime_s: 0.15,
+            },
+        });
+        s.phases.push(Phase::steady("all", 0.4));
+        s.slos.push(Slo::NoStarvation { min_ppt: 1 });
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.backend, Backend::WallClock);
+        assert!(
+            report.elapsed_s >= 0.4,
+            "ran for real: {}",
+            report.elapsed_s
+        );
+        assert!(report.jobs.spawned > 0, "the stream spawned transients");
+        assert!(report.jobs.departed > 0, "transients departed");
+        assert!(report.stats.total_used_us() > 0, "work really consumed CPU");
+        assert!(report.passed, "{:?}", report.slos);
+    }
+
+    #[test]
+    fn wall_clock_horizons_are_bounded() {
+        use rrs_api::Backend;
+        let mut s = ScenarioSpec::named("unit_wall_long", "too long for wall clock");
+        s.backend = Backend::WallClock;
+        s.members.push(Member::Hog { name: "h".into() });
+        s.phases.push(Phase::steady("forever", 3600.0));
+        assert!(matches!(s.validate(), Err(SpecError::BadSchedule(_))));
     }
 
     #[test]

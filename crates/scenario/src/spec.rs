@@ -9,6 +9,7 @@
 
 use crate::arrivals::ArrivalProcess;
 use crate::slo::Slo;
+use rrs_api::Backend;
 use serde::{Deserialize, Serialize};
 
 /// A statically installed scenario member (present from `t = 0` until the
@@ -162,7 +163,7 @@ pub struct Phase {
     /// CPU hogs injected at phase start and removed at phase end.
     pub inject_hogs: u32,
     /// CPU count from this phase on (`None` keeps the current count).
-    pub cpus: Option<u32>,
+    pub cpus: Option<usize>,
 }
 
 impl Phase {
@@ -185,10 +186,16 @@ pub struct ScenarioSpec {
     pub name: String,
     /// One-line description of what the scenario exercises.
     pub description: String,
+    /// The host backend the scenario runs on: the deterministic
+    /// simulator (the default — time below is simulated seconds) or the
+    /// wall-clock executor (time below is real seconds, and SLOs should
+    /// carry tolerance bands rather than exact expectations).
+    #[serde(default)]
+    pub backend: Backend,
     /// Seed for every stochastic choice in the run.
     pub seed: u64,
     /// Initial CPU count.
-    pub cpus: u32,
+    pub cpus: usize,
     /// Statically installed members.
     pub members: Vec<Member>,
     /// Transient-job arrival streams.
@@ -230,7 +237,11 @@ impl std::error::Error for SpecError {}
 pub const MAX_EXPECTED_ARRIVALS: f64 = 20_000.0;
 
 /// Largest machine a scenario may ask for.
-pub const MAX_SCENARIO_CPUS: u32 = 64;
+pub const MAX_SCENARIO_CPUS: usize = 64;
+
+/// Longest run a wall-clock scenario may declare, in (real) seconds —
+/// wall-clock runs spend actual time, so the corpus keeps them short.
+pub const MAX_WALL_CLOCK_HORIZON_S: f64 = 30.0;
 
 impl ScenarioSpec {
     /// An empty spec with a name, description, one CPU and seed 1.
@@ -331,6 +342,13 @@ impl ScenarioSpec {
         if expected > MAX_EXPECTED_ARRIVALS {
             return Err(SpecError::BadStream(format!(
                 "expected transient population {expected:.0} exceeds {MAX_EXPECTED_ARRIVALS}"
+            )));
+        }
+        if self.backend == Backend::WallClock && self.horizon_s() > MAX_WALL_CLOCK_HORIZON_S {
+            return Err(SpecError::BadSchedule(format!(
+                "wall-clock scenario '{}' declares {:.0} real seconds (max {MAX_WALL_CLOCK_HORIZON_S})",
+                self.name,
+                self.horizon_s()
             )));
         }
         for m in &self.members {

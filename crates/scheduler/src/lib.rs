@@ -49,6 +49,6 @@ pub use dispatcher::{
     DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, MigratedThread, ThreadClass,
 };
 pub use error::SchedError;
-pub use machine::Machine;
+pub use machine::{CpuStats, Machine};
 pub use reservation::Reservation;
 pub use types::{CpuId, Period, Proportion, ThreadId, ThreadState};

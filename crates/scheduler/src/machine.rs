@@ -27,7 +27,36 @@ use crate::error::SchedError;
 use crate::reservation::Reservation;
 use crate::types::{CpuId, Proportion, ThreadId};
 use crate::UsageAccount;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Per-CPU counters of one host run, one entry per CPU.
+///
+/// The struct lives in the scheduler crate (rather than the simulator
+/// that originally defined it) because every host backend — simulated or
+/// wall-clock — drives the same [`Machine`] and reports the same per-CPU
+/// breakdown.
+///
+/// `used_us` counts CPU time consumed by jobs while their thread was
+/// placed on this CPU (time follows the thread's placement, so a
+/// migrating thread's consumption splits across CPUs).  `idle_us` and
+/// `deadlines_missed` mirror the owning dispatcher's accounting; the
+/// migration counters attribute each applied migration to both its source
+/// (`migrations_out`) and destination (`migrations_in`) CPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// CPU time consumed by threads while placed on this CPU, in
+    /// microseconds.
+    pub used_us: u64,
+    /// Time this CPU had nothing runnable, in microseconds.
+    pub idle_us: u64,
+    /// Migrations that moved a thread onto this CPU.
+    pub migrations_in: u64,
+    /// Migrations that moved a thread off this CPU.
+    pub migrations_out: u64,
+    /// Deadlines missed at period boundaries on this CPU.
+    pub deadlines_missed: u64,
+}
 
 /// A machine of `N` per-CPU dispatchers behind the single-CPU API.
 ///
@@ -89,6 +118,19 @@ impl Machine {
         d.advance_to(self.now_us());
         self.cpus.push(d);
         Some(CpuId(self.cpus.len() as u32 - 1))
+    }
+
+    /// Grows the machine to `cpus` CPUs by hot-adding dispatchers one at
+    /// a time ([`Machine::add_cpu`]), returning the resulting total.
+    /// Shrinking is unsupported: a `cpus` at or below the current count
+    /// is a no-op, and growth stops at [`Machine::MAX_CPUS`].
+    pub fn grow_to(&mut self, cpus: usize) -> usize {
+        while self.cpus.len() < cpus {
+            if self.add_cpu().is_none() {
+                break;
+            }
+        }
+        self.cpus.len()
     }
 
     /// All CPU ids, in order.

@@ -24,6 +24,8 @@ pub mod simulation;
 pub mod trace;
 pub mod workload;
 
-pub use simulation::{CpuConfig, JobHandle, SimConfig, SimStats, Simulation};
+pub use rrs_core::JobHandle;
+pub use rrs_scheduler::CpuStats;
+pub use simulation::{CpuConfig, SimConfig, SimStats, Simulation};
 pub use trace::Trace;
 pub use workload::{RunResult, WorkModel};

@@ -35,13 +35,13 @@
 use crate::trace::Trace;
 use crate::workload::WorkModel;
 use rrs_core::{
-    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobId,
-    JobSlot, JobSpec, UsageSnapshot,
+    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobHandle,
+    JobId, JobSlot, JobSpec, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
-    CpuId, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, Period, Proportion, Reservation,
-    ThreadId,
+    CpuId, CpuStats, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, Period, Proportion,
+    Reservation, ThreadId,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -110,7 +110,7 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Returns a copy simulating a machine of `cpus` CPUs (clamped to at
     /// least one).  The default configuration is the paper's single CPU.
-    pub fn with_cpus(mut self, cpus: u32) -> Self {
+    pub fn with_cpus(mut self, cpus: usize) -> Self {
         self.controller = self.controller.with_cpus(cpus);
         self
     }
@@ -121,43 +121,11 @@ impl SimConfig {
     }
 }
 
-/// Handle to a job added to the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct JobHandle {
-    /// The controller-side job id.
-    pub job: JobId,
-    /// The scheduler-side thread id (same raw value).
-    pub thread: ThreadId,
-    /// The controller's dense slot handle, shared by every layer.
-    pub slot: JobSlot,
-}
-
-/// Per-CPU breakdown of a simulation run, one entry per CPU in
-/// [`SimStats::per_cpu`].
-///
-/// `used_us` counts CPU time consumed by work models while their thread
-/// was placed on this CPU (time follows the thread's placement, so a
-/// migrating thread's consumption splits across CPUs).  `idle_us` and
-/// `deadlines_missed` mirror the owning dispatcher's accounting; the
-/// migration counters attribute each applied migration to both its source
-/// (`migrations_out`) and destination (`migrations_in`) CPU.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct CpuStats {
-    /// CPU time consumed by threads while placed on this CPU, in
-    /// microseconds.
-    pub used_us: u64,
-    /// Time this CPU had nothing runnable, in microseconds (rebooked to
-    /// actual elapsed time under lockstep, like the machine aggregate).
-    pub idle_us: u64,
-    /// Migrations that moved a thread onto this CPU.
-    pub migrations_in: u64,
-    /// Migrations that moved a thread off this CPU.
-    pub migrations_out: u64,
-    /// Deadlines missed at period boundaries on this CPU.
-    pub deadlines_missed: u64,
-}
-
 /// Aggregate statistics for a simulation run.
+///
+/// The per-CPU entries are [`rrs_scheduler::CpuStats`]; under the
+/// lockstep clock, `idle_us` is rebooked to actual elapsed time, like the
+/// machine aggregate.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Number of controller invocations.
@@ -324,15 +292,10 @@ impl Simulation {
     /// cycle.  Shrinking is not supported — the machine layer has no
     /// hot-remove — so a `cpus` at or below the current count is a no-op.
     /// The count stays clamped to the Place stage's 4096-CPU bound.
-    pub fn grow_cpus(&mut self, cpus: u32) -> usize {
-        while self.machine.cpu_count() < cpus as usize {
-            if self.machine.add_cpu().is_none() {
-                break;
-            }
-        }
-        let n = self.machine.cpu_count();
-        self.controller.set_cpus(n as u32);
-        self.config.controller.placement.cpus = n as u32;
+    pub fn grow_cpus(&mut self, cpus: usize) -> usize {
+        let n = self.machine.grow_to(cpus);
+        self.controller.set_cpus(n);
+        self.config.controller.placement.cpus = n;
         self.stats.per_cpu.resize(n, CpuStats::default());
         n
     }
@@ -370,36 +333,23 @@ impl Simulation {
         &self.controller
     }
 
-    /// Adds a job with default importance.
+    /// Adds a job.
+    ///
+    /// The job is registered with the controller (real-time jobs go through
+    /// admission control) and with the dispatcher, starting from either its
+    /// requested reservation or the minimum allocation.  The importance
+    /// weight is read from the spec ([`JobSpec::with_importance`]).
     pub fn add_job(
         &mut self,
         name: &str,
         spec: JobSpec,
         work: Box<dyn WorkModel>,
     ) -> Result<JobHandle, AdmitError> {
-        self.add_job_with_importance(name, spec, Importance::NORMAL, work)
-    }
-
-    /// Adds a job with an explicit importance weight.
-    ///
-    /// The job is registered with the controller (real-time jobs go through
-    /// admission control) and with the dispatcher, starting from either its
-    /// requested reservation or the minimum allocation.
-    pub fn add_job_with_importance(
-        &mut self,
-        name: &str,
-        spec: JobSpec,
-        importance: Importance,
-        work: Box<dyn WorkModel>,
-    ) -> Result<JobHandle, AdmitError> {
         let raw = self.next_id;
         let job = JobId(raw);
         let thread = ThreadId(raw);
 
-        let slot = match self
-            .controller
-            .add_job_with_importance(job, spec, importance)
-        {
+        let slot = match self.controller.add_job(job, spec) {
             Ok(slot) => slot,
             Err(e) => {
                 if matches!(e, AdmitError::Rejected { .. }) {
@@ -439,6 +389,21 @@ impl Simulation {
             },
         );
         Ok(JobHandle { job, thread, slot })
+    }
+
+    /// Adds a job with an explicit importance weight.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the weight on the spec with `JobSpec::with_importance` and call `add_job`"
+    )]
+    pub fn add_job_with_importance(
+        &mut self,
+        name: &str,
+        spec: JobSpec,
+        importance: Importance,
+        work: Box<dyn WorkModel>,
+    ) -> Result<JobHandle, AdmitError> {
+        self.add_job(name, spec.with_importance(importance), work)
     }
 
     /// Removes a job from the simulation.

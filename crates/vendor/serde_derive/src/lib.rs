@@ -2,8 +2,11 @@
 //!
 //! Supports the item shapes this workspace derives on: structs with named
 //! fields, tuple structs, unit structs, and enums whose variants are unit,
-//! newtype/tuple or struct-like.  Generics and `#[serde(...)]` attributes
-//! are not supported (none are used in the workspace).
+//! newtype/tuple or struct-like.  Generics are not supported.  The only
+//! `#[serde(...)]` attribute understood is `#[serde(default)]` on a named
+//! struct field: a missing (or `null`) field deserialises to the field
+//! type's `Default` instead of erroring, which keeps old serialised data
+//! readable when a struct grows a field.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -11,7 +14,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<NamedField>,
     },
     TupleStruct {
         name: String,
@@ -24,6 +27,13 @@ enum Shape {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    /// `#[serde(default)]`: tolerate a missing field on deserialisation.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -115,6 +125,49 @@ fn field_name(toks: &[TokenTree]) -> Option<String> {
     }
 }
 
+/// Returns `true` if the field's leading attributes contain
+/// `#[serde(default)]`.
+fn field_has_serde_default(toks: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                            (inner.first(), inner.get(1))
+                        {
+                            if id.to_string() == "serde"
+                                && args
+                                    .stream()
+                                    .into_iter()
+                                    .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+                            {
+                                return true;
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+                return false;
+            }
+            _ => break,
+        }
+    }
+    false
+}
+
+/// Parses one named struct field declaration (name plus attributes).
+fn named_field(toks: &[TokenTree]) -> Option<NamedField> {
+    Some(NamedField {
+        name: field_name(toks)?,
+        default: field_has_serde_default(toks),
+    })
+}
+
 fn parse_shape(input: TokenStream) -> Shape {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut i = skip_attributes(&toks, 0);
@@ -142,7 +195,7 @@ fn parse_shape(input: TokenStream) -> Shape {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
                 let fields = split_top_level_commas(&body)
                     .iter()
-                    .filter_map(|f| field_name(f))
+                    .filter_map(|f| named_field(f))
                     .collect();
                 Shape::NamedStruct { name, fields }
             }
@@ -193,7 +246,7 @@ fn parse_shape(input: TokenStream) -> Shape {
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let code = match &shape {
@@ -201,6 +254,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
                     )
@@ -291,7 +345,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let code = match &shape {
@@ -299,7 +353,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?,")
+                    let (f, default) = (&f.name, f.default);
+                    if default {
+                        // `#[serde(default)]`: a missing field reads as
+                        // `Value::Null`, which falls back to `Default`.
+                        format!(
+                            "{f}: match v.field(\"{f}\") {{\n\
+                                 ::serde::Value::Null => ::std::default::Default::default(),\n\
+                                 other => ::serde::Deserialize::from_value(other)?,\n\
+                             }},"
+                        )
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?,")
+                    }
                 })
                 .collect();
             format!(

@@ -8,10 +8,11 @@
 //! Because the disk (not the CPU) is the bottleneck, this workload also
 //! exercises the controller's reclamation path (Figure 4's "−C" branch).
 
-use rrs_core::JobSpec;
+use rrs_api::Host;
+use rrs_core::{JobHandle, JobSpec};
 use rrs_queue::{BoundedBuffer, JobKey, Role};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use std::sync::Arc;
 
 /// One disk block delivered by the simulated I/O subsystem.
@@ -117,11 +118,11 @@ impl DiskReader {
         self.bytes_processed
     }
 
-    /// Installs a disk/reader pair: the disk gets a tiny real-time
-    /// reservation (interrupt handling), the reader is a real-rate job.
-    /// Returns `(disk, reader)` handles.
+    /// Installs a disk/reader pair into any [`Host`]: the disk gets a
+    /// tiny real-time reservation (interrupt handling), the reader is a
+    /// real-rate job.  Returns `(disk, reader)` handles.
     pub fn install(
-        sim: &mut Simulation,
+        host: &mut (impl Host + ?Sized),
         bandwidth_bytes_per_sec: f64,
         block_bytes: usize,
         cycles_per_byte: f64,
@@ -130,17 +131,17 @@ impl DiskReader {
         let queue = Arc::new(BoundedBuffer::new("disk-buffer", queue_capacity));
         let disk = Disk::new(Arc::clone(&queue), bandwidth_bytes_per_sec, block_bytes);
         let reader = DiskReader::new(Arc::clone(&queue), cycles_per_byte);
-        let disk_handle = sim
+        let disk_handle = host
             .add_job(
                 "disk",
                 JobSpec::real_time(Proportion::from_ppt(5), Period::from_millis(5)),
                 Box::new(disk),
             )
             .expect("tiny disk reservation always fits");
-        let reader_handle = sim
+        let reader_handle = host
             .add_job("reader", JobSpec::real_rate(), Box::new(reader))
             .expect("real-rate always admitted");
-        let registry = sim.registry();
+        let registry = host.registry();
         registry.register(JobKey(disk_handle.job.0), Role::Producer, queue.clone());
         registry.register(JobKey(reader_handle.job.0), Role::Consumer, queue);
         (disk_handle, reader_handle)
@@ -193,7 +194,7 @@ impl WorkModel for DiskReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrs_sim::SimConfig;
+    use rrs_sim::{SimConfig, Simulation};
 
     #[test]
     fn disk_delivers_at_configured_bandwidth() {

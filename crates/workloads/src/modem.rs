@@ -8,9 +8,10 @@
 //! period; a batch that is not finished by the arrival of the next one is a
 //! missed deadline.
 
-use rrs_core::JobSpec;
+use rrs_api::Host;
+use rrs_core::{JobHandle, JobSpec};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -102,17 +103,21 @@ impl SoftwareModem {
         )
     }
 
-    /// Installs the modem as a real-time job with exactly the reservation it
-    /// needs (plus 20 % headroom), as the paper recommends for isochronous
-    /// devices.  Returns the handle and the shared statistics.
+    /// Installs the modem into any [`Host`] as a real-time job with
+    /// exactly the reservation it needs (plus 20 % headroom), as the paper
+    /// recommends for isochronous devices.  The reservation is sized
+    /// against the host's own clock rate ([`Host::cpu_hz`]).  Returns the
+    /// handle and the shared statistics.
     pub fn install_with_reservation(
-        sim: &mut Simulation,
+        host: &mut (impl Host + ?Sized),
         config: ModemConfig,
-        cpu_hz: f64,
     ) -> (JobHandle, Arc<ModemStats>) {
         let (modem, stats) = SoftwareModem::new(config);
-        let spec = JobSpec::real_time(config.required_proportion(cpu_hz, 1.2), config.period());
-        let handle = sim
+        let spec = JobSpec::real_time(
+            config.required_proportion(host.cpu_hz(), 1.2),
+            config.period(),
+        );
+        let handle = host
             .add_job("modem", spec, Box::new(modem))
             .expect("modem reservation must be admitted");
         (handle, stats)
@@ -122,11 +127,11 @@ impl SoftwareModem {
     /// progress metric) — the configuration the paper warns against for
     /// isochronous devices.
     pub fn install_best_effort(
-        sim: &mut Simulation,
+        host: &mut (impl Host + ?Sized),
         config: ModemConfig,
     ) -> (JobHandle, Arc<ModemStats>) {
         let (modem, stats) = SoftwareModem::new(config);
-        let handle = sim
+        let handle = host
             .add_job("modem", JobSpec::miscellaneous(), Box::new(modem))
             .expect("misc jobs are always admitted");
         (handle, stats)
@@ -180,7 +185,7 @@ impl WorkModel for SoftwareModem {
 mod tests {
     use super::*;
     use crate::hog::CpuHog;
-    use rrs_sim::SimConfig;
+    use rrs_sim::{SimConfig, Simulation};
 
     #[test]
     fn required_proportion_matches_the_arithmetic() {
@@ -195,7 +200,7 @@ mod tests {
     fn reserved_modem_meets_its_deadlines_despite_hogs() {
         let mut sim = Simulation::new(SimConfig::default());
         let (_handle, stats) =
-            SoftwareModem::install_with_reservation(&mut sim, ModemConfig::default(), 400e6);
+            SoftwareModem::install_with_reservation(&mut sim, ModemConfig::default());
         for i in 0..3 {
             sim.add_job(
                 &format!("hog{i}"),
@@ -242,7 +247,7 @@ mod tests {
     fn idle_modem_uses_roughly_its_required_share() {
         let mut sim = Simulation::new(SimConfig::default());
         let (handle, stats) =
-            SoftwareModem::install_with_reservation(&mut sim, ModemConfig::default(), 400e6);
+            SoftwareModem::install_with_reservation(&mut sim, ModemConfig::default());
         sim.run_for(5.0);
         assert!(stats.miss_ratio() < 0.01);
         let used = sim.cpu_used_us(handle) as f64 / sim.now_micros() as f64;

@@ -8,11 +8,12 @@
 //! For the consumer, we fix the rate of consumption, but let the controller
 //! determine the allocation."
 
-use rrs_core::JobSpec;
+use rrs_api::Host;
+use rrs_core::{JobHandle, JobSpec};
 use rrs_feedback::PulseTrain;
 use rrs_queue::{BoundedBuffer, JobKey, Role};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use std::sync::Arc;
 
 /// A block of data flowing through the pipeline.
@@ -92,15 +93,15 @@ pub struct PipelineHandles {
 pub struct PulsePipeline;
 
 impl PulsePipeline {
-    /// Installs the pipeline into `sim` and registers its queue with the
-    /// progress-metric registry.
+    /// Installs the pipeline into any [`Host`] (simulated or wall-clock)
+    /// and registers its queue with the progress-metric registry.
     ///
     /// # Panics
     ///
     /// Panics if the producer's reservation is rejected by admission
-    /// control, which cannot happen on an otherwise empty simulation with
+    /// control, which cannot happen on an otherwise empty host with
     /// the default configuration.
-    pub fn install(sim: &mut Simulation, config: PipelineConfig) -> PipelineHandles {
+    pub fn install(host: &mut (impl Host + ?Sized), config: PipelineConfig) -> PipelineHandles {
         let queue = Arc::new(BoundedBuffer::new("pipeline", config.queue_capacity));
         let preload = ((config.queue_capacity as f64 * config.initial_fill).round() as usize)
             .min(config.queue_capacity);
@@ -127,18 +128,18 @@ impl PulsePipeline {
             bytes_consumed: 0.0,
         };
 
-        let producer = sim
+        let producer = host
             .add_job(
                 "producer",
                 JobSpec::real_time(config.producer_proportion, config.producer_period),
                 Box::new(producer_model),
             )
             .expect("producer reservation fits on an empty system");
-        let consumer = sim
+        let consumer = host
             .add_job("consumer", JobSpec::real_rate(), Box::new(consumer_model))
             .expect("real-rate jobs are always admitted");
 
-        let registry = sim.registry();
+        let registry = host.registry();
         registry.register(JobKey(producer.job.0), Role::Producer, queue.clone());
         registry.register(JobKey(consumer.job.0), Role::Consumer, queue.clone());
 
@@ -284,7 +285,7 @@ impl WorkModel for Consumer {
 mod tests {
     use super::*;
     use rrs_queue::ProgressMetric;
-    use rrs_sim::SimConfig;
+    use rrs_sim::{SimConfig, Simulation};
 
     fn fast_sim() -> Simulation {
         Simulation::new(SimConfig::default())

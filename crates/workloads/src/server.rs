@@ -7,10 +7,11 @@
 //! server thread is CPU-bound, and the controller must discover how much
 //! CPU it needs to keep up with the offered load.
 
-use rrs_core::JobSpec;
+use rrs_api::Host;
+use rrs_core::{JobHandle, JobSpec};
 use rrs_queue::{BoundedBuffer, JobKey, Role};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use std::sync::Arc;
 
 /// One queued request.
@@ -154,24 +155,27 @@ impl WebServer {
         }
     }
 
-    /// Installs a generator/server pair into a simulation: the generator
+    /// Installs a generator/server pair into any [`Host`]: the generator
     /// runs under a tiny real-time reservation, the server is a real-rate
     /// job whose allocation the controller manages.
-    pub fn install(sim: &mut Simulation, config: ServerConfig) -> (JobHandle, JobHandle) {
+    pub fn install(
+        host: &mut (impl Host + ?Sized),
+        config: ServerConfig,
+    ) -> (JobHandle, JobHandle) {
         let queue = Arc::new(BoundedBuffer::new("server-backlog", config.queue_capacity));
         let generator = RequestGenerator::new(Arc::clone(&queue), config);
         let server = WebServer::new(Arc::clone(&queue));
-        let generator_handle = sim
+        let generator_handle = host
             .add_job(
                 "network",
                 JobSpec::real_time(Proportion::from_ppt(10), Period::from_millis(5)),
                 Box::new(generator),
             )
             .expect("tiny reservation always admitted on empty system");
-        let server_handle = sim
+        let server_handle = host
             .add_job("server", JobSpec::real_rate(), Box::new(server))
             .expect("real-rate jobs are always admitted");
-        sim.registry()
+        host.registry()
             .register(JobKey(server_handle.job.0), Role::Consumer, queue);
         (generator_handle, server_handle)
     }
@@ -225,7 +229,7 @@ impl WorkModel for WebServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrs_sim::SimConfig;
+    use rrs_sim::{SimConfig, Simulation};
 
     #[test]
     fn generator_produces_requests_at_configured_rate() {

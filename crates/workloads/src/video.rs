@@ -11,10 +11,11 @@
 //! few.  Both decoder and renderer are real-rate jobs whose allocations the
 //! controller must discover.
 
-use rrs_core::JobSpec;
+use rrs_api::Host;
+use rrs_core::{JobHandle, JobSpec};
 use rrs_queue::{BoundedBuffer, JobKey, Role};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{JobHandle, RunResult, Simulation, WorkModel};
+use rrs_sim::{RunResult, WorkModel};
 use std::sync::Arc;
 
 /// A video frame moving through the pipeline.
@@ -71,8 +72,11 @@ pub struct VideoPipelineHandles {
 pub struct VideoPipeline;
 
 impl VideoPipeline {
-    /// Installs the three-stage pipeline into the simulation.
-    pub fn install(sim: &mut Simulation, config: VideoPipelineConfig) -> VideoPipelineHandles {
+    /// Installs the three-stage pipeline into any [`Host`].
+    pub fn install(
+        host: &mut (impl Host + ?Sized),
+        config: VideoPipelineConfig,
+    ) -> VideoPipelineHandles {
         let capture_queue = Arc::new(BoundedBuffer::new("capture", config.queue_capacity));
         let render_queue = Arc::new(BoundedBuffer::new("render", config.queue_capacity));
 
@@ -99,21 +103,21 @@ impl VideoPipeline {
             processed: 0,
         };
 
-        let source_handle = sim
+        let source_handle = host
             .add_job(
                 "source",
                 JobSpec::real_time(Proportion::from_ppt(10), Period::from_millis(5)),
                 Box::new(source),
             )
             .expect("tiny source reservation always fits");
-        let decoder_handle = sim
+        let decoder_handle = host
             .add_job("decoder", JobSpec::real_rate(), Box::new(decoder))
             .expect("real-rate always admitted");
-        let renderer_handle = sim
+        let renderer_handle = host
             .add_job("renderer", JobSpec::real_rate(), Box::new(renderer))
             .expect("real-rate always admitted");
 
-        let registry = sim.registry();
+        let registry = host.registry();
         registry.register(
             JobKey(source_handle.job.0),
             Role::Producer,
@@ -252,7 +256,7 @@ impl WorkModel for PipelineStage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrs_sim::SimConfig;
+    use rrs_sim::{SimConfig, Simulation};
 
     #[test]
     fn controller_discovers_decoder_needs_far_more_than_renderer() {

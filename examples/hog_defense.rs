@@ -5,16 +5,15 @@
 //!
 //! Run with `cargo run --release --example hog_defense`.
 
-use realrate::core::JobSpec;
-use realrate::sim::{SimConfig, Simulation};
+use realrate::api::{JobSpec, Runtime, SimTime};
 use realrate::workloads::{CpuHog, InteractiveJob, PipelineConfig, PulsePipeline};
 
 fn main() {
-    let mut sim = Simulation::new(SimConfig::default());
+    let mut host = Runtime::sim().build();
 
     // A well-behaved real-rate pipeline and an interactive editor.
-    let pipeline = PulsePipeline::install(&mut sim, PipelineConfig::steady(2.5e-5));
-    let editor = sim
+    let pipeline = PulsePipeline::install(host.as_mut(), PipelineConfig::steady(2.5e-5));
+    let editor = host
         .add_job(
             "editor",
             JobSpec::miscellaneous(),
@@ -26,7 +25,7 @@ fn main() {
     let mut hogs = Vec::new();
     for i in 0..10 {
         hogs.push(
-            sim.add_job(
+            host.add_job(
                 &format!("hog{i}"),
                 JobSpec::miscellaneous(),
                 Box::new(CpuHog::new()),
@@ -35,14 +34,14 @@ fn main() {
         );
     }
 
-    sim.run_for(30.0);
+    host.advance(SimTime::from_secs(30));
 
-    let consumer_rate = sim
+    let consumer_rate = host
         .trace()
         .get("rate/consumer")
         .and_then(|s| s.window_mean(15.0, 30.0))
         .unwrap_or(0.0);
-    let keystrokes = sim
+    let keystrokes = host
         .trace()
         .get("rate/editor")
         .and_then(|s| s.window_mean(15.0, 30.0))
@@ -54,19 +53,19 @@ fn main() {
     println!("editor keystrokes handled    : {keystrokes:.1} per second (typist offers 5)");
     println!(
         "pipeline consumer allocation : {} ‰",
-        sim.current_allocation_ppt(pipeline.consumer)
+        host.allocation_ppt(pipeline.consumer)
     );
     println!(
         "editor allocation            : {} ‰",
-        sim.current_allocation_ppt(editor)
+        host.allocation_ppt(editor)
     );
-    let hog_total: u32 = hogs.iter().map(|h| sim.current_allocation_ppt(*h)).sum();
+    let hog_total: u32 = hogs.iter().map(|h| host.allocation_ppt(*h)).sum();
     println!("ten hogs share               : {hog_total} ‰ between them");
     println!();
     println!(
         "squish events: {}  quality exceptions: {}",
-        sim.stats().squish_events,
-        sim.stats().quality_exceptions
+        host.stats().squish_events,
+        host.stats().quality_exceptions
     );
     println!();
     println!(

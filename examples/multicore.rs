@@ -9,18 +9,16 @@
 //!
 //! Run with `cargo run --release --example multicore`.
 
-use realrate::core::JobSpec;
-use realrate::scheduler::{Period, Proportion};
-use realrate::sim::{SimConfig, Simulation};
+use realrate::api::{JobHandle, JobSpec, Period, Proportion, Runtime, SimTime};
 use realrate::workloads::CpuHog;
 
 fn main() {
-    const CPUS: u32 = 4;
-    let mut sim = Simulation::new(SimConfig::default().with_cpus(CPUS));
+    const CPUS: usize = 4;
+    let mut host = Runtime::sim().cpus(CPUS).build();
 
     // A real-time reservation: admitted against one specific CPU and
     // pinned there (real-time jobs never migrate).
-    let rt = sim
+    let rt = host
         .add_job(
             "rt",
             JobSpec::real_time(Proportion::from_ppt(400), Period::from_millis(10)),
@@ -34,7 +32,7 @@ fn main() {
     let mut hogs = Vec::new();
     for i in 0..6 {
         hogs.push(
-            sim.add_job(
+            host.add_job(
                 &format!("hog{i}"),
                 JobSpec::miscellaneous(),
                 Box::new(CpuHog::new()),
@@ -44,19 +42,19 @@ fn main() {
     }
 
     println!("running 10 simulated seconds on a {CPUS}-CPU machine...");
-    sim.run_for(10.0);
+    host.advance(SimTime::from_secs(10));
 
     println!(
         "\n{:<8} {:>6} {:>10} {:>12}",
         "job", "cpu", "alloc ‰", "cpu-time ms"
     );
-    let report = |name: &str, h: realrate::sim::JobHandle| {
+    let report = |name: &str, h: JobHandle| {
         println!(
             "{:<8} {:>6} {:>10} {:>12.1}",
             name,
-            sim.cpu_of(h).map(|c| c.to_string()).unwrap_or_default(),
-            sim.current_allocation_ppt(h),
-            sim.cpu_used_us(h) as f64 / 1e3,
+            host.cpu_of(h).map(|c| c.to_string()).unwrap_or_default(),
+            host.allocation_ppt(h),
+            host.cpu_used(h).as_micros() as f64 / 1e3,
         );
     };
     report("rt", rt);
@@ -66,8 +64,8 @@ fn main() {
 
     // The simulator keeps the per-CPU breakdown itself — no need to
     // recompute machine-wide aggregates from job handles.
-    let stats = sim.stats();
-    let machine = sim.machine();
+    let stats = host.stats();
+    let machine = host.machine();
     println!(
         "\n{:<6} {:>8} {:>10} {:>9} {:>9}",
         "cpu", "load ‰", "used ms", "idle ms", "migr +/-"
@@ -75,7 +73,7 @@ fn main() {
     for (i, cpu) in stats.per_cpu.iter().enumerate() {
         println!(
             "cpu{i:<3} {:>8} {:>10.1} {:>9.1} {:>5}/{}",
-            machine.cpu_load_ppt(realrate::scheduler::CpuId(i as u32)),
+            machine.cpu_load_ppt(realrate::api::CpuId(i as u32)),
             cpu.used_us as f64 / 1e3,
             cpu.idle_us as f64 / 1e3,
             cpu.migrations_in,
@@ -83,8 +81,7 @@ fn main() {
         );
     }
 
-    let total_used: u64 = stats.per_cpu.iter().map(|c| c.used_us).sum();
-    let throughput = total_used as f64 / sim.now_micros() as f64;
+    let throughput = stats.total_used_us() as f64 / host.now().as_micros() as f64;
     println!(
         "\naggregate throughput : {throughput:.2} CPUs of work \
          (one CPU could deliver at most 1.0)"

@@ -12,9 +12,9 @@
 //!
 //! Run with `cargo run --release --example pathfinder`.
 
-use realrate::core::JobSpec;
+use realrate::api::{JobSpec, Runtime, SimTime};
 use realrate::queue::{BoundedBuffer, JobKey, Role};
-use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+use realrate::sim::{RunResult, WorkModel};
 use realrate::workloads::CpuHog;
 use std::sync::Arc;
 
@@ -106,10 +106,10 @@ impl WorkModel for BusTask {
 }
 
 fn main() {
-    let mut sim = Simulation::new(SimConfig::default());
+    let mut host = Runtime::sim().build();
     let bus_queue = Arc::new(BoundedBuffer::new("bus", 32));
 
-    let weather = sim
+    let weather = host
         .add_job(
             "weather",
             JobSpec::real_rate(),
@@ -120,7 +120,7 @@ fn main() {
             }),
         )
         .unwrap();
-    let bus = sim
+    let bus = host
         .add_job(
             "bus",
             JobSpec::real_rate(),
@@ -134,7 +134,7 @@ fn main() {
     // The "medium-priority" communication tasks that starved the weather
     // task on the real spacecraft are just CPU hogs here.
     for i in 0..3 {
-        sim.add_job(
+        host.add_job(
             &format!("comm{i}"),
             JobSpec::miscellaneous(),
             Box::new(CpuHog::new()),
@@ -142,18 +142,18 @@ fn main() {
         .unwrap();
     }
 
-    let registry = sim.registry();
+    let registry = host.registry();
     registry.register(JobKey(weather.job.0), Role::Producer, bus_queue.clone());
     registry.register(JobKey(bus.job.0), Role::Consumer, bus_queue);
 
-    sim.run_for(30.0);
+    host.advance(SimTime::from_secs(30));
 
-    let weather_rate = sim
+    let weather_rate = host
         .trace()
         .get("rate/weather")
         .and_then(|s| s.window_mean(10.0, 30.0))
         .unwrap_or(0.0);
-    let bus_rate = sim
+    let bus_rate = host
         .trace()
         .get("rate/bus")
         .and_then(|s| s.window_mean(10.0, 30.0))
@@ -165,12 +165,9 @@ fn main() {
     println!("bus transactions completed: {bus_rate:.1} per second");
     println!(
         "weather allocation        : {} ‰",
-        sim.current_allocation_ppt(weather)
+        host.allocation_ppt(weather)
     );
-    println!(
-        "bus allocation            : {} ‰",
-        sim.current_allocation_ppt(bus)
-    );
+    println!("bus allocation            : {} ‰", host.allocation_ppt(bus));
     println!();
     if bus_rate > 0.0 && weather_rate > 0.0 {
         println!(

@@ -2,7 +2,11 @@
 //!
 //! Builds a custom declarative scenario — a web server plus hogs under a
 //! flash-crowd arrival process, with a mid-run CPU hot-add — runs it, and
-//! prints the SLO verdicts.  The built-in corpus is available through
+//! prints the SLO verdicts.  The spec's `backend` field picks the engine
+//! (`realrate::api::Backend`): the default is the deterministic
+//! simulator; `scenario_runner --smoke --backend wall_clock` runs the
+//! wall-clock tolerance corpus on real OS threads through the same
+//! machinery.  The built-in corpus is available through
 //! `cargo run --release --bin scenario_runner`.
 //!
 //! Run with `cargo run --release --example scenarios`.
@@ -53,8 +57,13 @@ fn main() {
 
     let report = run_scenario(&spec).expect("spec validates");
     println!(
-        "{}: {:.1} simulated seconds, {} CPUs at the end, {} jobs spawned, {} departed\n",
-        report.scenario, report.elapsed_s, report.cpus, report.jobs.spawned, report.jobs.departed
+        "{} [{} backend]: {:.1} s, {} CPUs at the end, {} jobs spawned, {} departed\n",
+        report.scenario,
+        report.backend,
+        report.elapsed_s,
+        report.cpus,
+        report.jobs.spawned,
+        report.jobs.departed
     );
     for (i, cpu) in report.stats.per_cpu.iter().enumerate() {
         println!(

@@ -8,27 +8,26 @@
 //!
 //! Run with `cargo run --release --example software_modem`.
 
-use realrate::core::JobSpec;
-use realrate::sim::{SimConfig, Simulation};
+use realrate::api::{JobSpec, Runtime, SimTime};
 use realrate::workloads::{CpuHog, ModemConfig, SoftwareModem};
 
 fn run(reserved: bool) -> (u64, u64) {
-    let mut sim = Simulation::new(SimConfig::default());
+    let mut host = Runtime::sim().build();
     let config = ModemConfig::default();
     let (_handle, stats) = if reserved {
-        SoftwareModem::install_with_reservation(&mut sim, config, 400e6)
+        SoftwareModem::install_with_reservation(host.as_mut(), config)
     } else {
-        SoftwareModem::install_best_effort(&mut sim, config)
+        SoftwareModem::install_best_effort(host.as_mut(), config)
     };
     for i in 0..3 {
-        sim.add_job(
+        host.add_job(
             &format!("hog{i}"),
             JobSpec::miscellaneous(),
             Box::new(CpuHog::new()),
         )
         .expect("misc jobs are always admitted");
     }
-    sim.run_for(20.0);
+    host.advance(SimTime::from_secs(20));
     (stats.batches_completed(), stats.deadlines_missed())
 }
 

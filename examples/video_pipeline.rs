@@ -6,12 +6,12 @@
 //!
 //! Run with `cargo run --release --example video_pipeline`.
 
+use realrate::api::{Runtime, SimTime};
 use realrate::metrics::plot::{ascii_plot, PlotConfig};
-use realrate::sim::{SimConfig, Simulation};
 use realrate::workloads::{VideoPipeline, VideoPipelineConfig};
 
 fn main() {
-    let mut sim = Simulation::new(SimConfig::default());
+    let mut host = Runtime::sim().build();
     let config = VideoPipelineConfig::default();
     println!(
         "video pipeline: {} fps, decode {:.1} Mcycles/frame, render {:.1} Mcycles/frame",
@@ -20,31 +20,28 @@ fn main() {
         config.render_cycles_per_frame / 1e6
     );
 
-    let handles = VideoPipeline::install(&mut sim, config);
-    sim.run_for(30.0);
+    let handles = VideoPipeline::install(host.as_mut(), config);
+    host.advance(SimTime::from_secs(30));
 
     println!();
     println!("allocations discovered by the controller (parts per thousand):");
     println!(
         "  source   : {:>4} ‰ (fixed reservation)",
-        sim.current_allocation_ppt(handles.source)
+        host.allocation_ppt(handles.source)
     );
-    println!(
-        "  decoder  : {:>4} ‰",
-        sim.current_allocation_ppt(handles.decoder)
-    );
+    println!("  decoder  : {:>4} ‰", host.allocation_ppt(handles.decoder));
     println!(
         "  renderer : {:>4} ‰",
-        sim.current_allocation_ppt(handles.renderer)
+        host.allocation_ppt(handles.renderer)
     );
 
-    if let Some(rate) = sim.trace().get("rate/renderer") {
+    if let Some(rate) = host.trace().get("rate/renderer") {
         let fps = rate.window_mean(10.0, 30.0).unwrap_or(0.0);
         println!();
         println!("sustained frame rate at the renderer: {fps:.1} fps");
         print!("{}", ascii_plot(rate, PlotConfig::default()));
     }
-    if let Some(alloc) = sim.trace().get("alloc/decoder") {
+    if let Some(alloc) = host.trace().get("alloc/decoder") {
         println!();
         println!("decoder allocation over time:");
         print!("{}", ascii_plot(alloc, PlotConfig::default()));

@@ -4,13 +4,12 @@
 //!
 //! Run with `cargo run --release --example web_server`.
 
-use realrate::core::JobSpec;
+use realrate::api::{JobSpec, Runtime, SimTime};
 use realrate::metrics::plot::{ascii_plot, PlotConfig};
-use realrate::sim::{SimConfig, Simulation};
 use realrate::workloads::{CpuHog, ServerConfig, WebServer};
 
 fn main() {
-    let mut sim = Simulation::new(SimConfig::default());
+    let mut host = Runtime::sim().build();
 
     // 100 requests/second at 1 Mcycle each: about a quarter of the 400 MHz
     // simulated CPU.
@@ -20,20 +19,20 @@ fn main() {
         config.arrival_rate_hz,
         config.cycles_per_request / 1e6
     );
-    let (_network, server) = WebServer::install(&mut sim, config);
+    let (_network, server) = WebServer::install(host.as_mut(), config);
 
     // A batch job competes for the CPU the whole time.
-    sim.add_job("batch", JobSpec::miscellaneous(), Box::new(CpuHog::new()))
+    host.add_job("batch", JobSpec::miscellaneous(), Box::new(CpuHog::new()))
         .expect("miscellaneous jobs are always admitted");
 
-    sim.run_for(30.0);
+    host.advance(SimTime::from_secs(30));
 
     println!();
     println!(
         "server allocation discovered by the controller: {} ‰",
-        sim.current_allocation_ppt(server)
+        host.allocation_ppt(server)
     );
-    if let Some(rate) = sim.trace().get("rate/server") {
+    if let Some(rate) = host.trace().get("rate/server") {
         let served = rate.window_mean(10.0, 30.0).unwrap_or(0.0);
         println!(
             "sustained service rate: {served:.1} req/s (offered {:.0})",
@@ -41,7 +40,7 @@ fn main() {
         );
         print!("{}", ascii_plot(rate, PlotConfig::default()));
     }
-    if let Some(fill) = sim.trace().get("fill/server-backlog") {
+    if let Some(fill) = host.trace().get("fill/server-backlog") {
         println!();
         println!("request backlog fill level:");
         print!(
@@ -60,6 +59,6 @@ fn main() {
     println!(
         "the batch job soaked up the remaining CPU without starving the server: \
          quality exceptions raised = {}",
-        sim.stats().quality_exceptions
+        host.stats().quality_exceptions
     );
 }

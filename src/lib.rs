@@ -5,6 +5,13 @@
 //! (Steere, Goel, Gruenberg, McNamee, Pu and Walpole).  It re-exports the
 //! individual crates so applications can depend on a single package:
 //!
+//! * [`api`] (`rrs-api`) — **the front door**: the backend-agnostic
+//!   [`api::Host`] trait, the [`api::Runtime`] builder
+//!   (`Runtime::sim().cpus(8).build()` /
+//!   `Runtime::wall_clock().build()`), the single [`api::JobHandle`] and
+//!   the [`api::SimTime`] microsecond time type.  Programs written
+//!   against it run unchanged on the deterministic simulator *and* on
+//!   real OS threads.
 //! * [`core`] (`rrs-core`) — the adaptive controller: thread taxonomy,
 //!   progress pressure, PID control, proportion estimation, squishing and
 //!   admission control, organised as a staged control-plane pipeline
@@ -22,23 +29,25 @@
 //!   and the progress-metric registry.
 //! * [`feedback`] (`rrs-feedback`) — the software feedback toolkit (PID,
 //!   filters, signal generators, circuits).
-//! * [`sim`] (`rrs-sim`) — the deterministic CPU simulator used by the
-//!   experiments.
+//! * [`sim`] (`rrs-sim`) — the deterministic CPU simulator backend.
 //! * [`workloads`] (`rrs-workloads`) — the workload generators driving the
-//!   paper's evaluation.
-//! * [`realtime`] (`rrs-realtime`) — a wall-clock executor applying the same
-//!   scheduler and controller to real OS threads.
+//!   paper's evaluation; their installers take any [`api::Host`].
+//! * [`realtime`] (`rrs-realtime`) — the wall-clock executor backend,
+//!   applying the same scheduler and controller to real OS threads.
 //! * [`scenario`] (`rrs-scenario`) — declarative scenarios: seeded arrival
 //!   processes, phase schedules (load steps, hog storms, CPU hot-adds)
-//!   and SLO-checked runs, with a built-in corpus.
+//!   and SLO-checked runs on either backend, with a built-in corpus.
 //! * [`metrics`] (`rrs-metrics`) — time series, statistics and experiment
 //!   export.
 //!
 //! ## Quickstart
 //!
+//! Build a host with [`api::Runtime`], add jobs, advance time — the same
+//! program runs on either backend:
+//!
 //! ```
-//! use realrate::core::JobSpec;
-//! use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+//! use realrate::api::{JobSpec, Runtime, SimTime};
+//! use realrate::sim::{RunResult, WorkModel};
 //!
 //! // A job that uses every cycle it is given.
 //! struct Spin;
@@ -48,26 +57,26 @@
 //!     }
 //! }
 //!
-//! // `SimConfig::default()` is the paper's machine: a single CPU.  Ask
-//! // for more with `.with_cpus(n)` and the Place stage spreads jobs
-//! // over the machine; everything below is unchanged either way.
-//! let mut sim = Simulation::new(SimConfig::default());
-//! let job = sim.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
-//! sim.run_for(2.0);
+//! // `Runtime::sim()` is the paper's machine: one deterministic 400 MHz
+//! // CPU.  Ask for more with `.cpus(n)`; swap in `Runtime::wall_clock()`
+//! // and the identical program runs on real OS threads.
+//! let mut host = Runtime::sim().build();
+//! let job = host.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! host.advance(SimTime::from_secs(2));
 //! // Without any reservation or priority, the controller discovered that
 //! // the job can use the CPU and grew its proportion.
-//! assert!(sim.current_allocation_ppt(job) > 100);
+//! assert!(host.allocation_ppt(job) > 100);
 //! // The handle carries the controller's dense slot, shared by every
 //! // layer — the same grant is visible through it.
-//! let granted = sim.controller().granted_at(job.slot).unwrap();
-//! assert_eq!(granted.ppt(), sim.current_allocation_ppt(job));
+//! let granted = host.controller().granted_at(job.slot).unwrap();
+//! assert_eq!(granted.ppt(), host.allocation_ppt(job));
 //! ```
 //!
 //! ## Multi-CPU machines
 //!
 //! ```
-//! use realrate::core::JobSpec;
-//! use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+//! use realrate::api::{JobSpec, Runtime, SimTime};
+//! use realrate::sim::{RunResult, WorkModel};
 //!
 //! struct Spin;
 //! impl WorkModel for Spin {
@@ -76,20 +85,30 @@
 //!     }
 //! }
 //!
-//! let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
-//! let a = sim.add_job("a", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
-//! let b = sim.add_job("b", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
-//! sim.run_for(2.0);
+//! let mut host = Runtime::sim().cpus(2).build();
+//! let a = host.add_job("a", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! let b = host.add_job("b", JobSpec::miscellaneous(), Box::new(Spin)).unwrap();
+//! host.advance(SimTime::from_secs(2));
 //! // Least-loaded fit put the hogs on different CPUs, so together they
 //! // consume more than one CPU's worth of time.
-//! assert_ne!(sim.cpu_of(a), sim.cpu_of(b));
-//! let total = sim.cpu_used_us(a) + sim.cpu_used_us(b);
-//! assert!(total > sim.now_micros());
+//! assert_ne!(host.cpu_of(a), host.cpu_of(b));
+//! let total = host.cpu_used(a) + host.cpu_used(b);
+//! assert!(total > host.now());
 //! ```
+//!
+//! ## Direct backend APIs
+//!
+//! The concrete backends remain available — `sim::Simulation::new` and
+//! `realtime::RealTimeExecutor::new` are the same engines the [`api`]
+//! builder constructs, and [`api::Host::as_any`] (or `dyn Host`'s
+//! `as_sim` / `as_wall_clock`) downcasts a built host back to them for
+//! backend-specific queries.  New code should go through [`api`]; the
+//! direct paths stay for one release of deprecation-by-documentation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use rrs_api as api;
 pub use rrs_core as core;
 pub use rrs_feedback as feedback;
 pub use rrs_metrics as metrics;

@@ -1,0 +1,92 @@
+//! Cross-backend parity: the same program through `realrate::api` on the
+//! deterministic simulator and on real OS threads.
+//!
+//! This is the tentpole guarantee of the backend-agnostic host API: a
+//! workload written once against `Host` produces the same *qualitative*
+//! control-plane outcome on both backends — the controller classifies
+//! the jobs identically, pins the reservation, and discovers a nonzero
+//! grant for the adaptive stage — even though one backend finishes in
+//! milliseconds of wall time and the other spends real seconds.
+
+use realrate::api::{Backend, Host, JobClass, JobHandle, Runtime, SimTime};
+use realrate::workloads::{PipelineConfig, PulsePipeline};
+
+#[derive(Debug)]
+struct Outcome {
+    backend: Backend,
+    producer_ppt: u32,
+    consumer_ppt: u32,
+    producer_class: JobClass,
+    consumer_class: JobClass,
+    consumer_used_us: u64,
+}
+
+fn job_class(host: &dyn Host, handle: JobHandle) -> JobClass {
+    host.controller()
+        .job_of(handle.slot)
+        .and_then(|id| host.controller().job_class(id))
+        .expect("job is registered")
+}
+
+fn run_pipeline(backend: Backend) -> Outcome {
+    let mut host = Runtime::backend(backend).build();
+    let handles = PulsePipeline::install(host.as_mut(), PipelineConfig::steady(2.5e-5));
+    // Long enough for the controller to settle on each backend's own
+    // clock: 10 simulated seconds are nearly free; 1.5 real seconds keep
+    // the test suite fast.
+    let duration = match backend {
+        Backend::Sim => SimTime::from_secs(10),
+        Backend::WallClock => SimTime::from_millis(1_500),
+    };
+    host.advance(duration);
+    Outcome {
+        backend,
+        producer_ppt: host.allocation_ppt(handles.producer),
+        consumer_ppt: host.allocation_ppt(handles.consumer),
+        producer_class: job_class(host.as_ref(), handles.producer),
+        consumer_class: job_class(host.as_ref(), handles.consumer),
+        consumer_used_us: host.cpu_used(handles.consumer).as_micros(),
+    }
+}
+
+#[test]
+fn same_pipeline_converges_on_sim_and_wall_clock() {
+    let sim = run_pipeline(Backend::Sim);
+    let wall = run_pipeline(Backend::WallClock);
+
+    for outcome in [&sim, &wall] {
+        // Identical classification on both backends (Figure 2 taxonomy).
+        assert_eq!(outcome.producer_class, JobClass::RealTime, "{:?}", outcome);
+        assert_eq!(outcome.consumer_class, JobClass::RealRate, "{:?}", outcome);
+        // The producer's reservation is pinned, never adapted.
+        assert_eq!(outcome.producer_ppt, 200, "{:?}", outcome);
+        // The controller reached a nonzero grant for the adaptive
+        // consumer without any per-backend tuning.
+        assert!(
+            outcome.consumer_ppt > 0,
+            "consumer grant must be nonzero on {}: {:?}",
+            outcome.backend,
+            outcome
+        );
+        // And the consumer actually consumed CPU (simulated or real).
+        assert!(outcome.consumer_used_us > 0, "{:?}", outcome);
+    }
+}
+
+#[test]
+fn both_backends_report_through_the_same_stats_surface() {
+    for backend in [Backend::Sim, Backend::WallClock] {
+        let mut host = Runtime::backend(backend).build();
+        let _ = PulsePipeline::install(host.as_mut(), PipelineConfig::steady(2.5e-5));
+        host.advance(match backend {
+            Backend::Sim => SimTime::from_secs(2),
+            Backend::WallClock => SimTime::from_millis(400),
+        });
+        let stats = host.stats();
+        assert!(stats.controller_invocations > 0, "{backend}");
+        assert_eq!(stats.per_cpu.len(), 1, "{backend}");
+        assert!(stats.total_used_us() > 0, "{backend}");
+        assert!(host.trace().get("alloc/consumer").is_some(), "{backend}");
+        assert!(host.trace().get("fill/pipeline").is_some(), "{backend}");
+    }
+}

@@ -145,7 +145,7 @@ fn controller_migration_events_surface_through_the_facade() {
 
 #[test]
 fn four_cpu_simulation_quadruples_hog_throughput() {
-    let throughput = |cpus: u32| {
+    let throughput = |cpus: usize| {
         let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
         let mut handles = Vec::new();
         for i in 0..8 {

@@ -12,10 +12,14 @@
 //! To re-capture after an *intentional* behaviour change, run
 //! `GOLDEN_PRINT=1 cargo test --release --test sim_golden_stats -- --nocapture`
 //! and paste the printed JSON over the constants.
+//!
+//! The workload is driven entirely through the backend-agnostic
+//! `realrate::api::Runtime` / `Host` surface: the golden blobs double as
+//! proof that the new front door is a zero-cost veneer over the
+//! simulator — same code path, same numbers, bit for bit.
 
-use realrate::core::JobSpec;
-use realrate::scheduler::{Period, Proportion};
-use realrate::sim::{RunResult, SimConfig, SimStats, Simulation, WorkModel};
+use realrate::api::{JobSpec, Period, Proportion, Runtime, SimTime};
+use realrate::sim::{RunResult, SimStats, Simulation, WorkModel};
 
 /// Uses every cycle offered, never blocks.
 struct Spin;
@@ -54,11 +58,11 @@ impl WorkModel for BurstSleep {
 /// burst-sleep jobs; at `N = 8` a mid-run removal forces rebalancing
 /// migrations.  Populations scale with the CPU count so every CPU carries
 /// work.
-fn run_mixed_workload(cpus: u32) -> SimStats {
-    let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
+fn run_mixed_workload(cpus: usize) -> SimStats {
+    let mut host = Runtime::sim().cpus(cpus).build();
     let n = cpus as u64;
     for i in 0..n {
-        sim.add_job(
+        host.add_job(
             &format!("rt{i}"),
             JobSpec::real_time(Proportion::from_ppt(250), Period::from_millis(10)),
             Box::new(Spin),
@@ -68,12 +72,12 @@ fn run_mixed_workload(cpus: u32) -> SimStats {
     let mut hogs = Vec::new();
     for i in 0..2 * n {
         hogs.push(
-            sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+            host.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(Spin))
                 .unwrap(),
         );
     }
     for i in 0..2 * n {
-        sim.add_job(
+        host.add_job(
             &format!("io{i}"),
             JobSpec::miscellaneous(),
             Box::new(BurstSleep {
@@ -84,17 +88,21 @@ fn run_mixed_workload(cpus: u32) -> SimStats {
         )
         .unwrap();
     }
-    sim.run_for(1.5);
+    host.advance(SimTime::from_secs_f64(1.5));
     // Remove every other hog: the emptied CPUs pull survivors across,
     // exercising take/inject (and thus the timer reverse index) mid-period.
     for h in hogs.iter().step_by(2) {
-        sim.remove_job(*h);
+        host.remove_job(*h);
     }
-    sim.run_for(1.5);
-    sim.stats()
+    host.advance(SimTime::from_secs_f64(1.5));
+    // The backend-specific capture (modelled overhead sums included)
+    // comes from the concrete simulator behind the trait object.
+    host.as_sim()
+        .map(Simulation::stats)
+        .expect("Runtime::sim() builds a Simulation")
 }
 
-fn check(cpus: u32, expected_json: &str) {
+fn check(cpus: usize, expected_json: &str) {
     let stats = run_mixed_workload(cpus);
     if std::env::var_os("GOLDEN_PRINT").is_some() {
         println!(

@@ -183,18 +183,16 @@ fn equal_importances_split_the_overload_equally() {
     use realrate::core::Importance;
     let mut sim = Simulation::new(SimConfig::default());
     let a = sim
-        .add_job_with_importance(
+        .add_job(
             "a",
-            JobSpec::miscellaneous(),
-            Importance::new(2.0),
+            JobSpec::miscellaneous().with_importance(Importance::new(2.0)),
             Box::new(CpuHog::new()),
         )
         .unwrap();
     let b = sim
-        .add_job_with_importance(
+        .add_job(
             "b",
-            JobSpec::miscellaneous(),
-            Importance::new(2.0),
+            JobSpec::miscellaneous().with_importance(Importance::new(2.0)),
             Box::new(CpuHog::new()),
         )
         .unwrap();
@@ -213,18 +211,16 @@ fn importance_changes_the_overload_split_but_never_starves() {
     use realrate::core::Importance;
     let mut sim = Simulation::new(SimConfig::default());
     let important = sim
-        .add_job_with_importance(
+        .add_job(
             "important",
-            JobSpec::miscellaneous(),
-            Importance::new(8.0),
+            JobSpec::miscellaneous().with_importance(Importance::new(8.0)),
             Box::new(CpuHog::new()),
         )
         .unwrap();
     let humble = sim
-        .add_job_with_importance(
+        .add_job(
             "humble",
-            JobSpec::miscellaneous(),
-            Importance::new(0.5),
+            JobSpec::miscellaneous().with_importance(Importance::new(0.5)),
             Box::new(CpuHog::new()),
         )
         .unwrap();

@@ -5,16 +5,91 @@
 //! cargo run --release --bin sim_throughput -- --budget-s 2.0
 //! cargo run --release --bin sim_throughput -- --save /tmp/before.json       # save a bare report (baseline capture)
 //! cargo run --release --bin sim_throughput -- --baseline /tmp/before.json   # embed that report as the before side
+//! cargo run --release --bin sim_throughput -- --gate results/bench_sim_throughput.json
 //! ```
+//!
+//! `--gate` is the CI regression gate: it measures a fast subset of the
+//! grid (no corpus, short budget) and exits non-zero if any point's
+//! throughput dropped more than 20 % below the committed record.
 
-use rrs_bench::sim_throughput::{measure, record, speedup_at, ThroughputReport};
+use rrs_bench::sim_throughput::{
+    gate_check, measure, measure_point, normalized_gate_ratios, record, speedup_at,
+    ThroughputRecord, ThroughputReport,
+};
 use std::time::Duration;
+
+/// The fast subset measured by `--gate`: the cheap end of the grid plus
+/// the headline 10k-jobs x 8-CPUs point the PR history tracks.
+const GATE_POINTS: [(usize, usize); 3] = [(100, 1), (1_000, 8), (10_000, 8)];
+
+/// Maximum tolerated throughput drop per gate point.
+const GATE_MAX_DROP: f64 = 0.2;
+
+fn run_gate(path: &str) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read record {path}: {e}")));
+    let rec: ThroughputRecord = serde_json::from_str(&text)
+        .unwrap_or_else(|e| usage(&format!("record {path} does not parse: {e}")));
+    // Measure with the record's own per-point budget so both sides share
+    // a methodology: the 10k-job points carry a long controller
+    // settlement transient, and a shorter window would under-read them
+    // against the committed record even with zero code change.
+    let budget = Duration::from_secs_f64(rec.after.budget_s.max(0.1));
+    // Best of two runs per point: throughput noise (cache state, other
+    // tenants) only ever slows a run down, so the faster sample is the
+    // better estimate of the code's capability.
+    let measured: Vec<_> = GATE_POINTS
+        .iter()
+        .map(|&(jobs, cpus)| {
+            let a = measure_point(jobs, cpus, budget);
+            let b = measure_point(jobs, cpus, budget);
+            if b.sim_us_per_wall_s > a.sim_us_per_wall_s {
+                b
+            } else {
+                a
+            }
+        })
+        .collect();
+    let outcomes = gate_check(&rec, &measured, GATE_MAX_DROP);
+    // Two ways to pass, and a real regression fails both.  The raw ratio
+    // clears any point with no absolute drop.  The machine-speed-
+    // normalised ratio clears a CI runner that is uniformly slower than
+    // the recording machine: every point scales equally, so the common
+    // factor cancels.  A scaling regression — one point slowing relative
+    // to the others — stays below both thresholds.
+    let normalized = normalized_gate_ratios(&outcomes);
+    let mut failed = false;
+    for (o, n) in outcomes.iter().zip(normalized.iter()) {
+        let pass = o.pass || *n >= 1.0 - GATE_MAX_DROP;
+        println!(
+            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised) {}",
+            o.jobs,
+            o.cpus,
+            o.measured,
+            o.recorded,
+            o.ratio,
+            n,
+            if pass { "ok" } else { "REGRESSED" }
+        );
+        failed |= !pass;
+    }
+    if failed {
+        eprintln!(
+            "throughput gate failed: a point dropped more than {:.0} % relative to the reference point",
+            GATE_MAX_DROP * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("throughput gate passed");
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget_s = 1.0f64;
     let mut baseline_path: Option<String> = None;
     let mut save_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -34,8 +109,20 @@ fn main() {
                     usage("--save needs a path");
                 }));
             }
+            "--gate" => {
+                gate_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    usage("--gate needs a path");
+                }));
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
+    }
+    if let Some(path) = gate_path {
+        if save_path.is_some() || baseline_path.is_some() {
+            usage("--gate runs standalone");
+        }
+        let _ = budget_s;
+        run_gate(&path);
     }
     if save_path.is_some() && baseline_path.is_some() {
         usage("--save and --baseline are mutually exclusive: save a bare baseline first, then embed it in a second run");
@@ -43,8 +130,8 @@ fn main() {
 
     let report = measure(Duration::from_secs_f64(budget_s), |p| {
         println!(
-            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} steps in {:.2} s)",
-            p.jobs, p.cpus, p.sim_us_per_wall_s, p.steps, p.wall_s
+            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} events in {:.2} s)",
+            p.jobs, p.cpus, p.sim_us_per_wall_s, p.events, p.wall_s
         );
     });
     println!(
@@ -80,7 +167,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: sim_throughput [--budget-s <seconds>] [--baseline <report.json>] [--save <report.json>]"
+        "usage: sim_throughput [--budget-s <seconds>] [--baseline <report.json>] [--save <report.json>] [--gate <record.json>]"
     );
     std::process::exit(2);
 }

@@ -9,7 +9,7 @@
 use rrs_core::ControllerConfig;
 use rrs_feedback::{PidConfig, PulseTrain};
 use rrs_metrics::ExperimentRecord;
-use rrs_sim::{SimConfig, Simulation, Trace};
+use rrs_sim::{SimConfig, Simulation, SteppingMode, Trace};
 use rrs_workloads::{PipelineConfig, PulsePipeline};
 
 /// Parameters for the responsiveness experiment.
@@ -59,6 +59,16 @@ pub fn run_scenario(params: &Fig6Params) -> (Trace, PulseTrain) {
     let config = SimConfig {
         controller: params.controller,
         trace_interval_s: 0.25,
+        // This closed loop is multistable: with exact (lazy) period
+        // boundaries the reservation period phase-locks to the controller
+        // cycle, the sampled usage ratio pins at 1.0, and the loop settles
+        // in a high-allocation fixed point (fill still on target).  The
+        // drifting boundaries of the eager reference sweep the sampling
+        // phase, catch the partial-usage dips, and keep allocation tracking
+        // need — the attractor the paper's response-time figure describes.
+        // Pin the reference stepping until usage is sensed over the
+        // controller window instead of per period (see ROADMAP).
+        stepping: SteppingMode::Lockstep,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(config);

@@ -42,8 +42,12 @@ pub struct ThroughputPoint {
     pub wall_s: f64,
     /// Simulated microseconds covered within the wall budget.
     pub sim_us: u64,
-    /// Simulation steps executed within the wall budget.
-    pub steps: u64,
+    /// Simulation events processed within the wall budget (dispatch
+    /// rounds under lockstep stepping, calendar events under the default
+    /// calendar stepping; deserialises legacy records that called this
+    /// field `steps`).
+    #[serde(alias = "steps")]
+    pub events: u64,
     /// The headline rate: simulated microseconds per wall second.
     pub sim_us_per_wall_s: f64,
 }
@@ -92,14 +96,33 @@ pub struct ThroughputRecord {
 /// so the measurement targets the steady-state stepping hot path rather
 /// than string formatting in the trace recorder.
 pub fn measure_point(jobs: usize, cpus: usize, budget: Duration) -> ThroughputPoint {
+    measure_point_warm(jobs, cpus, 0.0, budget)
+}
+
+/// [`measure_point`] with a steady-state warmup: the simulation first
+/// advances `warmup_sim_s` of *simulated* time off the clock, so the
+/// measured window excludes the controller's pre-settlement transient
+/// (the first few cycles over a large job population are the expensive
+/// full recomputes; afterwards the incremental controller goes quiet).
+/// The regression gate uses this so a short wall budget still measures
+/// the steady state the recorded sweep amortises over a longer budget.
+pub fn measure_point_warm(
+    jobs: usize,
+    cpus: usize,
+    warmup_sim_s: f64,
+    budget: Duration,
+) -> ThroughputPoint {
     let mut sim = Simulation::new(SimConfig::default().with_cpus(cpus));
     sim.set_trace_interval_s(1000.0);
     for i in 0..jobs {
         sim.add_job(&format!("j{i}"), JobSpec::miscellaneous(), Box::new(Spin))
             .expect("miscellaneous jobs are always admitted");
     }
+    if warmup_sim_s > 0.0 {
+        sim.run_for(warmup_sim_s);
+    }
     let t0 = sim.now_micros();
-    let steps0 = sim.stats().steps;
+    let events0 = sim.stats().steps;
     let start = Instant::now();
     loop {
         for _ in 0..64 {
@@ -116,7 +139,7 @@ pub fn measure_point(jobs: usize, cpus: usize, budget: Duration) -> ThroughputPo
         cpus,
         wall_s,
         sim_us,
-        steps: sim.stats().steps - steps0,
+        events: sim.stats().steps - events0,
         sim_us_per_wall_s: sim_us as f64 / wall_s,
     }
 }
@@ -180,6 +203,67 @@ pub fn record(before: Option<ThroughputReport>, after: ThroughputReport) -> Thro
     }
 }
 
+/// One grid point of a regression-gate comparison: a fresh measurement
+/// against the matching point of the committed record's `after` side.
+#[derive(Debug, Clone, Copy)]
+pub struct GateOutcome {
+    /// Number of jobs at this grid point.
+    pub jobs: usize,
+    /// Number of simulated CPUs at this grid point.
+    pub cpus: usize,
+    /// Freshly measured rate, in simulated microseconds per wall second.
+    pub measured: f64,
+    /// The committed record's rate at the same grid point.
+    pub recorded: f64,
+    /// `measured / recorded`.
+    pub ratio: f64,
+    /// Whether the point is within the allowed drop.
+    pub pass: bool,
+}
+
+/// Compares fresh measurements against the committed record, flagging any
+/// point whose throughput dropped by more than `max_drop` (e.g. `0.2` for
+/// a 20 % regression budget).  Points absent from the record are skipped:
+/// there is nothing to regress against.
+pub fn gate_check(
+    rec: &ThroughputRecord,
+    measured: &[ThroughputPoint],
+    max_drop: f64,
+) -> Vec<GateOutcome> {
+    measured
+        .iter()
+        .filter_map(|m| {
+            let r = rec
+                .after
+                .points
+                .iter()
+                .find(|p| p.jobs == m.jobs && p.cpus == m.cpus)?;
+            let ratio = m.sim_us_per_wall_s / r.sim_us_per_wall_s;
+            Some(GateOutcome {
+                jobs: m.jobs,
+                cpus: m.cpus,
+                measured: m.sim_us_per_wall_s,
+                recorded: r.sim_us_per_wall_s,
+                ratio,
+                pass: ratio >= 1.0 - max_drop,
+            })
+        })
+        .collect()
+}
+
+/// Machine-speed-normalised gate ratios: each outcome's measured/recorded
+/// ratio divided by the first outcome's.  The first gate point acts as the
+/// speed reference, so a CI runner that is uniformly slower (or faster)
+/// than the machine that produced the committed record cancels out, while
+/// a *scaling* regression — the large points slowing down relative to the
+/// small one — still shows up as a ratio well below 1.
+pub fn normalized_gate_ratios(outcomes: &[GateOutcome]) -> Vec<f64> {
+    let Some(reference) = outcomes.first().map(|o| o.ratio) else {
+        return Vec::new();
+    };
+    outcomes.iter().map(|o| o.ratio / reference).collect()
+}
+
 /// The speedup at one grid point of a record, if both sides were measured.
 pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: usize) -> Option<f64> {
     let idx = rec
@@ -199,7 +283,7 @@ mod tests {
         let p = measure_point(3, 1, Duration::from_millis(50));
         assert_eq!(p.jobs, 3);
         assert!(p.sim_us > 0, "simulation must advance");
-        assert!(p.steps > 0);
+        assert!(p.events > 0);
         assert!(p.sim_us_per_wall_s > 0.0);
     }
 
@@ -212,7 +296,7 @@ mod tests {
                 cpus: 1,
                 wall_s: 0.1,
                 sim_us: (rate * 0.1) as u64,
-                steps: 1,
+                events: 1,
                 sim_us_per_wall_s: rate,
             }],
             corpus: CorpusTiming {
@@ -226,5 +310,65 @@ mod tests {
         assert_eq!(speedup_at(&rec, 99, 1), None);
         let solo = record(None, mk(300.0));
         assert!(solo.speedups.is_empty());
+    }
+
+    #[test]
+    fn gate_flags_only_regressed_points() {
+        let point = |jobs, rate| ThroughputPoint {
+            jobs,
+            cpus: 1,
+            wall_s: 0.1,
+            sim_us: (rate * 0.1) as u64,
+            events: 1,
+            sim_us_per_wall_s: rate,
+        };
+        let rec = record(
+            None,
+            ThroughputReport {
+                budget_s: 0.1,
+                points: vec![point(10, 100.0), point(20, 100.0)],
+                corpus: CorpusTiming {
+                    scenarios: 0,
+                    wall_s: 0.0,
+                },
+            },
+        );
+        // 10 jobs holds (exactly at the 20 % floor), 20 jobs regresses,
+        // 30 jobs has no recorded counterpart and is skipped.
+        let measured = [point(10, 80.0), point(20, 79.9), point(30, 1.0)];
+        let outcomes = gate_check(&rec, &measured, 0.2);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].pass, "a 20 % drop is within the budget");
+        assert!(!outcomes[1].pass, "a >20 % drop must fail the gate");
+        assert_eq!(outcomes[1].jobs, 20);
+    }
+
+    #[test]
+    fn normalised_ratios_cancel_uniform_machine_speed() {
+        let o = |ratio| GateOutcome {
+            jobs: 1,
+            cpus: 1,
+            measured: ratio,
+            recorded: 1.0,
+            ratio,
+            pass: true,
+        };
+        // A uniformly half-speed machine: every point reads 0.5x, the
+        // normalised view reads 1.0 everywhere.
+        let uniform = normalized_gate_ratios(&[o(0.5), o(0.5), o(0.5)]);
+        assert_eq!(uniform, vec![1.0, 1.0, 1.0]);
+        // A scaling regression: the big point collapsed while the
+        // reference held.
+        let scaled = normalized_gate_ratios(&[o(1.0), o(0.9), o(0.25)]);
+        assert_eq!(scaled, vec![1.0, 0.9, 0.25]);
+        assert!(normalized_gate_ratios(&[]).is_empty());
+    }
+
+    #[test]
+    fn legacy_steps_field_still_deserialises() {
+        let legacy =
+            r#"{"jobs":1,"cpus":1,"wall_s":0.1,"sim_us":5,"steps":7,"sim_us_per_wall_s":50.0}"#;
+        let p: ThroughputPoint = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.events, 7);
     }
 }

@@ -55,6 +55,28 @@ pub struct ControllerConfig {
     /// Multi-CPU placement: how many CPUs the Place stage spreads jobs
     /// over, and when it migrates.  Defaults to the paper's single CPU.
     pub placement: PlacementConfig,
+    /// Opt-in incremental control cycles.
+    ///
+    /// When enabled, a control cycle only recomputes jobs whose inputs
+    /// (sensed pressure, usage feedback or committed grant) changed since
+    /// the previous cycle; jobs at a proven bitwise fixed point are
+    /// skipped, the squish is re-run only when some desired proportion
+    /// changed, and the migration candidate scan only runs when the
+    /// per-CPU load gap exceeds the imbalance bound.  Any structural
+    /// change — job add/remove, importance change, CPU-count change, a
+    /// registry mutation or a different cycle length — falls back to a
+    /// full staged cycle, so committed grants and placements are always
+    /// identical to the non-incremental path.
+    ///
+    /// Two *observable* deltas are accepted and documented: actuations are
+    /// emitted only for jobs whose `(grant, period, cpu)` actually changed
+    /// (consumers must treat missing actuations as "unchanged"), and
+    /// squish/quality-exception events are emitted only on cycles that
+    /// recomputed the jobs involved.  Incremental mode requires
+    /// `period_estimation` to stay off (the paper's configuration); when
+    /// it is on every cycle falls back to the full path.
+    #[serde(default)]
+    pub incremental: bool,
 }
 
 /// Configuration of the pipeline's Place stage (multi-CPU placement and
@@ -117,6 +139,7 @@ impl Default for ControllerConfig {
             period_estimation: false,
             cost_model: ControllerCostModel::default(),
             placement: PlacementConfig::default(),
+            incremental: false,
         }
     }
 }
@@ -153,6 +176,12 @@ impl ControllerConfig {
         self
     }
 
+    /// Returns a copy with incremental control cycles enabled or disabled.
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
+    }
+
     /// Sampling frequency in Hz.
     pub fn frequency_hz(&self) -> f64 {
         1.0 / self.controller_period_s
@@ -171,6 +200,7 @@ mod tests {
         assert_eq!(c.default_period, Period::from_millis(30));
         assert_eq!(c.overload_threshold_ppt, 950);
         assert!(!c.period_estimation);
+        assert!(!c.incremental, "full staged cycles are the default");
         assert_eq!(c.min_proportion.ppt(), 1);
         assert_eq!(c.placement.cpus, 1, "the paper's machine has one CPU");
         assert_eq!(c.placement.cpu_count(), 1);

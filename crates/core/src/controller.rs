@@ -13,7 +13,7 @@ use crate::estimator::ProportionEstimator;
 use crate::events::{ControllerEvent, QualityException};
 use crate::pipeline::{self, CycleContext, JobEntry, JobTable};
 use crate::slot::JobSlot;
-use crate::squish::Importance;
+use crate::squish::{squish_into, Importance, SquishRequest, SquishScratch};
 use crate::taxonomy::{JobClass, JobSpec};
 use rrs_queue::{JobKey, MetricRegistry};
 use rrs_scheduler::{CpuId, Proportion, Reservation};
@@ -167,6 +167,57 @@ pub struct Controller {
     output: ControlOutput,
     last_cycle: Option<f64>,
     cycles: u64,
+    incr: IncrState,
+}
+
+/// Caches and scratch for [`ControllerConfig::incremental`] cycles.
+///
+/// The caches mirror what a full staged cycle derives from scratch every
+/// time: the registry version the per-job `has_metric` flags were read at,
+/// the cycle length, the fixed-reservation total, the committed granted
+/// total and the per-CPU granted load.  A full cycle rebuilds all of them;
+/// an incremental cycle maintains them under the changes it applies.
+#[derive(Debug)]
+struct IncrState {
+    /// A structural change (job add/remove, importance, CPU count)
+    /// invalidated the caches; the next cycle must be full.
+    structural_dirty: bool,
+    /// Registry version the cached `has_metric` flags were read at.
+    registry_version: u64,
+    /// Cycle length of the last full cycle (bitwise-compared).
+    last_dt: f64,
+    /// Sum of fixed (real-time) reservations, in parts per thousand.
+    fixed_total_ppt: u32,
+    /// Sum of all committed grants, in parts per thousand.
+    granted_total_ppt: u32,
+    /// Committed granted load per CPU, in parts per thousand.
+    cpu_load: Vec<u64>,
+    // Reusable scratch for the incremental cycle.  Recomputed jobs carry
+    // the cycle's `Q_t` as captured before any reclaim damping, matching
+    // what the staged path records in `CycleRecord::pressure_q`.
+    recomputed: Vec<(JobSlot, JobId, f64)>,
+    requests: Vec<SquishRequest>,
+    request_slots: Vec<(JobSlot, JobId)>,
+    grants: Vec<Proportion>,
+    squish_scratch: SquishScratch,
+}
+
+impl Default for IncrState {
+    fn default() -> Self {
+        Self {
+            structural_dirty: true,
+            registry_version: 0,
+            last_dt: 0.0,
+            fixed_total_ppt: 0,
+            granted_total_ppt: 0,
+            cpu_load: Vec::new(),
+            recomputed: Vec::new(),
+            requests: Vec::new(),
+            request_slots: Vec::new(),
+            grants: Vec::new(),
+            squish_scratch: SquishScratch::default(),
+        }
+    }
 }
 
 impl Controller {
@@ -188,6 +239,7 @@ impl Controller {
             },
             last_cycle: None,
             cycles: 0,
+            incr: IncrState::default(),
         }
     }
 
@@ -207,6 +259,7 @@ impl Controller {
     /// grow, since the machine layer has no hot-remove.
     pub fn set_cpus(&mut self, cpus: usize) {
         self.config.placement.cpus = cpus.clamp(1, crate::config::PlacementConfig::MAX_CPUS);
+        self.incr.structural_dirty = true;
     }
 
     /// The metric registry the controller samples.
@@ -312,6 +365,7 @@ impl Controller {
         };
         let mut entry = JobEntry::new(spec, importance, &self.config);
         entry.cpu = cpu;
+        self.incr.structural_dirty = true;
         Ok(self
             .jobs
             .insert(job, entry)
@@ -323,6 +377,7 @@ impl Controller {
         let removed = self.jobs.remove(job).is_some();
         if removed {
             self.registry.unregister_job(job.key());
+            self.incr.structural_dirty = true;
         }
         removed
     }
@@ -341,21 +396,26 @@ impl Controller {
         match self.jobs.get_by_id_mut(job) {
             Some(e) => {
                 e.importance = importance;
+                self.incr.structural_dirty = true;
                 true
             }
             None => false,
         }
     }
 
-    /// Records usage feedback for the job at `slot`, to be consumed by the
-    /// next control cycle.  Returns `false` if the slot is stale.
+    /// Records usage feedback for the job at `slot`.  Returns `false` if
+    /// the slot is stale.
     ///
-    /// Jobs without a recorded snapshot are assumed to have used their full
-    /// allocation; the pipeline resets every snapshot after consuming it.
+    /// Snapshots are sticky: the recorded ratio persists until overwritten,
+    /// so callers only need to report *changes*.  A job that has never
+    /// reported is assumed to have used its full allocation.
     pub fn record_usage(&mut self, slot: JobSlot, usage: UsageSnapshot) -> bool {
         match self.jobs.get_mut(slot) {
             Some(e) => {
-                e.usage = usage;
+                if e.usage.usage_ratio.to_bits() != usage.usage_ratio.to_bits() {
+                    e.usage = usage;
+                    e.usage_dirty = true;
+                }
                 true
             }
             None => false,
@@ -418,16 +478,60 @@ impl Controller {
     ///
     /// This is the steady-state entry point: once the scratch buffers have
     /// warmed up it performs no heap allocation.  Usage feedback is taken
-    /// from the snapshots recorded via [`Controller::record_usage`] since
-    /// the previous cycle (full usage when none was recorded).
+    /// from the sticky snapshots recorded via [`Controller::record_usage`]
+    /// (full usage when none was ever recorded).
+    ///
+    /// With [`ControllerConfig::incremental`] enabled and no structural
+    /// change pending, the cycle recomputes only jobs whose inputs changed
+    /// and emits actuations only for jobs whose `(grant, period, cpu)`
+    /// actually moved; otherwise it runs the full staged pipeline.
     pub fn control_cycle_in_place(&mut self, now_s: f64) -> &ControlOutput {
         let dt = match self.last_cycle {
             Some(prev) if now_s > prev => now_s - prev,
             _ => self.config.controller_period_s,
         };
+        self.control_cycle_with_dt(now_s, dt)
+    }
+
+    /// Runs one control cycle at `now_s` with an explicitly supplied cycle
+    /// length `dt` (seconds; non-positive falls back to the configured
+    /// period).
+    ///
+    /// Callers stepping on an exact grid should prefer this over
+    /// [`Controller::control_cycle_in_place`]: a `dt` derived from integer
+    /// ticks is bitwise-identical every cycle, whereas differences of
+    /// accumulated floating-point timestamps jitter in the last ulp — and
+    /// [`ControllerConfig::incremental`] falls back to a full cycle
+    /// whenever `dt` is not bitwise-equal to the previous one.
+    pub fn control_cycle_with_dt(&mut self, now_s: f64, dt: f64) -> &ControlOutput {
+        let dt = if dt > 0.0 {
+            dt
+        } else {
+            self.config.controller_period_s
+        };
         self.last_cycle = Some(now_s);
         self.cycles += 1;
 
+        if self.needs_full_cycle(dt) {
+            self.full_cycle(now_s, dt);
+        } else {
+            self.incremental_cycle(now_s, dt);
+        }
+        &self.output
+    }
+
+    /// Whether the next cycle must run the full staged pipeline.
+    fn needs_full_cycle(&self, dt: f64) -> bool {
+        !self.config.incremental
+            || self.config.period_estimation
+            || self.incr.structural_dirty
+            || self.registry.version() != self.incr.registry_version
+            || dt.to_bits() != self.incr.last_dt.to_bits()
+    }
+
+    /// The classic staged pipeline, plus (in incremental mode) a rebuild of
+    /// every incremental cache from the cycle's context.
+    fn full_cycle(&mut self, now_s: f64, dt: f64) {
         self.ctx.begin(now_s, dt);
         pipeline::sense(
             &self.registry,
@@ -440,7 +544,241 @@ impl Controller {
         pipeline::allocate(&self.config, &mut self.ctx);
         pipeline::place(&self.config, &mut self.jobs, &mut self.ctx);
         pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
-        &self.output
+
+        if self.config.incremental {
+            let incr = &mut self.incr;
+            incr.registry_version = self.registry.version();
+            incr.last_dt = dt;
+            incr.fixed_total_ppt = self.ctx.fixed_total_ppt;
+            incr.granted_total_ppt = self.output.total_granted_ppt;
+            incr.cpu_load.clone_from(&self.ctx.cpu_load);
+            for record in &self.ctx.records {
+                let entry = self.jobs.get_mut(record.slot).expect("record slot is live");
+                entry.has_metric = record.has_metric;
+                entry.desired = record.desired;
+                entry.settled = false;
+                entry.usage_dirty = false;
+            }
+            incr.structural_dirty = false;
+        }
+    }
+
+    /// One incremental cycle: recompute only jobs whose inputs changed,
+    /// re-squish only when some desired proportion moved, scan for a
+    /// migration only when the cached per-CPU load gap exceeds the bound,
+    /// and emit actuations only for jobs whose committed `(grant, period,
+    /// cpu)` changed.
+    ///
+    /// Committed state (grants, desires, PID state, placements) evolves
+    /// exactly as under [`Controller::full_cycle`]: a job is skipped only
+    /// after a recompute proved itself a bitwise no-op
+    /// ([`crate::PressureEstimator::state_fingerprint`]), and every input a
+    /// recompute reads (sensed pressure, usage, cycle length, committed
+    /// grant, importance, spec, registry attachments) is guarded by a
+    /// change check or a full-cycle fallback trigger.
+    fn incremental_cycle(&mut self, now_s: f64, dt: f64) {
+        let Self {
+            config,
+            registry,
+            estimator,
+            jobs,
+            output,
+            incr,
+            ..
+        } = self;
+        output.actuations.clear();
+        output.events.clear();
+        incr.recomputed.clear();
+
+        // Fused sense / classify / estimate over the dirty set.  Metricless
+        // jobs never touch the registry (their cached `has_metric` is valid
+        // while the registry version is unchanged, which `needs_full_cycle`
+        // guarantees here).
+        let mut desired_changed = false;
+        for (slot, job, entry) in jobs.iter_mut() {
+            let class = entry.spec.with_progress_metric(entry.has_metric).classify();
+            if !class.is_squishable() {
+                // Fixed reservations cannot change between structural
+                // events, and those force a full cycle.
+                continue;
+            }
+            let summed = match class {
+                JobClass::RealRate => registry
+                    .summed_pressure(job.key())
+                    .unwrap_or(config.misc_pressure),
+                _ => config.misc_pressure,
+            };
+            if entry.settled
+                && !entry.usage_dirty
+                && summed.to_bits() == entry.pressure.last_summed_pressure().to_bits()
+            {
+                continue;
+            }
+
+            let before = entry.pressure.state_fingerprint();
+            let q = entry.pressure.update(summed, dt);
+            let outcome = estimator.estimate(entry.granted, q, entry.usage.usage_ratio);
+            if outcome.reclaimed {
+                let target = if entry.granted.ppt() > 0 {
+                    outcome.desired.ppt() as f64 / entry.granted.ppt() as f64
+                } else {
+                    0.0
+                };
+                entry.pressure.scale_state(target.clamp(0.0, 1.0));
+            }
+            if entry.spec.period.is_none() {
+                entry.period = config.default_period;
+            }
+            let same_desired = outcome.desired == entry.desired;
+            if !same_desired {
+                desired_changed = true;
+                entry.desired = outcome.desired;
+            }
+            // The recompute was a bitwise no-op: repeating it with the same
+            // inputs stays a no-op, so the job may be skipped until an
+            // input changes.
+            entry.settled = same_desired && entry.pressure.state_fingerprint() == before;
+            entry.usage_dirty = false;
+            incr.recomputed.push((slot, job, q));
+        }
+
+        // Allocate: the squish is a pure function of (desires, importances,
+        // available); nothing changed unless some desired moved.
+        if desired_changed {
+            let capacity_ppt = config.overload_threshold_ppt * config.placement.cpu_count() as u32;
+            let available_ppt = capacity_ppt.saturating_sub(incr.fixed_total_ppt);
+            incr.requests.clear();
+            incr.request_slots.clear();
+            let mut desired_total_ppt: u64 = 0;
+            for (slot, job, entry) in jobs.iter() {
+                let class = entry.spec.with_progress_metric(entry.has_metric).classify();
+                if !class.is_squishable() {
+                    continue;
+                }
+                incr.requests.push(SquishRequest {
+                    desired: entry.desired,
+                    importance: entry.importance,
+                    floor: config.min_proportion,
+                });
+                incr.request_slots.push((slot, job));
+                desired_total_ppt += entry.desired.ppt() as u64;
+            }
+            if desired_total_ppt > available_ppt as u64 {
+                output.events.push(ControllerEvent::Squished {
+                    desired_total_ppt,
+                    available_ppt,
+                });
+                squish_into(
+                    config.squish_policy,
+                    &incr.requests,
+                    available_ppt,
+                    &mut incr.squish_scratch,
+                    &mut incr.grants,
+                );
+            } else {
+                incr.grants.clear();
+                incr.grants.extend(incr.requests.iter().map(|r| r.desired));
+            }
+            for (&(slot, job), &grant) in incr.request_slots.iter().zip(incr.grants.iter()) {
+                let entry = jobs.get_mut(slot).expect("request slot is live");
+                if grant == entry.granted {
+                    continue;
+                }
+                incr.granted_total_ppt = incr.granted_total_ppt + grant.ppt() - entry.granted.ppt();
+                let load = &mut incr.cpu_load[entry.cpu.index()];
+                *load = *load - entry.granted.ppt() as u64 + grant.ppt() as u64;
+                entry.granted = grant;
+                // The grant is an input of the next recompute.
+                entry.settled = false;
+                output.actuations.push(Actuation {
+                    slot,
+                    job,
+                    reservation: Reservation::new(grant, entry.period),
+                    cpu: entry.cpu,
+                });
+            }
+        }
+
+        // Place: the cached per-CPU loads are current; run the candidate
+        // scan only when the imbalance bound is actually exceeded.
+        let cpus = config.placement.cpu_count();
+        if cpus > 1 {
+            let (mut max_c, mut min_c) = (0usize, 0usize);
+            for (i, &load) in incr.cpu_load.iter().enumerate() {
+                if load > incr.cpu_load[max_c] {
+                    max_c = i;
+                }
+                if load < incr.cpu_load[min_c] {
+                    min_c = i;
+                }
+            }
+            let gap = incr.cpu_load[max_c] - incr.cpu_load[min_c];
+            if gap > config.placement.imbalance_threshold_ppt as u64 {
+                let mut best: Option<(u64, JobSlot, JobId)> = None;
+                for (slot, job, entry) in jobs.iter() {
+                    if entry.cpu.index() != max_c {
+                        continue;
+                    }
+                    let class = entry.spec.with_progress_metric(entry.has_metric).classify();
+                    if !class.is_squishable() {
+                        continue;
+                    }
+                    let g = entry.granted.ppt() as u64;
+                    if g == 0 || g >= gap {
+                        continue;
+                    }
+                    let dist = g.abs_diff(gap / 2);
+                    if best.is_none_or(|(d, _, _)| dist < d) {
+                        best = Some((dist, slot, job));
+                    }
+                }
+                if let Some((_, slot, job)) = best {
+                    let entry = jobs.get_mut(slot).expect("candidate slot is live");
+                    let from = entry.cpu;
+                    let to = CpuId(min_c as u32);
+                    entry.cpu = to;
+                    let g = entry.granted.ppt() as u64;
+                    incr.cpu_load[from.index()] -= g;
+                    incr.cpu_load[to.index()] += g;
+                    output
+                        .events
+                        .push(ControllerEvent::Migrated { job, from, to });
+                    // Carry the new CPU on this cycle's actuation for the
+                    // job, patching the grant-change one if it exists.
+                    let reservation = Reservation::new(entry.granted, entry.period);
+                    match output.actuations.iter_mut().find(|a| a.slot == slot) {
+                        Some(a) => a.cpu = to,
+                        None => output.actuations.push(Actuation {
+                            slot,
+                            job,
+                            reservation,
+                            cpu: to,
+                        }),
+                    }
+                }
+            }
+        }
+
+        // Quality exceptions for the jobs this cycle actually recomputed.
+        for &(slot, job, q) in &incr.recomputed {
+            let entry = jobs.get(slot).expect("recomputed slot is live");
+            if entry.granted.ppt() < entry.desired.ppt()
+                && q.abs() >= config.quality_exception_pressure
+            {
+                output
+                    .events
+                    .push(ControllerEvent::Quality(QualityException {
+                        job,
+                        desired: entry.desired,
+                        granted: entry.granted,
+                        pressure: q,
+                        time: now_s,
+                    }));
+            }
+        }
+
+        output.total_granted_ppt = incr.granted_total_ppt;
+        output.cost_us = config.cost_model.invocation_cost_us(jobs.len());
     }
 
     /// Runs one control cycle at time `now_s` (seconds), with usage
@@ -467,6 +805,7 @@ impl Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rrs_queue::{BoundedBuffer, Role};
     use rrs_scheduler::Period;
     use std::sync::Arc;
@@ -776,7 +1115,7 @@ mod tests {
     }
 
     #[test]
-    fn usage_snapshots_are_consumed_by_one_cycle() {
+    fn usage_snapshots_are_sticky_until_overwritten() {
         let (mut c, _reg) = controller();
         let slot = c.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
         // Grow the allocation first.
@@ -789,14 +1128,25 @@ mod tests {
             grown > 2 * reclaim + 1,
             "fixture needs headroom, got {grown}"
         );
-        // One low-usage snapshot triggers exactly one −C reclamation.
+        // A low-usage snapshot triggers a −C reclamation — and persists, so
+        // the following cycle reclaims again without a fresh recording.
         c.record_usage(slot, UsageSnapshot { usage_ratio: 0.0 });
         c.control_cycle_in_place(0.51);
         assert_eq!(c.granted_at(slot).unwrap().ppt(), grown - reclaim);
-        // The snapshot was consumed: recording again reclaims again.
-        c.record_usage(slot, UsageSnapshot { usage_ratio: 0.0 });
         c.control_cycle_in_place(0.52);
         assert_eq!(c.granted_at(slot).unwrap().ppt(), grown - 2 * reclaim);
+        // Overwriting the snapshot with full usage ends the reclamation:
+        // under constant positive misc pressure the grant recovers.
+        c.record_usage(slot, UsageSnapshot { usage_ratio: 1.0 });
+        let floor = c.granted_at(slot).unwrap().ppt();
+        for i in 1..=30 {
+            c.control_cycle_in_place(0.52 + i as f64 * 0.01);
+        }
+        assert!(
+            c.granted_at(slot).unwrap().ppt() >= floor,
+            "full usage must stop the shrink ({floor} -> {})",
+            c.granted_at(slot).unwrap().ppt()
+        );
     }
 
     #[test]
@@ -934,6 +1284,214 @@ mod tests {
                 caps,
                 "steady-state cycles must not reallocate the output"
             );
+        }
+    }
+
+    #[test]
+    fn incremental_cycles_match_full_and_go_quiet_at_the_fixed_point() {
+        let registry_full = MetricRegistry::new();
+        let registry_incr = MetricRegistry::new();
+        let mut full = Controller::new(ControllerConfig::default(), registry_full);
+        let mut incr = Controller::new(
+            ControllerConfig::default().with_incremental(true),
+            registry_incr,
+        );
+        for i in 0..4 {
+            full.add_job(JobId(i), JobSpec::miscellaneous()).unwrap();
+            incr.add_job(JobId(i), JobSpec::miscellaneous()).unwrap();
+        }
+        // Step both on an exact grid (dt bitwise-stable) until the misc
+        // jobs' PID integrals clamp and the population reaches its fixed
+        // point.  Committed state must agree every single cycle.
+        let dt = 0.01;
+        for i in 1..=900u32 {
+            let now = i as f64 * dt;
+            let a = full.control_cycle_with_dt(now, dt).total_granted_ppt;
+            let b = incr.control_cycle_with_dt(now, dt).total_granted_ppt;
+            assert_eq!(a, b, "granted totals diverged at cycle {i}");
+            for j in 0..4 {
+                assert_eq!(
+                    full.granted(JobId(j)),
+                    incr.granted(JobId(j)),
+                    "grant for job {j} diverged at cycle {i}"
+                );
+            }
+        }
+        // At the fixed point the full path still re-emits every actuation,
+        // while the incremental path emits none (and costs the same by the
+        // model, which charges per managed job).
+        let out_full = full.control_cycle_with_dt(9.01, dt).clone();
+        let out_incr = incr.control_cycle_with_dt(9.01, dt).clone();
+        assert_eq!(out_full.actuations.len(), 4);
+        assert_eq!(
+            out_incr.actuations.len(),
+            0,
+            "a settled population must emit no actuations"
+        );
+        assert_eq!(out_full.total_granted_ppt, out_incr.total_granted_ppt);
+        assert_eq!(out_full.cost_us, out_incr.cost_us);
+        // A structural change snaps the incremental controller back to a
+        // full (all-actuations) cycle.
+        incr.add_job(JobId(99), JobSpec::miscellaneous()).unwrap();
+        let out = incr.control_cycle_with_dt(9.02, dt);
+        assert_eq!(out.actuations.len(), 5);
+    }
+
+    #[test]
+    fn incremental_usage_feedback_matches_full() {
+        let mut full = Controller::new(ControllerConfig::default(), MetricRegistry::new());
+        let mut incr = Controller::new(
+            ControllerConfig::default().with_incremental(true),
+            MetricRegistry::new(),
+        );
+        let sf = full.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        let si = incr.add_job(JobId(1), JobSpec::miscellaneous()).unwrap();
+        let dt = 0.01;
+        let mut cycle = 0u32;
+        let mut step = |full: &mut Controller, incr: &mut Controller| {
+            cycle += 1;
+            let now = cycle as f64 * dt;
+            let a = full.control_cycle_with_dt(now, dt).total_granted_ppt;
+            let b = incr.control_cycle_with_dt(now, dt).total_granted_ppt;
+            assert_eq!(a, b, "diverged at cycle {cycle}");
+        };
+        for _ in 0..60 {
+            step(&mut full, &mut incr);
+        }
+        // Sticky low usage shrinks both controllers identically...
+        full.record_usage(sf, UsageSnapshot { usage_ratio: 0.0 });
+        incr.record_usage(si, UsageSnapshot { usage_ratio: 0.0 });
+        for _ in 0..10 {
+            step(&mut full, &mut incr);
+        }
+        // ...and full usage lets both recover identically.
+        full.record_usage(sf, UsageSnapshot { usage_ratio: 1.0 });
+        incr.record_usage(si, UsageSnapshot { usage_ratio: 1.0 });
+        for _ in 0..60 {
+            step(&mut full, &mut incr);
+        }
+        assert_eq!(full.granted(JobId(1)), incr.granted(JobId(1)));
+    }
+
+    proptest! {
+        /// The incremental controller against the staged reference: the
+        /// same operation sequence drives one controller of each mode on a
+        /// two-CPU machine, and after every paired cycle the committed
+        /// state (grants, placements, totals) must match exactly, as must
+        /// the state reconstructed by *applying* each side's emitted
+        /// actuations (the incremental side's changed-only stream must
+        /// suffice to track the full side's every-cycle stream).
+        ///
+        /// Ops are `(selector, id, ratio_sel, flag)` tuples because the
+        /// vendored proptest miniature has no `prop_oneof`; selectors 6–9
+        /// all run a paired cycle so the comparison dominates the mix.
+        #[test]
+        fn incremental_matches_full_under_arbitrary_ops(
+            ops in proptest::collection::vec(
+                (0u8..10, 0u64..6, 0u8..4, proptest::bool::ANY),
+                1..120,
+            ),
+        ) {
+            let registry = MetricRegistry::new();
+            let queue = Arc::new(BoundedBuffer::<u8>::new("pq", 8));
+            let mut full = Controller::new(
+                ControllerConfig::default().with_cpus(2),
+                registry.clone(),
+            );
+            let mut incr = Controller::new(
+                ControllerConfig::default().with_cpus(2).with_incremental(true),
+                registry.clone(),
+            );
+            let mut mirror_full: BTreeMap<JobId, (Reservation, CpuId)> = BTreeMap::new();
+            let mut mirror_incr: BTreeMap<JobId, (Reservation, CpuId)> = BTreeMap::new();
+            let mut now = 0.0f64;
+            for (op, i, ratio_sel, flag) in ops {
+                let job = JobId(i);
+                match op {
+                    0 => {
+                        let a = full.add_job(job, JobSpec::miscellaneous());
+                        let b = incr.add_job(job, JobSpec::miscellaneous());
+                        prop_assert_eq!(a.is_ok(), b.is_ok());
+                    }
+                    1 => {
+                        // A real-rate job fed by the shared queue.  Both
+                        // controllers read the same registry, so they sense
+                        // identical pressures.
+                        let a = full.add_job(job, JobSpec::real_rate());
+                        let b = incr.add_job(job, JobSpec::real_rate());
+                        prop_assert_eq!(a.is_ok(), b.is_ok());
+                        if a.is_ok() {
+                            let role = if flag { Role::Producer } else { Role::Consumer };
+                            registry.register(job.key(), role, queue.clone());
+                        }
+                    }
+                    2 => {
+                        let spec = JobSpec::real_time(
+                            Proportion::from_ppt(150),
+                            Period::from_millis(10 + i),
+                        );
+                        let a = full.add_job(job, spec);
+                        let b = incr.add_job(job, spec);
+                        prop_assert_eq!(a.is_ok(), b.is_ok());
+                    }
+                    3 => {
+                        let a = full.remove_job(job);
+                        let b = incr.remove_job(job);
+                        prop_assert_eq!(a, b);
+                        mirror_full.remove(&job);
+                        mirror_incr.remove(&job);
+                    }
+                    4 => {
+                        let w = if flag {
+                            Importance::new(5.0)
+                        } else {
+                            Importance::NORMAL
+                        };
+                        prop_assert_eq!(full.set_importance(job, w), incr.set_importance(job, w));
+                    }
+                    5 => {
+                        let ratio = [0.0, 0.3, 0.6, 1.0][ratio_sel as usize];
+                        let snap = UsageSnapshot { usage_ratio: ratio };
+                        if let Some(slot) = full.slot_of(job) {
+                            full.record_usage(slot, snap);
+                        }
+                        if let Some(slot) = incr.slot_of(job) {
+                            incr.record_usage(slot, snap);
+                        }
+                    }
+                    6 => {
+                        let _ = queue.try_push(0);
+                    }
+                    7 => {
+                        let _ = queue.try_pop();
+                    }
+                    _ => {
+                        let dt = if flag { 0.01 } else { 0.02 };
+                        now += dt;
+                        let out_full = full.control_cycle_with_dt(now, dt).clone();
+                        let out_incr = incr.control_cycle_with_dt(now, dt).clone();
+                        for a in &out_full.actuations {
+                            mirror_full.insert(a.job, (a.reservation, a.cpu));
+                        }
+                        for a in &out_incr.actuations {
+                            mirror_incr.insert(a.job, (a.reservation, a.cpu));
+                        }
+                        prop_assert_eq!(
+                            out_full.total_granted_ppt, out_incr.total_granted_ppt,
+                            "granted totals diverged"
+                        );
+                        prop_assert_eq!(out_full.cost_us, out_incr.cost_us);
+                        for job in full.job_ids() {
+                            prop_assert_eq!(full.granted(job), incr.granted(job));
+                            prop_assert_eq!(full.cpu_of(job), incr.cpu_of(job));
+                        }
+                        prop_assert_eq!(
+                            &mirror_full, &mirror_incr,
+                            "actuation-applied reservations diverged"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod pressure;
 pub mod slot;
 pub mod squish;
 pub mod taxonomy;
+pub mod time;
 
 pub use config::{ControllerConfig, PlacementConfig};
 pub use controller::{Actuation, AdmitError, ControlOutput, Controller, JobId, UsageSnapshot};
@@ -76,3 +77,4 @@ pub use pressure::PressureEstimator;
 pub use slot::{JobSlot, SlotTable};
 pub use squish::{squish_fair_share, squish_weighted, Importance, SquishPolicy};
 pub use taxonomy::{JobClass, JobSpec};
+pub use time::{Micros, SimTime};

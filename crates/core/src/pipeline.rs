@@ -53,9 +53,22 @@ pub(crate) struct JobEntry {
     pub(crate) granted: Proportion,
     /// The CPU the Place stage has the job on.
     pub(crate) cpu: CpuId,
-    /// Usage feedback recorded since the last cycle; reset to the default
-    /// (full usage) when the cycle consumes it.
+    /// Usage feedback most recently recorded.  Sticky: it persists until
+    /// the caller overwrites it, so a job that stops reporting keeps its
+    /// last known ratio.
     pub(crate) usage: UsageSnapshot,
+    /// Incremental cache: whether the registry exposed a progress metric
+    /// for this job at the last full cycle (valid while the registry
+    /// version is unchanged).
+    pub(crate) has_metric: bool,
+    /// Incremental cache: the desired proportion from this job's last
+    /// recompute, the input the Allocate stage squishes.
+    pub(crate) desired: Proportion,
+    /// Incremental: the last recompute was a proven bitwise no-op, so the
+    /// job can be skipped until one of its inputs changes.
+    pub(crate) settled: bool,
+    /// Incremental: the usage snapshot changed since the last recompute.
+    pub(crate) usage_dirty: bool,
 }
 
 /// The controller's dense per-job working state for one cycle.
@@ -163,12 +176,6 @@ impl CycleContext {
     pub fn jobs_visited(&self) -> usize {
         self.records.len()
     }
-
-    /// The fill samples sensed for one record.
-    fn fills_of(&self, r: &CycleRecord) -> &[f64] {
-        let start = r.fills_start as usize;
-        &self.fills[start..start + r.fills_len as usize]
-    }
 }
 
 pub(crate) type JobTable = SlotTable<JobId, JobEntry>;
@@ -179,8 +186,9 @@ pub(crate) type JobTable = SlotTable<JobId, JobEntry>;
 /// Each attachment is sampled exactly once; the sample feeds both the
 /// summed signed pressure (Figure 3) and, when period estimation is on,
 /// the fill pool the Estimate stage replays into the period estimator.
-/// Consumes (and resets) the usage snapshots recorded since the last
-/// cycle.
+/// Usage snapshots are sticky: the stage reads whatever was most recently
+/// recorded and leaves it in place, so a job that stops reporting keeps
+/// its last known ratio until the caller overwrites it.
 pub(crate) fn sense(
     registry: &MetricRegistry,
     jobs: &mut JobTable,
@@ -201,7 +209,6 @@ pub(crate) fn sense(
             }
         });
         let usage_ratio = entry.usage.usage_ratio;
-        entry.usage = UsageSnapshot::default();
         ctx.records.push(CycleRecord {
             slot,
             job,
@@ -274,10 +281,18 @@ pub(crate) fn estimate(
     jobs: &mut JobTable,
     ctx: &mut CycleContext,
 ) {
-    let dt = ctx.dt;
-    for idx in 0..ctx.adaptive.len() {
-        let rec_idx = ctx.adaptive[idx] as usize;
-        let mut record = ctx.records[rec_idx];
+    // Split the context into disjoint field borrows so each record can be
+    // updated in place (no per-record copy in and out of the vec).
+    let CycleContext {
+        dt,
+        records,
+        fills,
+        adaptive,
+        ..
+    } = ctx;
+    let dt = *dt;
+    for &rec_idx in adaptive.iter() {
+        let record = &mut records[rec_idx as usize];
         let entry = jobs.get_mut(record.slot).expect("record slot is live");
 
         let summed = match record.class {
@@ -301,7 +316,8 @@ pub(crate) fn estimate(
         }
 
         if config.period_estimation && record.class == JobClass::RealRate {
-            for &fill in ctx.fills_of(&record) {
+            let start = record.fills_start as usize;
+            for &fill in &fills[start..start + record.fills_len as usize] {
                 entry.period_estimator.observe_fill(fill);
             }
             entry.period = entry
@@ -314,7 +330,6 @@ pub(crate) fn estimate(
         record.pressure_q = q;
         record.desired = outcome.desired;
         record.period = entry.period;
-        ctx.records[rec_idx] = record;
     }
 }
 
@@ -543,6 +558,10 @@ impl JobEntry {
             granted: initial,
             cpu: CpuId::ZERO,
             usage: UsageSnapshot::default(),
+            has_metric: false,
+            desired: initial,
+            settled: false,
+            usage_dirty: true,
         }
     }
 }
@@ -593,9 +612,14 @@ mod tests {
         // Consumer of a full queue: summed signed pressure +1/2.
         assert_eq!(r.summed_pressure, Some(0.5));
         assert_eq!(r.usage_ratio, 0.25);
-        assert_eq!(ctx.fills_of(r), &[1.0]);
-        // The usage snapshot is consumed: the next cycle defaults to 1.0.
-        assert_eq!(jobs.get(slot).unwrap().usage, UsageSnapshot::default());
+        let fills = &ctx.fills[r.fills_start as usize..][..r.fills_len as usize];
+        assert_eq!(fills, &[1.0]);
+        // Snapshots are sticky: sensing leaves the recorded value in place,
+        // so the next cycle sees the same ratio until it is overwritten.
+        assert_eq!(
+            jobs.get(slot).unwrap().usage,
+            UsageSnapshot { usage_ratio: 0.25 }
+        );
     }
 
     #[test]

@@ -66,6 +66,24 @@ impl PressureEstimator {
         self.last_q = 0.0;
     }
 
+    /// A bitwise fingerprint of the estimator's complete internal state
+    /// (last summed pressure, last `Q_t`, PID integral and the PID's
+    /// remembered derivative error).
+    ///
+    /// Two equal fingerprints mean the estimator is in bitwise-identical
+    /// state: if an update left the fingerprint unchanged, repeating that
+    /// update with the same inputs is a no-op.  The incremental controller
+    /// uses this to prove a job has reached a fixed point and can be
+    /// skipped without changing any observable behaviour.
+    pub fn state_fingerprint(&self) -> (u64, u64, u64, Option<u64>) {
+        (
+            self.last_summed.to_bits(),
+            self.last_q.to_bits(),
+            self.pid.integral().to_bits(),
+            self.pid.last_error().map(f64::to_bits),
+        )
+    }
+
     /// Scales the accumulated integral state by `factor`.
     ///
     /// The proportion estimator calls this when it reclaims allocation from

@@ -149,6 +149,12 @@ impl PidController {
         self.integral
     }
 
+    /// Returns the error fed to the most recent update with positive `dt`,
+    /// if any — the state the derivative term differentiates against.
+    pub fn last_error(&self) -> Option<f64> {
+        self.last_error
+    }
+
     /// Clears the accumulated integral and derivative state.
     pub fn reset(&mut self) {
         self.integral = 0.0;

@@ -91,6 +91,7 @@ pub struct MetricRegistry {
 #[derive(Default)]
 struct RegistryInner {
     next_id: AtomicU64,
+    version: AtomicU64,
     table: RwLock<Buckets>,
 }
 
@@ -120,6 +121,7 @@ impl MetricRegistry {
         let mut table = self.inner.table.write();
         table.by_job.entry(job).or_default().push(attachment);
         table.owner_of.insert(id, job);
+        self.inner.version.fetch_add(1, Ordering::Relaxed);
         id
     }
 
@@ -135,6 +137,7 @@ impl MetricRegistry {
                 table.by_job.remove(&job);
             }
         }
+        self.inner.version.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -148,7 +151,17 @@ impl MetricRegistry {
         for a in &bucket {
             table.owner_of.remove(&a.id);
         }
+        self.inner.version.fetch_add(1, Ordering::Relaxed);
         bucket.len()
+    }
+
+    /// A counter bumped on every successful [`register`](Self::register),
+    /// [`unregister`](Self::unregister) and
+    /// [`unregister_job`](Self::unregister_job).  Callers that cache derived
+    /// per-job state (e.g. "does this job have a progress metric?") can
+    /// compare versions instead of re-enumerating the table.
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Relaxed)
     }
 
     /// Returns all attachments for the given job.
@@ -266,6 +279,25 @@ mod tests {
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
         assert!(!reg.has_attachments(JobKey(1)));
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let reg = MetricRegistry::new();
+        let v0 = reg.version();
+        let id = reg.register(JobKey(1), Role::Producer, buffer(4));
+        assert!(reg.version() > v0);
+        let v1 = reg.version();
+        assert!(reg.unregister(id));
+        assert!(reg.version() > v1);
+        let v2 = reg.version();
+        // Failed unregister leaves the version alone.
+        assert!(!reg.unregister(id));
+        assert_eq!(reg.version(), v2);
+        reg.register(JobKey(2), Role::Consumer, buffer(4));
+        let v3 = reg.version();
+        assert_eq!(reg.unregister_job(JobKey(2)), 1);
+        assert!(reg.version() > v3);
     }
 
     #[test]

@@ -97,6 +97,55 @@ impl UsageAccount {
         missed
     }
 
+    /// Closes `k >= 1` consecutive periods in one `O(1)` batch — the lazy
+    /// rollover used by [`crate::DispatcherConfig::lazy_rollovers`], where a
+    /// thread's account is only brought up to date when the thread is next
+    /// touched and may be several boundaries behind.
+    ///
+    /// The first boundary closes the in-flight period exactly like
+    /// [`UsageAccount::roll_period`] (real usage, real runnable flag, old
+    /// budget).  Boundaries `2..=k` close periods in which the thread was
+    /// untouched, so each used zero CPU under the refreshed budget and
+    /// counts as a missed deadline iff `runnable_rest` (whether the thread
+    /// sat runnable through them) and the budget is non-zero — the same
+    /// verdict the eager path reaches by re-marking a runnable thread at
+    /// every boundary.  `final_start_us` is the last boundary's instant and
+    /// becomes the new period start.  Returns how many of the `k` closed
+    /// periods missed their deadline.
+    pub fn roll_periods(
+        &mut self,
+        k: u64,
+        next_budget_us: u64,
+        runnable_rest: bool,
+        final_start_us: u64,
+    ) -> u64 {
+        debug_assert!(k >= 1);
+        let mut missed = u64::from(
+            self.was_runnable_this_period
+                && self.budget_us > 0
+                && self.used_this_period_us < self.budget_us,
+        );
+        self.total_budget_us += self.budget_us;
+        self.last_period_used_us = self.used_this_period_us;
+        self.last_period_budget_us = self.budget_us;
+        let rest = k - 1;
+        if rest > 0 {
+            if runnable_rest && next_budget_us > 0 {
+                missed += rest;
+            }
+            self.total_budget_us += rest * next_budget_us;
+            self.last_period_used_us = 0;
+            self.last_period_budget_us = next_budget_us;
+        }
+        self.deadlines_missed += missed;
+        self.periods_completed += k;
+        self.period_start_us = final_start_us;
+        self.budget_us = next_budget_us;
+        self.used_this_period_us = 0;
+        self.was_runnable_this_period = false;
+        missed
+    }
+
     /// Fraction of the last completed period's budget that was actually
     /// used, in `[0, 1]`; 1.0 when the last budget was zero (nothing was
     /// wasted).  The controller's reclamation rule (Figure 4) reduces the
@@ -222,7 +271,61 @@ mod tests {
         assert_eq!(a.miss_ratio(), 0.0);
     }
 
+    #[test]
+    fn batch_roll_of_one_matches_roll_period() {
+        let mut a = UsageAccount::new(0, 1000);
+        let mut b = a;
+        a.mark_runnable();
+        b.mark_runnable();
+        a.charge(300);
+        b.charge(300);
+        let missed = a.roll_period(30_000, 800);
+        let batch_missed = b.roll_periods(1, 800, true, 30_000);
+        assert_eq!(batch_missed, u64::from(missed));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
     proptest! {
+        /// The `O(1)` batch roll must land on exactly the state the eager
+        /// path reaches by rolling every boundary in turn (re-marking a
+        /// runnable thread at each one).
+        #[test]
+        fn batch_roll_matches_eager_boundary_loop(
+            k in 1u64..20,
+            budget in 1u64..2_000,
+            next_budget in 0u64..2_000,
+            used in 0u64..3_000,
+            started_runnable in proptest::bool::ANY,
+            runnable_rest in proptest::bool::ANY,
+        ) {
+            let period = 10_000u64;
+            let seed = |mark: bool| {
+                let mut a = UsageAccount::new(0, budget);
+                if mark {
+                    a.mark_runnable();
+                }
+                a.charge(used);
+                a
+            };
+            let mut eager = seed(started_runnable);
+            for i in 1..=k {
+                eager.roll_period(i * period, next_budget);
+                if runnable_rest {
+                    eager.mark_runnable();
+                }
+            }
+            // The eager loop leaves `was_runnable` set for the new period;
+            // the batch caller re-marks separately, mirroring the
+            // dispatcher's sync step.
+            let mut batch = seed(started_runnable);
+            let missed = batch.roll_periods(k, next_budget, runnable_rest, k * period);
+            if runnable_rest {
+                batch.mark_runnable();
+            }
+            prop_assert_eq!(format!("{eager:?}"), format!("{batch:?}"));
+            prop_assert_eq!(missed, batch.deadlines_missed);
+        }
+
         #[test]
         fn used_never_exceeds_total(
             charges in proptest::collection::vec(0u64..10_000, 1..50),

@@ -56,6 +56,30 @@ pub struct DispatcherConfig {
     pub context_switch_cost_us: f64,
     /// Time slice granted to best-effort threads, in microseconds.
     pub best_effort_slice_us: u64,
+    /// Roll reservation periods lazily (event-calendar mode).
+    ///
+    /// In the default eager mode every reserved thread keeps a period timer
+    /// armed and [`Dispatcher::advance_to`] processes each boundary as the
+    /// clock passes it — `O(threads)` timer work per period, even for
+    /// threads nobody touches.  In lazy mode only *throttled* threads arm a
+    /// timer (at their replenishment boundary, which is the only boundary
+    /// that can change a dispatch decision); every other account is brought
+    /// up to date in one `O(1)` batch
+    /// ([`crate::UsageAccount::roll_periods`]) when the thread is next
+    /// touched (picked, charged, blocked, unblocked, re-reserved, migrated)
+    /// or explicitly synced ([`Dispatcher::sync_all`],
+    /// [`Dispatcher::drain_usage_changes`]).
+    ///
+    /// Two deliberate semantic differences from the eager path: boundaries
+    /// stay on the exact periodic grid anchored at the last reservation
+    /// change (the eager path re-arms from the drain instant, so late
+    /// drains drift), and a thread that sits runnable-but-starved across
+    /// `k` boundaries counts `k` missed deadlines (the eager path counts
+    /// one per processed timer, so a fast-forwarded gap undercounts).
+    /// Usage queries via [`Dispatcher::usage`] / [`Dispatcher::usage_ref`] /
+    /// [`Dispatcher::for_each_usage`] may lag until the entry is synced.
+    #[serde(default)]
+    pub lazy_rollovers: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -68,6 +92,7 @@ impl Default for DispatcherConfig {
             dispatch_cost_us: 6.8,
             context_switch_cost_us: 1.9,
             best_effort_slice_us: 10_000,
+            lazy_rollovers: false,
         }
     }
 }
@@ -114,6 +139,19 @@ struct ThreadEntry {
     /// [`Dispatcher::runnable_be_with_slice`]; kept on the entry so the
     /// counter can be adjusted incrementally on any state change.
     counted_be_slice: bool,
+    /// Lazy mode: the earliest period boundary not yet rolled into the
+    /// account.  Boundaries sit on the exact periodic grid anchored at the
+    /// last reservation change, so `[Dispatcher::sync_entry]` can batch any
+    /// backlog in `O(1)`.  Unused (0) for best-effort threads and in eager
+    /// mode, where the timer list is authoritative.
+    next_boundary_us: u64,
+    /// The last usage ratio handed out through
+    /// [`Dispatcher::drain_usage_changes`]; a thread is only re-reported
+    /// when the ratio moves.  Starts at 1.0 — the controller's default
+    /// assumption for a thread it has never heard about.
+    last_reported_ratio: f64,
+    /// Whether this entry currently sits on [`Dispatcher::watch_list`].
+    watched: bool,
 }
 
 /// A thread lifted out of one dispatcher for insertion into another — the
@@ -199,6 +237,10 @@ pub struct Dispatcher {
     pick_seq: u64,
     stats: DispatchStats,
     missed_since_last_poll: u64,
+    /// Dense slots whose usage ratio may have moved since the last
+    /// [`Dispatcher::drain_usage_changes`] — the changed-only usage feed
+    /// for the controller.  May hold stale slots (cleared on drain).
+    watch_list: Vec<u32>,
 }
 
 impl Dispatcher {
@@ -223,6 +265,7 @@ impl Dispatcher {
             pick_seq: 0,
             stats: DispatchStats::default(),
             missed_since_last_poll: 0,
+            watch_list: Vec::new(),
         }
     }
 
@@ -302,9 +345,15 @@ impl Dispatcher {
             ThreadClass::Reserved(r) => self.reserved_ppt += r.proportion.ppt(),
             ThreadClass::BestEffort => self.be_count += 1,
         }
+        let reserved = matches!(entry.class, ThreadClass::Reserved(_));
         self.by_id.insert(entry.id, idx);
         self.entries[idx as usize] = Some(entry);
         self.reindex(idx);
+        if reserved {
+            // A fresh reservation's ratio is about to diverge from whatever
+            // the controller last saw, so it goes straight on watch.
+            self.watch(idx);
+        }
         idx
     }
 
@@ -366,11 +415,15 @@ impl Dispatcher {
         if self.by_id.contains_key(&id) {
             return Err(SchedError::DuplicateThread(id));
         }
+        let mut next_boundary_us = 0;
         let account = match class {
             ThreadClass::Reserved(r) => {
                 self.admission
                     .try_admit(self.total_reserved(), r.proportion)?;
-                self.timers.arm(id, self.now_us + r.period.as_micros());
+                next_boundary_us = self.now_us + r.period.as_micros();
+                if !self.config.lazy_rollovers {
+                    self.timers.arm(id, next_boundary_us);
+                }
                 UsageAccount::new(self.now_us, r.budget_micros())
             }
             ThreadClass::BestEffort => UsageAccount::new(self.now_us, 0),
@@ -383,6 +436,9 @@ impl Dispatcher {
             remaining_slice_us: self.config.best_effort_slice_us,
             last_picked_seq: 0,
             counted_be_slice: false,
+            next_boundary_us,
+            last_reported_ratio: 1.0,
+            watched: false,
         };
         entry.account.mark_runnable();
         self.link(entry);
@@ -416,7 +472,17 @@ impl Dispatcher {
     /// [`Dispatcher::inject_thread`].
     pub fn take_thread(&mut self, id: ThreadId) -> Result<MigratedThread, SchedError> {
         let &idx = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
-        let next_boundary_us = self.timers.expiry_of(id);
+        let next_boundary_us = if self.config.lazy_rollovers {
+            // Settle any boundary backlog on this CPU's clock, then hand the
+            // (strictly future) grid boundary to the destination.
+            self.sync_entry(idx);
+            self.entries[idx as usize]
+                .as_ref()
+                .filter(|e| matches!(e.class, ThreadClass::Reserved(_)))
+                .map(|e| e.next_boundary_us)
+        } else {
+            self.timers.expiry_of(id)
+        };
         self.timers.cancel(id);
         if self.running == Some(id) {
             self.running = None;
@@ -449,18 +515,24 @@ impl Dispatcher {
         if self.by_id.contains_key(&thread.id) {
             return Err(SchedError::DuplicateThread(thread.id));
         }
+        let lazy = self.config.lazy_rollovers;
+        let mut next_boundary_us = 0;
         if let ThreadClass::Reserved(r) = thread.class {
             let boundary = thread
                 .next_boundary_us
                 .unwrap_or(thread.account.period_start_us + r.period.as_micros());
-            self.timers.arm(thread.id, boundary.max(self.now_us + 1));
+            if lazy {
+                next_boundary_us = boundary;
+            } else {
+                self.timers.arm(thread.id, boundary.max(self.now_us + 1));
+            }
         }
         if matches!(thread.class, ThreadClass::BestEffort)
             && thread.remaining_slice_us < self.config.best_effort_slice_us
         {
             self.be_slices_dirty = true;
         }
-        self.link(ThreadEntry {
+        let idx = self.link(ThreadEntry {
             id: thread.id,
             class: thread.class,
             state: thread.state,
@@ -468,7 +540,20 @@ impl Dispatcher {
             remaining_slice_us: thread.remaining_slice_us,
             last_picked_seq: 0,
             counted_be_slice: false,
+            next_boundary_us,
+            last_reported_ratio: 1.0,
+            watched: false,
         });
+        if lazy {
+            // Boundaries that already passed on this CPU's clock roll
+            // immediately; a still-throttled arrival re-arms its release.
+            self.sync_entry(idx);
+            if let Some(entry) = self.entries[idx as usize].as_ref() {
+                if entry.state == ThreadState::Throttled {
+                    self.timers.arm(thread.id, entry.next_boundary_us);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -496,6 +581,11 @@ impl Dispatcher {
         let Some(&idx) = self.by_id.get(&id) else {
             return Err(SchedError::UnknownThread(id));
         };
+        if self.config.lazy_rollovers {
+            // Settle the departing thread's boundary backlog so the global
+            // rollover and miss statistics don't lose its final periods.
+            self.sync_entry(idx);
+        }
         self.unlink(idx);
         self.timers.cancel(id);
         if self.running == Some(id) {
@@ -518,6 +608,13 @@ impl Dispatcher {
         reservation: Reservation,
     ) -> Result<(), SchedError> {
         let now = self.now_us;
+        let lazy = self.config.lazy_rollovers;
+        let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
+        if lazy {
+            // Settle the old reservation's boundary backlog before the grid
+            // is re-anchored below.
+            self.sync_entry(slot);
+        }
         let (idx, entry) = self.entry_mut_of(id)?;
         let old_class = entry.class;
         entry.class = ThreadClass::Reserved(reservation);
@@ -532,25 +629,33 @@ impl Dispatcher {
                 entry.account.mark_runnable();
             }
         }
-        let old_period = match old_class {
-            ThreadClass::Reserved(r) => {
-                self.reserved_ppt -= r.proportion.ppt();
-                Some(r.period)
-            }
-            ThreadClass::BestEffort => {
-                self.be_count -= 1;
-                None
-            }
-        };
+        let period_changed =
+            !matches!(old_class, ThreadClass::Reserved(r) if r.period == reservation.period);
+        if period_changed {
+            // New period length: re-anchor the boundary grid from now.
+            entry.next_boundary_us = now + reservation.period.as_micros();
+        }
+        let throttled = entry.state == ThreadState::Throttled;
+        let next_boundary_us = entry.next_boundary_us;
+        match old_class {
+            ThreadClass::Reserved(r) => self.reserved_ppt -= r.proportion.ppt(),
+            ThreadClass::BestEffort => self.be_count -= 1,
+        }
         self.reserved_ppt += reservation.proportion.ppt();
-        match old_period {
-            Some(p) if p == reservation.period => {}
-            _ => {
-                // New period length: re-arm the period timer from now.
-                self.timers.arm(id, now + reservation.period.as_micros());
+        if lazy {
+            // Restore the lazy timer invariant: exactly the throttled
+            // threads keep a release timer armed, at their next boundary.
+            if throttled {
+                self.timers.arm(id, next_boundary_us);
+            } else {
+                self.timers.cancel(id);
             }
+        } else if period_changed {
+            // Eager mode: re-arm the period timer from now.
+            self.timers.arm(id, now + reservation.period.as_micros());
         }
         self.reindex(idx);
+        self.watch(idx);
         Ok(())
     }
 
@@ -590,11 +695,23 @@ impl Dispatcher {
 
     /// Marks a thread as blocked (waiting on I/O or a queue).
     pub fn block(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        let lazy = self.config.lazy_rollovers;
+        let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
+        if lazy {
+            // Roll boundaries while the thread still counts as runnable so
+            // the was-runnable miss accounting matches the eager path.
+            self.sync_entry(slot);
+        }
         let (idx, entry) = self.entry_mut_of(id)?;
         if entry.state == ThreadState::Exited {
             return Err(SchedError::InvalidState(id, "thread has exited"));
         }
         entry.state = ThreadState::Blocked;
+        if lazy {
+            // A blocked thread cannot be dispatched, so its replenishment is
+            // no longer an event anybody needs a timer for.
+            self.timers.cancel(id);
+        }
         if self.running == Some(id) {
             self.running = None;
         }
@@ -605,13 +722,26 @@ impl Dispatcher {
     /// Wakes a blocked thread.  Threads that are throttled stay throttled
     /// until their next period even if woken.
     pub fn unblock(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        let lazy = self.config.lazy_rollovers;
+        let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
+        if lazy {
+            // Refresh the budget first: a thread that slept across its
+            // boundary wakes into a fresh period, not a stale throttle.
+            self.sync_entry(slot);
+        }
         let (idx, entry) = self.entry_mut_of(id)?;
         if entry.state == ThreadState::Blocked {
+            let mut rethrottled = false;
             if entry.account.exhausted() && matches!(entry.class, ThreadClass::Reserved(_)) {
                 entry.state = ThreadState::Throttled;
+                rethrottled = true;
             } else {
                 entry.state = ThreadState::Ready;
                 entry.account.mark_runnable();
+            }
+            let next_boundary_us = entry.next_boundary_us;
+            if lazy && rethrottled {
+                self.timers.arm(id, next_boundary_us);
             }
             self.reindex(idx);
         }
@@ -626,6 +756,17 @@ impl Dispatcher {
             return;
         }
         self.now_us = now_us;
+        if self.config.lazy_rollovers {
+            // Only throttle-release timers are armed; the batch sync rolls
+            // the boundary backlog, unthrottles, and never re-arms (a fresh
+            // budget means no pending release).
+            while let Some(id) = self.timers.pop_next_expired(now_us) {
+                if let Some(&idx) = self.by_id.get(&id) {
+                    self.sync_entry(idx);
+                }
+            }
+            return;
+        }
         // Drain expired timers in expiry order, one at a time — re-armed
         // boundaries land strictly in the future, so the drain terminates
         // without collecting into an intermediate `Vec`.
@@ -651,10 +792,128 @@ impl Dispatcher {
             if entry.state.is_runnable() {
                 entry.account.mark_runnable();
             }
+            let ratio_changed =
+                entry.account.last_period_usage_ratio() != entry.last_reported_ratio;
             // Re-arm for the next period boundary.
             self.timers.arm(id, now_us + r.period.as_micros());
             self.reindex(idx);
+            if ratio_changed {
+                self.watch(idx);
+            }
         }
+    }
+
+    /// Lazy mode: rolls the slot's period-boundary backlog into its account
+    /// in one `O(1)` batch and restores the dispatch state (unthrottling a
+    /// released thread, cancelling its timer).  No-op in eager mode, for
+    /// best-effort threads, and when no boundary has passed.
+    fn sync_entry(&mut self, idx: u32) {
+        if !self.config.lazy_rollovers {
+            return;
+        }
+        let now = self.now_us;
+        let Some(entry) = self.entries.get_mut(idx as usize).and_then(Option::as_mut) else {
+            return;
+        };
+        let ThreadClass::Reserved(r) = entry.class else {
+            return;
+        };
+        if entry.next_boundary_us > now {
+            return;
+        }
+        let period = r.period.as_micros().max(1);
+        let k = (now - entry.next_boundary_us) / period + 1;
+        let final_start = entry.next_boundary_us + (k - 1) * period;
+        let runnable_rest = entry.state.is_runnable();
+        let missed = entry
+            .account
+            .roll_periods(k, r.budget_micros(), runnable_rest, final_start);
+        entry.next_boundary_us = final_start + period;
+        let released = entry.state == ThreadState::Throttled;
+        if released {
+            entry.state = ThreadState::Ready;
+        }
+        if entry.state.is_runnable() {
+            entry.account.mark_runnable();
+        }
+        let ratio_changed = entry.account.last_period_usage_ratio() != entry.last_reported_ratio;
+        let id = entry.id;
+        self.stats.period_rollovers += k;
+        self.stats.deadlines_missed += missed;
+        self.missed_since_last_poll += missed;
+        if released {
+            // The release already happened; any still-armed timer (e.g. a
+            // sync racing ahead of `advance_to`'s drain) is stale.
+            self.timers.cancel(id);
+            self.reindex(idx);
+        }
+        if ratio_changed {
+            self.watch(idx);
+        }
+    }
+
+    /// Lazy mode: settles every thread's boundary backlog so that
+    /// [`Dispatcher::usage`]-style queries and final statistics reflect the
+    /// current instant.  No-op in eager mode.
+    pub fn sync_all(&mut self) {
+        for idx in 0..self.entries.len() as u32 {
+            self.sync_entry(idx);
+        }
+    }
+
+    /// Visits every reserved thread whose usage ratio changed since its
+    /// last visit, after settling its boundary backlog — the changed-only
+    /// usage feed the controller consumes instead of a full
+    /// [`Dispatcher::for_each_usage`] sweep.
+    ///
+    /// A thread leaves the watch set once it has settled at a 0.0 ratio
+    /// with nothing consumed in the current period; any later activity
+    /// (pick, charge, reservation change) re-watches it.  Works in both
+    /// rollover modes.
+    pub fn drain_usage_changes(&mut self, mut f: impl FnMut(ThreadId, f64)) {
+        let mut i = 0;
+        while i < self.watch_list.len() {
+            let idx = self.watch_list[i];
+            let live = self.entries[idx as usize]
+                .as_ref()
+                .is_some_and(|e| e.watched);
+            if !live {
+                // The slot was freed (and possibly recycled) since it was
+                // watched; drop the stale occurrence.
+                self.watch_list.swap_remove(i);
+                continue;
+            }
+            self.sync_entry(idx);
+            let entry = self.entries[idx as usize].as_mut().expect("checked live");
+            let ratio = entry.account.last_period_usage_ratio();
+            if ratio != entry.last_reported_ratio {
+                entry.last_reported_ratio = ratio;
+                f(entry.id, ratio);
+            }
+            let settled = ratio == 0.0 && entry.account.used_this_period_us == 0;
+            if settled {
+                entry.watched = false;
+                self.watch_list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Puts the slot on the usage watch list (idempotent).
+    fn watch(&mut self, idx: u32) {
+        if let Some(entry) = self.entries[idx as usize].as_mut() {
+            if !entry.watched {
+                entry.watched = true;
+                self.watch_list.push(idx);
+            }
+        }
+    }
+
+    /// Returns `true` if any thread is currently runnable — the calendar
+    /// driver's `O(1)` "is this CPU busy?" probe.
+    pub fn has_runnable(&self) -> bool {
+        self.runnable.peek().is_some()
     }
 
     /// Returns (and clears) the number of deadlines missed since the last
@@ -725,6 +984,12 @@ impl Dispatcher {
             };
         };
         let picked = key.id;
+        if self.config.lazy_rollovers {
+            // Bring the picked thread's account up to date before the
+            // quantum is capped by its remaining budget.  The rank key is
+            // period-derived, so a roll cannot invalidate the pick.
+            self.sync_entry(idx);
+        }
 
         if self.running != Some(picked) {
             self.stats.context_switches += 1;
@@ -756,6 +1021,12 @@ impl Dispatcher {
     /// Charges `us` microseconds of CPU consumption to a thread, throttling
     /// it if its budget (or best-effort slice) is exhausted.
     pub fn charge(&mut self, id: ThreadId, us: u64) -> Result<(), SchedError> {
+        let lazy = self.config.lazy_rollovers;
+        let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
+        if lazy {
+            // Charge against the current period, not a stale one.
+            self.sync_entry(slot);
+        }
         let (idx, entry) = self.entry_mut_of(id)?;
         entry.account.charge(us);
         let mut throttled = false;
@@ -777,13 +1048,25 @@ impl Dispatcher {
                 }
             }
         }
+        let next_boundary_us = entry.next_boundary_us;
         if be_charged {
             self.be_slices_dirty = true;
         }
-        if throttled && self.running == Some(id) {
-            self.running = None;
+        if throttled {
+            if self.running == Some(id) {
+                self.running = None;
+            }
+            if lazy {
+                // The replenishment is now a dispatch-relevant event: arm
+                // the release timer at the thread's next grid boundary.
+                self.timers.arm(id, next_boundary_us);
+            }
         }
         self.reindex(idx);
+        if !be_charged {
+            // Only reserved threads report usage ratios to the controller.
+            self.watch(idx);
+        }
         Ok(())
     }
 
@@ -856,6 +1139,37 @@ impl Dispatcher {
             );
             if entry.state.is_runnable() {
                 runnable += 1;
+            }
+            let expiry = self.timers.expiry_of(id);
+            match entry.class {
+                ThreadClass::Reserved(_) if self.config.lazy_rollovers => {
+                    // Lazy invariant: exactly the throttled threads keep a
+                    // release timer armed, at their next grid boundary.
+                    if entry.state == ThreadState::Throttled {
+                        assert_eq!(
+                            expiry,
+                            Some(entry.next_boundary_us),
+                            "throttled {id} has no release timer at its boundary"
+                        );
+                    } else {
+                        assert_eq!(expiry, None, "unthrottled {id} keeps a stale timer");
+                    }
+                }
+                ThreadClass::Reserved(_) => {
+                    assert!(
+                        expiry.is_some(),
+                        "eager reserved {id} lost its period timer"
+                    );
+                }
+                ThreadClass::BestEffort => {
+                    assert_eq!(expiry, None, "best-effort {id} has a period timer");
+                }
+            }
+            if entry.watched {
+                assert!(
+                    self.watch_list.contains(&idx),
+                    "watched flag set for {id} but slot missing from watch list"
+                );
             }
         }
         assert_eq!(self.reserved_ppt, reserved);
@@ -1221,6 +1535,127 @@ mod tests {
         d.assert_consistent();
     }
 
+    fn lazy_config() -> DispatcherConfig {
+        DispatcherConfig {
+            lazy_rollovers: true,
+            ..DispatcherConfig::default()
+        }
+    }
+
+    #[test]
+    fn lazy_exhausted_thread_is_replenished_at_the_boundary() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = d.dispatch();
+        assert_eq!(o.thread, Some(ThreadId(1)));
+        assert_eq!(o.quantum_us, 1000);
+        d.charge(ThreadId(1), 1000).unwrap();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        // The throttle release is the only armed timer.
+        assert_eq!(d.next_timer_expiry(), Some(10_000));
+        d.assert_consistent();
+        d.advance_to(2000);
+        assert_eq!(d.dispatch().thread, None);
+        d.advance_to(10_000);
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        // Released: no timer armed until the thread throttles again.
+        assert_eq!(d.next_timer_expiry(), None);
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn lazy_sync_batches_a_multi_period_backlog() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        // Runnable but never picked for 5 whole periods: no timers fire,
+        // no per-boundary work happens...
+        d.advance_to(52_000);
+        assert_eq!(d.stats().period_rollovers, 0);
+        // ...until one O(1) sync settles the whole backlog, counting every
+        // starved period as a miss.
+        d.sync_all();
+        let stats = d.stats();
+        assert_eq!(stats.period_rollovers, 5);
+        assert_eq!(stats.deadlines_missed, 5);
+        let acct = d.usage(ThreadId(1)).unwrap();
+        assert_eq!(acct.period_start_us, 50_000, "boundaries stay on the grid");
+        assert_eq!(acct.periods_completed, 5);
+        d.assert_consistent();
+        // Syncing again is a no-op.
+        d.sync_all();
+        assert_eq!(d.stats().period_rollovers, 5);
+    }
+
+    #[test]
+    fn lazy_blocked_thread_misses_only_its_runnable_period() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        d.block(ThreadId(1)).unwrap();
+        d.advance_to(45_000);
+        d.unblock(ThreadId(1)).unwrap();
+        // Period 1 was runnable-until-blocked and unserved (one miss); the
+        // blocked periods don't count.
+        assert_eq!(d.stats().deadlines_missed, 1);
+        assert_eq!(d.stats().period_rollovers, 4);
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn lazy_take_and_inject_keep_the_release_timer() {
+        let mut src = Dispatcher::new(lazy_config());
+        let mut dst = Dispatcher::new(lazy_config());
+        src.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = src.dispatch();
+        src.charge(ThreadId(1), o.quantum_us).unwrap();
+        assert_eq!(src.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        let taken = src.take_thread(ThreadId(1)).unwrap();
+        assert_eq!(src.next_timer_expiry(), None);
+        dst.inject_thread(taken).unwrap();
+        // Still throttled on the destination, release armed at the same
+        // grid boundary.
+        assert_eq!(dst.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        assert_eq!(dst.next_timer_expiry(), Some(10_000));
+        dst.assert_consistent();
+        dst.advance_to(10_000);
+        assert_eq!(dst.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        assert_eq!(dst.dispatch().thread, Some(ThreadId(1)));
+        dst.assert_consistent();
+    }
+
+    #[test]
+    fn drain_usage_changes_reports_only_transitions() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let drain = |d: &mut Dispatcher| {
+            let mut got = Vec::new();
+            d.drain_usage_changes(|id, ratio| got.push((id, ratio)));
+            got
+        };
+        // Nothing has happened: the controller's default assumption (1.0)
+        // still holds, so nothing is reported.
+        assert_eq!(drain(&mut d), vec![]);
+        // Consume the full budget; after the boundary the completed period
+        // reads 1.0 — still no transition.
+        let o = d.dispatch();
+        d.charge(ThreadId(1), o.quantum_us).unwrap();
+        d.advance_to(10_000);
+        assert_eq!(drain(&mut d), vec![]);
+        // An idle period is a 1.0 → 0.0 transition, reported exactly once,
+        // after which the settled thread leaves the watch set.
+        d.advance_to(20_000);
+        assert_eq!(drain(&mut d), vec![(ThreadId(1), 0.0)]);
+        assert_eq!(drain(&mut d), vec![]);
+        d.assert_consistent();
+        // Activity re-watches it and the next boundary reports 1.0 again.
+        let o = d.dispatch();
+        d.charge(ThreadId(1), o.quantum_us).unwrap();
+        d.advance_to(30_000);
+        assert_eq!(drain(&mut d), vec![(ThreadId(1), 1.0)]);
+        d.assert_consistent();
+    }
+
     proptest! {
         /// The tentpole's safety net: over arbitrary thread-state
         /// sequences, the goodness-indexed pick must equal the naive
@@ -1308,6 +1743,104 @@ mod tests {
                 src.assert_consistent();
                 dst.assert_consistent();
             }
+        }
+
+        /// Lazy rollovers against the eager reference: identical operation
+        /// sequences drive one dispatcher of each mode, advancing time only
+        /// to the eager dispatcher's own timer expiries so the eager grid
+        /// cannot drift.  Picks, quanta, post-sync accounts, states and
+        /// stats (except idle bookkeeping) must match exactly.
+        #[test]
+        fn lazy_rollovers_match_eager_reference(
+            ops in proptest::collection::vec((0u8..10, 0u64..6, 0u32..500, 1u64..40), 1..120),
+        ) {
+            let mut eager = Dispatcher::new(DispatcherConfig::default());
+            let mut lazy = Dispatcher::new(lazy_config());
+            for (op, i, p, aux) in ops {
+                match op {
+                    0 => {
+                        let a = eager.add_thread(ThreadId(i), reserved(p, aux));
+                        let b = lazy.add_thread(ThreadId(i), reserved(p, aux));
+                        prop_assert_eq!(a, b);
+                    }
+                    1 => {
+                        let _ = eager.add_thread(ThreadId(i), ThreadClass::BestEffort);
+                        let _ = lazy.add_thread(ThreadId(i), ThreadClass::BestEffort);
+                    }
+                    2 => {
+                        let _ = eager.remove_thread(ThreadId(i));
+                        let _ = lazy.remove_thread(ThreadId(i));
+                    }
+                    3 => {
+                        let _ = eager.block(ThreadId(i));
+                        let _ = lazy.block(ThreadId(i));
+                    }
+                    4 => {
+                        let _ = eager.unblock(ThreadId(i));
+                        let _ = lazy.unblock(ThreadId(i));
+                    }
+                    5 => {
+                        let r = Reservation::new(
+                            Proportion::from_ppt(p),
+                            Period::from_millis(aux),
+                        );
+                        let _ = eager.set_reservation(ThreadId(i), r);
+                        let _ = lazy.set_reservation(ThreadId(i), r);
+                    }
+                    6 => {
+                        // Advance exactly to the eager dispatcher's next
+                        // period boundary (its timers fire *on* the grid, so
+                        // its re-arm-from-now cannot drift off it).
+                        if let Some(t) = eager.next_timer_expiry() {
+                            eager.advance_to(t);
+                            lazy.advance_to(t);
+                        }
+                    }
+                    7 => {
+                        // Both modes report the same changed-usage feed,
+                        // order aside.
+                        let mut a = Vec::new();
+                        eager.drain_usage_changes(|id, r| a.push((id, r.to_bits())));
+                        let mut b = Vec::new();
+                        lazy.drain_usage_changes(|id, r| b.push((id, r.to_bits())));
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        prop_assert_eq!(a, b, "usage feeds diverged");
+                    }
+                    _ => {
+                        let oe = eager.dispatch();
+                        let ol = lazy.dispatch();
+                        prop_assert_eq!(oe.thread, ol.thread, "picks diverged");
+                        if let Some(t) = oe.thread {
+                            prop_assert_eq!(oe.quantum_us, ol.quantum_us, "quanta diverged");
+                            let used = (oe.quantum_us * (aux % 3 + 1) / 3).max(1);
+                            eager.charge(t, used).expect("picked exists");
+                            lazy.charge(t, used).expect("picked exists");
+                        }
+                    }
+                }
+                eager.assert_consistent();
+                lazy.assert_consistent();
+            }
+            // Settle the lazy backlog, then every observable must agree.
+            lazy.sync_all();
+            let ids: Vec<ThreadId> = eager.thread_ids().collect();
+            prop_assert_eq!(&ids, &lazy.thread_ids().collect::<Vec<_>>());
+            for id in ids {
+                prop_assert_eq!(eager.thread_state(id), lazy.thread_state(id));
+                prop_assert_eq!(eager.reservation(id), lazy.reservation(id));
+                let (ea, la) = (eager.usage(id).unwrap(), lazy.usage(id).unwrap());
+                prop_assert_eq!(
+                    format!("{ea:?}"),
+                    format!("{la:?}"),
+                    "account diverged for {:?}", id
+                );
+            }
+            let (es, ls) = (eager.stats(), lazy.stats());
+            prop_assert_eq!(es.dispatches, ls.dispatches);
+            prop_assert_eq!(es.context_switches, ls.context_switches);
+            prop_assert_eq!(es.period_rollovers, ls.period_rollovers);
+            prop_assert_eq!(es.deadlines_missed, ls.deadlines_missed);
         }
     }
 }

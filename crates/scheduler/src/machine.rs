@@ -147,6 +147,17 @@ impl Machine {
         &self.cpus[cpu.index()]
     }
 
+    /// Mutable access to one CPU's dispatcher — the calendar driver's
+    /// per-CPU span loop runs dispatch/charge directly against the owning
+    /// dispatcher without re-resolving placement each span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn dispatcher_mut(&mut self, cpu: CpuId) -> &mut Dispatcher {
+        &mut self.cpus[cpu.index()]
+    }
+
     /// The CPU a thread is currently placed on.
     pub fn cpu_of(&self, id: ThreadId) -> Option<CpuId> {
         self.placement.get(&id).copied()
@@ -345,6 +356,23 @@ impl Machine {
     pub fn advance_to(&mut self, now_us: u64) {
         for d in &mut self.cpus {
             d.advance_to(now_us);
+        }
+    }
+
+    /// Settles every thread's lazy period-boundary backlog on every CPU
+    /// (see [`Dispatcher::sync_all`]); no-op in eager rollover mode.
+    pub fn sync_all(&mut self) {
+        for d in &mut self.cpus {
+            d.sync_all();
+        }
+    }
+
+    /// Visits every reserved thread (machine-wide, CPU 0 first) whose
+    /// usage ratio changed since its last visit — the changed-only usage
+    /// feed for the controller (see [`Dispatcher::drain_usage_changes`]).
+    pub fn drain_usage_changes(&mut self, mut f: impl FnMut(ThreadId, f64)) {
+        for d in &mut self.cpus {
+            d.drain_usage_changes(&mut f);
         }
     }
 

@@ -1,0 +1,274 @@
+//! The event calendar: a binary-heap schedule keyed by [`SimTime`].
+//!
+//! Modelled on the classic discrete-event `Schedule` loop: the simulator
+//! pops the earliest event, jumps the clock straight to it, handles it,
+//! and repeats.  Ordering is fully deterministic — ties on the timestamp
+//! are broken first by the event's fixed priority rank and then
+//! by insertion order, so two runs of the same workload pop the same
+//! events in the same order.
+//!
+//! Entries are cancelled lazily: [`Schedule::cancel`] marks the token and
+//! the heap drops the entry when it surfaces, which keeps cancellation
+//! `O(log n)`-amortised without a decrease-key structure.
+
+use crate::event::Event;
+use rrs_core::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A token identifying one scheduled entry, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    priority: u8,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator's event calendar.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    heap: BinaryHeap<Reverse<Entry>>,
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl Schedule {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time` and returns a token that can cancel it.
+    pub fn schedule(&mut self, time: SimTime, event: Event) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Reverse(Entry {
+            time,
+            priority: event.priority(),
+            seq,
+            event,
+        }));
+        EventId(seq)
+    }
+
+    /// Cancels a scheduled entry.  Returns `true` if the entry was still
+    /// pending (scheduled, not yet popped, not already cancelled).  The
+    /// heap itself is pruned lazily when the dead entry reaches the top.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// The time of the next live event, pruning cancelled entries off the
+    /// top of the heap.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.prune();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.prune();
+        self.heap.pop().map(|Reverse(e)| {
+            self.live.remove(&e.seq);
+            (e.time, e.event)
+        })
+    }
+
+    fn prune(&mut self) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.live.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live (non-cancelled) scheduled entries.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns `true` if no live entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rrs_scheduler::ThreadId;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Schedule::new();
+        s.schedule(t(300), Event::Trace);
+        s.schedule(t(100), Event::Controller);
+        s.schedule(t(200), Event::PollTick);
+        assert_eq!(s.next_time(), Some(t(100)));
+        assert_eq!(s.pop(), Some((t(100), Event::Controller)));
+        assert_eq!(s.pop(), Some((t(200), Event::PollTick)));
+        assert_eq!(s.pop(), Some((t(300), Event::Trace)));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn identical_timestamps_order_by_priority_then_insertion() {
+        let mut s = Schedule::new();
+        // Inserted in reverse priority order; all at the same instant.
+        s.schedule(t(50), Event::Horizon);
+        s.schedule(t(50), Event::Wake(ThreadId(9)));
+        s.schedule(t(50), Event::Wake(ThreadId(3)));
+        s.schedule(t(50), Event::Trace);
+        s.schedule(t(50), Event::Controller);
+        let order: Vec<Event> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::Controller,
+                Event::Trace,
+                // Same priority: insertion order, not thread-id order.
+                Event::Wake(ThreadId(9)),
+                Event::Wake(ThreadId(3)),
+                Event::Horizon,
+            ]
+        );
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut s = Schedule::new();
+        let a = s.schedule(t(10), Event::Wake(ThreadId(1)));
+        let b = s.schedule(t(20), Event::Wake(ThreadId(2)));
+        let c = s.schedule(t(30), Event::Wake(ThreadId(3)));
+        assert!(s.cancel(b));
+        assert!(!s.cancel(b), "double cancel is rejected");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some((t(10), Event::Wake(ThreadId(1)))));
+        assert!(
+            !s.cancel(a),
+            "cancelling an already-popped entry is a no-op"
+        );
+        assert_eq!(s.pop(), Some((t(30), Event::Wake(ThreadId(3)))));
+        assert_eq!(s.pop(), None);
+        assert!(!s.cancel(c));
+        assert!(!s.cancel(EventId(999)), "unknown ids are rejected");
+    }
+
+    #[test]
+    fn cancelling_the_head_updates_next_time() {
+        let mut s = Schedule::new();
+        let head = s.schedule(t(5), Event::Controller);
+        s.schedule(t(8), Event::Trace);
+        assert_eq!(s.next_time(), Some(t(5)));
+        assert!(s.cancel(head));
+        assert_eq!(s.next_time(), Some(t(8)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut s = Schedule::new();
+        s.schedule(t(1), Event::Controller);
+        let id = s.schedule(t(2), Event::Trace);
+        s.cancel(id);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+
+    proptest! {
+        /// Oracle: the schedule pops exactly the non-cancelled entries, in
+        /// (time, priority, insertion) order, regardless of the insert and
+        /// cancel interleaving.
+        #[test]
+        fn pop_order_matches_sorted_oracle(
+            entries in proptest::collection::vec((0u64..100, 0u8..4), 0..60),
+            cancels in proptest::collection::vec(0usize..60, 0..20),
+        ) {
+            let mut s = Schedule::new();
+            let mut ids = Vec::new();
+            let mut oracle = Vec::new();
+            for (seq, &(time, kind)) in entries.iter().enumerate() {
+                let event = match kind {
+                    0 => Event::Controller,
+                    1 => Event::Trace,
+                    2 => Event::Wake(ThreadId(seq as u64)),
+                    _ => Event::PollTick,
+                };
+                ids.push(s.schedule(t(time), event));
+                oracle.push((t(time), event.priority(), seq, event));
+            }
+            let mut dropped = std::collections::HashSet::new();
+            for &i in &cancels {
+                if i < ids.len() && dropped.insert(i) {
+                    prop_assert!(s.cancel(ids[i]));
+                }
+            }
+            let mut expected: Vec<_> = oracle
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !dropped.contains(i))
+                .map(|(_, e)| e)
+                .collect();
+            expected.sort_by_key(|&(time, priority, seq, _)| (time, priority, seq));
+            prop_assert_eq!(s.len(), expected.len());
+            let got: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+            let want: Vec<_> = expected.into_iter().map(|(time, _, _, e)| (time, e)).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Two schedules fed the same operations pop identical sequences —
+        /// determinism does not depend on hash iteration order.
+        #[test]
+        fn replay_is_deterministic(
+            entries in proptest::collection::vec((0u64..50, 0u8..5), 0..40),
+        ) {
+            let build = || {
+                let mut s = Schedule::new();
+                for (seq, &(time, kind)) in entries.iter().enumerate() {
+                    let event = match kind {
+                        0 => Event::Controller,
+                        1 => Event::Trace,
+                        2 => Event::Wake(ThreadId(seq as u64)),
+                        3 => Event::PollTick,
+                        _ => Event::Horizon,
+                    };
+                    s.schedule(t(time), event);
+                }
+                std::iter::from_fn(move || s.pop()).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(build(), build());
+        }
+    }
+}

@@ -16,16 +16,45 @@
 //! * [`Trace`] — named time series recorded during a run, used by the
 //!   figure-regeneration benches.
 //! * [`SimConfig`] / [`CpuConfig`] — experiment parameters.
+//!
+//! # How the simulator advances time
+//!
+//! The default stepping mode ([`simulation::SteppingMode::Calendar`]) is a
+//! discrete-event loop built around an event calendar
+//! ([`calendar::Schedule`], a binary-heap agenda keyed by integer-microsecond
+//! [`rrs_core::SimTime`] with deterministic tie-breaking).  Only things that
+//! *change* the dispatch assignment are events: controller cycles, trace
+//! samples, workload wake-ups ([`Event::Wake`], announced by
+//! [`WorkModel::next_transition`]), and a dispatch-interval
+//! [`Event::PollTick`] for blocked workloads that cannot announce their
+//! wake-up.  Between two events the simulator advances each CPU
+//! *analytically*: the dispatcher picks a thread, the work model consumes
+//! its quantum (clipped to the event window), usage is charged, and the CPU
+//! repeats until the window is exhausted — no global tick, no heap
+//! operation per span, and no idle fast-forward special case, because an
+//! idle CPU simply has nothing scheduled before the next event.  Reservation
+//! period boundaries do not enter the calendar at all: the dispatcher rolls
+//! them lazily ([`rrs_scheduler::DispatcherConfig::lazy_rollovers`]) and
+//! only throttle releases arm real timers.
+//!
+//! The previous tick-driven loop survives as
+//! [`simulation::SteppingMode::Lockstep`] — a naive reference the calendar
+//! path is property-tested against, and the anchor for the historical
+//! golden-stats captures.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
+pub mod event;
 pub mod simulation;
 pub mod trace;
 pub mod workload;
 
-pub use rrs_core::JobHandle;
+pub use calendar::{EventId, Schedule};
+pub use event::Event;
+pub use rrs_core::{JobHandle, SimTime};
 pub use rrs_scheduler::CpuStats;
-pub use simulation::{CpuConfig, SimConfig, SimStats, Simulation};
+pub use simulation::{CpuConfig, SimConfig, SimStats, Simulation, SteppingMode};
 pub use trace::Trace;
 pub use workload::{RunResult, WorkModel};

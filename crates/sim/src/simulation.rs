@@ -1,42 +1,37 @@
 //! The simulation event loop.
 //!
-//! Since the machine-layer refactor the simulator drives an
-//! [`rrs_scheduler::Machine`] of `N` per-CPU dispatchers advancing in
-//! lockstep on the explicit clock: every step dispatches each CPU, runs
-//! the selected work models for the shortest granted quantum, and moves
-//! the shared clock once.  `N = 1` (the default) takes exactly the code
-//! path of the original single-dispatcher simulator: with
-//! [`SimConfig::idle_fast_forward`] disabled it reproduces the
-//! pre-refactor run bit for bit (clock, stats, floating-point overhead
-//! sums), and with it enabled (the default) idle dispatch rounds are
-//! skipped — scheduling outcomes and the paper's figure results are
-//! unchanged, while step counts and idle bookkeeping shrink.  Cross-CPU
-//! migrations decided by the control pipeline's Place stage are applied
-//! between cycles and charged a configurable cost.
+//! The simulator drives an [`rrs_scheduler::Machine`] of `N` per-CPU
+//! dispatchers.  Two stepping modes share every other piece of machinery
+//! (jobs, controller, tracing, statistics):
 //!
-//! # Event-calendar stepping
+//! * [`SteppingMode::Calendar`] (the default) is a discrete-event loop:
+//!   controller cycles, trace samples, workload wake-ups and poll ticks
+//!   are typed [`Event`]s in a binary-heap [`Schedule`] keyed by
+//!   [`SimTime`], and between two events each CPU's usage is advanced
+//!   *analytically* from its dispatch assignment — dispatch, run the
+//!   chosen work model for the span the assignment stays valid, charge,
+//!   repeat.  An idle CPU jumps straight to its next timer; there is no
+//!   idle fast-forward special case because idleness is simply "no event
+//!   until T".
+//! * [`SteppingMode::Lockstep`] is the original tick-driven loop: every
+//!   step dispatches each CPU, runs the selected work models for the
+//!   shortest granted quantum, and moves the shared clock once.  It is
+//!   retained as the naive reference the calendar path is property-tested
+//!   against, and as the anchor for the historical golden-stats captures.
 //!
-//! A step's cost is bounded by what actually happened, not by the
-//! population: the simulator keeps a blocked-thread calendar (only
-//! blocked work models are polled, in id order), the dispatcher keeps
-//! every runnable thread ranked in a goodness index (an idle or
-//! steady-state CPU re-dispatches in `O(1)`/`O(log n)` rather than
-//! scanning every registered thread), and the timer list pops expired
-//! period boundaries without collecting.  Each CPU is still *booked* a
-//! dispatch decision per lockstep round — the modelled overhead of the
-//! paper's 1 ms dispatch timer feeds the simulated clock, so skipping
-//! the bookkeeping would change every downstream number — but the work
-//! behind that booking no longer touches per-thread state unless an
-//! event (timer expiry, unblock, controller actuation, migration)
-//! arrived for it, generalising the machine-wide idle fast-forward.
-//! `tests/sim_golden_stats.rs` pins `SimStats` bit for bit at `N = 1`
-//! and `N = 8` to keep these optimisations observationally invisible.
+//! Cross-CPU migrations decided by the control pipeline's Place stage are
+//! applied between cycles and charged a configurable cost in both modes.
+//! `tests/sim_golden_stats.rs` pins `SimStats` for both modes at `N = 1`
+//! and `N = 8` so the calendar optimisations stay observable only where
+//! documented.
 
+use crate::calendar::{EventId, Schedule};
+use crate::event::Event;
 use crate::trace::Trace;
 use crate::workload::WorkModel;
 use rrs_core::{
     controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobHandle,
-    JobId, JobSlot, JobSpec, UsageSnapshot,
+    JobId, JobSlot, JobSpec, SimTime, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
@@ -57,6 +52,24 @@ impl Default for CpuConfig {
     fn default() -> Self {
         Self { clock_hz: 400e6 }
     }
+}
+
+/// How the simulation advances time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// Discrete-event stepping on the event calendar (the default).
+    ///
+    /// Controller cycles, trace samples, workload wake-ups and poll ticks
+    /// are entries in a [`Schedule`]; between two events each CPU advances
+    /// analytically from its current dispatch assignment.  Selecting this
+    /// mode forces the lazy-rollover dispatcher and the incremental
+    /// controller, the two optimisations the calendar loop is built on.
+    #[default]
+    Calendar,
+    /// The original tick-driven loop: one lockstep dispatch round over
+    /// every CPU per [`Simulation::step`].  Retained as the naive
+    /// reference the calendar path is property-tested against.
+    Lockstep,
 }
 
 /// Simulation parameters.
@@ -85,10 +98,15 @@ pub struct SimConfig {
     /// to the migrating thread's budget (cache and TLB refill on the
     /// destination CPU).
     pub migration_cost_us: u64,
-    /// When no thread anywhere is runnable (and none is blocked waiting to
-    /// be polled), jump the clock straight to the next timer, controller or
-    /// trace event instead of burning one dispatch tick at a time.
+    /// Deprecated: only honoured by [`SteppingMode::Lockstep`], where it
+    /// jumps the clock straight to the next timer, controller or trace
+    /// event when no thread anywhere is runnable.  Calendar stepping has
+    /// no idle special case — an idle CPU always jumps to its next event —
+    /// so the flag is a no-op there.  The field stays so existing
+    /// configurations keep compiling.
     pub idle_fast_forward: bool,
+    /// How the simulation advances time (see [`SteppingMode`]).
+    pub stepping: SteppingMode,
 }
 
 impl Default for SimConfig {
@@ -103,6 +121,7 @@ impl Default for SimConfig {
             trace_interval_s: 0.1,
             migration_cost_us: 50,
             idle_fast_forward: true,
+            stepping: SteppingMode::Calendar,
         }
     }
 }
@@ -115,9 +134,24 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy using the given stepping mode.
+    pub fn with_stepping(mut self, stepping: SteppingMode) -> Self {
+        self.stepping = stepping;
+        self
+    }
+
     /// Number of simulated CPUs.
     pub fn cpus(&self) -> usize {
         self.controller.placement.cpu_count()
+    }
+
+    /// Whether lockstep idle rounds fast-forward to the next event.
+    #[deprecated(
+        since = "0.1.0",
+        note = "calendar stepping has no idle special case; the flag only affects SteppingMode::Lockstep"
+    )]
+    pub fn idle_fast_forward(&self) -> bool {
+        self.idle_fast_forward
     }
 }
 
@@ -142,8 +176,10 @@ pub struct SimStats {
     pub admission_rejections: u64,
     /// Number of cross-CPU migrations applied.
     pub migrations: u64,
-    /// Number of simulation steps executed (one lockstep dispatch round
-    /// each); idle fast-forward makes this drop on quiet workloads.
+    /// Number of simulation steps executed.  Under calendar stepping this
+    /// counts *events handled* (controller cycles, trace samples, wake-ups,
+    /// poll ticks); under lockstep it counts dispatch rounds, where idle
+    /// fast-forward makes it drop on quiet workloads.
     pub steps: u64,
     /// Per-CPU breakdown (usage, idle, migrations), one entry per CPU.
     /// The machine-wide aggregates above are sums over these entries plus
@@ -208,21 +244,55 @@ pub struct Simulation {
     /// far an idle fast-forward may jump past the requested horizon.
     run_end_us: Option<u64>,
     last_dispatch_overhead_us: f64,
+    /// The event calendar (calendar stepping only): controller cycles,
+    /// trace samples, known wake-ups and poll ticks.
+    calendar: Schedule,
+    /// Pending `Event::Wake` entries by thread, so removing a job cancels
+    /// its wake-up.
+    wake_events: BTreeMap<ThreadId, EventId>,
+    /// The single outstanding `Event::PollTick`, if any.
+    poll_tick: Option<EventId>,
+    /// When the controller last fired (calendar stepping), so `dt` is
+    /// derived from exact integer microsecond deltas.
+    last_controller_fire_us: u64,
+    /// Per-CPU dispatcher overhead watermark (calendar stepping charges
+    /// overhead per CPU rather than averaging over the machine).
+    last_cpu_overhead: Vec<f64>,
+    /// Per-CPU fractional overhead not yet consumed as simulated time.
+    overhead_carry: Vec<f64>,
     trace: Trace,
     stats: SimStats,
 }
 
 impl Simulation {
     /// Creates a simulation with the given configuration.
-    pub fn new(config: SimConfig) -> Self {
+    ///
+    /// Calendar stepping (the default) forces the two machine-level
+    /// optimisations it is built on: the dispatcher's lazy period
+    /// rollovers and the controller's incremental cycles.
+    pub fn new(mut config: SimConfig) -> Self {
+        if config.stepping == SteppingMode::Calendar {
+            config.dispatcher.lazy_rollovers = true;
+            config.controller.incremental = true;
+        }
         let registry = MetricRegistry::new();
         let controller = Controller::new(config.controller, registry.clone());
         let machine = Machine::new(config.dispatcher, config.cpus());
         let controller_period_us = (config.controller.controller_period_s * 1e6).round() as u64;
+        let next_controller_us = controller_period_us.max(1);
         let stats = SimStats {
             per_cpu: vec![CpuStats::default(); machine.cpu_count()],
             ..SimStats::default()
         };
+        let mut calendar = Schedule::new();
+        if config.stepping == SteppingMode::Calendar {
+            // Seed the periodic events; each handler reschedules itself.
+            calendar.schedule(SimTime::ZERO, Event::Trace);
+            if config.controller_enabled {
+                calendar.schedule(SimTime::from_micros(next_controller_us), Event::Controller);
+            }
+        }
+        let cpus = machine.cpu_count();
         Self {
             config,
             registry,
@@ -236,10 +306,16 @@ impl Simulation {
             cpu_used: Vec::new(),
             next_id: 1,
             now_us: 0,
-            next_controller_us: controller_period_us.max(1),
+            next_controller_us,
             next_trace_us: 0,
             run_end_us: None,
             last_dispatch_overhead_us: 0.0,
+            calendar,
+            wake_events: BTreeMap::new(),
+            poll_tick: None,
+            last_controller_fire_us: 0,
+            last_cpu_overhead: vec![0.0; cpus],
+            overhead_carry: vec![0.0; cpus],
             trace: Trace::new(),
             stats,
         }
@@ -297,13 +373,23 @@ impl Simulation {
         self.controller.set_cpus(n);
         self.config.controller.placement.cpus = n;
         self.stats.per_cpu.resize(n, CpuStats::default());
+        self.last_cpu_overhead.resize(n, 0.0);
+        self.overhead_carry.resize(n, 0.0);
         n
     }
 
-    /// Changes the trace sampling interval mid-run.  Takes effect after
-    /// the next already-scheduled sample.
+    /// Changes the trace sampling interval mid-run (clamped to at least
+    /// one microsecond).  Takes effect after the next already-scheduled
+    /// sample.
+    pub fn set_trace_interval(&mut self, interval: SimTime) {
+        self.config.trace_interval_s = interval.as_micros().max(1) as f64 / 1e6;
+    }
+
+    /// Changes the trace sampling interval mid-run, in seconds.  Thin
+    /// wrapper over [`Simulation::set_trace_interval`], which is the
+    /// preferred exact-microsecond form.
     pub fn set_trace_interval_s(&mut self, interval_s: f64) {
-        self.config.trace_interval_s = interval_s.max(1e-6);
+        self.set_trace_interval(SimTime::from_secs_f64(interval_s));
     }
 
     /// Changes the modelled cross-CPU migration cost mid-run.
@@ -410,6 +496,9 @@ impl Simulation {
     pub fn remove_job(&mut self, handle: JobHandle) {
         self.threads.remove(&handle.thread);
         self.blocked.remove(&handle.thread);
+        if let Some(id) = self.wake_events.remove(&handle.thread) {
+            self.calendar.cancel(id);
+        }
         let _ = self.machine.remove_thread(handle.thread);
         if self.controller.remove_slot(handle.slot) {
             if let Some(entry) = self.slot_threads.get_mut(handle.slot.index()) {
@@ -442,16 +531,385 @@ impl Simulation {
 
     /// Runs the simulation until the given absolute simulated time.
     pub fn run_until_micros(&mut self, end_us: u64) {
-        self.run_end_us = Some(end_us);
-        while self.now_us < end_us {
-            self.step();
+        match self.config.stepping {
+            SteppingMode::Calendar => self.run_calendar_until(end_us),
+            SteppingMode::Lockstep => {
+                self.run_end_us = Some(end_us);
+                while self.now_us < end_us {
+                    self.step_lockstep();
+                }
+                self.run_end_us = None;
+            }
         }
-        self.run_end_us = None;
     }
 
-    /// Executes one scheduling step: controller if due, one lockstep
-    /// dispatch round over every CPU, one quantum of work per busy CPU.
+    /// Executes one scheduling step.
+    ///
+    /// Under calendar stepping this advances every CPU to the next
+    /// scheduled event and handles everything due there; under lockstep it
+    /// runs one dispatch round over every CPU and one quantum of work per
+    /// busy CPU.
     pub fn step(&mut self) {
+        match self.config.stepping {
+            SteppingMode::Calendar => self.step_calendar(),
+            SteppingMode::Lockstep => self.step_lockstep(),
+        }
+    }
+
+    /// One calendar step: jump to the next event, advancing every CPU's
+    /// usage analytically across the gap, then handle all events due.
+    ///
+    /// Unlike [`Simulation::run_until_micros`] this does not settle the
+    /// dispatchers' lazy period-boundary backlog afterwards: total used
+    /// time stays exact (charges are immediate), but per-period ratios and
+    /// deadline statistics are only guaranteed current after a `run_*`
+    /// call's final sync.
+    fn step_calendar(&mut self) {
+        let target = match self.calendar.next_time() {
+            Some(t) => t.as_micros().max(self.now_us),
+            // Nothing scheduled (controller and trace both produce events,
+            // so this is defensive): burn one dispatch quantum.
+            None => self.now_us + self.config.dispatcher.dispatch_interval_us.max(1),
+        };
+        if target > self.now_us {
+            self.advance_cpus_to(target);
+            self.now_us = target;
+        }
+        while let Some(t) = self.calendar.next_time() {
+            if t.as_micros() > self.now_us {
+                break;
+            }
+            let (_, event) = self.calendar.pop().expect("peeked above");
+            self.stats.steps += 1;
+            self.handle_event(event);
+        }
+    }
+
+    /// The calendar main loop: pop the earliest event, advance every CPU
+    /// analytically to it, handle it, repeat until the horizon.
+    fn run_calendar_until(&mut self, end_us: u64) {
+        if self.now_us >= end_us {
+            return;
+        }
+        // A sentinel pins the horizon so the gap up to `end_us` is always
+        // bounded by a calendar entry; events scheduled exactly on the
+        // horizon stay pending and fire when the simulation resumes.
+        let horizon = self
+            .calendar
+            .schedule(SimTime::from_micros(end_us), Event::Horizon);
+        while let Some(next) = self.calendar.next_time() {
+            let t_next = next.as_micros();
+            if t_next > self.now_us {
+                let target = t_next.min(end_us);
+                self.advance_cpus_to(target);
+                self.now_us = target;
+            }
+            if self.now_us >= end_us {
+                break;
+            }
+            let Some((_, event)) = self.calendar.pop() else {
+                break;
+            };
+            self.stats.steps += 1;
+            self.handle_event(event);
+        }
+        self.calendar.cancel(horizon);
+        self.machine.sync_all();
+    }
+
+    /// Handles one popped calendar event at the current clock.
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::Controller => self.run_controller_calendar(),
+            Event::Trace => {
+                self.record_trace();
+                let interval_us = (self.config.trace_interval_s * 1e6).round().max(1.0) as u64;
+                while self.next_trace_us <= self.now_us {
+                    self.next_trace_us += interval_us;
+                }
+                self.calendar
+                    .schedule(SimTime::from_micros(self.next_trace_us), Event::Trace);
+            }
+            Event::Wake(tid) => {
+                self.wake_events.remove(&tid);
+                let Some(entry) = self.threads.get_mut(&tid) else {
+                    return;
+                };
+                // The wake time came from the model's own `next_transition`,
+                // but the model stays the authority: confirm via the poll
+                // hook, and fall back to polling if it disagrees.
+                if entry.work.poll_unblock(self.now_us) {
+                    let _ = self.machine.unblock(tid);
+                } else {
+                    self.blocked.insert(tid);
+                    self.ensure_poll_tick(self.now_us);
+                }
+            }
+            Event::PollTick => {
+                self.poll_tick = None;
+                self.poll_blocked();
+                if !self.blocked.is_empty() {
+                    self.ensure_poll_tick(self.now_us);
+                }
+            }
+            Event::Horizon => {}
+        }
+    }
+
+    /// Schedules the next machine-wide poll of blocked threads one
+    /// dispatch interval after `now_us`, unless one is already pending.
+    fn ensure_poll_tick(&mut self, now_us: u64) {
+        if self.poll_tick.is_none() {
+            let interval = self.config.dispatcher.dispatch_interval_us.max(1);
+            let id = self
+                .calendar
+                .schedule(SimTime::from_micros(now_us + interval), Event::PollTick);
+            self.poll_tick = Some(id);
+        }
+    }
+
+    /// Advances every CPU analytically from the current clock to
+    /// `target_us`: each CPU repeatedly dispatches, runs the chosen work
+    /// model for the span its assignment stays valid, and charges the
+    /// result; an idle CPU jumps straight to its next local event.
+    ///
+    /// Threads that block mid-window are handled locally (their own CPU is
+    /// the only one a block or wake can affect — migrations only happen at
+    /// controller events, which bound the window): a known wake time
+    /// inside the window joins a local wake list, an unknown one joins a
+    /// local poll list sampled at the dispatch-interval cadence.  Whatever
+    /// is still pending at the window's end moves into the global calendar.
+    fn advance_cpus_to(&mut self, target_us: u64) {
+        let start = self.now_us;
+        if target_us <= start {
+            return;
+        }
+        let cpu_hz = self.config.cpu.clock_hz;
+        let interval = self.config.dispatcher.dispatch_interval_us.max(1);
+        let charge_overhead = self.config.charge_dispatch_overhead;
+        for cpu in 0..self.machine.cpu_count() {
+            let cpu_id = CpuId(cpu as u32);
+            let mut t = start;
+            let mut local_wakes: Vec<(u64, ThreadId)> = Vec::new();
+            let mut local_poll: Vec<ThreadId> = Vec::new();
+            let mut next_poll = u64::MAX;
+            loop {
+                // Fire local wake-ups that have come due.
+                let mut i = 0;
+                while i < local_wakes.len() {
+                    let (at, tid) = local_wakes[i];
+                    if at > t {
+                        i += 1;
+                        continue;
+                    }
+                    local_wakes.swap_remove(i);
+                    let entry = self.threads.get_mut(&tid).expect("blocked thread exists");
+                    if entry.work.poll_unblock(t) {
+                        let _ = self.machine.unblock(tid);
+                    } else {
+                        local_poll.push(tid);
+                        next_poll = next_poll.min(t + interval);
+                    }
+                }
+                // Poll locally blocked threads at the dispatch cadence.
+                if t >= next_poll && !local_poll.is_empty() {
+                    let mut j = 0;
+                    while j < local_poll.len() {
+                        let tid = local_poll[j];
+                        let entry = self.threads.get_mut(&tid).expect("blocked thread exists");
+                        if entry.work.poll_unblock(t) {
+                            local_poll.swap_remove(j);
+                            let _ = self.machine.unblock(tid);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    next_poll = if local_poll.is_empty() {
+                        u64::MAX
+                    } else {
+                        t + interval
+                    };
+                }
+
+                // Settle throttle-release timers up to the local clock.
+                self.machine.dispatcher_mut(cpu_id).advance_to(t);
+                if t >= target_us {
+                    break;
+                }
+
+                if !self.machine.dispatcher(cpu_id).has_runnable() {
+                    // Idle: jump straight to the next local event.
+                    let mut jump = target_us;
+                    if let Some(e) = self.machine.dispatcher(cpu_id).next_timer_expiry() {
+                        jump = jump.min(e);
+                    }
+                    for &(at, _) in &local_wakes {
+                        jump = jump.min(at);
+                    }
+                    jump = jump.min(next_poll).clamp(t + 1, target_us);
+                    self.machine.rebook_idle_us(cpu_id, 0, jump - t);
+                    t = jump;
+                    continue;
+                }
+
+                let outcome = self.machine.dispatch(cpu_id);
+                // Book this CPU's dispatch overhead, consuming whole
+                // microseconds of the window; the fractional remainder
+                // carries over.
+                let total = self.machine.dispatcher(cpu_id).stats().overhead_us;
+                let delta = total - self.last_cpu_overhead[cpu];
+                self.last_cpu_overhead[cpu] = total;
+                self.stats.dispatch_overhead_us += delta;
+                if charge_overhead && delta > 0.0 {
+                    self.overhead_carry[cpu] += delta;
+                    let charge = (self.overhead_carry[cpu].floor() as u64).min(target_us - t);
+                    if charge > 0 {
+                        self.overhead_carry[cpu] -= charge as f64;
+                        t += charge;
+                        if t >= target_us {
+                            // The pick stands unexecuted; the next window
+                            // re-dispatches.
+                            continue;
+                        }
+                    }
+                }
+                let Some(tid) = outcome.thread else {
+                    // Defensive: an idle dispatch despite `has_runnable`.
+                    let jump = (t + outcome.quantum_us.max(1)).min(target_us);
+                    self.machine
+                        .rebook_idle_us(cpu_id, outcome.quantum_us, jump - t);
+                    t = jump;
+                    continue;
+                };
+
+                let span = outcome.quantum_us.min(target_us - t).max(1);
+                let (used, blocked, wake) = {
+                    let entry = self
+                        .threads
+                        .get_mut(&tid)
+                        .expect("dispatched thread exists");
+                    let result = entry.work.run(t, span, cpu_hz);
+                    let used = result.used_us.min(span);
+                    let wake = if result.blocked {
+                        entry.work.next_transition(SimTime::from_micros(t + used))
+                    } else {
+                        None
+                    };
+                    (used, result.blocked, wake)
+                };
+                self.machine
+                    .charge(tid, used)
+                    .expect("dispatched thread exists");
+                self.stats.per_cpu[cpu].used_us += used;
+                t += used;
+                if blocked {
+                    self.machine.block(tid).expect("dispatched thread exists");
+                    match wake {
+                        Some(w) => {
+                            let at = w.as_micros().max(t + 1);
+                            if at < target_us {
+                                local_wakes.push((at, tid));
+                            } else {
+                                let id = self
+                                    .calendar
+                                    .schedule(SimTime::from_micros(at), Event::Wake(tid));
+                                self.wake_events.insert(tid, id);
+                            }
+                        }
+                        None => {
+                            local_poll.push(tid);
+                            next_poll = next_poll.min(t + interval);
+                        }
+                    }
+                } else if used == 0 {
+                    // Progress guard: a runnable model that consumed
+                    // nothing still moves the local clock one microsecond.
+                    self.machine.rebook_idle_us(cpu_id, 0, 1);
+                    t += 1;
+                }
+            }
+            // Window over: whatever is still blocked goes global.
+            for (at, tid) in local_wakes {
+                let id = self
+                    .calendar
+                    .schedule(SimTime::from_micros(at.max(target_us)), Event::Wake(tid));
+                self.wake_events.insert(tid, id);
+            }
+            let had_poll = !local_poll.is_empty();
+            for tid in local_poll {
+                self.blocked.insert(tid);
+            }
+            if had_poll {
+                self.ensure_poll_tick(target_us);
+            }
+        }
+    }
+
+    /// One controller cycle on the calendar path: drain only the usage
+    /// deltas the machine observed since the last cycle, run the cycle
+    /// with `dt` derived from exact event-time deltas, apply the output,
+    /// and reschedule.
+    fn run_controller_calendar(&mut self) {
+        {
+            let threads = &self.threads;
+            let controller = &mut self.controller;
+            self.machine.drain_usage_changes(|tid, ratio| {
+                if let Some(thread) = threads.get(&tid) {
+                    controller.record_usage(thread.slot, UsageSnapshot { usage_ratio: ratio });
+                }
+            });
+        }
+        let dt_us = (self.now_us - self.last_controller_fire_us).max(1);
+        self.last_controller_fire_us = self.now_us;
+        let now_s = self.now_seconds();
+        let out = self
+            .controller
+            .control_cycle_with_dt(now_s, dt_us as f64 * 1e-6);
+        self.stats.controller_invocations += 1;
+        self.stats.controller_cost_us += out.cost_us;
+        for event in &out.events {
+            match event {
+                ControllerEvent::Quality(_) => self.stats.quality_exceptions += 1,
+                ControllerEvent::Squished { .. } => self.stats.squish_events += 1,
+                _ => {}
+            }
+        }
+        let migration_cost = self.config.migration_cost_us;
+        for actuation in &out.actuations {
+            if let Some(Some(tid)) = self.slot_threads.get(actuation.slot.index()) {
+                let _ = self.machine.set_reservation(*tid, actuation.reservation);
+                let from = self.machine.cpu_of(*tid);
+                if from != Some(actuation.cpu) && self.machine.migrate(*tid, actuation.cpu).is_ok()
+                {
+                    self.stats.migrations += 1;
+                    if let Some(from) = from {
+                        self.stats.per_cpu[from.index()].migrations_out += 1;
+                    }
+                    self.stats.per_cpu[actuation.cpu.index()].migrations_in += 1;
+                    if migration_cost > 0 {
+                        let _ = self.machine.charge(*tid, migration_cost);
+                    }
+                }
+            }
+        }
+        if self.config.charge_controller_cost {
+            self.now_us += out.cost_us.round() as u64;
+        }
+        let period_us = (self.config.controller.controller_period_s * 1e6)
+            .round()
+            .max(1.0) as u64;
+        while self.next_controller_us <= self.now_us {
+            self.next_controller_us += period_us;
+        }
+        self.calendar.schedule(
+            SimTime::from_micros(self.next_controller_us),
+            Event::Controller,
+        );
+    }
+
+    /// One lockstep step: controller if due, one lockstep dispatch round
+    /// over every CPU, one quantum of work per busy CPU.
+    fn step_lockstep(&mut self) {
         self.stats.steps += 1;
 
         // Controller invocation.
@@ -721,6 +1179,7 @@ impl std::fmt::Debug for Simulation {
 mod tests {
     use super::*;
     use crate::workload::RunResult;
+    use proptest::prelude::*;
     use rrs_queue::{JobKey, Role};
     use std::sync::Arc;
 
@@ -1064,21 +1523,32 @@ mod tests {
         let dbg = format!("{sim:?}");
         assert!(dbg.contains("Simulation"));
 
-        // Idle fast-forward: with nothing runnable the clock jumps from
-        // event to event (controller ticks at 10 ms, trace at 100 ms)
-        // instead of burning one dispatch tick (1 ms) at a time, so the
-        // default run above takes far fewer steps than the tick-at-a-time
-        // configuration.
-        let fast_steps = sim.stats().steps;
-        let mut slow = Simulation::new(SimConfig {
-            idle_fast_forward: false,
-            ..SimConfig::default()
-        });
-        slow.run_for(1.0);
-        let slow_steps = slow.stats().steps;
+        // Idle fast-forward (lockstep only): with nothing runnable the
+        // clock jumps from event to event (controller ticks at 10 ms,
+        // trace at 100 ms) instead of burning one dispatch tick (1 ms) at
+        // a time, so the fast-forward run takes far fewer steps than the
+        // tick-at-a-time configuration.
+        let run_lockstep = |ff: bool| {
+            let mut sim = Simulation::new(SimConfig {
+                idle_fast_forward: ff,
+                stepping: SteppingMode::Lockstep,
+                ..SimConfig::default()
+            });
+            sim.run_for(1.0);
+            sim.stats().steps
+        };
+        let fast_steps = run_lockstep(true);
+        let slow_steps = run_lockstep(false);
         assert!(
             fast_steps * 4 < slow_steps,
             "fast-forward must cut the step count ({fast_steps} vs {slow_steps})"
+        );
+        // The calendar run above processes one event per step and never
+        // burns idle ticks, so it too stays far below the naive loop.
+        assert!(
+            sim.stats().steps * 4 < slow_steps,
+            "calendar steps = events handled ({} vs {slow_steps})",
+            sim.stats().steps
         );
     }
 
@@ -1087,19 +1557,22 @@ mod tests {
         // No jobs, no controller, a 10 s trace interval: the only jump
         // target is far beyond the requested run; the clock must still
         // stop at (not overshoot) the horizon.
-        let config = SimConfig {
-            controller_enabled: false,
-            trace_interval_s: 10.0,
-            ..SimConfig::default()
-        };
-        let mut sim = Simulation::new(config);
-        sim.run_for(0.5);
-        assert!(sim.now_seconds() >= 0.5);
-        assert!(
-            sim.now_seconds() < 0.51,
-            "fast-forward overshot the requested horizon: {}",
-            sim.now_seconds()
-        );
+        for stepping in [SteppingMode::Lockstep, SteppingMode::Calendar] {
+            let config = SimConfig {
+                controller_enabled: false,
+                trace_interval_s: 10.0,
+                stepping,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(config);
+            sim.run_for(0.5);
+            assert!(sim.now_seconds() >= 0.5);
+            assert!(
+                sim.now_seconds() < 0.51,
+                "{stepping:?} overshot the requested horizon: {}",
+                sim.now_seconds()
+            );
+        }
     }
 
     #[test]
@@ -1107,10 +1580,11 @@ mod tests {
         // A single reserved thread that exhausts its budget leaves the
         // machine idle until its period boundary; fast-forward must jump
         // there, not change how much CPU the thread receives.
-        let run = |ff: bool| {
+        let run = |stepping: SteppingMode, ff: bool| {
             let config = SimConfig {
                 idle_fast_forward: ff,
                 controller_enabled: false,
+                stepping,
                 ..SimConfig::default()
             };
             let mut sim = Simulation::new(config);
@@ -1124,13 +1598,22 @@ mod tests {
                 sim.stats().steps,
             )
         };
-        let (fast_frac, fast_steps) = run(true);
-        let (slow_frac, slow_steps) = run(false);
+        let (fast_frac, fast_steps) = run(SteppingMode::Lockstep, true);
+        let (slow_frac, slow_steps) = run(SteppingMode::Lockstep, false);
         assert!(
             (fast_frac - slow_frac).abs() < 0.02,
             "fast-forward must not change delivered CPU ({fast_frac} vs {slow_frac})"
         );
         assert!(fast_steps < slow_steps);
+        // The calendar path has no fast-forward flag to get wrong: the
+        // throttled thread's release timer bounds every idle jump, so the
+        // delivered fraction matches the naive loop.
+        let (cal_frac, cal_steps) = run(SteppingMode::Calendar, true);
+        assert!(
+            (cal_frac - slow_frac).abs() < 0.02,
+            "calendar stepping must not change delivered CPU ({cal_frac} vs {slow_frac})"
+        );
+        assert!(cal_steps < slow_steps);
     }
 
     #[test]
@@ -1273,6 +1756,7 @@ mod tests {
             let mut sim = Simulation::new(SimConfig {
                 idle_fast_forward: ff,
                 controller_enabled: false,
+                stepping: SteppingMode::Lockstep,
                 ..SimConfig::default()
             });
             let h = sim
@@ -1304,6 +1788,7 @@ mod tests {
         let run_ctl = |ff: bool| {
             let mut sim = Simulation::new(SimConfig {
                 idle_fast_forward: ff,
+                stepping: SteppingMode::Lockstep,
                 ..SimConfig::default()
             });
             let h = sim
@@ -1315,6 +1800,266 @@ mod tests {
             sim.stats().controller_invocations
         };
         assert_eq!(run_ctl(true), run_ctl(false));
+    }
+
+    /// Runs a `burst_us` CPU burst, then sleeps `sleep_us` on a timer it
+    /// reports through [`WorkModel::next_transition`].  Counts how often
+    /// it is polled, to prove the calendar wakes it with a single event.
+    struct Sleeper {
+        burst_us: u64,
+        sleep_us: u64,
+        wake_at: Option<u64>,
+        polls: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl WorkModel for Sleeper {
+        fn run(&mut self, now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+            let used = self.burst_us.min(quantum_us);
+            self.wake_at = Some(now + used + self.sleep_us);
+            RunResult::blocked_after(used)
+        }
+        fn poll_unblock(&mut self, now_us: u64) -> bool {
+            self.polls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.wake_at.is_none_or(|w| now_us >= w)
+        }
+        fn next_transition(&self, _now: SimTime) -> Option<SimTime> {
+            self.wake_at.map(SimTime::from_micros)
+        }
+    }
+
+    #[test]
+    fn calendar_wakes_timer_sleepers_without_polling() {
+        // 1 ms of work, 9 ms of timer sleep: a 10 % duty cycle.  Under
+        // calendar stepping each sleep is one Wake event confirmed by one
+        // poll; the lockstep loop instead polls every dispatch tick.
+        let polls = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let config = SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config);
+        let h = sim
+            .add_job(
+                "sleeper",
+                JobSpec::miscellaneous(),
+                Box::new(Sleeper {
+                    burst_us: 1_000,
+                    sleep_us: 9_000,
+                    wake_at: None,
+                    polls: polls.clone(),
+                }),
+            )
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(500), Period::from_millis(10));
+        sim.run_for(2.0);
+        let frac = sim.cpu_used_us(h) as f64 / sim.now_micros() as f64;
+        assert!(
+            (frac - 0.1).abs() < 0.02,
+            "10% duty cycle must survive event-driven wake-ups, got {frac}"
+        );
+        let cycles = sim.cpu_used_us(h) / 1_000;
+        let polled = polls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            polled <= cycles * 2 + 10,
+            "one confirming poll per wake-up, not per tick: {polled} polls for {cycles} sleeps"
+        );
+    }
+
+    #[test]
+    fn removing_a_job_cancels_its_pending_wake() {
+        let config = SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config);
+        let h = sim
+            .add_job(
+                "sleeper",
+                JobSpec::miscellaneous(),
+                Box::new(Sleeper {
+                    burst_us: 100,
+                    // Sleeps far past every horizon below, so a Wake event
+                    // is guaranteed pending when the job is removed.
+                    sleep_us: 10_000_000,
+                    wake_at: None,
+                    polls: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                }),
+            )
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(500), Period::from_millis(10));
+        sim.run_for(0.1);
+        assert_eq!(sim.cpu_used_us(h), 100, "one burst, then asleep");
+        sim.remove_job(h);
+        // Running past the (cancelled) wake-up must not fire it against
+        // the removed thread.
+        sim.run_for(11.0);
+        assert_eq!(sim.cpu_used_us(h), 0, "removed job no longer tracked");
+    }
+
+    #[test]
+    fn calendar_horizon_boundary_events_fire_on_resume() {
+        // The calendar analog of the lockstep fast-forward regression
+        // above: a trace sample scheduled exactly on the run horizon stays
+        // pending — the run stops at (not past) the horizon — and fires
+        // first thing on resume, at exactly t = 0.5.
+        let mut sim = Simulation::new(SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        });
+        let h = sim
+            .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
+        sim.run_for(0.5);
+        assert_eq!(sim.now_seconds(), 0.5, "stops exactly at the horizon");
+        let before = sim.trace().get("alloc/spin").unwrap().len();
+        sim.run_for(0.1);
+        let times = sim.trace().get("alloc/spin").unwrap().times();
+        assert!(
+            times.contains(&0.5),
+            "the boundary sample fires on resume: {times:?}"
+        );
+        assert!(sim.trace().get("alloc/spin").unwrap().len() > before);
+
+        // Controller ticks behave the same: a split run and a straight
+        // run invoke the controller the same number of times.
+        let run_ctl = |split: bool| {
+            let mut sim = Simulation::new(SimConfig::default());
+            let h = sim
+                .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+                .unwrap();
+            sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
+            if split {
+                sim.run_until_micros(500_000);
+                sim.run_until_micros(600_000);
+            } else {
+                sim.run_until_micros(600_000);
+            }
+            sim.stats().controller_invocations
+        };
+        assert_eq!(run_ctl(true), run_ctl(false));
+    }
+
+    #[test]
+    fn set_trace_interval_takes_exact_micros() {
+        let mut sim = Simulation::new(SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        });
+        let h = sim
+            .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.force_reservation(h, Proportion::from_ppt(500), Period::from_millis(10));
+        sim.run_for(1.0);
+        let coarse = sim.trace().get("alloc/spin").unwrap().len();
+        sim.set_trace_interval(SimTime::from_millis(10));
+        assert_eq!(sim.config().trace_interval_s, 0.01);
+        sim.run_for(1.0);
+        let fine = sim.trace().get("alloc/spin").unwrap().len() - coarse;
+        assert!(
+            fine > coarse * 4,
+            "10x finer sampling must record more: {coarse} then {fine}"
+        );
+        // The old f64 door routes through the exact form, clamping at 1 µs.
+        sim.set_trace_interval_s(0.0);
+        assert_eq!(sim.config().trace_interval_s, 1e-6);
+    }
+
+    #[test]
+    fn deprecated_idle_fast_forward_accessor_still_reads_the_flag() {
+        let config = SimConfig {
+            idle_fast_forward: false,
+            ..SimConfig::default()
+        };
+        #[allow(deprecated)]
+        let flag = config.idle_fast_forward();
+        assert!(!flag);
+        assert_eq!(
+            SimConfig::default()
+                .with_stepping(SteppingMode::Lockstep)
+                .stepping,
+            SteppingMode::Lockstep
+        );
+    }
+
+    proptest! {
+        /// Oracle: on blocking-free workloads with fixed under-committed
+        /// reservations, calendar stepping reproduces the retained naive
+        /// lockstep loop *exactly* — per-thread consumed CPU and the final
+        /// clock agree to the microsecond.  (Total demand is kept below
+        /// each CPU's capacity so every thread drains its whole budget
+        /// every period; scheduling order then cannot change totals.)
+        #[test]
+        fn calendar_stepping_matches_the_lockstep_oracle(
+            cpus in 1usize..4,
+            specs in proptest::collection::vec((20u32..46, 0usize..3), 1..6),
+        ) {
+            let run = |stepping: SteppingMode| {
+                let config = SimConfig {
+                    controller_enabled: false,
+                    charge_controller_cost: false,
+                    charge_dispatch_overhead: false,
+                    stepping,
+                    ..SimConfig::default().with_cpus(cpus)
+                };
+                let mut sim = Simulation::new(config);
+                let mut handles = Vec::new();
+                for (i, &(ppt, period_idx)) in specs.iter().enumerate() {
+                    let h = sim
+                        .add_job(&format!("j{i}"), JobSpec::miscellaneous(), Box::new(Spin::new()))
+                        .unwrap();
+                    let period_ms = [10u64, 20, 40][period_idx];
+                    sim.force_reservation(
+                        h,
+                        Proportion::from_ppt(ppt),
+                        Period::from_millis(period_ms),
+                    );
+                    handles.push(h);
+                }
+                // Two calls cover stopping and resuming at a horizon.
+                sim.run_for(0.06);
+                sim.run_for(0.06);
+                let used: Vec<u64> = handles.iter().map(|&h| sim.cpu_used_us(h)).collect();
+                (sim.now_micros(), used)
+            };
+            let (cal_now, cal_used) = run(SteppingMode::Calendar);
+            let (lock_now, lock_used) = run(SteppingMode::Lockstep);
+            prop_assert_eq!(cal_now, 120_000);
+            prop_assert_eq!(cal_now, lock_now);
+            prop_assert_eq!(cal_used, lock_used);
+        }
+
+        /// Replaying the same mixed workload under calendar stepping gives
+        /// bitwise-identical statistics: the event order is deterministic.
+        #[test]
+        fn calendar_replay_is_deterministic(
+            jobs in proptest::collection::vec(0u8..3, 1..6),
+        ) {
+            let run = || {
+                let mut sim = Simulation::new(SimConfig::default().with_cpus(2));
+                for (i, &kind) in jobs.iter().enumerate() {
+                    let work: Box<dyn WorkModel> = match kind {
+                        0 => Box::new(Spin::new()),
+                        1 => Box::new(Dummy),
+                        _ => Box::new(Sleeper {
+                            burst_us: 500,
+                            sleep_us: 4_500,
+                            wake_at: None,
+                            polls: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                        }),
+                    };
+                    sim.add_job(&format!("j{i}"), JobSpec::miscellaneous(), work)
+                        .unwrap();
+                }
+                sim.run_for(1.0);
+                (sim.now_micros(), sim.stats())
+            };
+            let (now_a, stats_a) = run();
+            let (now_b, stats_b) = run();
+            prop_assert_eq!(now_a, now_b);
+            prop_assert_eq!(stats_a, stats_b);
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The work-model abstraction executed by simulated threads.
 
+use rrs_core::SimTime;
+
 /// What happened when a work model was given the CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
@@ -46,6 +48,22 @@ pub trait WorkModel: Send {
     /// for models that never actually block.
     fn poll_unblock(&mut self, _now_us: u64) -> bool {
         true
+    }
+
+    /// The next instant at which a model that just blocked (at `now`) can
+    /// change state, if it knows one.
+    ///
+    /// Calendar stepping queries this right after a block: `Some(t)`
+    /// schedules a single wake-up event at `t` — the model is still asked
+    /// to confirm via [`WorkModel::poll_unblock`] when it fires — while
+    /// `None` (the default) falls back to polling the model at the
+    /// dispatch-interval cadence, which is how every model behaves under
+    /// lockstep stepping.  Models blocked on a timer (I/O completion, a
+    /// sleep until the next frame) should override this; models blocked on
+    /// another job's progress (a full or empty queue) cannot know and
+    /// should not.
+    fn next_transition(&self, _now: SimTime) -> Option<SimTime> {
+        None
     }
 
     /// An optional cumulative progress counter (for example total bytes

@@ -2,11 +2,16 @@
 //!
 //! Supports the item shapes this workspace derives on: structs with named
 //! fields, tuple structs, unit structs, and enums whose variants are unit,
-//! newtype/tuple or struct-like.  Generics are not supported.  The only
-//! `#[serde(...)]` attribute understood is `#[serde(default)]` on a named
-//! struct field: a missing (or `null`) field deserialises to the field
-//! type's `Default` instead of erroring, which keeps old serialised data
-//! readable when a struct grows a field.
+//! newtype/tuple or struct-like.  Generics are not supported.  The
+//! `#[serde(...)]` attributes understood, on a named struct field, are:
+//!
+//! * `#[serde(default)]` — a missing (or `null`) field deserialises to the
+//!   field type's `Default` instead of erroring, which keeps old
+//!   serialised data readable when a struct grows a field.
+//! * `#[serde(alias = "old_name")]` — the field also deserialises from
+//!   `old_name`, which keeps old serialised data readable when a field is
+//!   renamed.  Serialisation always writes the current name; several
+//!   aliases may be given.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -34,6 +39,8 @@ struct NamedField {
     name: String,
     /// `#[serde(default)]`: tolerate a missing field on deserialisation.
     default: bool,
+    /// `#[serde(alias = "...")]`: extra accepted names on deserialisation.
+    aliases: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -125,46 +132,68 @@ fn field_name(toks: &[TokenTree]) -> Option<String> {
     }
 }
 
-/// Returns `true` if the field's leading attributes contain
-/// `#[serde(default)]`.
-fn field_has_serde_default(toks: &[TokenTree]) -> bool {
+/// Parses the field's leading attributes for the supported
+/// `#[serde(...)]` arguments: `default` and `alias = "..."`.
+fn field_serde_attrs(toks: &[TokenTree]) -> (bool, Vec<String>) {
+    let mut default = false;
+    let mut aliases = Vec::new();
     let mut i = 0;
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 i += 1;
-                if let Some(TokenTree::Group(g)) = toks.get(i) {
-                    if g.delimiter() == Delimiter::Bracket {
-                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
-                            (inner.first(), inner.get(1))
-                        {
-                            if id.to_string() == "serde"
-                                && args
-                                    .stream()
-                                    .into_iter()
-                                    .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
-                            {
-                                return true;
+                let Some(TokenTree::Group(g)) = toks.get(i) else {
+                    break;
+                };
+                if g.delimiter() != Delimiter::Bracket {
+                    break;
+                }
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" {
+                        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                        let mut j = 0;
+                        while j < args.len() {
+                            match &args[j] {
+                                TokenTree::Ident(a) if a.to_string() == "default" => default = true,
+                                TokenTree::Ident(a) if a.to_string() == "alias" => {
+                                    // `alias = "name"` — the literal keeps its
+                                    // surrounding quotes in token form.
+                                    if let (
+                                        Some(TokenTree::Punct(eq)),
+                                        Some(TokenTree::Literal(lit)),
+                                    ) = (args.get(j + 1), args.get(j + 2))
+                                    {
+                                        if eq.as_char() == '=' {
+                                            let text = lit.to_string();
+                                            aliases.push(text.trim_matches('"').to_string());
+                                            j += 2;
+                                        }
+                                    }
+                                }
+                                _ => {}
                             }
+                            j += 1;
                         }
-                        i += 1;
-                        continue;
                     }
                 }
-                return false;
+                i += 1;
             }
             _ => break,
         }
     }
-    false
+    (default, aliases)
 }
 
 /// Parses one named struct field declaration (name plus attributes).
 fn named_field(toks: &[TokenTree]) -> Option<NamedField> {
+    let (default, aliases) = field_serde_attrs(toks);
     Some(NamedField {
         name: field_name(toks)?,
-        default: field_has_serde_default(toks),
+        default,
+        aliases,
     })
 }
 
@@ -353,19 +382,34 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    let (f, default) = (&f.name, f.default);
-                    if default {
-                        // `#[serde(default)]`: a missing field reads as
-                        // `Value::Null`, which falls back to `Default`.
-                        format!(
-                            "{f}: match v.field(\"{f}\") {{\n\
-                                 ::serde::Value::Null => ::std::default::Default::default(),\n\
-                                 other => ::serde::Deserialize::from_value(other)?,\n\
-                             }},"
-                        )
+                    let (name, default, aliases) = (&f.name, f.default, &f.aliases);
+                    // A missing field reads as `Value::Null`; aliases are
+                    // consulted in declaration order before concluding the
+                    // field is absent.
+                    let fallbacks: String = aliases
+                        .iter()
+                        .map(|a| {
+                            format!(
+                                "if matches!(__v, ::serde::Value::Null) {{ __v = v.field(\"{a}\"); }}\n"
+                            )
+                        })
+                        .collect();
+                    let tail = if default {
+                        "match __v {\n\
+                             ::serde::Value::Null => ::std::default::Default::default(),\n\
+                             other => ::serde::Deserialize::from_value(other)?,\n\
+                         }"
                     } else {
-                        format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?,")
-                    }
+                        "::serde::Deserialize::from_value(__v)?"
+                    };
+                    format!(
+                        "{name}: {{\n\
+                             let mut __v = v.field(\"{name}\");\n\
+                             {fallbacks}\
+                             let _ = &mut __v;\n\
+                             {tail}\n\
+                         }},"
+                    )
                 })
                 .collect();
             format!(

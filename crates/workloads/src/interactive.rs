@@ -7,7 +7,7 @@
 //! sleeps until a keystroke arrives, then runs a short burst of work; its
 //! response time (keystroke to completed burst) is the metric of interest.
 
-use rrs_sim::{RunResult, WorkModel};
+use rrs_sim::{RunResult, SimTime, WorkModel};
 
 /// An interactive job driven by keystrokes at a fixed typing rate.
 #[derive(Debug)]
@@ -107,6 +107,16 @@ impl WorkModel for InteractiveJob {
         self.pending_keystroke_arrival_us.is_some()
             || self.next_keystroke_us == 0
             || now_us + 1 >= self.next_keystroke_us
+    }
+
+    fn next_transition(&self, now: SimTime) -> Option<SimTime> {
+        // Blocked only between keystrokes; the arrival clock is known.
+        if self.pending_keystroke_arrival_us.is_some() || self.next_keystroke_us == 0 {
+            return Some(now);
+        }
+        Some(SimTime::from_micros(
+            self.next_keystroke_us.saturating_sub(1),
+        ))
     }
 
     fn progress_counter(&self) -> Option<f64> {

@@ -12,7 +12,7 @@ use rrs_api::Host;
 use rrs_core::{JobHandle, JobSpec};
 use rrs_queue::{BoundedBuffer, JobKey, Role};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{RunResult, WorkModel};
+use rrs_sim::{RunResult, SimTime, WorkModel};
 use std::sync::Arc;
 
 /// One disk block delivered by the simulated I/O subsystem.
@@ -85,6 +85,15 @@ impl WorkModel for Disk {
 
     fn poll_unblock(&mut self, now_us: u64) -> bool {
         now_us + 1 >= self.next_block_us
+    }
+
+    fn next_transition(&self, now: SimTime) -> Option<SimTime> {
+        // The device clock ticks on a fixed interval, so the next block
+        // arrival is always known.
+        if self.next_block_us == 0 {
+            return Some(now);
+        }
+        Some(SimTime::from_micros(self.next_block_us.saturating_sub(1)))
     }
 
     fn label(&self) -> &str {

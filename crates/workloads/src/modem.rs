@@ -11,7 +11,7 @@
 use rrs_api::Host;
 use rrs_core::{JobHandle, JobSpec};
 use rrs_scheduler::{Period, Proportion};
-use rrs_sim::{RunResult, WorkModel};
+use rrs_sim::{RunResult, SimTime, WorkModel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -170,6 +170,14 @@ impl WorkModel for SoftwareModem {
 
     fn poll_unblock(&mut self, now_us: u64) -> bool {
         self.batch_in_flight || self.next_batch_us == 0 || now_us + 1 >= self.next_batch_us
+    }
+
+    fn next_transition(&self, now: SimTime) -> Option<SimTime> {
+        // Sample batches arrive on the line's fixed cadence.
+        if self.batch_in_flight || self.next_batch_us == 0 {
+            return Some(now);
+        }
+        Some(SimTime::from_micros(self.next_batch_us.saturating_sub(1)))
     }
 
     fn progress_counter(&self) -> Option<f64> {

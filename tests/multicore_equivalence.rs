@@ -11,7 +11,7 @@
 use realrate::core::JobSpec;
 use realrate::queue::{BoundedBuffer, JobKey, Role};
 use realrate::scheduler::{CpuId, Period, Proportion};
-use realrate::sim::{RunResult, SimConfig, Simulation, WorkModel};
+use realrate::sim::{RunResult, SimConfig, Simulation, SteppingMode, WorkModel};
 use std::sync::Arc;
 
 struct Spin;
@@ -26,10 +26,11 @@ impl WorkModel for Spin {
 /// miscellaneous hog, and a real-rate consumer of a permanently full
 /// queue, run for 2 simulated seconds.
 fn run_fixed_workload() -> (Simulation, [realrate::sim::JobHandle; 3]) {
-    // Idle fast-forward is disabled to match the pre-refactor stepper,
-    // which burned one dispatch tick at a time through idle gaps.
+    // Lockstep stepping with idle fast-forward disabled matches the
+    // pre-refactor stepper, which burned one dispatch tick at a time.
     let mut sim = Simulation::new(SimConfig {
         idle_fast_forward: false,
+        stepping: SteppingMode::Lockstep,
         ..SimConfig::default()
     });
     let registry = sim.registry();

@@ -1,0 +1,95 @@
+//! Criterion bench isolating the cost of one dispatch span: pick a thread,
+//! model it running, charge the time back.  This is the inner loop of the
+//! event-calendar simulator (`dispatch` + `charge_span`), measured here
+//! without the simulator around it so span cost is tracked independently of
+//! whole-sim throughput.
+//!
+//! Two queue shapes per population size:
+//!
+//! * **uncontended** — one runnable reserved thread (the rest of the
+//!   population is resident but blocked).  Successive spans re-pick the same
+//!   thread, so the per-CPU next-quantum cache serves every dispatch and the
+//!   span batch accumulates without touching the heap.
+//! * **contended** — the whole population runnable at equal goodness.  The
+//!   pick round-robins, so every dispatch re-ranks through the run queue and
+//!   every span batch settles on the next pick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_scheduler::{Dispatcher, DispatcherConfig, Period, Proportion, Reservation, ThreadId};
+use std::hint::black_box;
+
+/// Advance per span, in microseconds.  Each span charges less than this so
+/// aggregate demand stays below every thread's allocation and the loop never
+/// degenerates into throttled idling.
+const SPAN_ADVANCE_US: u64 = 10;
+
+/// Work charged per span, in microseconds (40 % duty cycle).
+const SPAN_CHARGE_US: u64 = 4;
+
+fn lazy_config() -> DispatcherConfig {
+    DispatcherConfig {
+        lazy_rollovers: true,
+        ..DispatcherConfig::default()
+    }
+}
+
+/// Populates `n` reserved threads with ids `1..=n`.  Thread 1 gets half the
+/// CPU so the uncontended variant never exhausts its budget mid-measurement.
+/// The rest get `600/n` ppt each: under contended round-robin a thread is
+/// picked every `n` spans and charged a 40 % duty cycle, i.e. `400/n` ppt of
+/// the CPU, so this allocation keeps every thread below its budget and the
+/// queue stays fully runnable instead of draining into throttled idling.
+/// (Preadmitted: the sum exceeds the dispatcher's own admission threshold,
+/// as controller-squished populations legitimately do.)
+fn populate(d: &mut Dispatcher, n: usize) {
+    for i in 1..=n {
+        let ppt = if i == 1 { 500 } else { (600 / n as u32).max(1) };
+        d.add_thread_preadmitted(
+            ThreadId(i as u64),
+            Reservation::new(Proportion::from_ppt(ppt), Period::from_millis(10)),
+        )
+        .unwrap();
+    }
+}
+
+fn span_loop(d: &mut Dispatcher, now: &mut u64) -> u64 {
+    *now += SPAN_ADVANCE_US;
+    d.advance_to(*now);
+    let outcome = d.dispatch();
+    if outcome.thread.is_some() {
+        d.charge_span(black_box(SPAN_CHARGE_US.min(outcome.quantum_us)));
+    }
+    outcome.quantum_us
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_span/uncontended");
+    for &threads in &[16usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            let mut d = Dispatcher::new(lazy_config());
+            populate(&mut d, n);
+            for i in 2..=n {
+                d.block(ThreadId(i as u64)).unwrap();
+            }
+            let mut now = d.now_us();
+            b.iter(|| black_box(span_loop(&mut d, &mut now)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_span/contended");
+    for &threads in &[16usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            let mut d = Dispatcher::new(lazy_config());
+            populate(&mut d, n);
+            let mut now = d.now_us();
+            b.iter(|| black_box(span_loop(&mut d, &mut now)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

@@ -18,9 +18,10 @@ use rrs_bench::sim_throughput::{
 };
 use std::time::Duration;
 
-/// The fast subset measured by `--gate`: the cheap end of the grid plus
-/// the headline 10k-jobs x 8-CPUs point the PR history tracks.
-const GATE_POINTS: [(usize, usize); 3] = [(100, 1), (1_000, 8), (10_000, 8)];
+/// The fast subset measured by `--gate`: the cheap end of the grid, the
+/// headline 10k-jobs x 8-CPUs point the PR history tracks, and the
+/// 10k x 64 sweep point that catches dispatch-bound scaling regressions.
+const GATE_POINTS: [(usize, usize); 4] = [(100, 1), (1_000, 8), (10_000, 8), (10_000, 64)];
 
 /// Maximum tolerated throughput drop per gate point.
 const GATE_MAX_DROP: f64 = 0.2;
@@ -62,13 +63,14 @@ fn run_gate(path: &str) -> ! {
     for (o, n) in outcomes.iter().zip(normalized.iter()) {
         let pass = o.pass || *n >= 1.0 - GATE_MAX_DROP;
         println!(
-            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised) {}",
+            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised, {:.0} ns/event) {}",
             o.jobs,
             o.cpus,
             o.measured,
             o.recorded,
             o.ratio,
             n,
+            o.ns_per_event,
             if pass { "ok" } else { "REGRESSED" }
         );
         failed |= !pass;

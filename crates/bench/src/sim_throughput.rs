@@ -217,6 +217,9 @@ pub struct GateOutcome {
     pub recorded: f64,
     /// `measured / recorded`.
     pub ratio: f64,
+    /// Wall nanoseconds per simulation event in the fresh measurement —
+    /// the per-event cost a CI log can diagnose a failure from directly.
+    pub ns_per_event: f64,
     /// Whether the point is within the allowed drop.
     pub pass: bool,
 }
@@ -245,6 +248,7 @@ pub fn gate_check(
                 measured: m.sim_us_per_wall_s,
                 recorded: r.sim_us_per_wall_s,
                 ratio,
+                ns_per_event: m.wall_s * 1e9 / m.events.max(1) as f64,
                 pass: ratio >= 1.0 - max_drop,
             })
         })
@@ -351,6 +355,7 @@ mod tests {
             measured: ratio,
             recorded: 1.0,
             ratio,
+            ns_per_event: 0.0,
             pass: true,
         };
         // A uniformly half-speed machine: every point reads 0.5x, the

@@ -17,6 +17,52 @@
 //! throttle, charge, reservation change, pick), so an idle dispatcher —
 //! the paper's "no work unless at least one timer has expired" case —
 //! re-dispatches in constant time.
+//!
+//! # Dense handles and the span fast path
+//!
+//! The `ThreadId → slot` resolution happens once, at the edge: every
+//! public id-keyed method resolves through `by_id` exactly once, and from
+//! there the hot loop runs entirely on dense `u32` slots — the run queue,
+//! the [`TimerList`] (slot-keyed, so a popped expiry is already a slot)
+//! and the watch list all speak slots.  The steady-state span loop the
+//! simulator drives ([`Dispatcher::dispatch`] →
+//! [`Dispatcher::charge_span`] → [`Dispatcher::advance_to`]) therefore
+//! touches no maps at all, and two further mechanisms remove the remaining
+//! per-span work on an uncontended CPU:
+//!
+//! * **The next-quantum cache.** `queue_gen` counts every mutation that
+//!   can change the run-queue root (any re-rank or removal).  When a
+//!   dispatch picks a reserved thread that is *still* at the root after
+//!   its own re-rank, the decision is cached by recording the post-pick
+//!   generation; as long as the generation is unchanged and the clock has
+//!   not reached the thread's period boundary, the next dispatch re-issues
+//!   the pick in `O(1)` without touching the heap.  A fast pick bumps the
+//!   pick sequence on the entry but leaves its heap key stale — safe
+//!   because the cached thread is by construction the most recent pick, so
+//!   its true sequence exceeds every other thread's and the stale (older)
+//!   key loses exactly the same tie-breaks; the next slow dispatch
+//!   re-ranks it with the true key.
+//! * **Batched span charging.** [`Dispatcher::charge_span`] accumulates
+//!   consecutive charges to the cached thread in `span_pending_us` and
+//!   settles them into the account in one batch, but only while the
+//!   deferral is invisible: [`crate::settle::span_settle_reason`] forces a
+//!   settle on any goodness crossing (best-effort), period boundary,
+//!   throttle edge or zero-length charge, and every other operation that
+//!   could read or roll the account ([`Dispatcher::dispatch`]'s slow path,
+//!   [`Dispatcher::charge`], block/unblock, migration, re-reservation,
+//!   [`Dispatcher::sync_all`], [`Dispatcher::drain_usage_changes`])
+//!   settles on entry.  Invariant: while `span_pending_us > 0`, the
+//!   pending slot's account has strictly positive remaining budget after
+//!   the batch and its next period boundary is still in the future at
+//!   every accumulation instant, so the batch always lands in the period
+//!   it was consumed in.  `advance_to` never settles: the cached thread is
+//!   running (never throttled), so no armed timer can name its slot, and
+//!   other slots' rollovers cannot touch its account.
+//!
+//! Both mechanisms are gated to lazy-rollover mode (the calendar
+//! simulator); the eager reference path is untouched, and the golden
+//! SimStats captures pin the whole optimisation as observationally
+//! invisible.
 
 use crate::accounting::UsageAccount;
 use crate::admission::AdmissionControl;
@@ -24,6 +70,7 @@ use crate::error::SchedError;
 use crate::goodness::{best_effort_goodness, rbs_goodness};
 use crate::reservation::Reservation;
 use crate::runqueue::{RunKey, RunQueue};
+use crate::settle::{charge_exhausts, span_settle_reason};
 use crate::timerlist::TimerList;
 use crate::types::{Proportion, ThreadId, ThreadState};
 use serde::{Deserialize, Serialize};
@@ -241,6 +288,22 @@ pub struct Dispatcher {
     /// [`Dispatcher::drain_usage_changes`] — the changed-only usage feed
     /// for the controller.  May hold stale slots (cleared on drain).
     watch_list: Vec<u32>,
+    /// Generation counter bumped on every mutation that can change the run
+    /// queue's composition or ranking (any re-rank or removal).  The
+    /// next-quantum cache is valid only while it is unchanged.
+    queue_gen: u64,
+    /// Dense slot of the most recently dispatched thread — the implicit
+    /// target of [`Dispatcher::charge_span`] and
+    /// [`Dispatcher::block_span`].  Cleared when that thread leaves the
+    /// dispatcher or a dispatch goes idle.
+    span_slot: Option<u32>,
+    /// `Some(queue_gen)` recorded when a dispatch armed the next-quantum
+    /// cache; the cache is live while it equals the current `queue_gen`
+    /// (the counter only grows, so any mutation disarms it for good).
+    quantum_cache_gen: Option<u64>,
+    /// Span charges accumulated against `span_slot`'s account but not yet
+    /// settled into it (lazy mode only; see the module docs).
+    span_pending_us: u64,
 }
 
 impl Dispatcher {
@@ -266,6 +329,10 @@ impl Dispatcher {
             stats: DispatchStats::default(),
             missed_since_last_poll: 0,
             watch_list: Vec::new(),
+            queue_gen: 0,
+            span_slot: None,
+            quantum_cache_gen: None,
+            span_pending_us: 0,
         }
     }
 
@@ -360,6 +427,12 @@ impl Dispatcher {
     /// Removes the entry at `idx` from every index and frees the slot.
     fn unlink(&mut self, idx: u32) -> ThreadEntry {
         let entry = self.entries[idx as usize].take().expect("slot is live");
+        self.queue_gen += 1;
+        if self.span_slot == Some(idx) {
+            debug_assert_eq!(self.span_pending_us, 0, "unlinked slot with pending charge");
+            self.span_slot = None;
+            self.span_pending_us = 0;
+        }
         self.runnable.remove(idx);
         if entry.counted_be_slice {
             self.runnable_be_with_slice -= 1;
@@ -375,8 +448,10 @@ impl Dispatcher {
 
     /// Re-derives the entry's run-queue membership, rank and recalc-counter
     /// contribution from its current state.  Called after every mutation
-    /// that can affect them; `O(log n)`.
+    /// that can affect them; `O(log n)`.  Conservatively bumps `queue_gen`
+    /// (disarming the next-quantum cache) even when nothing changes.
     fn reindex(&mut self, idx: u32) {
+        self.queue_gen += 1;
         let Some(entry) = self.entries[idx as usize].as_mut() else {
             return;
         };
@@ -421,9 +496,6 @@ impl Dispatcher {
                 self.admission
                     .try_admit(self.total_reserved(), r.proportion)?;
                 next_boundary_us = self.now_us + r.period.as_micros();
-                if !self.config.lazy_rollovers {
-                    self.timers.arm(id, next_boundary_us);
-                }
                 UsageAccount::new(self.now_us, r.budget_micros())
             }
             ThreadClass::BestEffort => UsageAccount::new(self.now_us, 0),
@@ -441,7 +513,11 @@ impl Dispatcher {
             watched: false,
         };
         entry.account.mark_runnable();
-        self.link(entry);
+        let reserved = matches!(class, ThreadClass::Reserved(_));
+        let idx = self.link(entry);
+        if reserved && !self.config.lazy_rollovers {
+            self.timers.arm(idx, id, next_boundary_us);
+        }
         Ok(())
     }
 
@@ -471,6 +547,7 @@ impl Dispatcher {
     /// destination CPU); its period timer is cancelled here and re-armed by
     /// [`Dispatcher::inject_thread`].
     pub fn take_thread(&mut self, id: ThreadId) -> Result<MigratedThread, SchedError> {
+        self.settle_span();
         let &idx = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
         let next_boundary_us = if self.config.lazy_rollovers {
             // Settle any boundary backlog on this CPU's clock, then hand the
@@ -481,9 +558,9 @@ impl Dispatcher {
                 .filter(|e| matches!(e.class, ThreadClass::Reserved(_)))
                 .map(|e| e.next_boundary_us)
         } else {
-            self.timers.expiry_of(id)
+            self.timers.expiry_of(idx)
         };
-        self.timers.cancel(id);
+        self.timers.cancel(idx);
         if self.running == Some(id) {
             self.running = None;
         }
@@ -517,6 +594,7 @@ impl Dispatcher {
         }
         let lazy = self.config.lazy_rollovers;
         let mut next_boundary_us = 0;
+        let mut eager_boundary = None;
         if let ThreadClass::Reserved(r) = thread.class {
             let boundary = thread
                 .next_boundary_us
@@ -524,7 +602,7 @@ impl Dispatcher {
             if lazy {
                 next_boundary_us = boundary;
             } else {
-                self.timers.arm(thread.id, boundary.max(self.now_us + 1));
+                eager_boundary = Some(boundary.max(self.now_us + 1));
             }
         }
         if matches!(thread.class, ThreadClass::BestEffort)
@@ -544,13 +622,17 @@ impl Dispatcher {
             last_reported_ratio: 1.0,
             watched: false,
         });
+        if let Some(boundary) = eager_boundary {
+            self.timers.arm(idx, thread.id, boundary);
+        }
         if lazy {
             // Boundaries that already passed on this CPU's clock roll
             // immediately; a still-throttled arrival re-arms its release.
             self.sync_entry(idx);
             if let Some(entry) = self.entries[idx as usize].as_ref() {
                 if entry.state == ThreadState::Throttled {
-                    self.timers.arm(thread.id, entry.next_boundary_us);
+                    let boundary = entry.next_boundary_us;
+                    self.timers.arm(idx, thread.id, boundary);
                 }
             }
         }
@@ -578,6 +660,7 @@ impl Dispatcher {
 
     /// Removes a thread from the dispatcher.
     pub fn remove_thread(&mut self, id: ThreadId) -> Result<(), SchedError> {
+        self.settle_span();
         let Some(&idx) = self.by_id.get(&id) else {
             return Err(SchedError::UnknownThread(id));
         };
@@ -586,8 +669,10 @@ impl Dispatcher {
             // rollover and miss statistics don't lose its final periods.
             self.sync_entry(idx);
         }
+        // Cancel before the unlink frees (and possibly recycles) the slot
+        // the timer list is keyed by.
+        self.timers.cancel(idx);
         self.unlink(idx);
-        self.timers.cancel(id);
         if self.running == Some(id) {
             self.running = None;
         }
@@ -609,6 +694,7 @@ impl Dispatcher {
     ) -> Result<(), SchedError> {
         let now = self.now_us;
         let lazy = self.config.lazy_rollovers;
+        self.settle_span();
         let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
         if lazy {
             // Settle the old reservation's boundary backlog before the grid
@@ -646,13 +732,14 @@ impl Dispatcher {
             // Restore the lazy timer invariant: exactly the throttled
             // threads keep a release timer armed, at their next boundary.
             if throttled {
-                self.timers.arm(id, next_boundary_us);
+                self.timers.arm(slot, id, next_boundary_us);
             } else {
-                self.timers.cancel(id);
+                self.timers.cancel(slot);
             }
         } else if period_changed {
             // Eager mode: re-arm the period timer from now.
-            self.timers.arm(id, now + reservation.period.as_micros());
+            self.timers
+                .arm(slot, id, now + reservation.period.as_micros());
         }
         self.reindex(idx);
         self.watch(idx);
@@ -683,34 +770,55 @@ impl Dispatcher {
         self.entry_of(id).map(|t| &t.account)
     }
 
-    /// Visits every thread's usage account in id order in one pass without
-    /// allocating.  Drives the controller's usage feedback in the simulator
-    /// and the wall-clock executor.
+    /// Visits every thread's usage account in dense slot order (admission
+    /// order) in one pass without allocating.  Drives the controller's
+    /// usage feedback in the simulator and the wall-clock executor; the
+    /// controller's per-job stores are order-independent.  Like
+    /// [`Dispatcher::usage`], in lazy mode an account may lag by an
+    /// unsettled boundary backlog or span batch until the next sync.
     pub fn for_each_usage(&self, mut f: impl FnMut(ThreadId, &UsageAccount)) {
-        for (&id, &idx) in &self.by_id {
-            let entry = self.entries[idx as usize].as_ref().expect("indexed");
-            f(id, &entry.account);
+        for entry in self.entries.iter().flatten() {
+            f(entry.id, &entry.account);
         }
     }
 
     /// Marks a thread as blocked (waiting on I/O or a queue).
     pub fn block(&mut self, id: ThreadId) -> Result<(), SchedError> {
-        let lazy = self.config.lazy_rollovers;
+        self.settle_span();
         let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
-        if lazy {
+        self.block_slot(slot)
+    }
+
+    /// Blocks the thread picked by the last [`Dispatcher::dispatch`]
+    /// without resolving its id — the simulator's hot-path pairing when a
+    /// span ends in a voluntary block.  Returns the blocked thread's dense
+    /// slot so the caller can hand it back to
+    /// [`Dispatcher::unblock_slot`] at wake-up time.
+    pub fn block_span(&mut self) -> u32 {
+        let idx = self
+            .span_slot
+            .expect("block_span without a dispatched span");
+        self.settle_span();
+        self.block_slot(idx).expect("span slot is live");
+        idx
+    }
+
+    fn block_slot(&mut self, idx: u32) -> Result<(), SchedError> {
+        if self.config.lazy_rollovers {
             // Roll boundaries while the thread still counts as runnable so
             // the was-runnable miss accounting matches the eager path.
-            self.sync_entry(slot);
+            self.sync_entry(idx);
         }
-        let (idx, entry) = self.entry_mut_of(id)?;
+        let entry = self.entries[idx as usize].as_mut().expect("live slot");
+        let id = entry.id;
         if entry.state == ThreadState::Exited {
             return Err(SchedError::InvalidState(id, "thread has exited"));
         }
         entry.state = ThreadState::Blocked;
-        if lazy {
+        if self.config.lazy_rollovers {
             // A blocked thread cannot be dispatched, so its replenishment is
             // no longer an event anybody needs a timer for.
-            self.timers.cancel(id);
+            self.timers.cancel(idx);
         }
         if self.running == Some(id) {
             self.running = None;
@@ -722,15 +830,38 @@ impl Dispatcher {
     /// Wakes a blocked thread.  Threads that are throttled stay throttled
     /// until their next period even if woken.
     pub fn unblock(&mut self, id: ThreadId) -> Result<(), SchedError> {
-        let lazy = self.config.lazy_rollovers;
+        self.settle_span();
         let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
-        if lazy {
+        self.unblock_inner(slot);
+        Ok(())
+    }
+
+    /// Wakes the blocked thread in dense slot `idx` without an id → slot
+    /// lookup — the simulator's in-window wake path.  `id` is the identity
+    /// the caller believes occupies the slot; slots are stable for a
+    /// thread's lifetime, and the pairing is checked in debug builds.
+    pub fn unblock_slot(&mut self, idx: u32, id: ThreadId) {
+        debug_assert_eq!(
+            self.entries[idx as usize].as_ref().map(|e| e.id),
+            Some(id),
+            "stale slot handle in unblock_slot"
+        );
+        let _ = id;
+        self.settle_span();
+        self.unblock_inner(idx);
+    }
+
+    fn unblock_inner(&mut self, idx: u32) {
+        if self.config.lazy_rollovers {
             // Refresh the budget first: a thread that slept across its
             // boundary wakes into a fresh period, not a stale throttle.
-            self.sync_entry(slot);
+            self.sync_entry(idx);
         }
-        let (idx, entry) = self.entry_mut_of(id)?;
+        let Some(entry) = self.entries[idx as usize].as_mut() else {
+            return;
+        };
         if entry.state == ThreadState::Blocked {
+            let id = entry.id;
             let mut rethrottled = false;
             if entry.account.exhausted() && matches!(entry.class, ThreadClass::Reserved(_)) {
                 entry.state = ThreadState::Throttled;
@@ -740,12 +871,11 @@ impl Dispatcher {
                 entry.account.mark_runnable();
             }
             let next_boundary_us = entry.next_boundary_us;
-            if lazy && rethrottled {
-                self.timers.arm(id, next_boundary_us);
+            if self.config.lazy_rollovers && rethrottled {
+                self.timers.arm(idx, id, next_boundary_us);
             }
             self.reindex(idx);
         }
-        Ok(())
     }
 
     /// Advances the scheduler clock to `now_us`, processing any period
@@ -759,21 +889,17 @@ impl Dispatcher {
         if self.config.lazy_rollovers {
             // Only throttle-release timers are armed; the batch sync rolls
             // the boundary backlog, unthrottles, and never re-arms (a fresh
-            // budget means no pending release).
-            while let Some(id) = self.timers.pop_next_expired(now_us) {
-                if let Some(&idx) = self.by_id.get(&id) {
-                    self.sync_entry(idx);
-                }
+            // budget means no pending release).  The popped slot is the
+            // dispatcher's own dense index — no id resolution.
+            while let Some(idx) = self.timers.pop_next_expired(now_us) {
+                self.sync_entry(idx);
             }
             return;
         }
         // Drain expired timers in expiry order, one at a time — re-armed
         // boundaries land strictly in the future, so the drain terminates
         // without collecting into an intermediate `Vec`.
-        while let Some(id) = self.timers.pop_next_expired(now_us) {
-            let Some(&idx) = self.by_id.get(&id) else {
-                continue;
-            };
+        while let Some(idx) = self.timers.pop_next_expired(now_us) {
             let Some(entry) = self.entries[idx as usize].as_mut() else {
                 continue;
             };
@@ -794,8 +920,9 @@ impl Dispatcher {
             }
             let ratio_changed =
                 entry.account.last_period_usage_ratio() != entry.last_reported_ratio;
+            let id = entry.id;
             // Re-arm for the next period boundary.
-            self.timers.arm(id, now_us + r.period.as_micros());
+            self.timers.arm(idx, id, now_us + r.period.as_micros());
             self.reindex(idx);
             if ratio_changed {
                 self.watch(idx);
@@ -821,6 +948,14 @@ impl Dispatcher {
         if entry.next_boundary_us > now {
             return;
         }
+        // A boundary roll must never race an unsettled span batch for the
+        // same slot: every settle point runs before its sync, and the span
+        // thread is Running, so it never holds the release timer that
+        // `advance_to` drains into this sync.
+        debug_assert!(
+            self.span_pending_us == 0 || self.span_slot != Some(idx),
+            "boundary roll with an unsettled span batch for the same slot"
+        );
         let period = r.period.as_micros().max(1);
         let k = (now - entry.next_boundary_us) / period + 1;
         let final_start = entry.next_boundary_us + (k - 1) * period;
@@ -837,14 +972,13 @@ impl Dispatcher {
             entry.account.mark_runnable();
         }
         let ratio_changed = entry.account.last_period_usage_ratio() != entry.last_reported_ratio;
-        let id = entry.id;
         self.stats.period_rollovers += k;
         self.stats.deadlines_missed += missed;
         self.missed_since_last_poll += missed;
         if released {
             // The release already happened; any still-armed timer (e.g. a
             // sync racing ahead of `advance_to`'s drain) is stale.
-            self.timers.cancel(id);
+            self.timers.cancel(idx);
             self.reindex(idx);
         }
         if ratio_changed {
@@ -854,8 +988,10 @@ impl Dispatcher {
 
     /// Lazy mode: settles every thread's boundary backlog so that
     /// [`Dispatcher::usage`]-style queries and final statistics reflect the
-    /// current instant.  No-op in eager mode.
+    /// current instant.  No-op in eager mode (but still settles any
+    /// pending span batch).
     pub fn sync_all(&mut self) {
+        self.settle_span();
         for idx in 0..self.entries.len() as u32 {
             self.sync_entry(idx);
         }
@@ -871,6 +1007,7 @@ impl Dispatcher {
     /// (pick, charge, reservation change) re-watches it.  Works in both
     /// rollover modes.
     pub fn drain_usage_changes(&mut self, mut f: impl FnMut(ThreadId, f64)) {
+        self.settle_span();
         let mut i = 0;
         while i < self.watch_list.len() {
             let idx = self.watch_list[i];
@@ -954,7 +1091,15 @@ impl Dispatcher {
     /// Takes one dispatch decision: picks the runnable thread with the
     /// highest goodness and returns it together with the quantum it may run
     /// for.  Charges the modelled dispatch overhead.
+    ///
+    /// When the next-quantum cache is valid — nothing mutated the queue
+    /// since the last pick, and that pick's period boundary is still ahead
+    /// — the decision is re-issued in `O(1)` without touching the heap.
     pub fn dispatch(&mut self) -> DispatchOutcome {
+        if let Some(outcome) = self.cached_outcome() {
+            return outcome;
+        }
+        self.settle_span();
         self.stats.dispatches += 1;
         self.stats.overhead_us += self.config.dispatch_cost_us;
 
@@ -978,6 +1123,8 @@ impl Dispatcher {
             if self.running.is_some() {
                 self.running = None;
             }
+            self.span_slot = None;
+            self.quantum_cache_gen = None;
             return DispatchOutcome {
                 thread: None,
                 quantum_us: quantum,
@@ -1006,34 +1153,141 @@ impl Dispatcher {
         entry.state = ThreadState::Running;
         entry.account.mark_runnable();
 
+        let reserved = matches!(entry.class, ThreadClass::Reserved(_));
         let budget_cap = match entry.class {
             ThreadClass::Reserved(_) => entry.account.remaining_us().max(1),
             ThreadClass::BestEffort => entry.remaining_slice_us.max(1),
         };
         let quantum = self.config.dispatch_interval_us.max(1).min(budget_cap);
         self.reindex(idx);
+        // Arm the next-quantum cache: if the freshly re-ranked pick is
+        // still at the root, nothing can outrank it until some operation
+        // bumps `queue_gen` (only lazy reserved picks qualify — eager mode
+        // rolls accounts behind the cache's back, and a best-effort pick's
+        // own charge re-ranks it).
+        self.span_slot = Some(idx);
+        self.quantum_cache_gen = (self.config.lazy_rollovers
+            && reserved
+            && self.runnable.peek().is_some_and(|(_, top)| top == idx))
+        .then_some(self.queue_gen);
         DispatchOutcome {
             thread: Some(picked),
             quantum_us: quantum,
         }
     }
 
+    /// The `O(1)` fast path of [`Dispatcher::dispatch`]: re-issues the
+    /// cached pick when the queue generation is unchanged and the pick's
+    /// period boundary is still ahead.  Touches no map and no heap;
+    /// observably identical to the slow path re-picking the same thread.
+    fn cached_outcome(&mut self) -> Option<DispatchOutcome> {
+        if self.quantum_cache_gen != Some(self.queue_gen) {
+            return None;
+        }
+        let idx = self.span_slot?;
+        let pending = self.span_pending_us;
+        let pick_seq = self.pick_seq + 1;
+        let dispatch_cost = self.config.dispatch_cost_us;
+        let interval = self.config.dispatch_interval_us;
+        let entry = self.entries[idx as usize].as_mut().expect("cached slot");
+        if self.now_us >= entry.next_boundary_us {
+            // The pick's period rolls at or before now: take the slow path,
+            // which syncs the account before capping the quantum.
+            return None;
+        }
+        debug_assert_eq!(self.running, Some(entry.id), "cache survived a preemption");
+        self.stats.dispatches += 1;
+        self.stats.overhead_us += dispatch_cost;
+        self.pick_seq = pick_seq;
+        entry.last_picked_seq = pick_seq;
+        entry.state = ThreadState::Running;
+        entry.account.mark_runnable();
+        // Identical to the slow path's `remaining_us()` cap with the
+        // pending span batch counted as already charged.
+        let cap = entry
+            .account
+            .budget_us
+            .saturating_sub(entry.account.used_this_period_us + pending)
+            .max(1);
+        Some(DispatchOutcome {
+            thread: Some(entry.id),
+            quantum_us: interval.max(1).min(cap),
+        })
+    }
+
     /// Charges `us` microseconds of CPU consumption to a thread, throttling
     /// it if its budget (or best-effort slice) is exhausted.
     pub fn charge(&mut self, id: ThreadId, us: u64) -> Result<(), SchedError> {
-        let lazy = self.config.lazy_rollovers;
-        let &slot = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
-        if lazy {
-            // Charge against the current period, not a stale one.
-            self.sync_entry(slot);
+        self.settle_span();
+        let &idx = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
+        self.charge_slot(idx, us);
+        Ok(())
+    }
+
+    /// Charges `us` microseconds to the thread picked by the last
+    /// [`Dispatcher::dispatch`] without resolving its id — the simulator's
+    /// hot-path pairing.  Consecutive reserved-thread charges accumulate
+    /// into a pending batch and settle in one account update when the
+    /// deferral could change a decision (see [`crate::settle`]).
+    pub fn charge_span(&mut self, us: u64) {
+        let idx = self
+            .span_slot
+            .expect("charge_span without a dispatched span");
+        let entry = self.entries[idx as usize].as_ref().expect("span slot live");
+        let reason = span_settle_reason(
+            matches!(entry.class, ThreadClass::BestEffort),
+            us,
+            self.span_pending_us,
+            &entry.account,
+            self.now_us,
+            entry.next_boundary_us,
+        );
+        match reason {
+            None => self.span_pending_us += us,
+            Some(_) => {
+                self.settle_span();
+                self.charge_slot(idx, us);
+            }
         }
-        let (idx, entry) = self.entry_mut_of(id)?;
-        entry.account.charge(us);
+    }
+
+    /// Applies the pending span batch to its account in one charge.  The
+    /// batch can never throttle or cross a boundary — the settlement rule
+    /// settles *before* either edge — so this is a plain account update
+    /// plus a re-rank and a controller watch, identical in sum to having
+    /// charged each span eagerly.
+    fn settle_span(&mut self) {
+        if self.span_pending_us == 0 {
+            return;
+        }
+        let idx = self.span_slot.expect("pending charge without a span slot");
+        let us = std::mem::take(&mut self.span_pending_us);
+        self.apply_charge(idx, us);
+    }
+
+    /// The full per-charge path for a resolved slot: sync the period
+    /// backlog (lazy mode), then apply the charge.
+    fn charge_slot(&mut self, idx: u32, us: u64) {
+        // Charge against the current period, not a stale one (no-op in
+        // eager mode).
+        self.sync_entry(idx);
+        self.apply_charge(idx, us);
+    }
+
+    fn apply_charge(&mut self, idx: u32, us: u64) {
+        let entry = self.entries[idx as usize].as_mut().expect("live slot");
+        let id = entry.id;
         let mut throttled = false;
         let mut be_charged = false;
         match entry.class {
             ThreadClass::Reserved(_) => {
-                if entry.account.exhausted() && entry.state.is_runnable() {
+                // The shared settlement arithmetic IS the throttle test:
+                // the batcher's edge prediction and this reference path
+                // cannot drift.
+                let exhausts = charge_exhausts(&entry.account, 0, us);
+                entry.account.charge(us);
+                debug_assert_eq!(exhausts, entry.account.exhausted());
+                if exhausts && entry.state.is_runnable() {
                     entry.state = ThreadState::Throttled;
                     throttled = true;
                 } else if entry.state == ThreadState::Running {
@@ -1041,6 +1295,7 @@ impl Dispatcher {
                 }
             }
             ThreadClass::BestEffort => {
+                entry.account.charge(us);
                 entry.remaining_slice_us = entry.remaining_slice_us.saturating_sub(us);
                 be_charged = true;
                 if entry.state == ThreadState::Running {
@@ -1056,10 +1311,10 @@ impl Dispatcher {
             if self.running == Some(id) {
                 self.running = None;
             }
-            if lazy {
+            if self.config.lazy_rollovers {
                 // The replenishment is now a dispatch-relevant event: arm
                 // the release timer at the thread's next grid boundary.
-                self.timers.arm(id, next_boundary_us);
+                self.timers.arm(idx, id, next_boundary_us);
             }
         }
         self.reindex(idx);
@@ -1067,7 +1322,6 @@ impl Dispatcher {
             // Only reserved threads report usage ratios to the controller.
             self.watch(idx);
         }
-        Ok(())
     }
 
     /// Convenience: advances time by one quantum for the outcome of a
@@ -1082,13 +1336,16 @@ impl Dispatcher {
     }
 
     /// The pre-index full-scan pick, kept as the oracle for the property
-    /// test: the run-queue peek must always agree with it.
+    /// test: the run-queue peek must always agree with it.  Scans the dense
+    /// entry storage with an explicit lowest-id tie-break (the id-ordered
+    /// original relied on first-seen-wins iteration order).
     #[cfg(test)]
     fn oracle_pick(&mut self) -> Option<ThreadId> {
+        use std::cmp::Reverse;
         self.maybe_recalc();
-        let mut best: Option<(i64, u64, ThreadId)> = None;
-        for (&id, &idx) in &self.by_id {
-            let entry = self.entries[idx as usize].as_ref().expect("indexed");
+        let mut best: Option<(i64, u64, Reverse<u64>)> = None;
+        let mut best_id = None;
+        for entry in self.entries.iter().flatten() {
             if !entry.state.is_runnable() {
                 continue;
             }
@@ -1096,16 +1353,13 @@ impl Dispatcher {
                 ThreadClass::Reserved(r) => rbs_goodness(r.period),
                 ThreadClass::BestEffort => best_effort_goodness(entry.remaining_slice_us),
             };
-            let key = (g, u64::MAX - entry.last_picked_seq, id.0);
-            match best {
-                None => best = Some((key.0, key.1, id)),
-                Some((bg, bseq, _)) if (key.0, key.1) > (bg, bseq) => {
-                    best = Some((key.0, key.1, id))
-                }
-                _ => {}
+            let key = (g, u64::MAX - entry.last_picked_seq, Reverse(entry.id.0));
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+                best_id = Some(entry.id);
             }
         }
-        best.map(|(_, _, id)| id)
+        best_id
     }
 
     /// Cross-checks every derived index against a full recomputation.
@@ -1115,9 +1369,17 @@ impl Dispatcher {
         let mut be = 0usize;
         let mut be_with_slice = 0usize;
         let mut runnable = 0usize;
-        for (&id, &idx) in &self.by_id {
-            let entry = self.entries[idx as usize].as_ref().expect("indexed");
-            assert_eq!(entry.id, id);
+        let mut live = 0usize;
+        for (slot, entry) in self.entries.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let idx = slot as u32;
+            let id = entry.id;
+            live += 1;
+            assert_eq!(
+                self.by_id.get(&id),
+                Some(&idx),
+                "by_id disagrees with dense storage for {id}"
+            );
             match entry.class {
                 ThreadClass::Reserved(r) => reserved += r.proportion.ppt(),
                 ThreadClass::BestEffort => be += 1,
@@ -1140,7 +1402,7 @@ impl Dispatcher {
             if entry.state.is_runnable() {
                 runnable += 1;
             }
-            let expiry = self.timers.expiry_of(id);
+            let expiry = self.timers.expiry_of(idx);
             match entry.class {
                 ThreadClass::Reserved(_) if self.config.lazy_rollovers => {
                     // Lazy invariant: exactly the throttled threads keep a
@@ -1172,10 +1434,40 @@ impl Dispatcher {
                 );
             }
         }
+        assert_eq!(self.by_id.len(), live, "by_id holds a freed slot");
         assert_eq!(self.reserved_ppt, reserved);
         assert_eq!(self.be_count, be);
         assert_eq!(self.runnable_be_with_slice, be_with_slice);
         assert_eq!(self.runnable.len(), runnable);
+        // Span-batch invariants: pending usage always has a live reserved
+        // owner and stays strictly under its budget (the throttle edge
+        // settles before it is reached).
+        if self.span_pending_us > 0 {
+            let idx = self.span_slot.expect("pending charge without a span slot");
+            let entry = self.entries[idx as usize]
+                .as_ref()
+                .expect("span slot freed with pending charge");
+            assert!(
+                matches!(entry.class, ThreadClass::Reserved(_)),
+                "best-effort {} accumulated a span batch",
+                entry.id
+            );
+            assert!(
+                entry.account.used_this_period_us + self.span_pending_us < entry.account.budget_us,
+                "span batch for {} reached the throttle edge unsettled",
+                entry.id
+            );
+        }
+        // Next-quantum-cache invariant: an armed cache means the heap has
+        // not moved since the pick, so the cached slot is still the root.
+        if self.quantum_cache_gen == Some(self.queue_gen) {
+            let idx = self.span_slot.expect("armed cache without a span slot");
+            assert_eq!(
+                self.runnable.peek().map(|(_, top)| top),
+                Some(idx),
+                "armed cache but the cached slot is not the run-queue root"
+            );
+        }
     }
 }
 
@@ -1656,6 +1948,85 @@ mod tests {
         d.assert_consistent();
     }
 
+    #[test]
+    fn charge_span_batches_until_the_throttle_edge() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        let o = d.dispatch();
+        assert_eq!(o.thread, Some(ThreadId(1)));
+        assert_eq!(o.quantum_us, 1000);
+        for spans in 1..=9u64 {
+            d.charge_span(100);
+            // The batch is invisible to the account until settlement...
+            assert_eq!(d.usage(ThreadId(1)).unwrap().used_this_period_us, 0);
+            // ...but the cached re-pick still caps the next quantum under
+            // what the batch has consumed.
+            let o = d.dispatch();
+            assert_eq!(o.thread, Some(ThreadId(1)));
+            assert_eq!(o.quantum_us, 1000 - spans * 100);
+        }
+        // The tenth span reaches the budget edge: the batch settles first,
+        // then the edge charge throttles the thread.
+        d.charge_span(100);
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Throttled));
+        assert_eq!(d.usage(ThreadId(1)).unwrap().used_this_period_us, 1000);
+        assert_eq!(d.dispatch().thread, None);
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn block_span_settles_and_unblock_slot_rewakes() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 10)).unwrap();
+        d.add_thread(ThreadId(2), reserved(100, 20)).unwrap();
+        let o = d.dispatch();
+        assert_eq!(o.thread, Some(ThreadId(1)), "shorter period wins");
+        d.charge_span(300);
+        // Blocking through the span handle settles the batch and hands the
+        // slot back for the wake-up.
+        let slot = d.block_span();
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Blocked));
+        assert_eq!(d.usage(ThreadId(1)).unwrap().used_this_period_us, 300);
+        assert_eq!(d.dispatch().thread, Some(ThreadId(2)));
+        // The slot wakes the thread without an id lookup.
+        d.unblock_slot(slot, ThreadId(1));
+        assert_eq!(d.thread_state(ThreadId(1)), Some(ThreadState::Ready));
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn next_quantum_cache_invalidates_on_queue_change() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(100, 20)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        d.charge_span(50);
+        // A queue mutation between spans bumps the generation: the next
+        // dispatch must re-pick through the heap and see the newcomer (and
+        // settle the outstanding batch on the way).
+        d.add_thread(ThreadId(2), reserved(100, 10)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(2)));
+        assert_eq!(d.usage(ThreadId(1)).unwrap().used_this_period_us, 50);
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn span_batch_settles_before_the_boundary_roll() {
+        let mut d = Dispatcher::new(lazy_config());
+        d.add_thread(ThreadId(1), reserved(500, 10)).unwrap();
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        d.charge_span(1000);
+        d.advance_to(10_000);
+        // The cached decision expired with the period: the next dispatch
+        // takes the full path, settling the batch into the *old* period
+        // before the boundary rolls it.
+        assert_eq!(d.dispatch().thread, Some(ThreadId(1)));
+        let acct = d.usage(ThreadId(1)).unwrap();
+        assert_eq!(acct.periods_completed, 1);
+        assert_eq!(acct.used_this_period_us, 0);
+        d.assert_consistent();
+    }
+
     proptest! {
         /// The tentpole's safety net: over arbitrary thread-state
         /// sequences, the goodness-indexed pick must equal the naive
@@ -1841,6 +2212,119 @@ mod tests {
             prop_assert_eq!(es.context_switches, ls.context_switches);
             prop_assert_eq!(es.period_rollovers, ls.period_rollovers);
             prop_assert_eq!(es.deadlines_missed, ls.deadlines_missed);
+        }
+
+        /// The span fast path (next-quantum cache + batched `charge_span`)
+        /// against an always-settled reference: identical op sequences
+        /// drive two lazy dispatcher pairs (two "CPUs"), the fast side
+        /// charging spans through [`Dispatcher::charge_span`] and the
+        /// reference settling every charge through [`Dispatcher::charge`].
+        /// The per-id charge re-ranks the heap after every span, so the
+        /// reference can never serve a pick from the cache; picks, quanta,
+        /// post-sync accounts and stats must nevertheless match exactly,
+        /// across wakes, re-reservations and cross-CPU migrations.
+        #[test]
+        fn span_fast_path_matches_settled_reference(
+            ops in proptest::collection::vec((0u8..12, 0u64..8, 0u32..500, 1u64..40), 1..150),
+        ) {
+            let mut fast = [Dispatcher::new(lazy_config()), Dispatcher::new(lazy_config())];
+            let mut refd = [Dispatcher::new(lazy_config()), Dispatcher::new(lazy_config())];
+            for (op, i, p, aux) in ops {
+                let id = ThreadId(i);
+                let cpu = (aux % 2) as usize;
+                match op {
+                    0 => {
+                        // A thread lives on at most one CPU at a time.
+                        if fast.iter().all(|d| d.thread_state(id).is_none()) {
+                            let a = fast[cpu].add_thread(id, reserved(p, aux));
+                            let b = refd[cpu].add_thread(id, reserved(p, aux));
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                    1 => {
+                        if fast.iter().all(|d| d.thread_state(id).is_none()) {
+                            let _ = fast[cpu].add_thread(id, ThreadClass::BestEffort);
+                            let _ = refd[cpu].add_thread(id, ThreadClass::BestEffort);
+                        }
+                    }
+                    2 => for c in 0..2 {
+                        let a = fast[c].remove_thread(id);
+                        let b = refd[c].remove_thread(id);
+                        prop_assert_eq!(a.is_ok(), b.is_ok());
+                    },
+                    3 => for c in 0..2 {
+                        let _ = fast[c].block(id);
+                        let _ = refd[c].block(id);
+                    },
+                    4 => for c in 0..2 {
+                        let _ = fast[c].unblock(id);
+                        let _ = refd[c].unblock(id);
+                    },
+                    5 => {
+                        let r = Reservation::new(
+                            Proportion::from_ppt(p),
+                            Period::from_millis(aux),
+                        );
+                        for c in 0..2 {
+                            let a = fast[c].set_reservation(id, r);
+                            let b = refd[c].set_reservation(id, r);
+                            prop_assert_eq!(a.is_ok(), b.is_ok());
+                        }
+                    }
+                    6 => for c in 0..2 {
+                        // Both CPUs share one clock, like the machine layer.
+                        let t = fast[c].now_us() + aux * 499;
+                        fast[c].advance_to(t);
+                        refd[c].advance_to(t);
+                    },
+                    7 => {
+                        // Cross-CPU migration; both sides move the same
+                        // thread (which also settles any open span batch).
+                        let to = 1 - cpu;
+                        if let Ok(t) = fast[cpu].take_thread(id) {
+                            let tr = refd[cpu].take_thread(id).expect("mirrored population");
+                            fast[to].inject_thread(t).unwrap();
+                            refd[to].inject_thread(tr).unwrap();
+                        }
+                    }
+                    _ => {
+                        let of = fast[cpu].dispatch();
+                        let or = refd[cpu].dispatch();
+                        prop_assert_eq!(of.thread, or.thread, "picks diverged");
+                        prop_assert_eq!(of.quantum_us, or.quantum_us, "quanta diverged");
+                        if let Some(t) = of.thread {
+                            let used = (of.quantum_us * (p as u64 % 3 + 1) / 3).max(1);
+                            fast[cpu].charge_span(used);
+                            refd[cpu].charge(t, used).expect("picked exists");
+                        }
+                    }
+                }
+                for c in 0..2 {
+                    fast[c].assert_consistent();
+                    refd[c].assert_consistent();
+                }
+            }
+            // Settle the batches, then every observable must agree.
+            for c in 0..2 {
+                fast[c].sync_all();
+                refd[c].sync_all();
+                let ids: Vec<ThreadId> = refd[c].thread_ids().collect();
+                prop_assert_eq!(&ids, &fast[c].thread_ids().collect::<Vec<_>>());
+                for id in ids {
+                    prop_assert_eq!(refd[c].thread_state(id), fast[c].thread_state(id));
+                    let (ra, fa) = (refd[c].usage(id).unwrap(), fast[c].usage(id).unwrap());
+                    prop_assert_eq!(
+                        format!("{ra:?}"),
+                        format!("{fa:?}"),
+                        "account diverged for {:?} on cpu {}", id, c
+                    );
+                }
+                let (rs, fs) = (refd[c].stats(), fast[c].stats());
+                prop_assert_eq!(rs.dispatches, fs.dispatches);
+                prop_assert_eq!(rs.context_switches, fs.context_switches);
+                prop_assert_eq!(rs.period_rollovers, fs.period_rollovers);
+                prop_assert_eq!(rs.deadlines_missed, fs.deadlines_missed);
+            }
         }
     }
 }

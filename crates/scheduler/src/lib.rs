@@ -40,6 +40,7 @@ pub mod goodness;
 pub mod machine;
 pub mod reservation;
 mod runqueue;
+pub mod settle;
 pub mod timerlist;
 pub mod types;
 
@@ -51,4 +52,5 @@ pub use dispatcher::{
 pub use error::SchedError;
 pub use machine::{CpuStats, Machine};
 pub use reservation::Reservation;
+pub use settle::{charge_exhausts, span_settle_reason, SettleReason};
 pub use types::{CpuId, Period, Proportion, ThreadId, ThreadState};

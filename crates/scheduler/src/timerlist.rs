@@ -4,23 +4,29 @@
 //! and cache the next expiration time to avoid doing any work unless at
 //! least one timer has expired" (§4.1).
 //!
-//! The sorted set is paired with a per-thread reverse index so that
-//! [`TimerList::arm`], [`TimerList::cancel`] and [`TimerList::expiry_of`]
-//! are `O(log n)` — the original scanned the whole set to find a thread's
-//! timer, which put an `O(n)` walk (and a collect-into-`Vec`) on the
-//! migration and removal paths.  The next expiry is cached so the
-//! nothing-expired check stays `O(1)`.
+//! Timers are keyed by the dispatcher's dense thread slot, so arming,
+//! cancelling and expiry queries go through a flat `Vec` reverse index —
+//! `O(1)` slot access plus an `O(log n)` sorted-set edit — and a popped
+//! expiry hands the dispatcher the slot directly, with no id → slot map on
+//! the [`pop_next_expired`](TimerList::pop_next_expired) hot path.  The
+//! sorted set still orders equal expiries by [`ThreadId`], so converting
+//! from id keys changed no observable pop order.  The next expiry is cached
+//! so the nothing-expired check stays `O(1)`.
 
 use crate::types::ThreadId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-/// A sorted set of `(expiry, thread)` timers with a per-thread reverse
-/// index and a cached next expiry.
+/// A sorted set of `(expiry, thread, slot)` timers with a slot-indexed
+/// reverse index and a cached next expiry.
 #[derive(Debug, Clone, Default)]
 pub struct TimerList {
-    timers: BTreeSet<(u64, ThreadId)>,
-    by_thread: BTreeMap<ThreadId, u64>,
+    timers: BTreeSet<(u64, ThreadId, u32)>,
+    /// Per-slot armed `(expiry, id)`, `None` when the slot has no timer.
+    /// Grows to the dispatcher's slot count and is never shrunk; a freed
+    /// dispatcher slot always cancels its timer first.
+    slots: Vec<Option<(u64, ThreadId)>>,
     cached_next: Option<u64>,
+    armed: usize,
 }
 
 impl TimerList {
@@ -30,24 +36,32 @@ impl TimerList {
     }
 
     fn refresh_cache(&mut self) {
-        self.cached_next = self.timers.first().map(|&(t, _)| t);
+        self.cached_next = self.timers.first().map(|&(t, _, _)| t);
     }
 
-    /// Arms (or re-arms) a timer for `thread` at `expiry_us`.  A thread has
-    /// at most one timer: any existing timer for it is replaced.
-    pub fn arm(&mut self, thread: ThreadId, expiry_us: u64) {
-        if let Some(old) = self.by_thread.insert(thread, expiry_us) {
-            self.timers.remove(&(old, thread));
+    /// Arms (or re-arms) a timer for the thread in dense slot `slot` at
+    /// `expiry_us`.  A slot has at most one timer: any existing timer for
+    /// it is replaced.
+    pub fn arm(&mut self, slot: u32, thread: ThreadId, expiry_us: u64) {
+        if self.slots.len() <= slot as usize {
+            self.slots.resize(slot as usize + 1, None);
         }
-        self.timers.insert((expiry_us, thread));
+        match self.slots[slot as usize].replace((expiry_us, thread)) {
+            Some((old, old_id)) => {
+                self.timers.remove(&(old, old_id, slot));
+            }
+            None => self.armed += 1,
+        }
+        self.timers.insert((expiry_us, thread, slot));
         self.refresh_cache();
     }
 
-    /// Cancels the timer for `thread`; returns `true` if one existed.
-    pub fn cancel(&mut self, thread: ThreadId) -> bool {
-        match self.by_thread.remove(&thread) {
-            Some(expiry) => {
-                self.timers.remove(&(expiry, thread));
+    /// Cancels the timer for `slot`; returns `true` if one existed.
+    pub fn cancel(&mut self, slot: u32) -> bool {
+        match self.slots.get_mut(slot as usize).and_then(Option::take) {
+            Some((expiry, thread)) => {
+                self.timers.remove(&(expiry, thread, slot));
+                self.armed -= 1;
                 self.refresh_cache();
                 true
             }
@@ -60,44 +74,49 @@ impl TimerList {
         self.cached_next
     }
 
-    /// The armed expiry of `thread`'s timer, if it has one.
-    pub fn expiry_of(&self, thread: ThreadId) -> Option<u64> {
-        self.by_thread.get(&thread).copied()
+    /// The armed expiry of `slot`'s timer, if it has one.
+    pub fn expiry_of(&self, slot: u32) -> Option<u64> {
+        self.slots
+            .get(slot as usize)
+            .copied()
+            .flatten()
+            .map(|(t, _)| t)
     }
 
     /// Removes and returns the earliest timer with `expiry <= now_us`, if
     /// any.  Constant-time when nothing has expired, which is the common
     /// case the paper optimises for; callers drain expiries one at a time
     /// without the intermediate `Vec` of [`TimerList::pop_expired`].
-    pub fn pop_next_expired(&mut self, now_us: u64) -> Option<ThreadId> {
+    pub fn pop_next_expired(&mut self, now_us: u64) -> Option<u32> {
         if self.cached_next.is_none_or(|t| t > now_us) {
             return None;
         }
-        let &(expiry, thread) = self.timers.first().expect("cache says non-empty");
-        self.timers.remove(&(expiry, thread));
-        self.by_thread.remove(&thread);
+        let &(expiry, thread, slot) = self.timers.first().expect("cache says non-empty");
+        self.timers.remove(&(expiry, thread, slot));
+        self.slots[slot as usize] = None;
+        self.armed -= 1;
         self.refresh_cache();
-        Some(thread)
+        Some(slot)
     }
 
     /// Removes and returns every timer with `expiry <= now_us`, in expiry
     /// order.
-    pub fn pop_expired(&mut self, now_us: u64) -> Vec<ThreadId> {
+    pub fn pop_expired(&mut self, now_us: u64) -> Vec<u32> {
         let mut expired = Vec::new();
-        while let Some(thread) = self.pop_next_expired(now_us) {
-            expired.push(thread);
+        while let Some(slot) = self.pop_next_expired(now_us) {
+            expired.push(slot);
         }
         expired
     }
 
     /// Number of armed timers.
     pub fn len(&self) -> usize {
-        self.timers.len()
+        self.armed
     }
 
     /// Returns `true` if no timers are armed.
     pub fn is_empty(&self) -> bool {
-        self.timers.is_empty()
+        self.armed == 0
     }
 }
 
@@ -106,15 +125,21 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Tests arm each slot `s` for `ThreadId(s)`, the common dispatcher
+    /// shape.
+    fn arm(tl: &mut TimerList, slot: u32, expiry: u64) {
+        tl.arm(slot, ThreadId(slot as u64), expiry);
+    }
+
     #[test]
     fn arm_and_pop_in_order() {
         let mut tl = TimerList::new();
-        tl.arm(ThreadId(1), 300);
-        tl.arm(ThreadId(2), 100);
-        tl.arm(ThreadId(3), 200);
+        arm(&mut tl, 1, 300);
+        arm(&mut tl, 2, 100);
+        arm(&mut tl, 3, 200);
         assert_eq!(tl.next_expiry(), Some(100));
         let expired = tl.pop_expired(250);
-        assert_eq!(expired, vec![ThreadId(2), ThreadId(3)]);
+        assert_eq!(expired, vec![2, 3]);
         assert_eq!(tl.len(), 1);
         assert_eq!(tl.next_expiry(), Some(300));
     }
@@ -122,7 +147,7 @@ mod tests {
     #[test]
     fn nothing_expired_is_cheap_and_empty() {
         let mut tl = TimerList::new();
-        tl.arm(ThreadId(1), 1000);
+        arm(&mut tl, 1, 1000);
         assert!(tl.pop_expired(500).is_empty());
         assert_eq!(tl.pop_next_expired(500), None);
         assert_eq!(tl.len(), 1);
@@ -132,33 +157,35 @@ mod tests {
     #[test]
     fn rearming_replaces_existing_timer() {
         let mut tl = TimerList::new();
-        tl.arm(ThreadId(1), 100);
-        tl.arm(ThreadId(1), 500);
+        arm(&mut tl, 1, 100);
+        arm(&mut tl, 1, 500);
         assert_eq!(tl.len(), 1);
-        assert_eq!(tl.expiry_of(ThreadId(1)), Some(500));
+        assert_eq!(tl.expiry_of(1), Some(500));
         assert!(tl.pop_expired(200).is_empty());
-        assert_eq!(tl.pop_expired(500), vec![ThreadId(1)]);
-        assert_eq!(tl.expiry_of(ThreadId(1)), None);
+        assert_eq!(tl.pop_expired(500), vec![1]);
+        assert_eq!(tl.expiry_of(1), None);
     }
 
     #[test]
     fn cancel_removes_timer() {
         let mut tl = TimerList::new();
-        tl.arm(ThreadId(1), 100);
-        assert!(tl.cancel(ThreadId(1)));
-        assert!(!tl.cancel(ThreadId(1)));
+        arm(&mut tl, 1, 100);
+        assert!(tl.cancel(1));
+        assert!(!tl.cancel(1));
+        assert!(!tl.cancel(99), "never-armed slot is a no-op");
         assert!(tl.is_empty());
         assert_eq!(tl.next_expiry(), None);
-        assert_eq!(tl.expiry_of(ThreadId(1)), None);
+        assert_eq!(tl.expiry_of(1), None);
     }
 
     #[test]
-    fn same_expiry_different_threads() {
+    fn same_expiry_orders_by_thread_id() {
         let mut tl = TimerList::new();
-        tl.arm(ThreadId(1), 100);
-        tl.arm(ThreadId(2), 100);
-        let expired = tl.pop_expired(100);
-        assert_eq!(expired.len(), 2);
+        // Slot order disagrees with id order on purpose: the id breaks the
+        // tie, exactly as the id-keyed original did.
+        tl.arm(7, ThreadId(2), 100);
+        tl.arm(3, ThreadId(9), 100);
+        assert_eq!(tl.pop_expired(100), vec![7, 3]);
     }
 
     #[test]
@@ -166,8 +193,8 @@ mod tests {
         let mut a = TimerList::new();
         let mut b = TimerList::new();
         for (t, e) in [(1, 50), (2, 10), (3, 30), (4, 70)] {
-            a.arm(ThreadId(t), e);
-            b.arm(ThreadId(t), e);
+            arm(&mut a, t, e);
+            arm(&mut b, t, e);
         }
         let mut drained = Vec::new();
         while let Some(t) = a.pop_next_expired(60) {
@@ -180,49 +207,49 @@ mod tests {
     proptest! {
         #[test]
         fn pop_expired_returns_sorted_and_complete(
-            entries in proptest::collection::vec((0u64..1000, 0u64..50), 0..50),
+            entries in proptest::collection::vec((0u64..1000, 0u32..50), 0..50),
             cutoff in 0u64..1000,
         ) {
             let mut tl = TimerList::new();
-            // Last arm per thread wins.
-            let mut expected: std::collections::BTreeMap<u64, u64> = Default::default();
-            for &(expiry, tid) in &entries {
-                tl.arm(ThreadId(tid), expiry);
-                expected.insert(tid, expiry);
+            // Last arm per slot wins.
+            let mut expected: std::collections::BTreeMap<u32, u64> = Default::default();
+            for &(expiry, slot) in &entries {
+                arm(&mut tl, slot, expiry);
+                expected.insert(slot, expiry);
             }
             // The reverse index agrees with the final arms.
-            for (&tid, &expiry) in &expected {
-                prop_assert_eq!(tl.expiry_of(ThreadId(tid)), Some(expiry));
+            for (&slot, &expiry) in &expected {
+                prop_assert_eq!(tl.expiry_of(slot), Some(expiry));
             }
             let expired = tl.pop_expired(cutoff);
-            // Every returned thread's final expiry is within the cutoff.
-            for t in &expired {
-                prop_assert!(expected[&t.0] <= cutoff);
+            // Every returned slot's final expiry is within the cutoff.
+            for s in &expired {
+                prop_assert!(expected[s] <= cutoff);
             }
-            // Every thread with expiry within the cutoff was returned.
+            // Every slot with expiry within the cutoff was returned.
             let should_expire = expected.iter().filter(|(_, &e)| e <= cutoff).count();
             prop_assert_eq!(expired.len(), should_expire);
             // Remaining timers are all after the cutoff.
             prop_assert!(tl.next_expiry().is_none_or(|t| t > cutoff));
-            // Popped threads are gone from the reverse index too.
-            for t in &expired {
-                prop_assert_eq!(tl.expiry_of(*t), None);
+            // Popped slots are gone from the reverse index too.
+            for s in &expired {
+                prop_assert_eq!(tl.expiry_of(*s), None);
             }
         }
 
         #[test]
         fn cancel_against_oracle(
-            entries in proptest::collection::vec((0u64..1000, 0u64..20), 0..40),
-            cancels in proptest::collection::vec(0u64..20, 0..20),
+            entries in proptest::collection::vec((0u64..1000, 0u32..20), 0..40),
+            cancels in proptest::collection::vec(0u32..20, 0..20),
         ) {
             let mut tl = TimerList::new();
-            let mut oracle: std::collections::BTreeMap<u64, u64> = Default::default();
-            for &(expiry, tid) in &entries {
-                tl.arm(ThreadId(tid), expiry);
-                oracle.insert(tid, expiry);
+            let mut oracle: std::collections::BTreeMap<u32, u64> = Default::default();
+            for &(expiry, slot) in &entries {
+                arm(&mut tl, slot, expiry);
+                oracle.insert(slot, expiry);
             }
-            for &tid in &cancels {
-                prop_assert_eq!(tl.cancel(ThreadId(tid)), oracle.remove(&tid).is_some());
+            for &slot in &cancels {
+                prop_assert_eq!(tl.cancel(slot), oracle.remove(&slot).is_some());
             }
             prop_assert_eq!(tl.len(), oracle.len());
             prop_assert_eq!(tl.next_expiry(), oracle.values().min().copied());

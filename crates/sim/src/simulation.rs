@@ -39,7 +39,7 @@ use rrs_scheduler::{
     Reservation, ThreadId,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The simulated CPU.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -220,7 +220,11 @@ pub struct Simulation {
     registry: MetricRegistry,
     machine: Machine,
     controller: Controller,
-    threads: BTreeMap<ThreadId, SimThread>,
+    /// Dense thread table indexed by `ThreadId.0` (ids are allocated
+    /// monotonically from 1 and never reused), so the span hot loop reaches
+    /// a dispatched thread's work model without a map lookup.  Entries are
+    /// `None` for removed jobs and for index 0.
+    threads: Vec<Option<SimThread>>,
     /// Slot-indexed map back to the dispatcher's thread id, so actuations
     /// apply without re-deriving `JobId ↔ ThreadId`.
     slot_threads: Vec<Option<ThreadId>>,
@@ -247,9 +251,9 @@ pub struct Simulation {
     /// The event calendar (calendar stepping only): controller cycles,
     /// trace samples, known wake-ups and poll ticks.
     calendar: Schedule,
-    /// Pending `Event::Wake` entries by thread, so removing a job cancels
-    /// its wake-up.
-    wake_events: BTreeMap<ThreadId, EventId>,
+    /// Pending `Event::Wake` entries indexed by `ThreadId.0` (dense, like
+    /// `threads`), so removing a job cancels its wake-up.
+    wake_events: Vec<Option<EventId>>,
     /// The single outstanding `Event::PollTick`, if any.
     poll_tick: Option<EventId>,
     /// When the controller last fired (calendar stepping), so `dt` is
@@ -298,7 +302,7 @@ impl Simulation {
             registry,
             machine,
             controller,
-            threads: BTreeMap::new(),
+            threads: Vec::new(),
             slot_threads: Vec::new(),
             blocked: BTreeSet::new(),
             poll_buf: Vec::new(),
@@ -311,7 +315,7 @@ impl Simulation {
             run_end_us: None,
             last_dispatch_overhead_us: 0.0,
             calendar,
-            wake_events: BTreeMap::new(),
+            wake_events: Vec::new(),
             poll_tick: None,
             last_controller_fire_us: 0,
             last_cpu_overhead: vec![0.0; cpus],
@@ -419,6 +423,26 @@ impl Simulation {
         &self.controller
     }
 
+    fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut SimThread> {
+        self.threads
+            .get_mut(tid.0 as usize)
+            .and_then(Option::as_mut)
+    }
+
+    fn set_wake_event(&mut self, tid: ThreadId, id: EventId) {
+        let i = tid.0 as usize;
+        if self.wake_events.len() <= i {
+            self.wake_events.resize(i + 1, None);
+        }
+        self.wake_events[i] = Some(id);
+    }
+
+    fn take_wake_event(&mut self, tid: ThreadId) -> Option<EventId> {
+        self.wake_events
+            .get_mut(tid.0 as usize)
+            .and_then(Option::take)
+    }
+
     /// Adds a job.
     ///
     /// The job is registered with the controller (real-time jobs go through
@@ -465,15 +489,16 @@ impl Simulation {
             .add_thread_preadmitted_on(cpu, thread, initial)
             .expect("fresh thread id cannot clash");
 
-        self.threads.insert(
-            thread,
-            SimThread {
-                name: name.to_string(),
-                slot,
-                work,
-                last_progress: 0.0,
-            },
-        );
+        let i = thread.0 as usize;
+        if self.threads.len() <= i {
+            self.threads.resize_with(i + 1, || None);
+        }
+        self.threads[i] = Some(SimThread {
+            name: name.to_string(),
+            slot,
+            work,
+            last_progress: 0.0,
+        });
         Ok(JobHandle { job, thread, slot })
     }
 
@@ -494,9 +519,11 @@ impl Simulation {
 
     /// Removes a job from the simulation.
     pub fn remove_job(&mut self, handle: JobHandle) {
-        self.threads.remove(&handle.thread);
+        if let Some(entry) = self.threads.get_mut(handle.thread.0 as usize) {
+            *entry = None;
+        }
         self.blocked.remove(&handle.thread);
-        if let Some(id) = self.wake_events.remove(&handle.thread) {
+        if let Some(id) = self.take_wake_event(handle.thread) {
             self.calendar.cancel(id);
         }
         let _ = self.machine.remove_thread(handle.thread);
@@ -631,18 +658,19 @@ impl Simulation {
                     .schedule(SimTime::from_micros(self.next_trace_us), Event::Trace);
             }
             Event::Wake(tid) => {
-                self.wake_events.remove(&tid);
-                let Some(entry) = self.threads.get_mut(&tid) else {
+                self.take_wake_event(tid);
+                let now_us = self.now_us;
+                let Some(entry) = self.thread_mut(tid) else {
                     return;
                 };
                 // The wake time came from the model's own `next_transition`,
                 // but the model stays the authority: confirm via the poll
                 // hook, and fall back to polling if it disagrees.
-                if entry.work.poll_unblock(self.now_us) {
+                if entry.work.poll_unblock(now_us) {
                     let _ = self.machine.unblock(tid);
                 } else {
                     self.blocked.insert(tid);
-                    self.ensure_poll_tick(self.now_us);
+                    self.ensure_poll_tick(now_us);
                 }
             }
             Event::PollTick => {
@@ -690,24 +718,29 @@ impl Simulation {
         for cpu in 0..self.machine.cpu_count() {
             let cpu_id = CpuId(cpu as u32);
             let mut t = start;
-            let mut local_wakes: Vec<(u64, ThreadId)> = Vec::new();
-            let mut local_poll: Vec<ThreadId> = Vec::new();
+            // In-window wake/poll entries carry the dispatcher's dense slot
+            // (returned by `block_span`), so waking is slot-addressed: no
+            // placement or id → slot map on the hot path.  Slots are stable
+            // within a window — migrations and removals only happen at
+            // controller events, which bound it.
+            let mut local_wakes: Vec<(u64, ThreadId, u32)> = Vec::new();
+            let mut local_poll: Vec<(ThreadId, u32)> = Vec::new();
             let mut next_poll = u64::MAX;
             loop {
                 // Fire local wake-ups that have come due.
                 let mut i = 0;
                 while i < local_wakes.len() {
-                    let (at, tid) = local_wakes[i];
+                    let (at, tid, dslot) = local_wakes[i];
                     if at > t {
                         i += 1;
                         continue;
                     }
                     local_wakes.swap_remove(i);
-                    let entry = self.threads.get_mut(&tid).expect("blocked thread exists");
+                    let entry = self.thread_mut(tid).expect("blocked thread exists");
                     if entry.work.poll_unblock(t) {
-                        let _ = self.machine.unblock(tid);
+                        self.machine.dispatcher_mut(cpu_id).unblock_slot(dslot, tid);
                     } else {
-                        local_poll.push(tid);
+                        local_poll.push((tid, dslot));
                         next_poll = next_poll.min(t + interval);
                     }
                 }
@@ -715,11 +748,11 @@ impl Simulation {
                 if t >= next_poll && !local_poll.is_empty() {
                     let mut j = 0;
                     while j < local_poll.len() {
-                        let tid = local_poll[j];
-                        let entry = self.threads.get_mut(&tid).expect("blocked thread exists");
+                        let (tid, dslot) = local_poll[j];
+                        let entry = self.thread_mut(tid).expect("blocked thread exists");
                         if entry.work.poll_unblock(t) {
                             local_poll.swap_remove(j);
-                            let _ = self.machine.unblock(tid);
+                            self.machine.dispatcher_mut(cpu_id).unblock_slot(dslot, tid);
                         } else {
                             j += 1;
                         }
@@ -743,7 +776,7 @@ impl Simulation {
                     if let Some(e) = self.machine.dispatcher(cpu_id).next_timer_expiry() {
                         jump = jump.min(e);
                     }
-                    for &(at, _) in &local_wakes {
+                    for &(at, _, _) in &local_wakes {
                         jump = jump.min(at);
                     }
                     jump = jump.min(next_poll).clamp(t + 1, target_us);
@@ -786,7 +819,8 @@ impl Simulation {
                 let (used, blocked, wake) = {
                     let entry = self
                         .threads
-                        .get_mut(&tid)
+                        .get_mut(tid.0 as usize)
+                        .and_then(Option::as_mut)
                         .expect("dispatched thread exists");
                     let result = entry.work.run(t, span, cpu_hz);
                     let used = result.used_us.min(span);
@@ -797,27 +831,28 @@ impl Simulation {
                     };
                     (used, result.blocked, wake)
                 };
-                self.machine
-                    .charge(tid, used)
-                    .expect("dispatched thread exists");
+                // Slot-addressed batched charge on the span's own CPU: no
+                // placement lookup, no id → slot map, and consecutive
+                // uncontended spans settle in one account update.
+                self.machine.dispatcher_mut(cpu_id).charge_span(used);
                 self.stats.per_cpu[cpu].used_us += used;
                 t += used;
                 if blocked {
-                    self.machine.block(tid).expect("dispatched thread exists");
+                    let dslot = self.machine.dispatcher_mut(cpu_id).block_span();
                     match wake {
                         Some(w) => {
                             let at = w.as_micros().max(t + 1);
                             if at < target_us {
-                                local_wakes.push((at, tid));
+                                local_wakes.push((at, tid, dslot));
                             } else {
                                 let id = self
                                     .calendar
                                     .schedule(SimTime::from_micros(at), Event::Wake(tid));
-                                self.wake_events.insert(tid, id);
+                                self.set_wake_event(tid, id);
                             }
                         }
                         None => {
-                            local_poll.push(tid);
+                            local_poll.push((tid, dslot));
                             next_poll = next_poll.min(t + interval);
                         }
                     }
@@ -828,15 +863,17 @@ impl Simulation {
                     t += 1;
                 }
             }
-            // Window over: whatever is still blocked goes global.
-            for (at, tid) in local_wakes {
+            // Window over: whatever is still blocked goes global (the
+            // global paths wake by id — a controller event in between may
+            // migrate the thread and invalidate its slot).
+            for (at, tid, _) in local_wakes {
                 let id = self
                     .calendar
                     .schedule(SimTime::from_micros(at.max(target_us)), Event::Wake(tid));
-                self.wake_events.insert(tid, id);
+                self.set_wake_event(tid, id);
             }
             let had_poll = !local_poll.is_empty();
-            for tid in local_poll {
+            for (tid, _) in local_poll {
                 self.blocked.insert(tid);
             }
             if had_poll {
@@ -854,7 +891,7 @@ impl Simulation {
             let threads = &self.threads;
             let controller = &mut self.controller;
             self.machine.drain_usage_changes(|tid, ratio| {
-                if let Some(thread) = threads.get(&tid) {
+                if let Some(thread) = threads.get(tid.0 as usize).and_then(Option::as_ref) {
                     controller.record_usage(thread.slot, UsageSnapshot { usage_ratio: ratio });
                 }
             });
@@ -965,10 +1002,7 @@ impl Simulation {
                 self.cpu_used.push(0);
                 continue;
             };
-            let entry = self
-                .threads
-                .get_mut(&tid)
-                .expect("dispatched thread exists");
+            let entry = self.thread_mut(tid).expect("dispatched thread exists");
             let result = entry.work.run(now, dt, cpu_hz);
             let used = result.used_us.min(dt);
             self.machine
@@ -1051,7 +1085,7 @@ impl Simulation {
         self.poll_buf.extend(self.blocked.iter().copied());
         for i in 0..self.poll_buf.len() {
             let tid = self.poll_buf[i];
-            let entry = self.threads.get_mut(&tid).expect("exists");
+            let entry = self.thread_mut(tid).expect("exists");
             if entry.work.poll_unblock(now) {
                 self.blocked.remove(&tid);
                 let _ = self.machine.unblock(tid);
@@ -1062,8 +1096,11 @@ impl Simulation {
     fn run_controller(&mut self) {
         // Feed the machine's accounting to the controller by slot, then
         // run the staged pipeline in place — no per-cycle allocation.
-        for (tid, thread) in &self.threads {
-            if let Some(acct) = self.machine.usage_ref(*tid) {
+        // Dense iteration visits threads in id order, as the map did.
+        for (raw, thread) in self.threads.iter().enumerate() {
+            let Some(thread) = thread else { continue };
+            let tid = ThreadId(raw as u64);
+            if let Some(acct) = self.machine.usage_ref(tid) {
                 self.controller.record_usage(
                     thread.slot,
                     UsageSnapshot {
@@ -1126,8 +1163,10 @@ impl Simulation {
     fn record_trace(&mut self) {
         let t = self.now_seconds();
         let interval = self.config.trace_interval_s.max(1e-9);
-        for (tid, thread) in &mut self.threads {
-            if let Some(r) = self.machine.reservation(*tid) {
+        for (raw, thread) in self.threads.iter_mut().enumerate() {
+            let Some(thread) = thread else { continue };
+            let tid = ThreadId(raw as u64);
+            if let Some(r) = self.machine.reservation(tid) {
                 self.trace.record(
                     &format!("alloc/{}", thread.name),
                     t,
@@ -1170,7 +1209,7 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now_us", &self.now_us)
-            .field("threads", &self.threads.len())
+            .field("threads", &self.threads.iter().flatten().count())
             .finish()
     }
 }

@@ -12,8 +12,10 @@ use rrs_core::{controller::AdmitError, Controller, JobHandle, JobSpec};
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{CpuId, CpuStats, Machine, Reservation, UsageAccount};
 use rrs_sim::{Trace, WorkModel};
+use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
+use std::sync::Arc;
 
 /// Which engine a host runs jobs on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -181,6 +183,23 @@ pub trait Host {
 
     /// Aggregate statistics of the run so far.
     fn stats(&self) -> HostStats;
+
+    /// A point-in-time snapshot of the subsystem telemetry counters
+    /// (quantum-cache hit rate, settles by reason, calendar event mix,
+    /// controller cycle split) — one schema on both backends, so
+    /// sim-vs-wall-clock runs compare directly.  The counters are always
+    /// on; only the `trace_events_*` fields need
+    /// [`Host::enable_telemetry`] first.
+    fn telemetry(&self) -> TelemetrySnapshot;
+
+    /// Enables structured trace recording (and controller stage timing),
+    /// returning the shared recorder.  Export the captured events with
+    /// [`rrs_telemetry::Recorder::chrome_trace_json`].
+    fn enable_telemetry(&mut self, config: TelemetryConfig) -> Arc<Recorder>;
+
+    /// The trace recorder installed by [`Host::enable_telemetry`], if
+    /// any.
+    fn telemetry_recorder(&self) -> Option<Arc<Recorder>>;
 
     /// The recorded trace (`alloc/<job>`, `rate/<job>`,
     /// `fill/<queue>`, … series).

@@ -73,6 +73,7 @@ pub use rrs_core::{
 pub use rrs_queue::MetricRegistry;
 pub use rrs_scheduler::{CpuId, CpuStats, Period, Proportion, Reservation, UsageAccount};
 pub use rrs_sim::{RunResult, SimConfig, Simulation, Trace, WorkModel};
+pub use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot};
 
 #[cfg(test)]
 mod tests {
@@ -132,6 +133,44 @@ mod tests {
             Reservation::new(Proportion::from_ppt(123), Period::from_millis(10)),
         );
         assert_eq!(host.allocation_ppt(h), 123);
+    }
+
+    #[test]
+    fn telemetry_shares_one_schema_across_backends() {
+        // Built with `.telemetry(...)`, both backends record structured
+        // events and report the same counter schema.
+        let mut sim = Runtime::sim().telemetry(TelemetryConfig::default()).build();
+        sim.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin))
+            .unwrap();
+        sim.advance(SimTime::from_secs(1));
+        let snap = sim.telemetry();
+        assert!(snap.quantum_cache_hits > 0);
+        assert!(snap.trace_events_recorded > 0);
+        let recorder = sim.telemetry_recorder().expect("builder installed it");
+        assert!(!recorder.is_empty());
+
+        let mut wall = Runtime::wall_clock()
+            .telemetry(TelemetryConfig::default())
+            .build();
+        wall.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin))
+            .unwrap();
+        wall.advance(SimTime::from_millis(120));
+        let snap = wall.telemetry();
+        assert!(snap.dispatches > 0);
+        assert!(
+            snap.trace_events_recorded > 0,
+            "controller cycles must be recorded"
+        );
+        assert!(wall.telemetry_recorder().is_some());
+
+        // Without the builder knob the recorder is absent but the
+        // always-on counters still read.
+        let mut host = Runtime::sim().build();
+        host.add_job("spin", JobSpec::miscellaneous(), Box::new(Spin))
+            .unwrap();
+        host.advance(SimTime::from_secs(1));
+        assert!(host.telemetry_recorder().is_none());
+        assert!(host.telemetry().dispatches > 0);
     }
 
     #[test]

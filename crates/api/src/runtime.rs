@@ -4,6 +4,7 @@ use crate::host::{Backend, Host};
 use crate::wall_clock::{WallClockConfig, WallClockHost};
 use rrs_core::ControllerConfig;
 use rrs_sim::{SimConfig, Simulation};
+use rrs_telemetry::TelemetryConfig;
 
 /// Entry point of the backend-agnostic API.
 ///
@@ -47,6 +48,7 @@ pub struct RuntimeBuilder {
     cpus: Option<usize>,
     sim: SimConfig,
     wall: WallClockConfig,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl RuntimeBuilder {
@@ -56,6 +58,7 @@ impl RuntimeBuilder {
             cpus: None,
             sim: SimConfig::default(),
             wall: WallClockConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -93,9 +96,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables structured trace recording on the built host (see
+    /// [`Host::enable_telemetry`]).  Without this call the host records
+    /// nothing and its hot paths carry only the always-on counters.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Builds the host.
     pub fn build(self) -> Box<dyn Host> {
-        match self.backend {
+        let mut host: Box<dyn Host> = match self.backend {
             Backend::Sim => {
                 let config = match self.cpus {
                     Some(n) => self.sim.with_cpus(n),
@@ -110,6 +121,10 @@ impl RuntimeBuilder {
                 }
                 Box::new(WallClockHost::new(config))
             }
+        };
+        if let Some(config) = self.telemetry {
+            host.enable_telemetry(config);
         }
+        host
     }
 }

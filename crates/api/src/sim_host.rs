@@ -13,7 +13,9 @@ use rrs_core::{controller::AdmitError, Controller, JobHandle, JobSpec};
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{CpuId, Machine, Reservation, UsageAccount};
 use rrs_sim::{Simulation, Trace, WorkModel};
+use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot};
 use std::any::Any;
+use std::sync::Arc;
 
 impl Host for Simulation {
     fn backend(&self) -> Backend {
@@ -101,6 +103,18 @@ impl Host for Simulation {
             steps: stats.steps,
             per_cpu: stats.per_cpu,
         }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        Simulation::telemetry_snapshot(self)
+    }
+
+    fn enable_telemetry(&mut self, config: TelemetryConfig) -> Arc<Recorder> {
+        Simulation::enable_telemetry(self, config)
+    }
+
+    fn telemetry_recorder(&self) -> Option<Arc<Recorder>> {
+        Simulation::telemetry_recorder(self)
     }
 
     fn trace(&self) -> &Trace {

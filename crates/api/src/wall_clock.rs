@@ -23,6 +23,7 @@ use rrs_queue::MetricRegistry;
 use rrs_realtime::{ExecutorConfig, RealTimeExecutor, StepOutcome};
 use rrs_scheduler::{CpuId, Machine, Reservation, ThreadId, UsageAccount};
 use rrs_sim::{Trace, WorkModel};
+use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -292,6 +293,18 @@ impl Host for WallClockHost {
             steps: stats.rounds,
             per_cpu: stats.per_cpu,
         }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.exec.telemetry_snapshot()
+    }
+
+    fn enable_telemetry(&mut self, config: TelemetryConfig) -> Arc<Recorder> {
+        self.exec.enable_telemetry(config)
+    }
+
+    fn telemetry_recorder(&self) -> Option<Arc<Recorder>> {
+        self.exec.telemetry_recorder()
     }
 
     fn trace(&self) -> &Trace {

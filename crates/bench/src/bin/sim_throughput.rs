@@ -63,7 +63,7 @@ fn run_gate(path: &str) -> ! {
     for (o, n) in outcomes.iter().zip(normalized.iter()) {
         let pass = o.pass || *n >= 1.0 - GATE_MAX_DROP;
         println!(
-            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised, {:.0} ns/event) {}",
+            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised, {:.0} ns/event, {:.1} % cache hits, {:.4} settles/event) {}",
             o.jobs,
             o.cpus,
             o.measured,
@@ -71,6 +71,8 @@ fn run_gate(path: &str) -> ! {
             o.ratio,
             n,
             o.ns_per_event,
+            o.cache_hit_rate * 100.0,
+            o.settles_per_event,
             if pass { "ok" } else { "REGRESSED" }
         );
         failed |= !pass;
@@ -132,8 +134,14 @@ fn main() {
 
     let report = measure(Duration::from_secs_f64(budget_s), |p| {
         println!(
-            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} events in {:.2} s)",
-            p.jobs, p.cpus, p.sim_us_per_wall_s, p.events, p.wall_s
+            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} events in {:.2} s, {:.1} % cache hits, {:.4} settles/event)",
+            p.jobs,
+            p.cpus,
+            p.sim_us_per_wall_s,
+            p.events,
+            p.wall_s,
+            p.cache_hit_rate * 100.0,
+            p.settles_per_event
         );
     });
     println!(

@@ -50,6 +50,16 @@ pub struct ThroughputPoint {
     pub events: u64,
     /// The headline rate: simulated microseconds per wall second.
     pub sim_us_per_wall_s: f64,
+    /// Fraction of dispatches in the measured window served by the
+    /// next-quantum cache (the zero-lookup fast path; absent in legacy
+    /// records).
+    #[serde(default)]
+    pub cache_hit_rate: f64,
+    /// Dispatch-span settles per simulation event in the measured window
+    /// — how often the hot path had to fall back to a full re-rank
+    /// (absent in legacy records).
+    #[serde(default)]
+    pub settles_per_event: f64,
 }
 
 /// Wall time of the scenario corpus, the end-to-end workload mix.
@@ -123,6 +133,7 @@ pub fn measure_point_warm(
     }
     let t0 = sim.now_micros();
     let events0 = sim.stats().steps;
+    let telem0 = sim.telemetry_snapshot();
     let start = Instant::now();
     loop {
         for _ in 0..64 {
@@ -134,13 +145,17 @@ pub fn measure_point_warm(
     }
     let wall_s = start.elapsed().as_secs_f64();
     let sim_us = sim.now_micros() - t0;
+    let events = sim.stats().steps - events0;
+    let telem = sim.telemetry_snapshot().delta_since(&telem0);
     ThroughputPoint {
         jobs,
         cpus,
         wall_s,
         sim_us,
-        events: sim.stats().steps - events0,
+        events,
         sim_us_per_wall_s: sim_us as f64 / wall_s,
+        cache_hit_rate: telem.cache_hit_rate,
+        settles_per_event: telem.settles_total() as f64 / events.max(1) as f64,
     }
 }
 
@@ -220,6 +235,12 @@ pub struct GateOutcome {
     /// Wall nanoseconds per simulation event in the fresh measurement —
     /// the per-event cost a CI log can diagnose a failure from directly.
     pub ns_per_event: f64,
+    /// Next-quantum cache hit rate of the fresh measurement — a cheap
+    /// tell when a throughput drop comes from the fast path going cold.
+    pub cache_hit_rate: f64,
+    /// Dispatch-span settles per event in the fresh measurement — rises
+    /// when the hot path starts falling back to full re-ranks.
+    pub settles_per_event: f64,
     /// Whether the point is within the allowed drop.
     pub pass: bool,
 }
@@ -249,6 +270,8 @@ pub fn gate_check(
                 recorded: r.sim_us_per_wall_s,
                 ratio,
                 ns_per_event: m.wall_s * 1e9 / m.events.max(1) as f64,
+                cache_hit_rate: m.cache_hit_rate,
+                settles_per_event: m.settles_per_event,
                 pass: ratio >= 1.0 - max_drop,
             })
         })
@@ -289,6 +312,12 @@ mod tests {
         assert!(p.sim_us > 0, "simulation must advance");
         assert!(p.events > 0);
         assert!(p.sim_us_per_wall_s > 0.0);
+        assert!(
+            (0.0..=1.0).contains(&p.cache_hit_rate),
+            "hit rate is a fraction, got {}",
+            p.cache_hit_rate
+        );
+        assert!(p.settles_per_event >= 0.0);
     }
 
     #[test]
@@ -302,6 +331,8 @@ mod tests {
                 sim_us: (rate * 0.1) as u64,
                 events: 1,
                 sim_us_per_wall_s: rate,
+                cache_hit_rate: 0.0,
+                settles_per_event: 0.0,
             }],
             corpus: CorpusTiming {
                 scenarios: 0,
@@ -325,6 +356,8 @@ mod tests {
             sim_us: (rate * 0.1) as u64,
             events: 1,
             sim_us_per_wall_s: rate,
+            cache_hit_rate: 0.0,
+            settles_per_event: 0.0,
         };
         let rec = record(
             None,
@@ -356,6 +389,8 @@ mod tests {
             recorded: 1.0,
             ratio,
             ns_per_event: 0.0,
+            cache_hit_rate: 0.0,
+            settles_per_event: 0.0,
             pass: true,
         };
         // A uniformly half-speed machine: every point reads 0.5x, the

@@ -167,6 +167,17 @@ pub struct Controller {
     output: ControlOutput,
     last_cycle: Option<f64>,
     cycles: u64,
+    /// Cycles that ran the full staged pipeline.
+    full_cycles: u64,
+    /// Cycles served by the incremental dirty-set path.
+    incremental_cycles: u64,
+    /// Measure per-stage wall-clock time inside full cycles (telemetry).
+    stage_timing: bool,
+    /// Per-stage nanoseconds of the last *timed* full cycle, in pipeline
+    /// order (sense, classify, estimate, allocate, place, actuate).
+    last_stage_ns: [u64; 6],
+    /// Cumulative per-stage nanoseconds over all timed full cycles.
+    stage_total_ns: [u64; 6],
     incr: IncrState,
 }
 
@@ -239,6 +250,11 @@ impl Controller {
             },
             last_cycle: None,
             cycles: 0,
+            full_cycles: 0,
+            incremental_cycles: 0,
+            stage_timing: false,
+            last_stage_ns: [0; 6],
+            stage_total_ns: [0; 6],
             incr: IncrState::default(),
         }
     }
@@ -275,6 +291,33 @@ impl Controller {
     /// Number of control cycles executed so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// `(full, incremental)` cycle counts: how many cycles ran the full
+    /// staged pipeline versus the dirty-set incremental path.  Their sum
+    /// is [`Controller::cycles`]; `incremental / total` is the
+    /// incremental-cycle skip rate telemetry reports.
+    pub fn cycle_counts(&self) -> (u64, u64) {
+        (self.full_cycles, self.incremental_cycles)
+    }
+
+    /// Enables (or disables) per-stage wall-clock timing inside full
+    /// cycles.  Off by default: the steady-state cycle stays free of
+    /// clock reads.
+    pub fn set_stage_timing(&mut self, on: bool) {
+        self.stage_timing = on;
+    }
+
+    /// Per-stage nanoseconds of the last timed full cycle, in pipeline
+    /// order (sense, classify, estimate, allocate, place, actuate).  All
+    /// zero until a full cycle runs with stage timing enabled.
+    pub fn last_stage_ns(&self) -> [u64; 6] {
+        self.last_stage_ns
+    }
+
+    /// Cumulative per-stage nanoseconds over all timed full cycles.
+    pub fn stage_total_ns(&self) -> [u64; 6] {
+        self.stage_total_ns
     }
 
     /// Ids of all managed jobs, in id order.
@@ -513,8 +556,10 @@ impl Controller {
         self.cycles += 1;
 
         if self.needs_full_cycle(dt) {
+            self.full_cycles += 1;
             self.full_cycle(now_s, dt);
         } else {
+            self.incremental_cycles += 1;
             self.incremental_cycle(now_s, dt);
         }
         &self.output
@@ -533,17 +578,48 @@ impl Controller {
     /// every incremental cache from the cycle's context.
     fn full_cycle(&mut self, now_s: f64, dt: f64) {
         self.ctx.begin(now_s, dt);
-        pipeline::sense(
-            &self.registry,
-            &mut self.jobs,
-            self.config.period_estimation,
-            &mut self.ctx,
-        );
-        pipeline::classify(&self.config, &mut self.jobs, &mut self.ctx);
-        pipeline::estimate(&self.config, &self.estimator, &mut self.jobs, &mut self.ctx);
-        pipeline::allocate(&self.config, &mut self.ctx);
-        pipeline::place(&self.config, &mut self.jobs, &mut self.ctx);
-        pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
+        if self.stage_timing {
+            let mut ns = [0u64; 6];
+            let mut mark = std::time::Instant::now();
+            let mut lap = |ns: &mut u64| {
+                let now = std::time::Instant::now();
+                *ns = now.duration_since(mark).as_nanos() as u64;
+                mark = now;
+            };
+            pipeline::sense(
+                &self.registry,
+                &mut self.jobs,
+                self.config.period_estimation,
+                &mut self.ctx,
+            );
+            lap(&mut ns[0]);
+            pipeline::classify(&self.config, &mut self.jobs, &mut self.ctx);
+            lap(&mut ns[1]);
+            pipeline::estimate(&self.config, &self.estimator, &mut self.jobs, &mut self.ctx);
+            lap(&mut ns[2]);
+            pipeline::allocate(&self.config, &mut self.ctx);
+            lap(&mut ns[3]);
+            pipeline::place(&self.config, &mut self.jobs, &mut self.ctx);
+            lap(&mut ns[4]);
+            pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
+            lap(&mut ns[5]);
+            self.last_stage_ns = ns;
+            for (total, n) in self.stage_total_ns.iter_mut().zip(ns) {
+                *total += n;
+            }
+        } else {
+            pipeline::sense(
+                &self.registry,
+                &mut self.jobs,
+                self.config.period_estimation,
+                &mut self.ctx,
+            );
+            pipeline::classify(&self.config, &mut self.jobs, &mut self.ctx);
+            pipeline::estimate(&self.config, &self.estimator, &mut self.jobs, &mut self.ctx);
+            pipeline::allocate(&self.config, &mut self.ctx);
+            pipeline::place(&self.config, &mut self.jobs, &mut self.ctx);
+            pipeline::actuate(&self.config, &mut self.jobs, &self.ctx, &mut self.output);
+        }
 
         if self.config.incremental {
             let incr = &mut self.incr;

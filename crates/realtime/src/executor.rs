@@ -10,13 +10,14 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rrs_core::{
-    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobHandle,
-    JobId, JobSlot, JobSpec, UsageSnapshot,
+    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, JobHandle, JobId,
+    JobSlot, JobSpec, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
     CpuId, CpuStats, DispatcherConfig, Machine, Reservation, ThreadId, UsageAccount,
 };
+use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot, TraceEventKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -82,16 +83,6 @@ impl ExecutorConfig {
         Duration::from_micros(quantum_us.clamp(self.idle_sleep_min_us, max))
     }
 }
-
-/// Handle to a task registered with the executor.
-///
-/// Historical alias: the executor now hands out the same
-/// [`rrs_core::JobHandle`] as every other backend.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `rrs_core::JobHandle` (re-exported as `JobHandle`)"
-)]
-pub type TaskHandle = JobHandle;
 
 /// Aggregate statistics of an executor run.
 ///
@@ -175,6 +166,8 @@ pub struct RealTimeExecutor {
     start: Instant,
     cpu_time: Arc<Mutex<BTreeMap<u64, Duration>>>,
     stats: ExecutorStats,
+    /// The structured trace recorder, when telemetry is enabled.
+    telemetry: Option<Arc<Recorder>>,
 }
 
 impl RealTimeExecutor {
@@ -197,7 +190,63 @@ impl RealTimeExecutor {
                 per_cpu: vec![CpuStats::default(); cpus],
                 ..ExecutorStats::default()
             },
+            telemetry: None,
         }
+    }
+
+    /// Enables structured trace recording and controller stage timing,
+    /// returning the shared recorder.
+    ///
+    /// The wall-clock analogue of the simulator's `enable_telemetry`:
+    /// the same ring buffer, the same event vocabulary, timestamps from
+    /// the executor's own elapsed clock.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) -> Arc<Recorder> {
+        let recorder = Recorder::new(config);
+        self.machine.set_telemetry(Some(recorder.clone()));
+        self.controller.set_stage_timing(recorder.stage_timing());
+        self.telemetry = Some(recorder.clone());
+        recorder
+    }
+
+    /// The trace recorder installed by
+    /// [`RealTimeExecutor::enable_telemetry`], if any.
+    pub fn telemetry_recorder(&self) -> Option<Arc<Recorder>> {
+        self.telemetry.clone()
+    }
+
+    /// A point-in-time snapshot of the subsystem counters, sharing the
+    /// simulator's schema so sim-vs-wall-clock runs compare directly.
+    /// The executor has no event calendar, so the `events_*` counters
+    /// stay zero on this backend.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let fast = self.machine.fast_path_stats();
+        let dispatch = self.machine.stats();
+        let (full, incremental) = self.controller.cycle_counts();
+        let stage = self.controller.stage_total_ns();
+        let snapshot = TelemetrySnapshot {
+            quantum_cache_hits: fast.quantum_cache_hits,
+            quantum_cache_misses: fast.quantum_cache_misses,
+            settles_goodness: fast.settles_goodness,
+            settles_period_boundary: fast.settles_period_boundary,
+            settles_throttle_edge: fast.settles_throttle_edge,
+            settles_zero_span: fast.settles_zero_span,
+            controller_full_cycles: full,
+            controller_incremental_cycles: incremental,
+            stage_sense_ns: stage[0],
+            stage_classify_ns: stage[1],
+            stage_estimate_ns: stage[2],
+            stage_allocate_ns: stage[3],
+            stage_place_ns: stage[4],
+            stage_actuate_ns: stage[5],
+            dispatches: dispatch.dispatches,
+            context_switches: dispatch.context_switches,
+            period_rollovers: dispatch.period_rollovers,
+            migrations: self.stats.migrations,
+            trace_events_recorded: self.telemetry.as_ref().map(|r| r.recorded()).unwrap_or(0),
+            trace_events_dropped: self.telemetry.as_ref().map(|r| r.dropped()).unwrap_or(0),
+            ..TelemetrySnapshot::default()
+        };
+        snapshot.finalize()
     }
 
     /// The number of logical CPUs workers are sharded over.
@@ -317,24 +366,6 @@ impl RealTimeExecutor {
     {
         self.try_spawn(name, spec, step)
             .expect("admission rejected: reduce the requested reservation")
-    }
-
-    /// Spawns a task with an explicit importance weight.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set the weight on the spec with `JobSpec::with_importance` and call `spawn`"
-    )]
-    pub fn spawn_with_importance<F>(
-        &mut self,
-        name: &str,
-        spec: JobSpec,
-        importance: Importance,
-        step: F,
-    ) -> JobHandle
-    where
-        F: FnMut(Duration) -> StepOutcome + Send + 'static,
-    {
-        self.spawn(name, spec.with_importance(importance), step)
     }
 
     /// Spawns a task, reporting real-time admission rejection instead of
@@ -563,6 +594,9 @@ impl RealTimeExecutor {
                 );
             }
         }
+        let cycle_ts = self.now_us();
+        let full_before = self.controller.cycle_counts().0;
+        let timer = self.telemetry.as_ref().map(|_| Instant::now());
         let now_s = self.start.elapsed().as_secs_f64();
         let out = self.controller.control_cycle_in_place(now_s);
         self.stats.controller_invocations += 1;
@@ -588,6 +622,24 @@ impl RealTimeExecutor {
                     self.stats.per_cpu[actuation.cpu.index()].migrations_in += 1;
                 }
             }
+        }
+        if let (Some(recorder), Some(started)) = (&self.telemetry, timer) {
+            let incremental = self.controller.cycle_counts().0 == full_before;
+            let mut stage_ns = [0u32; 6];
+            if !incremental {
+                for (dst, src) in stage_ns.iter_mut().zip(self.controller.last_stage_ns()) {
+                    *dst = src.min(u32::MAX as u64) as u32;
+                }
+            }
+            recorder.record(
+                cycle_ts,
+                TraceEventKind::ControllerCycle {
+                    dur_ns: started.elapsed().as_nanos() as u64,
+                    incremental,
+                    jobs: self.controller.job_count() as u32,
+                    stage_ns,
+                },
+            );
         }
     }
 

@@ -27,7 +27,5 @@
 
 pub mod executor;
 
-#[allow(deprecated)]
-pub use executor::TaskHandle;
 pub use executor::{ExecutorConfig, ExecutorStats, RealTimeExecutor, StepOutcome};
 pub use rrs_core::JobHandle;

@@ -22,12 +22,15 @@ use rrs_api::{Host, HostStats, Runtime, SimTime};
 use rrs_core::{JobHandle, JobSpec};
 use rrs_scheduler::{Period, Proportion};
 use rrs_sim::{RunResult, WorkModel};
+use rrs_telemetry::TelemetrySnapshot;
 use rrs_workloads::{
-    CpuHog, DiskReader, DummyProcess, InteractiveJob, ModemConfig, PipelineConfig, PulsePipeline,
-    ServerConfig, SoftwareModem, VideoPipeline, VideoPipelineConfig, WebServer,
+    CpuHog, DiskReader, DummyProcess, InteractiveJob, LatencyStats, LatencySummary, ModemConfig,
+    PipelineConfig, PulsePipeline, ServerConfig, SoftwareModem, VideoPipeline, VideoPipelineConfig,
+    WebServer,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Job-population counters of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -40,6 +43,19 @@ pub struct JobCounts {
     pub departed: u64,
     /// Spawn attempts rejected by admission control.
     pub rejected: u64,
+}
+
+/// One phase's slice of the host's telemetry counters: the difference
+/// between the [`rrs_api::Host::telemetry`] snapshots taken at the
+/// phase's two boundaries, so a hog-storm phase's migrations and settles
+/// are attributed to that phase rather than smeared over the run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTelemetry {
+    /// The phase's name, as declared in the spec.
+    pub name: String,
+    /// Counters accumulated during this phase only (derived rates
+    /// recomputed over the phase window).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The machine-checkable result of one scenario run.
@@ -64,6 +80,14 @@ pub struct ScenarioReport {
     pub jobs: JobCounts,
     /// The host's aggregate statistics, per-CPU breakdown included.
     pub stats: HostStats,
+    /// Per-phase telemetry counter slices (migrations, settles, cache
+    /// hit rate, …), one entry per phase in schedule order.
+    #[serde(default)]
+    pub phase_telemetry: Vec<PhaseTelemetry>,
+    /// Latency percentile summaries of instrumented members (the web
+    /// server, interactive members), in install order.
+    #[serde(default)]
+    pub latencies: Vec<LatencySummary>,
     /// Every SLO's outcome, in spec order.
     pub slos: Vec<SloOutcome>,
     /// Whether every SLO passed.
@@ -113,7 +137,10 @@ struct Installed {
     /// Real-time spinners with their reserved parts per thousand.
     rt_spin: Vec<(JobHandle, u32)>,
     /// Application-level statistics of installed modems.
-    modems: Vec<std::sync::Arc<rrs_workloads::ModemStats>>,
+    modems: Vec<Arc<rrs_workloads::ModemStats>>,
+    /// Per-request latency histograms of instrumented members, keyed by
+    /// the source name the `LatencyBand` SLO addresses them with.
+    latencies: Vec<(String, Arc<LatencyStats>)>,
     /// Every handle installed (for the `installed` count).
     count: u64,
 }
@@ -162,15 +189,17 @@ fn install_member(host: &mut dyn Host, member: &Member, out: &mut Installed) {
             keystrokes_hz,
             mcycles_per_keystroke,
         } => {
+            let stats = LatencyStats::new();
             host.add_job(
                 name,
                 JobSpec::miscellaneous(),
-                Box::new(InteractiveJob::new(
-                    *keystrokes_hz,
-                    mcycles_per_keystroke * 1e6,
-                )),
+                Box::new(
+                    InteractiveJob::new(*keystrokes_hz, mcycles_per_keystroke * 1e6)
+                        .with_latency_stats(Arc::clone(&stats)),
+                ),
             )
             .expect("miscellaneous jobs are always admitted");
+            out.latencies.push((name.clone(), stats));
             out.count += 1;
         }
         Member::VideoPipeline {
@@ -196,7 +225,7 @@ fn install_member(host: &mut dyn Host, member: &Member, out: &mut Installed) {
             mcycles_per_request,
             backlog,
         } => {
-            let (_, server) = WebServer::install(
+            let (_, server, stats) = WebServer::install_instrumented(
                 host,
                 ServerConfig {
                     queue_capacity: *backlog,
@@ -205,6 +234,7 @@ fn install_member(host: &mut dyn Host, member: &Member, out: &mut Installed) {
                 },
             );
             out.adaptive.push(server);
+            out.latencies.push(("server".to_string(), stats));
             out.count += 2;
         }
         Member::PulsePipeline {
@@ -395,6 +425,11 @@ pub fn run_scenario_on(
             *capacity_us += (host.now().as_micros() - now_us) as f64 * host.cpu_count() as f64;
         }
     };
+    // Each phase's telemetry slice is the counter delta between its two
+    // boundary snapshots (the runner never installs a trace recorder, so
+    // the snapshots hold only the deterministic always-on counters).
+    let mut phase_telemetry: Vec<PhaseTelemetry> = Vec::with_capacity(spec.phases.len());
+    let mut phase_base = host.telemetry();
     for event in &events {
         advance(
             host,
@@ -403,6 +438,14 @@ pub fn run_scenario_on(
         );
         match event.kind {
             EventKind::PhaseStart(i) => {
+                let snap = host.telemetry();
+                if i > 0 {
+                    phase_telemetry.push(PhaseTelemetry {
+                        name: spec.phases[i - 1].name.clone(),
+                        telemetry: snap.delta_since(&phase_base),
+                    });
+                }
+                phase_base = snap;
                 if let Some(n) = spec.phases[i].cpus {
                     host.grow_cpus(n);
                 }
@@ -426,6 +469,12 @@ pub fn run_scenario_on(
         }
     }
     advance(host, epoch_us + horizon_us, &mut capacity_us);
+    if let Some(last) = spec.phases.last() {
+        phase_telemetry.push(PhaseTelemetry {
+            name: last.name.clone(),
+            telemetry: host.telemetry().delta_since(&phase_base),
+        });
+    }
 
     // Assemble the observations and evaluate every SLO.
     let stats = host.stats();
@@ -476,9 +525,15 @@ pub fn run_scenario_on(
         fair_used_us: &fair_used_us,
         min_adaptive_alloc_ppt,
         rt_delivery_min,
+        latencies: &installed.latencies,
     };
     let slos: Vec<SloOutcome> = spec.slos.iter().map(|s| s.evaluate(&obs)).collect();
     let passed = slos.iter().all(|o| o.passed);
+    let latencies = installed
+        .latencies
+        .iter()
+        .map(|(name, stats)| stats.summary(name))
+        .collect();
     Ok(ScenarioReport {
         scenario: spec.name.clone(),
         description: spec.description.clone(),
@@ -489,6 +544,8 @@ pub fn run_scenario_on(
         capacity_us,
         jobs: counts,
         stats,
+        phase_telemetry,
+        latencies,
         slos,
         passed,
     })
@@ -569,6 +626,64 @@ mod tests {
         let idle: u64 = report.stats.per_cpu.iter().map(|c| c.idle_us).sum();
         assert!(idle as f64 <= report.capacity_us * 1.001);
         assert!(report.passed, "SLOs hold: {:?}", report.slos);
+    }
+
+    #[test]
+    fn reports_carry_phase_telemetry_and_latency_summaries() {
+        let mut s = ScenarioSpec::named("unit_telemetry", "phase slices and latency percentiles");
+        s.cpus = 1;
+        s.members.push(Member::Hog { name: "h".into() });
+        s.members.push(Member::Interactive {
+            name: "typist".into(),
+            keystrokes_hz: 5.0,
+            mcycles_per_keystroke: 2.0,
+        });
+        s.phases.push(Phase::steady("warm", 1.5));
+        s.phases.push(Phase::steady("more", 1.5));
+        s.slos.push(Slo::LatencyBand {
+            source: "typist".into(),
+            percentile: 99.0,
+            max_ms: 500.0,
+        });
+        let report = run_scenario(&s).unwrap();
+        // One telemetry slice per phase, each covering real activity.
+        assert_eq!(report.phase_telemetry.len(), 2);
+        assert_eq!(report.phase_telemetry[0].name, "warm");
+        assert_eq!(report.phase_telemetry[1].name, "more");
+        for p in &report.phase_telemetry {
+            assert!(
+                p.telemetry.dispatches > 0,
+                "phase {} saw no dispatches",
+                p.name
+            );
+            assert!(p.telemetry.calendar_events_total() > 0);
+        }
+        // Phase slices are deltas, not cumulative repeats: equal-length
+        // steady phases see the same order of activity, so the second
+        // slice cannot contain the first one over again.
+        let (d0, d1) = (
+            report.phase_telemetry[0].telemetry.dispatches,
+            report.phase_telemetry[1].telemetry.dispatches,
+        );
+        assert!(
+            d1 < d0 * 2,
+            "slice 2 ({d1}) looks cumulative over slice 1 ({d0})"
+        );
+        // The instrumented member produced a percentile summary and the
+        // latency SLO evaluated against it.
+        assert_eq!(report.latencies.len(), 1);
+        let lat = &report.latencies[0];
+        assert_eq!(lat.source, "typist");
+        assert!(lat.count > 0);
+        assert!(lat.p50_ms <= lat.p99_ms && lat.p99_ms <= lat.p999_ms);
+        let outcome = report.slos.last().unwrap();
+        assert!(outcome.measured > 0.0, "{}", outcome.description);
+        assert!(outcome.passed, "{}", outcome.description);
+        // The new fields survive the JSON round trip (and old reports
+        // without them still parse thanks to the defaults).
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! `scenario_runner` binary's exit status non-zero.
 
 use rrs_sim::Trace;
+use rrs_workloads::LatencyStats;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One assertion over a finished scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +76,28 @@ pub enum Slo {
         /// Smallest acceptable delivered/reserved ratio in `[0, 1]`.
         min_ratio: f64,
     },
+    /// A latency-instrumented member's request-latency percentile must
+    /// not exceed `max_ms` — tail latency, not just the mean, is what a
+    /// server's users feel.
+    ///
+    /// Measured over the per-request histograms of instrumented members
+    /// (the [`Member::WebServer`](crate::Member) records
+    /// queueing-plus-service time as `"server"`, a
+    /// [`Member::Interactive`](crate::Member) records
+    /// keystroke-to-completion time under its own name).  A `source` the
+    /// scenario never recorded samples for fails rather than passing
+    /// vacuously.
+    LatencyBand {
+        /// Which member's histogram to read (`"server"`, or the
+        /// interactive member's name).
+        source: String,
+        /// The percentile to check, 0–100 (99.0 and 99.9 are the
+        /// conventional tail bands).
+        percentile: f64,
+        /// Largest acceptable latency at that percentile, in
+        /// milliseconds.
+        max_ms: f64,
+    },
 }
 
 /// Everything an [`Slo`] may be evaluated against.
@@ -106,6 +130,9 @@ pub struct Observations<'a> {
     /// Smallest delivered/reserved ratio among real-time spinners
     /// (`None` when the scenario has none).
     pub rt_delivery_min: Option<f64>,
+    /// Per-request latency histograms of instrumented members, keyed by
+    /// source name (empty when the scenario has none).
+    pub latencies: &'a [(String, Arc<LatencyStats>)],
 }
 
 /// The outcome of one SLO check.
@@ -225,6 +252,29 @@ impl Slo {
                     cpus >= *min_cpus,
                 )
             }
+            Slo::LatencyBand {
+                source,
+                percentile,
+                max_ms,
+            } => match obs.latencies.iter().find(|(name, _)| name == source) {
+                Some((_, stats)) if stats.count() > 0 => {
+                    let ms = stats.percentile_us(*percentile) / 1e3;
+                    (
+                        format!(
+                            "p{percentile} latency of '{source}' {ms:.2} ms ≤ {max_ms} ms \
+                             ({} samples)",
+                            stats.count()
+                        ),
+                        ms,
+                        ms <= *max_ms,
+                    )
+                }
+                _ => (
+                    format!("source '{source}' recorded no latency samples"),
+                    -1.0,
+                    false,
+                ),
+            },
             Slo::RtDelivery { min_ratio } => match obs.rt_delivery_min {
                 Some(ratio) => (
                     format!("worst real-time delivery {ratio:.3} of reservation ≥ {min_ratio}"),
@@ -264,6 +314,7 @@ mod tests {
             fair_used_us: &[],
             min_adaptive_alloc_ppt: Some(40),
             rt_delivery_min: Some(0.97),
+            latencies: &[],
         }
     }
 
@@ -326,6 +377,42 @@ mod tests {
         assert!(Slo::RtDelivery { min_ratio: 0.9 }.evaluate(&o).passed);
         o.rt_delivery_min = None;
         assert!(!Slo::RtDelivery { min_ratio: 0.9 }.evaluate(&o).passed);
+    }
+
+    #[test]
+    fn latency_band_reads_the_histograms() {
+        let trace = Trace::new();
+        let mut o = obs(&trace);
+        let stats = LatencyStats::new();
+        for us in [1_000u64, 2_000, 3_000, 50_000] {
+            stats.record_us(us);
+        }
+        let latencies = vec![("server".to_string(), stats)];
+        o.latencies = &latencies;
+        let ok = Slo::LatencyBand {
+            source: "server".into(),
+            percentile: 99.0,
+            max_ms: 100.0,
+        }
+        .evaluate(&o);
+        assert!(ok.passed, "{}", ok.description);
+        assert!(ok.measured > 0.0);
+        let tight = Slo::LatencyBand {
+            source: "server".into(),
+            percentile: 99.9,
+            max_ms: 1.0,
+        }
+        .evaluate(&o);
+        assert!(!tight.passed, "p99.9 ≈ 50 ms cannot fit under 1 ms");
+        // A source nobody recorded fails, not passes.
+        let missing = Slo::LatencyBand {
+            source: "typist".into(),
+            percentile: 99.0,
+            max_ms: 100.0,
+        }
+        .evaluate(&o);
+        assert!(!missing.passed);
+        assert_eq!(missing.measured, -1.0);
     }
 
     #[test]

@@ -63,6 +63,18 @@
 //! simulator); the eager reference path is untouched, and the golden
 //! SimStats captures pin the whole optimisation as observationally
 //! invisible.
+//!
+//! Both mechanisms are counted by the always-on [`FastPathStats`]
+//! (exposed per CPU by [`Dispatcher::fast_path_stats`] and machine-wide
+//! by [`crate::Machine::fast_path_stats`]): every dispatch decision is
+//! either a `quantum_cache_hits` (served by the cache in `O(1)`) or a
+//! `quantum_cache_misses` (slow path), and every forced settle lands in
+//! exactly one of `settles_goodness`, `settles_period_boundary`,
+//! `settles_throttle_edge` or `settles_zero_span` — the
+//! [`crate::settle::SettleReason`] taxonomy.  With a telemetry recorder
+//! attached ([`Dispatcher::set_telemetry`]) the same points also emit
+//! structured trace events (`quantum_cache_hit` / `quantum_cache_miss`
+//! instants, `settle:<reason>` points, `period_rollover` marks).
 
 use crate::accounting::UsageAccount;
 use crate::admission::AdmissionControl;
@@ -70,11 +82,13 @@ use crate::error::SchedError;
 use crate::goodness::{best_effort_goodness, rbs_goodness};
 use crate::reservation::Reservation;
 use crate::runqueue::{RunKey, RunQueue};
-use crate::settle::{charge_exhausts, span_settle_reason};
+use crate::settle::{charge_exhausts, span_settle_reason, SettleReason};
 use crate::timerlist::TimerList;
 use crate::types::{Proportion, ThreadId, ThreadState};
+use rrs_telemetry::{Recorder, SettleCause, TraceEventKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How a thread is scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +173,63 @@ pub struct DispatchStats {
     pub overhead_us: f64,
     /// Time during which no thread was runnable, in microseconds.
     pub idle_us: u64,
+}
+
+/// Fast-path effectiveness counters, kept separate from [`DispatchStats`]
+/// so the golden stats captures (which pin the scheduling *outcome*) stay
+/// byte-identical while the *mechanism* remains observable.
+///
+/// These are the counter names the module docs' fast-path invariants refer
+/// to: `quantum_cache_hits` / `quantum_cache_misses` split every dispatch
+/// decision by whether the next-quantum cache served it, and the four
+/// `settles_*` counters split batched span settles by their
+/// [`SettleReason`].  Always counted (an increment is cheaper than a
+/// branch to skip it); aggregated machine-wide by
+/// [`crate::Machine::fast_path_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastPathStats {
+    /// Dispatch decisions served by the next-quantum cache in `O(1)`.
+    pub quantum_cache_hits: u64,
+    /// Dispatch decisions that took the slow path (queue peek + re-rank).
+    pub quantum_cache_misses: u64,
+    /// Span settles forced by a best-effort goodness re-rank.
+    pub settles_goodness: u64,
+    /// Span settles forced by reaching the thread's period boundary.
+    pub settles_period_boundary: u64,
+    /// Span settles forced by budget exhaustion (the throttle edge).
+    pub settles_throttle_edge: u64,
+    /// Span settles forced by a zero-length charge.
+    pub settles_zero_span: u64,
+}
+
+impl FastPathStats {
+    /// Accumulates another CPU's counters into this one.
+    pub fn merge(&mut self, other: &FastPathStats) {
+        self.quantum_cache_hits += other.quantum_cache_hits;
+        self.quantum_cache_misses += other.quantum_cache_misses;
+        self.settles_goodness += other.settles_goodness;
+        self.settles_period_boundary += other.settles_period_boundary;
+        self.settles_throttle_edge += other.settles_throttle_edge;
+        self.settles_zero_span += other.settles_zero_span;
+    }
+
+    /// `hits / (hits + misses)`, or 0 when no dispatch has run.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.quantum_cache_hits + self.quantum_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.quantum_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Settles of every cause combined.
+    pub fn settles_total(&self) -> u64 {
+        self.settles_goodness
+            + self.settles_period_boundary
+            + self.settles_throttle_edge
+            + self.settles_zero_span
+    }
 }
 
 /// The result of one dispatch decision.
@@ -304,6 +375,15 @@ pub struct Dispatcher {
     /// Span charges accumulated against `span_slot`'s account but not yet
     /// settled into it (lazy mode only; see the module docs).
     span_pending_us: u64,
+    /// Always-on fast-path effectiveness counters (cache hits/misses,
+    /// settles by reason); separate from `stats` so the golden captures
+    /// stay stable.
+    fast_path: FastPathStats,
+    /// Trace-event sink when telemetry is enabled; `None` costs one branch
+    /// per instrumentation point.
+    telemetry: Option<Arc<Recorder>>,
+    /// The CPU index recorded on this dispatcher's trace events.
+    telemetry_cpu: u32,
 }
 
 impl Dispatcher {
@@ -333,7 +413,22 @@ impl Dispatcher {
             span_slot: None,
             quantum_cache_gen: None,
             span_pending_us: 0,
+            fast_path: FastPathStats::default(),
+            telemetry: None,
+            telemetry_cpu: 0,
         }
+    }
+
+    /// The always-on fast-path effectiveness counters.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.fast_path
+    }
+
+    /// Attaches (or detaches) a telemetry recorder; `cpu` is the index
+    /// stamped on this dispatcher's trace events.
+    pub fn set_telemetry(&mut self, recorder: Option<Arc<Recorder>>, cpu: u32) {
+        self.telemetry = recorder;
+        self.telemetry_cpu = cpu;
     }
 
     /// Current scheduler time in microseconds.
@@ -908,6 +1003,16 @@ impl Dispatcher {
             };
             let missed = entry.account.roll_period(now_us, r.budget_micros());
             self.stats.period_rollovers += 1;
+            if let Some(t) = &self.telemetry {
+                t.record(
+                    now_us,
+                    TraceEventKind::PeriodRollover {
+                        cpu: self.telemetry_cpu,
+                        thread: entry.id.0,
+                        count: 1,
+                    },
+                );
+            }
             if missed {
                 self.stats.deadlines_missed += 1;
                 self.missed_since_last_poll += 1;
@@ -972,9 +1077,20 @@ impl Dispatcher {
             entry.account.mark_runnable();
         }
         let ratio_changed = entry.account.last_period_usage_ratio() != entry.last_reported_ratio;
+        let thread = entry.id.0;
         self.stats.period_rollovers += k;
         self.stats.deadlines_missed += missed;
         self.missed_since_last_poll += missed;
+        if let Some(t) = &self.telemetry {
+            t.record(
+                now,
+                TraceEventKind::PeriodRollover {
+                    cpu: self.telemetry_cpu,
+                    thread,
+                    count: k as u32,
+                },
+            );
+        }
         if released {
             // The release already happened; any still-armed timer (e.g. a
             // sync racing ahead of `advance_to`'s drain) is stale.
@@ -1102,6 +1218,15 @@ impl Dispatcher {
         self.settle_span();
         self.stats.dispatches += 1;
         self.stats.overhead_us += self.config.dispatch_cost_us;
+        self.fast_path.quantum_cache_misses += 1;
+        if let Some(t) = &self.telemetry {
+            t.record(
+                self.now_us,
+                TraceEventKind::CacheMiss {
+                    cpu: self.telemetry_cpu,
+                },
+            );
+        }
 
         // Recalculate best-effort slices when every runnable best-effort
         // thread has exhausted its slice (the Linux "recalculate goodness"
@@ -1209,8 +1334,18 @@ impl Dispatcher {
             .budget_us
             .saturating_sub(entry.account.used_this_period_us + pending)
             .max(1);
+        let thread = entry.id;
+        self.fast_path.quantum_cache_hits += 1;
+        if let Some(t) = &self.telemetry {
+            t.record(
+                self.now_us,
+                TraceEventKind::CacheHit {
+                    cpu: self.telemetry_cpu,
+                },
+            );
+        }
         Some(DispatchOutcome {
-            thread: Some(entry.id),
+            thread: Some(thread),
             quantum_us: interval.max(1).min(cap),
         })
     }
@@ -1244,10 +1379,48 @@ impl Dispatcher {
         );
         match reason {
             None => self.span_pending_us += us,
-            Some(_) => {
+            Some(reason) => {
+                self.note_settle(idx, reason);
                 self.settle_span();
                 self.charge_slot(idx, us);
             }
+        }
+    }
+
+    /// Counts a forced span settle by its reason and, when telemetry is
+    /// enabled, records the settle point as a trace event.
+    fn note_settle(&mut self, idx: u32, reason: SettleReason) {
+        let cause = match reason {
+            SettleReason::GoodnessCrossing => {
+                self.fast_path.settles_goodness += 1;
+                SettleCause::Goodness
+            }
+            SettleReason::PeriodBoundary => {
+                self.fast_path.settles_period_boundary += 1;
+                SettleCause::PeriodBoundary
+            }
+            SettleReason::ThrottleEdge => {
+                self.fast_path.settles_throttle_edge += 1;
+                SettleCause::ThrottleEdge
+            }
+            SettleReason::ZeroSpan => {
+                self.fast_path.settles_zero_span += 1;
+                SettleCause::ZeroSpan
+            }
+        };
+        if let Some(t) = &self.telemetry {
+            let thread = self.entries[idx as usize]
+                .as_ref()
+                .map(|e| e.id.0)
+                .unwrap_or(0);
+            t.record(
+                self.now_us,
+                TraceEventKind::Settle {
+                    cpu: self.telemetry_cpu,
+                    thread,
+                    cause,
+                },
+            );
         }
     }
 

@@ -47,7 +47,8 @@ pub mod types;
 pub use accounting::UsageAccount;
 pub use admission::AdmissionControl;
 pub use dispatcher::{
-    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, MigratedThread, ThreadClass,
+    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, FastPathStats, MigratedThread,
+    ThreadClass,
 };
 pub use error::SchedError;
 pub use machine::{CpuStats, Machine};

@@ -21,14 +21,16 @@
 //! CPU had scheduled.
 
 use crate::dispatcher::{
-    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, ThreadClass,
+    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, FastPathStats, ThreadClass,
 };
 use crate::error::SchedError;
 use crate::reservation::Reservation;
 use crate::types::{CpuId, Proportion, ThreadId};
 use crate::UsageAccount;
+use rrs_telemetry::{Recorder, TraceEventKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-CPU counters of one host run, one entry per CPU.
 ///
@@ -78,6 +80,9 @@ pub struct CpuStats {
 pub struct Machine {
     cpus: Vec<Dispatcher>,
     placement: BTreeMap<ThreadId, CpuId>,
+    /// Trace-event sink shared with every dispatcher; `None` when
+    /// telemetry is disabled.
+    telemetry: Option<Arc<Recorder>>,
 }
 
 impl Machine {
@@ -94,7 +99,31 @@ impl Machine {
         Self {
             cpus: (0..n).map(|_| Dispatcher::new(config)).collect(),
             placement: BTreeMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry recorder, distributing it to
+    /// every dispatcher (and to CPUs hot-added later).
+    pub fn set_telemetry(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.telemetry = recorder;
+        for (i, d) in self.cpus.iter_mut().enumerate() {
+            d.set_telemetry(self.telemetry.clone(), i as u32);
+        }
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<Arc<Recorder>> {
+        self.telemetry.clone()
+    }
+
+    /// Aggregate fast-path effectiveness counters summed over all CPUs.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        let mut total = FastPathStats::default();
+        for d in &self.cpus {
+            total.merge(&d.fast_path_stats());
+        }
+        total
     }
 
     /// Number of CPUs.
@@ -116,6 +145,7 @@ impl Machine {
         }
         let mut d = Dispatcher::new(self.cpus[0].config());
         d.advance_to(self.now_us());
+        d.set_telemetry(self.telemetry.clone(), self.cpus.len() as u32);
         self.cpus.push(d);
         Some(CpuId(self.cpus.len() as u32 - 1))
     }
@@ -289,6 +319,16 @@ impl Machine {
             .inject_thread(thread)
             .expect("destination cannot already hold the thread");
         self.placement.insert(id, to);
+        if let Some(t) = &self.telemetry {
+            t.record(
+                self.now_us(),
+                TraceEventKind::Migration {
+                    thread: id.0,
+                    from: from.0,
+                    to: to.0,
+                },
+            );
+        }
         Ok(from)
     }
 

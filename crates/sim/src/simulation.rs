@@ -30,16 +30,20 @@ use crate::event::Event;
 use crate::trace::Trace;
 use crate::workload::WorkModel;
 use rrs_core::{
-    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, Importance, JobHandle,
-    JobId, JobSlot, JobSpec, SimTime, UsageSnapshot,
+    controller::AdmitError, Controller, ControllerConfig, ControllerEvent, JobHandle, JobId,
+    JobSlot, JobSpec, SimTime, UsageSnapshot,
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
     CpuId, CpuStats, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, Period, Proportion,
     Reservation, ThreadId,
 };
+use rrs_telemetry::{
+    CalendarEventKind, Recorder, TelemetryConfig, TelemetrySnapshot, TraceEventKind,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The simulated CPU.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -98,13 +102,6 @@ pub struct SimConfig {
     /// to the migrating thread's budget (cache and TLB refill on the
     /// destination CPU).
     pub migration_cost_us: u64,
-    /// Deprecated: only honoured by [`SteppingMode::Lockstep`], where it
-    /// jumps the clock straight to the next timer, controller or trace
-    /// event when no thread anywhere is runnable.  Calendar stepping has
-    /// no idle special case — an idle CPU always jumps to its next event —
-    /// so the flag is a no-op there.  The field stays so existing
-    /// configurations keep compiling.
-    pub idle_fast_forward: bool,
     /// How the simulation advances time (see [`SteppingMode`]).
     pub stepping: SteppingMode,
 }
@@ -120,7 +117,6 @@ impl Default for SimConfig {
             charge_dispatch_overhead: true,
             trace_interval_s: 0.1,
             migration_cost_us: 50,
-            idle_fast_forward: true,
             stepping: SteppingMode::Calendar,
         }
     }
@@ -143,15 +139,6 @@ impl SimConfig {
     /// Number of simulated CPUs.
     pub fn cpus(&self) -> usize {
         self.controller.placement.cpu_count()
-    }
-
-    /// Whether lockstep idle rounds fast-forward to the next event.
-    #[deprecated(
-        since = "0.1.0",
-        note = "calendar stepping has no idle special case; the flag only affects SteppingMode::Lockstep"
-    )]
-    pub fn idle_fast_forward(&self) -> bool {
-        self.idle_fast_forward
     }
 }
 
@@ -266,6 +253,12 @@ pub struct Simulation {
     overhead_carry: Vec<f64>,
     trace: Trace,
     stats: SimStats,
+    /// The structured trace recorder, when telemetry is enabled.  `None`
+    /// (the default) keeps every hot path on a single branch.
+    telemetry: Option<Arc<Recorder>>,
+    /// Always-on calendar event counters, one per [`Event`] variant, in
+    /// pop order: controller, trace, wake, poll-tick, horizon.
+    event_counts: [u64; 5],
 }
 
 impl Simulation {
@@ -322,6 +315,8 @@ impl Simulation {
             overhead_carry: vec![0.0; cpus],
             trace: Trace::new(),
             stats,
+            telemetry: None,
+            event_counts: [0; 5],
         }
     }
 
@@ -423,6 +418,69 @@ impl Simulation {
         &self.controller
     }
 
+    /// Enables structured trace recording and controller stage timing,
+    /// returning the shared recorder.
+    ///
+    /// The ring buffer is allocated up front ([`TelemetryConfig::ring_capacity`]
+    /// events); once warm, recording overwrites the oldest entry and never
+    /// allocates.  Calling this again replaces the recorder (and its ring).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) -> Arc<Recorder> {
+        let recorder = Recorder::new(config);
+        self.machine.set_telemetry(Some(recorder.clone()));
+        self.controller.set_stage_timing(recorder.stage_timing());
+        self.telemetry = Some(recorder.clone());
+        recorder
+    }
+
+    /// The trace recorder installed by [`Simulation::enable_telemetry`],
+    /// if any.
+    pub fn telemetry_recorder(&self) -> Option<Arc<Recorder>> {
+        self.telemetry.clone()
+    }
+
+    /// A point-in-time snapshot of every subsystem counter: quantum-cache
+    /// hits/misses, settles by reason, calendar events by type, controller
+    /// cycle split and stage timing, and machine-level dispatch totals.
+    ///
+    /// The counters behind this are always on (plain integer increments on
+    /// paths that already write statistics); only the `trace_events_*`
+    /// fields require an enabled recorder.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let fast = self.machine.fast_path_stats();
+        let dispatch = self.machine.stats();
+        let (full, incremental) = self.controller.cycle_counts();
+        let stage = self.controller.stage_total_ns();
+        let snapshot = TelemetrySnapshot {
+            quantum_cache_hits: fast.quantum_cache_hits,
+            quantum_cache_misses: fast.quantum_cache_misses,
+            settles_goodness: fast.settles_goodness,
+            settles_period_boundary: fast.settles_period_boundary,
+            settles_throttle_edge: fast.settles_throttle_edge,
+            settles_zero_span: fast.settles_zero_span,
+            events_controller: self.event_counts[0],
+            events_trace: self.event_counts[1],
+            events_wake: self.event_counts[2],
+            events_poll_tick: self.event_counts[3],
+            events_horizon: self.event_counts[4],
+            controller_full_cycles: full,
+            controller_incremental_cycles: incremental,
+            stage_sense_ns: stage[0],
+            stage_classify_ns: stage[1],
+            stage_estimate_ns: stage[2],
+            stage_allocate_ns: stage[3],
+            stage_place_ns: stage[4],
+            stage_actuate_ns: stage[5],
+            dispatches: dispatch.dispatches,
+            context_switches: dispatch.context_switches,
+            period_rollovers: dispatch.period_rollovers,
+            migrations: self.stats.migrations,
+            trace_events_recorded: self.telemetry.as_ref().map(|r| r.recorded()).unwrap_or(0),
+            trace_events_dropped: self.telemetry.as_ref().map(|r| r.dropped()).unwrap_or(0),
+            ..TelemetrySnapshot::default()
+        };
+        snapshot.finalize()
+    }
+
     fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut SimThread> {
         self.threads
             .get_mut(tid.0 as usize)
@@ -500,21 +558,6 @@ impl Simulation {
             last_progress: 0.0,
         });
         Ok(JobHandle { job, thread, slot })
-    }
-
-    /// Adds a job with an explicit importance weight.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set the weight on the spec with `JobSpec::with_importance` and call `add_job`"
-    )]
-    pub fn add_job_with_importance(
-        &mut self,
-        name: &str,
-        spec: JobSpec,
-        importance: Importance,
-        work: Box<dyn WorkModel>,
-    ) -> Result<JobHandle, AdmitError> {
-        self.add_job(name, spec.with_importance(importance), work)
     }
 
     /// Removes a job from the simulation.
@@ -646,6 +689,17 @@ impl Simulation {
 
     /// Handles one popped calendar event at the current clock.
     fn handle_event(&mut self, event: Event) {
+        let kind = match event {
+            Event::Controller => CalendarEventKind::Controller,
+            Event::Trace => CalendarEventKind::Trace,
+            Event::Wake(_) => CalendarEventKind::Wake,
+            Event::PollTick => CalendarEventKind::PollTick,
+            Event::Horizon => CalendarEventKind::Horizon,
+        };
+        self.event_counts[kind as usize] += 1;
+        if let Some(recorder) = &self.telemetry {
+            recorder.record(self.now_us, TraceEventKind::CalendarEvent { kind });
+        }
         match event {
             Event::Controller => self.run_controller_calendar(),
             Event::Trace => {
@@ -836,6 +890,16 @@ impl Simulation {
                 // uncontended spans settle in one account update.
                 self.machine.dispatcher_mut(cpu_id).charge_span(used);
                 self.stats.per_cpu[cpu].used_us += used;
+                if let Some(recorder) = &self.telemetry {
+                    recorder.record(
+                        t,
+                        TraceEventKind::DispatchSpan {
+                            cpu: cpu as u32,
+                            thread: tid.0,
+                            len_us: used,
+                        },
+                    );
+                }
                 t += used;
                 if blocked {
                     let dslot = self.machine.dispatcher_mut(cpu_id).block_span();
@@ -899,6 +963,9 @@ impl Simulation {
         let dt_us = (self.now_us - self.last_controller_fire_us).max(1);
         self.last_controller_fire_us = self.now_us;
         let now_s = self.now_seconds();
+        let cycle_ts = self.now_us;
+        let full_before = self.controller.cycle_counts().0;
+        let timer = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let out = self
             .controller
             .control_cycle_with_dt(now_s, dt_us as f64 * 1e-6);
@@ -931,6 +998,24 @@ impl Simulation {
         }
         if self.config.charge_controller_cost {
             self.now_us += out.cost_us.round() as u64;
+        }
+        if let (Some(recorder), Some(started)) = (&self.telemetry, timer) {
+            let incremental = self.controller.cycle_counts().0 == full_before;
+            let mut stage_ns = [0u32; 6];
+            if !incremental {
+                for (dst, src) in stage_ns.iter_mut().zip(self.controller.last_stage_ns()) {
+                    *dst = src.min(u32::MAX as u64) as u32;
+                }
+            }
+            recorder.record(
+                cycle_ts,
+                TraceEventKind::ControllerCycle {
+                    dur_ns: started.elapsed().as_nanos() as u64,
+                    incremental,
+                    jobs: self.controller.job_count() as u32,
+                    stage_ns,
+                },
+            );
         }
         let period_us = (self.config.controller.controller_period_s * 1e6)
             .round()
@@ -1021,14 +1106,14 @@ impl Simulation {
         self.now_us += advance;
     }
 
-    /// Moves the clock across a fully idle dispatch round.  With idle
-    /// fast-forward enabled (and no blocked thread waiting to be polled)
-    /// the clock jumps straight to the next event — a period timer, the
-    /// controller tick or the trace sampler — instead of accumulating one
-    /// bounded idle quantum per step.
+    /// Moves the clock across a fully idle dispatch round.  With no
+    /// blocked thread waiting to be polled the clock jumps straight to the
+    /// next event — a period timer, the controller tick or the trace
+    /// sampler — instead of accumulating one bounded idle quantum per
+    /// step.
     fn advance_idle(&mut self, idle_quantum: u64) {
         let pollable_blocked = !self.blocked.is_empty();
-        let advance = if !self.config.idle_fast_forward || pollable_blocked {
+        let advance = if pollable_blocked {
             idle_quantum
         } else {
             let mut target = u64::MAX;
@@ -1565,28 +1650,24 @@ mod tests {
         // Idle fast-forward (lockstep only): with nothing runnable the
         // clock jumps from event to event (controller ticks at 10 ms,
         // trace at 100 ms) instead of burning one dispatch tick (1 ms) at
-        // a time, so the fast-forward run takes far fewer steps than the
-        // tick-at-a-time configuration.
-        let run_lockstep = |ff: bool| {
-            let mut sim = Simulation::new(SimConfig {
-                idle_fast_forward: ff,
-                stepping: SteppingMode::Lockstep,
-                ..SimConfig::default()
-            });
-            sim.run_for(1.0);
-            sim.stats().steps
-        };
-        let fast_steps = run_lockstep(true);
-        let slow_steps = run_lockstep(false);
+        // a time, so an idle second takes far fewer steps than the naive
+        // tick count (1 s at the 1 ms dispatch interval = 1000 ticks).
+        let naive_ticks = 1000;
+        let mut lockstep = Simulation::new(SimConfig {
+            stepping: SteppingMode::Lockstep,
+            ..SimConfig::default()
+        });
+        lockstep.run_for(1.0);
+        let fast_steps = lockstep.stats().steps;
         assert!(
-            fast_steps * 4 < slow_steps,
-            "fast-forward must cut the step count ({fast_steps} vs {slow_steps})"
+            fast_steps * 4 < naive_ticks,
+            "fast-forward must cut the step count ({fast_steps} vs {naive_ticks})"
         );
         // The calendar run above processes one event per step and never
         // burns idle ticks, so it too stays far below the naive loop.
         assert!(
-            sim.stats().steps * 4 < slow_steps,
-            "calendar steps = events handled ({} vs {slow_steps})",
+            sim.stats().steps * 4 < naive_ticks,
+            "calendar steps = events handled ({} vs {naive_ticks})",
             sim.stats().steps
         );
     }
@@ -1618,10 +1699,10 @@ mod tests {
     fn idle_fast_forward_jumps_to_throttle_replenishment() {
         // A single reserved thread that exhausts its budget leaves the
         // machine idle until its period boundary; fast-forward must jump
-        // there, not change how much CPU the thread receives.
-        let run = |stepping: SteppingMode, ff: bool| {
+        // there, not change how much CPU the thread receives (a 200 ‰
+        // reservation delivers a 0.2 fraction).
+        let run = |stepping: SteppingMode| {
             let config = SimConfig {
-                idle_fast_forward: ff,
                 controller_enabled: false,
                 stepping,
                 ..SimConfig::default()
@@ -1637,22 +1718,25 @@ mod tests {
                 sim.stats().steps,
             )
         };
-        let (fast_frac, fast_steps) = run(SteppingMode::Lockstep, true);
-        let (slow_frac, slow_steps) = run(SteppingMode::Lockstep, false);
+        // A tick-at-a-time loop would take ~2000 steps (2 s at the 1 ms
+        // dispatch interval); jumping across each period's idle tail must
+        // land well below that.
+        let naive_ticks = 2000;
+        let (fast_frac, fast_steps) = run(SteppingMode::Lockstep);
         assert!(
-            (fast_frac - slow_frac).abs() < 0.02,
-            "fast-forward must not change delivered CPU ({fast_frac} vs {slow_frac})"
+            (fast_frac - 0.2).abs() < 0.02,
+            "fast-forward must not change delivered CPU ({fast_frac} vs 0.2)"
         );
-        assert!(fast_steps < slow_steps);
-        // The calendar path has no fast-forward flag to get wrong: the
-        // throttled thread's release timer bounds every idle jump, so the
-        // delivered fraction matches the naive loop.
-        let (cal_frac, cal_steps) = run(SteppingMode::Calendar, true);
+        assert!(fast_steps < naive_ticks);
+        // The calendar path has no fast-forward special case to get wrong:
+        // the throttled thread's release timer bounds every idle jump, so
+        // the delivered fraction matches.
+        let (cal_frac, cal_steps) = run(SteppingMode::Calendar);
         assert!(
-            (cal_frac - slow_frac).abs() < 0.02,
-            "calendar stepping must not change delivered CPU ({cal_frac} vs {slow_frac})"
+            (cal_frac - fast_frac).abs() < 0.02,
+            "calendar stepping must not change delivered CPU ({cal_frac} vs {fast_frac})"
         );
-        assert!(cal_steps < slow_steps);
+        assert!(cal_steps < naive_ticks);
     }
 
     #[test]
@@ -1791,9 +1875,8 @@ mod tests {
         // horizon, the final trace sample lands *exactly* on the horizon:
         // the run must stop there, and the sample must still be recorded
         // (at exactly t = 0.5) once the simulation continues.
-        let run = |ff: bool| {
+        let run = |split: bool| {
             let mut sim = Simulation::new(SimConfig {
-                idle_fast_forward: ff,
                 controller_enabled: false,
                 stepping: SteppingMode::Lockstep,
                 ..SimConfig::default()
@@ -1802,9 +1885,15 @@ mod tests {
                 .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
                 .unwrap();
             sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
-            sim.run_for(0.5);
-            let at_horizon = sim.now_seconds();
-            sim.run_for(0.1);
+            let at_horizon = if split {
+                sim.run_for(0.5);
+                let at = sim.now_seconds();
+                sim.run_for(0.1);
+                at
+            } else {
+                sim.run_for(0.6);
+                0.5
+            };
             (sim, at_horizon)
         };
         let (fast, at_horizon) = run(true);
@@ -1814,19 +1903,18 @@ mod tests {
             times.contains(&0.5),
             "the boundary sample must fire on resume: {times:?}"
         );
-        let (slow, _) = run(false);
+        let (oneshot, _) = run(false);
         assert_eq!(
             fast.trace().get("alloc/spin").unwrap().len(),
-            slow.trace().get("alloc/spin").unwrap().len(),
-            "fast-forward must not skip any trace event"
+            oneshot.trace().get("alloc/spin").unwrap().len(),
+            "stopping on the boundary must not skip any trace event"
         );
 
         // The same holds for a controller tick on the boundary: after
-        // continuing past the horizon both paths have run the controller
-        // the same number of times.
-        let run_ctl = |ff: bool| {
+        // continuing past the horizon the split run has invoked the
+        // controller exactly as often as a one-shot run to the same end.
+        let run_ctl = |split: bool| {
             let mut sim = Simulation::new(SimConfig {
-                idle_fast_forward: ff,
                 stepping: SteppingMode::Lockstep,
                 ..SimConfig::default()
             });
@@ -1834,7 +1922,9 @@ mod tests {
                 .add_job("spin", JobSpec::miscellaneous(), Box::new(Spin::new()))
                 .unwrap();
             sim.force_reservation(h, Proportion::from_ppt(100), Period::from_millis(10));
-            sim.run_until_micros(500_000);
+            if split {
+                sim.run_until_micros(500_000);
+            }
             sim.run_until_micros(600_000);
             sim.stats().controller_invocations
         };
@@ -2006,20 +2096,50 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_idle_fast_forward_accessor_still_reads_the_flag() {
-        let config = SimConfig {
-            idle_fast_forward: false,
-            ..SimConfig::default()
-        };
-        #[allow(deprecated)]
-        let flag = config.idle_fast_forward();
-        assert!(!flag);
+    fn with_stepping_selects_the_mode() {
         assert_eq!(
             SimConfig::default()
                 .with_stepping(SteppingMode::Lockstep)
                 .stepping,
             SteppingMode::Lockstep
         );
+        assert_eq!(SimConfig::default().stepping, SteppingMode::Calendar);
+    }
+
+    #[test]
+    fn telemetry_snapshot_counts_the_fast_paths() {
+        // Counters are always on: even without a recorder the snapshot
+        // reports cache hits, settles and calendar event counts.
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(1.0);
+        let snap = sim.telemetry_snapshot();
+        assert!(snap.quantum_cache_hits > 0, "warm spans must hit the cache");
+        assert!(snap.cache_hit_rate > 0.0 && snap.cache_hit_rate <= 1.0);
+        assert!(snap.settles_total() > 0, "spans must settle");
+        assert!(snap.events_controller > 0 && snap.events_trace > 0);
+        assert!(snap.controller_incremental_cycles > 0);
+        assert_eq!(snap.trace_events_recorded, 0, "no recorder installed");
+        assert!(sim.telemetry_recorder().is_none());
+
+        // With a recorder the same run also captures structured events,
+        // without dropping any on a sufficiently large ring.
+        let mut sim = Simulation::new(SimConfig::default());
+        let recorder = sim.enable_telemetry(TelemetryConfig::default());
+        sim.add_job("hog", JobSpec::miscellaneous(), Box::new(Spin::new()))
+            .unwrap();
+        sim.run_for(1.0);
+        assert!(sim.telemetry_recorder().is_some());
+        let snap = sim.telemetry_snapshot();
+        assert!(snap.trace_events_recorded > 0);
+        assert_eq!(snap.trace_events_recorded, recorder.recorded());
+        let events = recorder.events();
+        assert!(!events.is_empty());
+        // The summary JSON parses and carries the same counters.
+        let json = snap.summary_json();
+        let parsed: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snap);
     }
 
     proptest! {

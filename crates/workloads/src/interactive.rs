@@ -7,7 +7,9 @@
 //! sleeps until a keystroke arrives, then runs a short burst of work; its
 //! response time (keystroke to completed burst) is the metric of interest.
 
+use crate::latency::LatencyStats;
 use rrs_sim::{RunResult, SimTime, WorkModel};
+use std::sync::Arc;
 
 /// An interactive job driven by keystrokes at a fixed typing rate.
 #[derive(Debug)]
@@ -22,6 +24,7 @@ pub struct InteractiveJob {
     handled: u64,
     total_response_us: f64,
     worst_response_us: f64,
+    latency: Option<Arc<LatencyStats>>,
 }
 
 impl InteractiveJob {
@@ -42,7 +45,15 @@ impl InteractiveJob {
             handled: 0,
             total_response_us: 0.0,
             worst_response_us: 0.0,
+            latency: None,
         }
+    }
+
+    /// Records every keystroke's response time into `stats` (shared with
+    /// the observer; see [`LatencyStats`]).
+    pub fn with_latency_stats(mut self, stats: Arc<LatencyStats>) -> Self {
+        self.latency = Some(stats);
+        self
     }
 
     /// A typist at five keystrokes per second with 2 Mcycles of work per
@@ -96,9 +107,13 @@ impl WorkModel for InteractiveJob {
         self.cycles_remaining = 0.0;
         self.pending_keystroke_arrival_us = None;
         self.handled += 1;
-        let response = (now_us + used_us).saturating_sub(arrival) as f64;
+        let response_us = (now_us + used_us).saturating_sub(arrival);
+        let response = response_us as f64;
         self.total_response_us += response;
         self.worst_response_us = self.worst_response_us.max(response);
+        if let Some(stats) = &self.latency {
+            stats.record_us(response_us);
+        }
         // Burst finished: block until the next keystroke.
         RunResult::blocked_after(used_us.min(quantum_us).max(1))
     }
@@ -192,6 +207,21 @@ mod tests {
         assert_eq!(job.handled(), 1);
         assert!(job.mean_response_s() >= 0.0);
         assert!(job.worst_response_s() >= job.mean_response_s());
+    }
+
+    #[test]
+    fn latency_stats_capture_every_response() {
+        let stats = LatencyStats::new();
+        let mut job = InteractiveJob::new(10.0, 1000.0).with_latency_stats(Arc::clone(&stats));
+        job.run(0, 100, 400e6);
+        job.run(200_000, 1000, 400e6);
+        assert_eq!(job.handled(), 1);
+        assert_eq!(stats.count(), 1);
+        assert!(
+            (stats.percentile_us(100.0) - job.worst_response_s() * 1e6).abs()
+                <= LatencyStats::BUCKET_WIDTH_US,
+            "histogram and scalar accounting agree"
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`modem`] — an isochronous software modem (§1) that must process a
 //!   sample batch every period; the reservation-vs-best-effort comparison
 //!   shows why such devices bypass the adaptive controller.
+//! * [`latency`] — the shared per-request latency histograms the server
+//!   and interactive models optionally record into, feeding the scenario
+//!   engine's percentile SLOs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +33,7 @@
 pub mod hog;
 pub mod interactive;
 pub mod io;
+pub mod latency;
 pub mod modem;
 pub mod pipeline;
 pub mod server;
@@ -38,6 +42,7 @@ pub mod video;
 pub use hog::{CpuHog, DummyProcess};
 pub use interactive::InteractiveJob;
 pub use io::DiskReader;
+pub use latency::{LatencyStats, LatencySummary};
 pub use modem::{ModemConfig, ModemStats, SoftwareModem};
 pub use pipeline::{PipelineConfig, PipelineHandles, PulsePipeline};
 pub use server::{RequestGenerator, ServerConfig, WebServer};

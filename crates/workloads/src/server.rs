@@ -7,6 +7,7 @@
 //! server thread is CPU-bound, and the controller must discover how much
 //! CPU it needs to keep up with the offered load.
 
+use crate::latency::LatencyStats;
 use rrs_api::Host;
 use rrs_core::{JobHandle, JobSpec};
 use rrs_queue::{BoundedBuffer, JobKey, Role};
@@ -127,6 +128,7 @@ pub struct WebServer {
     served: u64,
     total_latency_us: f64,
     current_arrival_us: u64,
+    latency: Option<Arc<LatencyStats>>,
 }
 
 impl WebServer {
@@ -138,7 +140,16 @@ impl WebServer {
             served: 0,
             total_latency_us: 0.0,
             current_arrival_us: 0,
+            latency: None,
         }
+    }
+
+    /// Records every served request's latency into `stats` (shared with
+    /// the observer; see [`LatencyStats`]).  Without this the server
+    /// keeps only its scalar mean.
+    pub fn with_latency_stats(mut self, stats: Arc<LatencyStats>) -> Self {
+        self.latency = Some(stats);
+        self
     }
 
     /// Requests fully served so far.
@@ -162,9 +173,30 @@ impl WebServer {
         host: &mut (impl Host + ?Sized),
         config: ServerConfig,
     ) -> (JobHandle, JobHandle) {
+        Self::install_inner(host, config, None)
+    }
+
+    /// Like [`WebServer::install`], but also returns a shared
+    /// [`LatencyStats`] the server records every request's
+    /// queueing-plus-service latency into.
+    pub fn install_instrumented(
+        host: &mut (impl Host + ?Sized),
+        config: ServerConfig,
+    ) -> (JobHandle, JobHandle, Arc<LatencyStats>) {
+        let stats = LatencyStats::new();
+        let (generator, server) = Self::install_inner(host, config, Some(Arc::clone(&stats)));
+        (generator, server, stats)
+    }
+
+    fn install_inner(
+        host: &mut (impl Host + ?Sized),
+        config: ServerConfig,
+        latency: Option<Arc<LatencyStats>>,
+    ) -> (JobHandle, JobHandle) {
         let queue = Arc::new(BoundedBuffer::new("server-backlog", config.queue_capacity));
         let generator = RequestGenerator::new(Arc::clone(&queue), config);
-        let server = WebServer::new(Arc::clone(&queue));
+        let mut server = WebServer::new(Arc::clone(&queue));
+        server.latency = latency;
         let generator_handle = host
             .add_job(
                 "network",
@@ -207,7 +239,11 @@ impl WorkModel for WebServer {
             cycles_used += self.cycles_remaining;
             self.cycles_remaining = 0.0;
             self.served += 1;
-            self.total_latency_us += now_us.saturating_sub(self.current_arrival_us) as f64;
+            let latency_us = now_us.saturating_sub(self.current_arrival_us);
+            self.total_latency_us += latency_us as f64;
+            if let Some(stats) = &self.latency {
+                stats.record_us(latency_us);
+            }
         }
         let used_us = (cycles_used / cpu_hz * 1e6).round() as u64;
         RunResult::ran(used_us.min(quantum_us).max(1))
@@ -294,6 +330,22 @@ mod tests {
             served_rate > 80.0,
             "server should serve close to 100 req/s, got {served_rate}"
         );
+    }
+
+    #[test]
+    fn instrumented_install_shares_a_latency_histogram() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let (_gen, _server, stats) =
+            WebServer::install_instrumented(&mut sim, ServerConfig::default());
+        sim.run_for(5.0);
+        // ~100 req/s for 5 s: the histogram sees (almost) every request.
+        assert!(stats.count() > 300, "only {} samples", stats.count());
+        let p50 = stats.percentile_us(50.0);
+        let p99 = stats.percentile_us(99.0);
+        assert!(p50 > 0.0 && p50 <= p99, "p50 {p50} µs, p99 {p99} µs");
+        let summary = stats.summary("server");
+        assert_eq!(summary.count, stats.count());
+        assert!(summary.p99_ms < 1_000.0, "p99 {} ms", summary.p99_ms);
     }
 
     #[test]

@@ -9,10 +9,15 @@
 //! *real* seconds on the wall-clock executor — same workload, same
 //! controller, different backend.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.  Pass
+//! `--telemetry [path]` to record a structured trace of the simulator run
+//! and export it as Chrome trace-event JSON (default
+//! `quickstart_trace.json`, loadable at <https://ui.perfetto.dev>)
+//! alongside the counter summary.
 
 use realrate::api::{Host, Runtime, SimTime};
 use realrate::metrics::plot::{ascii_plot, PlotConfig};
+use realrate::telemetry::TelemetryConfig;
 use realrate::workloads::{PipelineConfig, PulsePipeline};
 
 /// Installs the pipeline, runs it for `duration`, and reports what the
@@ -48,9 +53,33 @@ fn demo(host: &mut dyn Host, duration: SimTime) {
 }
 
 fn main() {
+    // `--telemetry [path]` turns on structured trace recording for the
+    // simulator run and exports it for Perfetto.
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                trace_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| "quickstart_trace.json".to_string()),
+                );
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: quickstart [--telemetry [trace.json]]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Backend one: the paper's machine, simulated — 20 simulated seconds
     // finish in milliseconds and reproduce bit for bit.
-    let mut sim = Runtime::sim().build();
+    let mut builder = Runtime::sim();
+    if trace_path.is_some() {
+        builder = builder.telemetry(TelemetryConfig::default());
+    }
+    let mut sim = builder.build();
     demo(sim.as_mut(), SimTime::from_secs(20));
 
     if let Some(fill) = sim.trace().get("fill/pipeline") {
@@ -71,6 +100,17 @@ fn main() {
     if let Some(alloc) = sim.trace().get("alloc/consumer") {
         println!("consumer allocation over time (parts per thousand):");
         print!("{}", ascii_plot(alloc, PlotConfig::default()));
+        println!();
+    }
+
+    if let Some(path) = &trace_path {
+        let recorder = sim
+            .telemetry_recorder()
+            .expect("--telemetry installed a recorder");
+        std::fs::write(path, recorder.chrome_trace_json()).expect("trace path is writable");
+        println!("wrote Chrome trace-event JSON to {path} (load it at https://ui.perfetto.dev)");
+        println!("telemetry counter summary:");
+        println!("{}", sim.telemetry().summary_json());
         println!();
     }
 

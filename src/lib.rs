@@ -39,6 +39,12 @@
 //!   and SLO-checked runs on either backend, with a built-in corpus.
 //! * [`metrics`] (`rrs-metrics`) — time series, statistics and experiment
 //!   export.
+//! * [`telemetry`] (`rrs-telemetry`) — zero-cost runtime tracing: the
+//!   bounded-ring [`telemetry::Recorder`] (enabled per host via
+//!   `Runtime::sim().telemetry(..)`), the shared
+//!   [`telemetry::TelemetrySnapshot`] counter schema behind
+//!   [`api::Host::telemetry`], and Chrome trace-event JSON export
+//!   loadable in Perfetto.
 //!
 //! ## Quickstart
 //!
@@ -117,4 +123,5 @@ pub use rrs_realtime as realtime;
 pub use rrs_scenario as scenario;
 pub use rrs_scheduler as scheduler;
 pub use rrs_sim as sim;
+pub use rrs_telemetry as telemetry;
 pub use rrs_workloads as workloads;

@@ -1,0 +1,135 @@
+//! Schema checks for the telemetry exports: the Chrome trace-event JSON
+//! written by [`realrate::telemetry::Recorder::chrome_trace_json`] must
+//! stay loadable by Perfetto (valid JSON, non-decreasing timestamps,
+//! balanced `"B"`/`"E"` duration pairs, known phase letters), and the
+//! [`realrate::telemetry::TelemetrySnapshot`] counter summary must
+//! round-trip through its serde form unchanged.
+
+use realrate::api::{JobSpec, Runtime, SimTime};
+use realrate::sim::{RunResult, WorkModel};
+use realrate::telemetry::TelemetryConfig;
+use serde::Value;
+use std::collections::HashMap;
+
+/// A job that uses every cycle it is given — keeps dispatch, settle and
+/// cache paths busy so the exported trace carries every event family.
+struct Spin;
+
+impl WorkModel for Spin {
+    fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        RunResult::ran(quantum_us)
+    }
+}
+
+/// Runs a short telemetry-enabled simulation and returns the export plus
+/// the final counter snapshot.
+fn traced_run() -> (String, realrate::telemetry::TelemetrySnapshot) {
+    let mut host = Runtime::sim()
+        .cpus(2)
+        .telemetry(TelemetryConfig::default())
+        .build();
+    for i in 0..4 {
+        host.add_job(&format!("j{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+            .unwrap();
+    }
+    host.advance(SimTime::from_secs(2));
+    let recorder = host
+        .telemetry_recorder()
+        .expect("the builder installed a recorder");
+    (recorder.chrome_trace_json(), host.telemetry())
+}
+
+fn num(v: &Value, what: &str) -> f64 {
+    match v {
+        Value::Num(n) => n.as_f64(),
+        other => panic!("{what} must be a number, got {other:?}"),
+    }
+}
+
+fn text<'a>(v: &'a Value, what: &str) -> &'a str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("{what} must be a string, got {other:?}"),
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_perfetto_loadable() {
+    let (json, snapshot) = traced_run();
+
+    let root: Value = serde_json::from_str(&json).expect("export must be valid JSON");
+    let events = root
+        .field("traceEvents")
+        .as_arr()
+        .expect("the object form carries a traceEvents array");
+    assert!(!events.is_empty(), "a 2 s saturated run must record events");
+
+    // Non-decreasing timestamps, known phase letters, and balanced
+    // begin/end nesting per (pid, tid) track.
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut depth: HashMap<(u64, u64), i64> = HashMap::new();
+    let mut saw = (false, false, false); // (X, B/E, i)
+    for ev in events {
+        let ts = num(ev.field("ts"), "ts");
+        assert!(
+            ts >= last_ts,
+            "timestamps must be non-decreasing ({ts} after {last_ts})"
+        );
+        last_ts = ts;
+        assert!(!text(ev.field("name"), "name").is_empty());
+        assert!(!text(ev.field("cat"), "cat").is_empty());
+        let track = (
+            num(ev.field("pid"), "pid") as u64,
+            num(ev.field("tid"), "tid") as u64,
+        );
+        match text(ev.field("ph"), "ph") {
+            "X" => {
+                assert!(num(ev.field("dur"), "dur") >= 0.0);
+                saw.0 = true;
+            }
+            "B" => {
+                *depth.entry(track).or_insert(0) += 1;
+                saw.1 = true;
+            }
+            "E" => {
+                let d = depth.entry(track).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "E without a matching B on track {track:?}");
+            }
+            "i" => {
+                assert_eq!(text(ev.field("s"), "s"), "t", "instants are thread-scoped");
+                saw.2 = true;
+            }
+            other => panic!("unexpected phase letter {other:?}"),
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "every B must have a matching E: {depth:?}"
+    );
+    assert!(saw.0, "the trace must carry dispatch-span slices");
+    assert!(saw.1, "the trace must carry controller-cycle pairs");
+    assert!(saw.2, "the trace must carry instant events");
+
+    // The counters behind the same run: the fast path fired, the ring
+    // recorded, and the calendar mix is visible.
+    assert!(snapshot.quantum_cache_hits + snapshot.quantum_cache_misses > 0);
+    assert!(snapshot.settles_total() > 0);
+    assert!(snapshot.calendar_events_total() > 0);
+    assert!(snapshot.trace_events_recorded > 0);
+}
+
+#[test]
+fn telemetry_snapshot_round_trips_through_json() {
+    let (_, snapshot) = traced_run();
+    let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
+    let parsed: realrate::telemetry::TelemetrySnapshot =
+        serde_json::from_str(&json).expect("snapshot parses back");
+    assert_eq!(parsed, snapshot);
+
+    // The compact summary export is valid JSON with the headline fields.
+    let summary: Value =
+        serde_json::from_str(&snapshot.summary_json()).expect("summary must be valid JSON");
+    assert!(matches!(summary.field("cache_hit_rate"), Value::Num(_)));
+    assert!(matches!(summary.field("dispatches"), Value::Num(_)));
+}

@@ -1,6 +1,8 @@
 //! Verifies the staged pipeline's core guarantee: once the scratch buffers
 //! have warmed up, a steady-state control cycle performs **no heap
-//! allocation**.
+//! allocation** — with telemetry disabled (the default, as in the cycles
+//! below) and, separately, that an enabled telemetry recorder stays
+//! allocation-free once its pre-allocated ring has wrapped.
 //!
 //! This file must contain only this one test: the counting allocator is
 //! process-global, so any concurrently running test in the same binary
@@ -8,6 +10,9 @@
 
 use realrate::core::{Controller, ControllerConfig, JobId, JobSpec, UsageSnapshot};
 use realrate::queue::{BoundedBuffer, JobKey, MetricRegistry, Role};
+use realrate::telemetry::{
+    CalendarEventKind, Recorder, SettleCause, TelemetryConfig, TraceEventKind,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -101,11 +106,76 @@ fn assert_steady_state_allocation_free(config: ControllerConfig) {
     );
 }
 
+/// Telemetry's half of the guarantee: once the pre-allocated ring has
+/// wrapped (overwrite mode), recording events of every kind — the exact
+/// calls the dispatcher, simulator and controller make on their hot
+/// paths — touches the heap zero times.
+fn assert_steady_state_recording_allocation_free() {
+    let rec = Recorder::new(TelemetryConfig {
+        ring_capacity: 1024,
+        stage_timing: false,
+    });
+    let kinds = [
+        TraceEventKind::DispatchSpan {
+            cpu: 0,
+            thread: 1,
+            len_us: 10,
+        },
+        TraceEventKind::Settle {
+            cpu: 0,
+            thread: 1,
+            cause: SettleCause::Goodness,
+        },
+        TraceEventKind::CacheHit { cpu: 0 },
+        TraceEventKind::CacheMiss { cpu: 1 },
+        TraceEventKind::CalendarEvent {
+            kind: CalendarEventKind::Controller,
+        },
+        TraceEventKind::ControllerCycle {
+            dur_ns: 100,
+            incremental: true,
+            jobs: 9,
+            stage_ns: [0; 6],
+        },
+        TraceEventKind::Migration {
+            thread: 1,
+            from: 0,
+            to: 1,
+        },
+        TraceEventKind::PeriodRollover {
+            cpu: 0,
+            thread: 1,
+            count: 1,
+        },
+    ];
+    // Warm-up: wrap the ring at least once so overwrite mode is active.
+    for i in 0..2048u64 {
+        rec.record(i, kinds[i as usize % kinds.len()]);
+    }
+    assert!(rec.dropped() > 0, "the warmup must wrap the ring");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 2048..4096u64 {
+        rec.record(i, kinds[i as usize % kinds.len()]);
+    }
+    let held = rec.len();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state trace recording must perform no heap allocation"
+    );
+    assert_eq!(held, 1024, "the ring must stay at its configured capacity");
+}
+
 #[test]
 fn steady_state_control_cycle_is_allocation_free() {
     // The paper's single CPU, and a 4-CPU machine with the Place stage
     // doing per-CPU load accounting (run sequentially: the counting
-    // allocator is process-global).
+    // allocator is process-global).  Both run with telemetry disabled —
+    // the default — so they also pin the recorder-absent cost at zero.
     assert_steady_state_allocation_free(ControllerConfig::default());
     assert_steady_state_allocation_free(ControllerConfig::default().with_cpus(4));
+    // And with telemetry enabled, the recording hot path itself.
+    assert_steady_state_recording_allocation_free();
 }

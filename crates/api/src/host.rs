@@ -224,6 +224,17 @@ impl dyn Host {
         self.as_any_mut().downcast_mut()
     }
 
+    /// Downcasts to the sharded simulator backend, if that is what this
+    /// host is.
+    pub fn as_sharded_sim(&self) -> Option<&rrs_sim::ShardedSim> {
+        self.as_any().downcast_ref()
+    }
+
+    /// Mutable downcast to the sharded simulator backend.
+    pub fn as_sharded_sim_mut(&mut self) -> Option<&mut rrs_sim::ShardedSim> {
+        self.as_any_mut().downcast_mut()
+    }
+
     /// Downcasts to the wall-clock backend, if that is what this host is.
     pub fn as_wall_clock(&self) -> Option<&crate::wall_clock::WallClockHost> {
         self.as_any().downcast_ref()

@@ -54,6 +54,7 @@
 
 pub mod host;
 pub mod runtime;
+mod sharded_host;
 mod sim_host;
 pub mod time;
 pub mod wall_clock;
@@ -72,7 +73,7 @@ pub use rrs_core::{
 };
 pub use rrs_queue::MetricRegistry;
 pub use rrs_scheduler::{CpuId, CpuStats, Period, Proportion, Reservation, UsageAccount};
-pub use rrs_sim::{RunResult, SimConfig, Simulation, Trace, WorkModel};
+pub use rrs_sim::{RunResult, ShardConfig, ShardedSim, SimConfig, Simulation, Trace, WorkModel};
 pub use rrs_telemetry::{Recorder, TelemetryConfig, TelemetrySnapshot};
 
 #[cfg(test)]

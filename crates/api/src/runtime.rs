@@ -3,7 +3,7 @@
 use crate::host::{Backend, Host};
 use crate::wall_clock::{WallClockConfig, WallClockHost};
 use rrs_core::ControllerConfig;
-use rrs_sim::{SimConfig, Simulation};
+use rrs_sim::{ShardConfig, ShardedSim, SimConfig, Simulation};
 use rrs_telemetry::TelemetryConfig;
 
 /// Entry point of the backend-agnostic API.
@@ -47,6 +47,7 @@ pub struct RuntimeBuilder {
     backend: Backend,
     cpus: Option<usize>,
     sim: SimConfig,
+    shard: ShardConfig,
     wall: WallClockConfig,
     telemetry: Option<TelemetryConfig>,
 }
@@ -57,6 +58,7 @@ impl RuntimeBuilder {
             backend,
             cpus: None,
             sim: SimConfig::default(),
+            shard: ShardConfig::default(),
             wall: WallClockConfig::default(),
             telemetry: None,
         }
@@ -71,6 +73,25 @@ impl RuntimeBuilder {
     /// wall-clock backend).  Overrides whatever the backend config says.
     pub fn cpus(mut self, cpus: usize) -> Self {
         self.cpus = Some(cpus);
+        self
+    }
+
+    /// Number of machine shards on the simulator backend (see
+    /// [`rrs_sim::ShardedSim`]).  `shards > 1` builds the two-level
+    /// sharded machine: per-shard controller/calendar/dispatchers plus a
+    /// slow-cadence rebalancer.  The default (and `shards <= 1`) builds
+    /// the plain unsharded [`Simulation`], so existing behaviour — golden
+    /// statistics included — is untouched.  Ignored on the wall-clock
+    /// backend.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shard.shards = shards.max(1);
+        self
+    }
+
+    /// Full sharding configuration (rebalance cadence and threshold,
+    /// parallel shard execution) for the simulator backend.
+    pub fn shard_config(mut self, config: ShardConfig) -> Self {
+        self.shard = config;
         self
     }
 
@@ -112,7 +133,11 @@ impl RuntimeBuilder {
                     Some(n) => self.sim.with_cpus(n),
                     None => self.sim,
                 };
-                Box::new(Simulation::new(config))
+                if self.shard.shards > 1 {
+                    Box::new(ShardedSim::new(config, self.shard))
+                } else {
+                    Box::new(Simulation::new(config))
+                }
             }
             Backend::WallClock => {
                 let mut config = self.wall;

@@ -5,6 +5,7 @@
 //! cargo run --release --bin scenario_runner              # full corpus (sim)
 //! cargo run --release --bin scenario_runner -- --smoke   # CI smoke subset
 //! cargo run --release --bin scenario_runner -- --smoke --time 60
+//! cargo run --release --bin scenario_runner -- --smoke --shards 4
 //! cargo run --release --bin scenario_runner -- steady_video hog_storm
 //! # the same machinery on real OS threads:
 //! cargo run --release --bin scenario_runner -- --smoke --backend wall_clock
@@ -14,7 +15,10 @@
 //! `--backend wall_clock` selects the wall-clock smoke corpus (short
 //! tolerance-band scenarios that spend real seconds); with explicit
 //! scenario names it instead re-runs those corpus scenarios on the
-//! wall-clock executor.
+//! wall-clock executor.  `--shards N` overrides every selected sim
+//! scenario to run on the sharded simulator with `N` shards (clamped to
+//! the scenario's CPU count), the CI knob for replaying the corpus on
+//! the two-level machine.
 //!
 //! Exits non-zero if any scenario fails an SLO (or an argument names no
 //! corpus scenario), so CI can gate on scenario regressions.  With
@@ -51,6 +55,7 @@ fn main() {
     let mut time_budget_s: Option<f64> = None;
     let mut smoke = false;
     let mut backend: Option<Backend> = None;
+    let mut shards: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -60,6 +65,13 @@ fn main() {
                 Some(Ok(b)) => backend = Some(b),
                 _ => {
                     eprintln!("--backend needs one of: sim, wall_clock");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards needs a positive shard count");
                     std::process::exit(2);
                 }
             },
@@ -105,6 +117,14 @@ fn main() {
             if let Err(e) = spec.validate() {
                 eprintln!("{} cannot run on {b}: {e}", spec.name);
                 std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(n) = shards {
+        for spec in &mut specs {
+            if spec.backend == Backend::Sim {
+                spec.shards = n.min(spec.cpus);
             }
         }
     }

@@ -13,15 +13,25 @@
 //! throughput dropped more than 20 % below the committed record.
 
 use rrs_bench::sim_throughput::{
-    gate_check, measure, measure_point, normalized_gate_ratios, record, speedup_at,
-    ThroughputRecord, ThroughputReport,
+    gate_check, measure, measure_point_sharded, normalized_gate_ratios, record, speedup_at,
+    ThroughputRecord, ThroughputReport, SHARDED_WARMUP_SIM_S,
 };
 use std::time::Duration;
 
-/// The fast subset measured by `--gate`: the cheap end of the grid, the
-/// headline 10k-jobs x 8-CPUs point the PR history tracks, and the
-/// 10k x 64 sweep point that catches dispatch-bound scaling regressions.
-const GATE_POINTS: [(usize, usize); 4] = [(100, 1), (1_000, 8), (10_000, 8), (10_000, 64)];
+/// The fast subset measured by `--gate`: `(jobs, cpus, shards)`.  The
+/// cheap end of the grid, the headline 10k-jobs x 8-CPUs point the PR
+/// history tracks, the 10k x 64 sweep point that catches dispatch-bound
+/// scaling regressions, and the two sharded points — the 8-shard rerun of
+/// the hardest unsharded point and the 1024-CPU scale target only the
+/// two-level machine completes.
+const GATE_POINTS: [(usize, usize, usize); 6] = [
+    (100, 1, 1),
+    (1_000, 8, 1),
+    (10_000, 8, 1),
+    (10_000, 64, 1),
+    (10_000, 64, 8),
+    (100_000, 1_024, 16),
+];
 
 /// Maximum tolerated throughput drop per gate point.
 const GATE_MAX_DROP: f64 = 0.2;
@@ -41,9 +51,16 @@ fn run_gate(path: &str) -> ! {
     // better estimate of the code's capability.
     let measured: Vec<_> = GATE_POINTS
         .iter()
-        .map(|&(jobs, cpus)| {
-            let a = measure_point(jobs, cpus, budget);
-            let b = measure_point(jobs, cpus, budget);
+        .map(|&(jobs, cpus, shards)| {
+            // Sharded points warm into steady state first — the same
+            // methodology `measure` used for the committed record.
+            let warmup = if shards > 1 {
+                SHARDED_WARMUP_SIM_S
+            } else {
+                0.0
+            };
+            let a = measure_point_sharded(jobs, cpus, shards, warmup, budget);
+            let b = measure_point_sharded(jobs, cpus, shards, warmup, budget);
             if b.sim_us_per_wall_s > a.sim_us_per_wall_s {
                 b
             } else {
@@ -63,15 +80,16 @@ fn run_gate(path: &str) -> ! {
     for (o, n) in outcomes.iter().zip(normalized.iter()) {
         let pass = o.pass || *n >= 1.0 - GATE_MAX_DROP;
         println!(
-            "gate {:>6} jobs x {:>2} cpus: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised, {:.0} ns/event, {:.1} % cache hits, {:.4} settles/event) {}",
+            "gate {:>6} jobs x {:>4} cpus x {:>2} shards: {:>12.0} vs recorded {:>12.0} sim-us/wall-s ({:.2}x raw, {:.2}x speed-normalised, {:.0} ns/event, {}, {:.4} settles/event) {}",
             o.jobs,
             o.cpus,
+            o.shards,
             o.measured,
             o.recorded,
             o.ratio,
             n,
             o.ns_per_event,
-            o.cache_hit_rate * 100.0,
+            cache_hits(o.cache_hit_rate),
             o.settles_per_event,
             if pass { "ok" } else { "REGRESSED" }
         );
@@ -134,13 +152,14 @@ fn main() {
 
     let report = measure(Duration::from_secs_f64(budget_s), |p| {
         println!(
-            "{:>6} jobs x {:>2} cpus: {:>12.0} sim-us/wall-s  ({} events in {:.2} s, {:.1} % cache hits, {:.4} settles/event)",
+            "{:>6} jobs x {:>4} cpus x {:>2} shards: {:>12.0} sim-us/wall-s  ({} events in {:.2} s, {}, {:.4} settles/event)",
             p.jobs,
             p.cpus,
+            p.shard_count(),
             p.sim_us_per_wall_s,
             p.events,
             p.wall_s,
-            p.cache_hit_rate * 100.0,
+            cache_hits(p.cache_hit_rate),
             p.settles_per_event
         );
     });
@@ -163,8 +182,11 @@ fn main() {
             .unwrap_or_else(|e| usage(&format!("baseline {path} is not a report: {e}")))
     });
     let rec = record(before, report);
-    if let Some(s) = speedup_at(&rec, 10_000, 8) {
+    if let Some(s) = speedup_at(&rec, 10_000, 8, 1) {
         println!("speedup at 10k jobs x 8 cpus: {s:.2}x");
+    }
+    if let Some(s) = speedup_at(&rec, 10_000, 64, 8) {
+        println!("speedup at 10k jobs x 64 cpus x 8 shards: {s:.2}x");
     }
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("results/ is creatable");
@@ -172,6 +194,15 @@ fn main() {
     let json = serde_json::to_string_pretty(&rec).expect("record serialises");
     std::fs::write(&path, json).expect("results file is writable");
     println!("wrote {}", path.display());
+}
+
+/// Renders a cache-hit-rate for the log: a percentage when measured,
+/// `n/a` for points predating the counter.
+fn cache_hits(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{:.1} % cache hits", r * 100.0),
+        None => "cache hits n/a".to_string(),
+    }
 }
 
 fn usage(err: &str) -> ! {

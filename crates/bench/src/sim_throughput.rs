@@ -11,8 +11,8 @@
 //! the recorded before/after numbers so every future PR can check the
 //! trajectory.
 
-use rrs_core::JobSpec;
-use rrs_sim::{RunResult, SimConfig, Simulation, WorkModel};
+use rrs_core::{JobSpec, SimTime};
+use rrs_sim::{RunResult, ShardConfig, ShardedSim, SimConfig, Simulation, WorkModel};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -20,6 +20,22 @@ use std::time::{Duration, Instant};
 pub const JOB_COUNTS: [usize; 3] = [100, 1_000, 10_000];
 /// The CPU-count axis of the sweep.
 pub const CPU_COUNTS: [usize; 3] = [1, 8, 64];
+/// The sharded grid points appended after the unsharded sweep:
+/// `(jobs, cpus, shards)`.  The first re-runs the sweep's hardest point
+/// on the two-level machine (the headline sharding speedup); the second
+/// is the 1024-CPU scale target that the one-level simulator cannot
+/// reach at all.
+pub const SHARDED_POINTS: [(usize, usize, usize); 2] = [(10_000, 64, 8), (100_000, 1_024, 16)];
+
+/// Simulated-seconds warmup applied to the sharded grid points (by both
+/// [`measure`] and the gate, so record and re-measurement share a
+/// methodology).  The first rebalance chunks after setup run several
+/// times slower than steady state (cold caches, first full controller
+/// cycles, scratch growth); at the 1024-CPU point the budget only spans
+/// a few chunks, so measuring cold turns that startup transient into a
+/// coin flip worth 2–3x.  Two chunks of warmup put the whole window in
+/// steady state.
+pub const SHARDED_WARMUP_SIM_S: f64 = 0.2;
 
 /// A greedy adaptive job: uses every cycle offered, never blocks — the
 /// steady-state stressor for dispatch, accounting and controller paths.
@@ -38,6 +54,12 @@ pub struct ThroughputPoint {
     pub jobs: usize,
     /// Number of simulated CPUs.
     pub cpus: usize,
+    /// Number of machine shards the CPUs were split into.  `1` (and `0`,
+    /// how legacy records predating sharding deserialise) is the plain
+    /// unsharded simulator; compare via
+    /// [`ThroughputPoint::shard_count`].
+    #[serde(default)]
+    pub shards: usize,
     /// Wall-clock seconds actually spent stepping (excludes setup).
     pub wall_s: f64,
     /// Simulated microseconds covered within the wall budget.
@@ -51,15 +73,25 @@ pub struct ThroughputPoint {
     /// The headline rate: simulated microseconds per wall second.
     pub sim_us_per_wall_s: f64,
     /// Fraction of dispatches in the measured window served by the
-    /// next-quantum cache (the zero-lookup fast path; absent in legacy
-    /// records).
+    /// next-quantum cache (the zero-lookup fast path).  `None` means the
+    /// point predates the counter — "not measured" is distinct from
+    /// "measured zero", so gate comparisons and reports never mistake a
+    /// legacy placeholder for a cold cache.
     #[serde(default)]
-    pub cache_hit_rate: f64,
+    pub cache_hit_rate: Option<f64>,
     /// Dispatch-span settles per simulation event in the measured window
     /// — how often the hot path had to fall back to a full re-rank
     /// (absent in legacy records).
     #[serde(default)]
     pub settles_per_event: f64,
+}
+
+impl ThroughputPoint {
+    /// The effective shard count: legacy records (no `shards` field)
+    /// normalise to the unsharded machine.
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
 }
 
 /// Wall time of the scenario corpus, the end-to-end workload mix.
@@ -150,11 +182,70 @@ pub fn measure_point_warm(
     ThroughputPoint {
         jobs,
         cpus,
+        shards: 1,
         wall_s,
         sim_us,
         events,
         sim_us_per_wall_s: sim_us as f64 / wall_s,
-        cache_hit_rate: telem.cache_hit_rate,
+        cache_hit_rate: Some(telem.cache_hit_rate),
+        settles_per_event: telem.settles_total() as f64 / events.max(1) as f64,
+    }
+}
+
+/// Measures one grid point on the sharded simulator: `jobs` greedy
+/// spinners on `cpus` CPUs split into `shards` shards, advanced in
+/// rebalance-interval chunks for roughly `budget` of wall time.  With
+/// `shards <= 1` this is exactly [`measure_point_warm`] (the builder
+/// mapping: one shard *is* the unsharded simulator).
+pub fn measure_point_sharded(
+    jobs: usize,
+    cpus: usize,
+    shards: usize,
+    warmup_sim_s: f64,
+    budget: Duration,
+) -> ThroughputPoint {
+    if shards <= 1 {
+        return measure_point_warm(jobs, cpus, warmup_sim_s, budget);
+    }
+    let mut sim = ShardedSim::new(
+        SimConfig::default().with_cpus(cpus),
+        ShardConfig::default().with_shards(shards),
+    );
+    sim.set_trace_interval(SimTime::from_secs(1_000));
+    for i in 0..jobs {
+        sim.add_job(&format!("j{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+            .expect("miscellaneous jobs are always admitted");
+    }
+    if warmup_sim_s > 0.0 {
+        sim.run_for(warmup_sim_s);
+    }
+    let t0 = sim.now_micros();
+    let events0 = sim.stats().steps;
+    let telem0 = sim.telemetry_snapshot();
+    // Advance one rebalance interval at a time: the natural chunk of the
+    // two-level machine (shards run independently inside it, the
+    // rebalancer runs once at its edge).
+    let chunk_s = sim.shard_config().rebalance_interval_s;
+    let start = Instant::now();
+    loop {
+        sim.run_for(chunk_s);
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let sim_us = sim.now_micros() - t0;
+    let events = sim.stats().steps - events0;
+    let telem = sim.telemetry_snapshot().delta_since(&telem0);
+    ThroughputPoint {
+        jobs,
+        cpus,
+        shards,
+        wall_s,
+        sim_us,
+        events,
+        sim_us_per_wall_s: sim_us as f64 / wall_s,
+        cache_hit_rate: Some(telem.cache_hit_rate),
         settles_per_event: telem.settles_total() as f64 / events.max(1) as f64,
     }
 }
@@ -173,7 +264,8 @@ pub fn measure_corpus() -> CorpusTiming {
     }
 }
 
-/// Runs the whole sweep (grid + corpus) with the given per-point budget.
+/// Runs the whole sweep (unsharded grid, then the sharded points, then
+/// the corpus) with the given per-point budget.
 pub fn measure(budget: Duration, mut progress: impl FnMut(&ThroughputPoint)) -> ThroughputReport {
     let mut points = Vec::new();
     for &jobs in &JOB_COUNTS {
@@ -182,6 +274,11 @@ pub fn measure(budget: Duration, mut progress: impl FnMut(&ThroughputPoint)) -> 
             progress(&p);
             points.push(p);
         }
+    }
+    for &(jobs, cpus, shards) in &SHARDED_POINTS {
+        let p = measure_point_sharded(jobs, cpus, shards, SHARDED_WARMUP_SIM_S, budget);
+        progress(&p);
+        points.push(p);
     }
     ThroughputReport {
         budget_s: budget.as_secs_f64(),
@@ -199,7 +296,10 @@ pub fn record(before: Option<ThroughputReport>, after: ThroughputReport) -> Thro
             .iter()
             .zip(&b.points)
             .map(|(a, b)| {
-                debug_assert_eq!((a.jobs, a.cpus), (b.jobs, b.cpus));
+                debug_assert_eq!(
+                    (a.jobs, a.cpus, a.shard_count()),
+                    (b.jobs, b.cpus, b.shard_count())
+                );
                 a.sim_us_per_wall_s / b.sim_us_per_wall_s
             })
             .collect(),
@@ -226,6 +326,8 @@ pub struct GateOutcome {
     pub jobs: usize,
     /// Number of simulated CPUs at this grid point.
     pub cpus: usize,
+    /// Number of machine shards at this grid point (1 = unsharded).
+    pub shards: usize,
     /// Freshly measured rate, in simulated microseconds per wall second.
     pub measured: f64,
     /// The committed record's rate at the same grid point.
@@ -235,9 +337,10 @@ pub struct GateOutcome {
     /// Wall nanoseconds per simulation event in the fresh measurement —
     /// the per-event cost a CI log can diagnose a failure from directly.
     pub ns_per_event: f64,
-    /// Next-quantum cache hit rate of the fresh measurement — a cheap
-    /// tell when a throughput drop comes from the fast path going cold.
-    pub cache_hit_rate: f64,
+    /// Next-quantum cache hit rate of the fresh measurement (`None` if
+    /// the measurement predates the counter) — a cheap tell when a
+    /// throughput drop comes from the fast path going cold.
+    pub cache_hit_rate: Option<f64>,
     /// Dispatch-span settles per event in the fresh measurement — rises
     /// when the hot path starts falling back to full re-ranks.
     pub settles_per_event: f64,
@@ -257,15 +360,14 @@ pub fn gate_check(
     measured
         .iter()
         .filter_map(|m| {
-            let r = rec
-                .after
-                .points
-                .iter()
-                .find(|p| p.jobs == m.jobs && p.cpus == m.cpus)?;
+            let r = rec.after.points.iter().find(|p| {
+                p.jobs == m.jobs && p.cpus == m.cpus && p.shard_count() == m.shard_count()
+            })?;
             let ratio = m.sim_us_per_wall_s / r.sim_us_per_wall_s;
             Some(GateOutcome {
                 jobs: m.jobs,
                 cpus: m.cpus,
+                shards: m.shard_count(),
                 measured: m.sim_us_per_wall_s,
                 recorded: r.sim_us_per_wall_s,
                 ratio,
@@ -292,12 +394,12 @@ pub fn normalized_gate_ratios(outcomes: &[GateOutcome]) -> Vec<f64> {
 }
 
 /// The speedup at one grid point of a record, if both sides were measured.
-pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: usize) -> Option<f64> {
+pub fn speedup_at(rec: &ThroughputRecord, jobs: usize, cpus: usize, shards: usize) -> Option<f64> {
     let idx = rec
         .after
         .points
         .iter()
-        .position(|p| p.jobs == jobs && p.cpus == cpus)?;
+        .position(|p| p.jobs == jobs && p.cpus == cpus && p.shard_count() == shards.max(1))?;
     rec.speedups.get(idx).copied()
 }
 
@@ -309,15 +411,31 @@ mod tests {
     fn small_point_makes_progress() {
         let p = measure_point(3, 1, Duration::from_millis(50));
         assert_eq!(p.jobs, 3);
+        assert_eq!(p.shard_count(), 1);
         assert!(p.sim_us > 0, "simulation must advance");
         assert!(p.events > 0);
         assert!(p.sim_us_per_wall_s > 0.0);
+        let hit_rate = p
+            .cache_hit_rate
+            .expect("fresh measurements carry the hit rate");
         assert!(
-            (0.0..=1.0).contains(&p.cache_hit_rate),
-            "hit rate is a fraction, got {}",
-            p.cache_hit_rate
+            (0.0..=1.0).contains(&hit_rate),
+            "hit rate is a fraction, got {hit_rate}"
         );
         assert!(p.settles_per_event >= 0.0);
+    }
+
+    #[test]
+    fn small_sharded_point_makes_progress() {
+        let p = measure_point_sharded(8, 4, 2, 0.0, Duration::from_millis(50));
+        assert_eq!((p.jobs, p.cpus, p.shards), (8, 4, 2));
+        assert!(p.sim_us > 0, "sharded simulation must advance");
+        assert!(p.events > 0);
+        assert!(p.cache_hit_rate.is_some());
+        // shards <= 1 falls through to the unsharded measurement.
+        let p1 = measure_point_sharded(3, 1, 1, 0.0, Duration::from_millis(20));
+        assert_eq!(p1.shard_count(), 1);
+        assert!(p1.sim_us > 0);
     }
 
     #[test]
@@ -327,11 +445,12 @@ mod tests {
             points: vec![ThroughputPoint {
                 jobs: 10,
                 cpus: 1,
+                shards: 1,
                 wall_s: 0.1,
                 sim_us: (rate * 0.1) as u64,
                 events: 1,
                 sim_us_per_wall_s: rate,
-                cache_hit_rate: 0.0,
+                cache_hit_rate: None,
                 settles_per_event: 0.0,
             }],
             corpus: CorpusTiming {
@@ -341,8 +460,13 @@ mod tests {
         };
         let rec = record(Some(mk(100.0)), mk(300.0));
         assert_eq!(rec.speedups, vec![3.0]);
-        assert_eq!(speedup_at(&rec, 10, 1), Some(3.0));
-        assert_eq!(speedup_at(&rec, 99, 1), None);
+        assert_eq!(speedup_at(&rec, 10, 1, 1), Some(3.0));
+        assert_eq!(speedup_at(&rec, 99, 1, 1), None);
+        assert_eq!(
+            speedup_at(&rec, 10, 1, 8),
+            None,
+            "shards are part of the identity"
+        );
         let solo = record(None, mk(300.0));
         assert!(solo.speedups.is_empty());
     }
@@ -352,11 +476,12 @@ mod tests {
         let point = |jobs, rate| ThroughputPoint {
             jobs,
             cpus: 1,
+            shards: 1,
             wall_s: 0.1,
             sim_us: (rate * 0.1) as u64,
             events: 1,
             sim_us_per_wall_s: rate,
-            cache_hit_rate: 0.0,
+            cache_hit_rate: None,
             settles_per_event: 0.0,
         };
         let rec = record(
@@ -385,11 +510,12 @@ mod tests {
         let o = |ratio| GateOutcome {
             jobs: 1,
             cpus: 1,
+            shards: 1,
             measured: ratio,
             recorded: 1.0,
             ratio,
             ns_per_event: 0.0,
-            cache_hit_rate: 0.0,
+            cache_hit_rate: None,
             settles_per_event: 0.0,
             pass: true,
         };
@@ -410,5 +536,53 @@ mod tests {
             r#"{"jobs":1,"cpus":1,"wall_s":0.1,"sim_us":5,"steps":7,"sim_us_per_wall_s":50.0}"#;
         let p: ThroughputPoint = serde_json::from_str(legacy).unwrap();
         assert_eq!(p.events, 7);
+        assert_eq!(p.shard_count(), 1, "legacy records are unsharded");
+        assert_eq!(
+            p.cache_hit_rate, None,
+            "a record predating the counter is 'not measured', not 'measured zero'"
+        );
+        // A record that measured an actual zero keeps it.
+        let measured_zero = r#"{"jobs":1,"cpus":1,"wall_s":0.1,"sim_us":5,"events":7,"sim_us_per_wall_s":50.0,"cache_hit_rate":0.0}"#;
+        let p: ThroughputPoint = serde_json::from_str(measured_zero).unwrap();
+        assert_eq!(p.cache_hit_rate, Some(0.0));
+    }
+
+    #[test]
+    fn gate_matches_points_by_shard_count_too() {
+        let point = |shards, rate| ThroughputPoint {
+            jobs: 10,
+            cpus: 2,
+            shards,
+            wall_s: 0.1,
+            sim_us: (rate * 0.1) as u64,
+            events: 1,
+            sim_us_per_wall_s: rate,
+            cache_hit_rate: None,
+            settles_per_event: 0.0,
+        };
+        let rec = record(
+            None,
+            ThroughputReport {
+                budget_s: 0.1,
+                points: vec![point(1, 100.0), point(4, 400.0)],
+                corpus: CorpusTiming {
+                    scenarios: 0,
+                    wall_s: 0.0,
+                },
+            },
+        );
+        // The sharded measurement must compare against the sharded record
+        // point, not the same-(jobs, cpus) unsharded one.
+        let outcomes = gate_check(&rec, &[point(4, 390.0)], 0.2);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].shards, 4);
+        assert_eq!(outcomes[0].recorded, 400.0);
+        assert!(outcomes[0].pass);
+        // A legacy (shards-absent, deserialised as 0) record point still
+        // matches a fresh unsharded measurement.
+        let legacy = point(0, 100.0);
+        let outcomes = gate_check(&rec, &[legacy], 0.2);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].shards, 1);
     }
 }

@@ -45,6 +45,33 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// A job's detached controller-side state, in transit between two
+/// controller instances (the sharded machine's cross-shard migration
+/// path).  Opaque: produced by [`Controller::extract_job`], consumed by
+/// [`Controller::inject_job`].
+#[derive(Debug)]
+pub struct MigratedJob {
+    job: JobId,
+    entry: JobEntry,
+}
+
+impl MigratedJob {
+    /// The migrating job's id.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The migrating job's spec, as registered.
+    pub fn spec(&self) -> JobSpec {
+        self.entry.spec
+    }
+
+    /// The grant the source controller last settled on.
+    pub fn granted(&self) -> Proportion {
+        self.entry.granted
+    }
+}
+
 /// Per-job usage feedback the caller provides to each control cycle,
 /// normally read from the dispatcher's accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -361,6 +388,25 @@ impl Controller {
         self.jobs.get(slot).map(|e| e.granted)
     }
 
+    /// Sum of every job's current grant, in parts per thousand — the
+    /// sharded machine's per-shard load metric.  One allocation-free pass
+    /// over the slot table.
+    pub fn granted_total_ppt(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|(_, _, e)| e.granted.ppt() as u64)
+            .sum()
+    }
+
+    /// Visits every live job in slot order with its id, effective class
+    /// and current grant, without allocating — the rebalancer's candidate
+    /// enumeration.
+    pub fn for_each_job(&self, mut f: impl FnMut(JobId, JobClass, Proportion)) {
+        for (_, id, e) in self.jobs.iter() {
+            f(id, e.spec.classify(), e.granted);
+        }
+    }
+
     /// Registers a job and returns its dense slot.
     ///
     /// The importance weight is read from the spec
@@ -432,6 +478,41 @@ impl Controller {
             Some(job) => self.remove_job(job),
             None => false,
         }
+    }
+
+    /// Detaches a job's full controller-side state — spec, estimators,
+    /// grant, usage feedback — without unregistering its queue-metric
+    /// attachments, so the job can be re-registered on a *different*
+    /// controller instance (the sharded machine's cross-shard migration
+    /// path).  Returns `None` if the job is unknown.  The counterpart of
+    /// [`Controller::inject_job`]; use [`Controller::remove_job`] when the
+    /// job is actually leaving the system.
+    pub fn extract_job(&mut self, job: JobId) -> Option<MigratedJob> {
+        let (_, entry) = self.jobs.remove(job)?;
+        self.incr.structural_dirty = true;
+        Some(MigratedJob { job, entry })
+    }
+
+    /// Re-registers a job previously detached with
+    /// [`Controller::extract_job`] (possibly from another controller) on
+    /// an explicit CPU, preserving its estimator and grant state.
+    ///
+    /// No admission control runs here — the caller (the rebalancer) has
+    /// already ruled on capacity.  Fails only on a duplicate id.
+    pub fn inject_job(&mut self, migrated: MigratedJob, cpu: CpuId) -> Result<JobSlot, AdmitError> {
+        let MigratedJob { job, mut entry } = migrated;
+        if self.jobs.slot_of(job).is_some() {
+            return Err(AdmitError::Duplicate(job));
+        }
+        entry.cpu = cpu;
+        // The receiving controller has never cycled over this job: force a
+        // recompute on its next full cycle.
+        entry.settled = false;
+        self.incr.structural_dirty = true;
+        Ok(self
+            .jobs
+            .insert(job, entry)
+            .expect("duplicate ids were rejected above"))
     }
 
     /// Changes a job's importance weight.

@@ -66,7 +66,9 @@ pub mod taxonomy;
 pub mod time;
 
 pub use config::{ControllerConfig, PlacementConfig};
-pub use controller::{Actuation, AdmitError, ControlOutput, Controller, JobId, UsageSnapshot};
+pub use controller::{
+    Actuation, AdmitError, ControlOutput, Controller, JobId, MigratedJob, UsageSnapshot,
+};
 pub use cost::ControllerCostModel;
 pub use estimator::ProportionEstimator;
 pub use events::{ControllerEvent, QualityException};

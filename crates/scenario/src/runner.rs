@@ -74,6 +74,11 @@ pub struct ScenarioReport {
     pub elapsed_s: f64,
     /// Final CPU count (after any hot-adds).
     pub cpus: usize,
+    /// Machine shards the run executed on (1 = the unsharded machine;
+    /// reports predating sharding deserialise as 0 — the vendored serde
+    /// supports only the bare `default` — and read as unsharded too).
+    #[serde(default)]
+    pub shards: usize,
     /// Machine capacity delivered over the run, in CPU-microseconds.
     pub capacity_us: f64,
     /// Job-population counters.
@@ -319,7 +324,10 @@ fn spawn_model(job: &TransientJob) -> Box<dyn WorkModel> {
 /// quantities carry OS timing noise.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
     spec.validate()?;
-    let mut host = Runtime::backend(spec.backend).cpus(spec.cpus).build();
+    let mut host = Runtime::backend(spec.backend)
+        .cpus(spec.cpus)
+        .shards(spec.shards.max(1))
+        .build();
     run_scenario_on(host.as_mut(), spec)
 }
 
@@ -541,6 +549,7 @@ pub fn run_scenario_on(
         seed: spec.seed,
         elapsed_s,
         cpus: host.cpu_count(),
+        shards: spec.shards.max(1),
         capacity_us,
         jobs: counts,
         stats,

@@ -196,6 +196,11 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Initial CPU count.
     pub cpus: usize,
+    /// Machine shards on the simulator backend (`0`/`1` = the plain
+    /// unsharded machine; `> 1` builds the two-level sharded simulator).
+    /// Ignored on the wall-clock backend.
+    #[serde(default)]
+    pub shards: usize,
     /// Statically installed members.
     pub members: Vec<Member>,
     /// Transient-job arrival streams.
@@ -300,6 +305,12 @@ impl ScenarioSpec {
             return Err(SpecError::BadCpus(format!(
                 "initial cpus {} outside 1..={MAX_SCENARIO_CPUS}",
                 self.cpus
+            )));
+        }
+        if self.shards > self.cpus {
+            return Err(SpecError::BadCpus(format!(
+                "shards {} exceed the initial {} cpus",
+                self.shards, self.cpus
             )));
         }
         let mut cpus = self.cpus;

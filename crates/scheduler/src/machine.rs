@@ -21,7 +21,8 @@
 //! CPU had scheduled.
 
 use crate::dispatcher::{
-    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, FastPathStats, ThreadClass,
+    DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, FastPathStats, MigratedThread,
+    ThreadClass,
 };
 use crate::error::SchedError;
 use crate::reservation::Reservation;
@@ -330,6 +331,39 @@ impl Machine {
             );
         }
         Ok(from)
+    }
+
+    /// Removes a thread from the machine but returns its transplantable
+    /// mid-period state instead of discarding it, so the thread can be
+    /// re-injected into a *different* machine (the sharded simulator's
+    /// cross-shard migration path).  The counterpart of
+    /// [`Machine::inject_thread_on`].
+    pub fn extract_thread(&mut self, id: ThreadId) -> Result<MigratedThread, SchedError> {
+        let from = self.cpu_of(id).ok_or(SchedError::UnknownThread(id))?;
+        let thread = self.cpus[from.index()].take_thread(id)?;
+        self.placement.remove(&id);
+        Ok(thread)
+    }
+
+    /// Installs a thread previously removed with
+    /// [`Machine::extract_thread`] (possibly from another machine) on an
+    /// explicit CPU, preserving its reservation, throttle state and
+    /// mid-period usage account.
+    pub fn inject_thread_on(
+        &mut self,
+        cpu: CpuId,
+        thread: MigratedThread,
+    ) -> Result<(), SchedError> {
+        let id = thread.id;
+        if cpu.index() >= self.cpus.len() {
+            return Err(SchedError::InvalidState(id, "destination CPU out of range"));
+        }
+        if self.placement.contains_key(&id) {
+            return Err(SchedError::DuplicateThread(id));
+        }
+        self.cpus[cpu.index()].inject_thread(thread)?;
+        self.placement.insert(id, cpu);
+        Ok(())
     }
 
     fn on(&mut self, id: ThreadId) -> Result<&mut Dispatcher, SchedError> {

@@ -47,6 +47,7 @@
 
 pub mod calendar;
 pub mod event;
+pub mod sharded;
 pub mod simulation;
 pub mod trace;
 pub mod workload;
@@ -55,6 +56,7 @@ pub use calendar::{EventId, Schedule};
 pub use event::Event;
 pub use rrs_core::{JobHandle, SimTime};
 pub use rrs_scheduler::CpuStats;
+pub use sharded::{ShardConfig, ShardedSim};
 pub use simulation::{CpuConfig, SimConfig, SimStats, Simulation, SteppingMode};
 pub use trace::Trace;
 pub use workload::{RunResult, WorkModel};

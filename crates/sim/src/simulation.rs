@@ -35,8 +35,8 @@ use rrs_core::{
 };
 use rrs_queue::MetricRegistry;
 use rrs_scheduler::{
-    CpuId, CpuStats, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, Period, Proportion,
-    Reservation, ThreadId,
+    CpuId, CpuStats, DispatchOutcome, Dispatcher, DispatcherConfig, Machine, MigratedThread,
+    Period, Proportion, Reservation, ThreadId, ThreadState,
 };
 use rrs_telemetry::{
     CalendarEventKind, Recorder, TelemetryConfig, TelemetrySnapshot, TraceEventKind,
@@ -182,6 +182,24 @@ struct SimThread {
     last_progress: f64,
 }
 
+/// A job's complete simulator-side state, in transit between two shards
+/// of the sharded simulator.  Produced by [`Simulation::extract_job`],
+/// consumed by [`Simulation::inject_job`].
+pub(crate) struct MigratedSimJob {
+    name: String,
+    work: Box<dyn WorkModel>,
+    last_progress: f64,
+    mjob: rrs_core::MigratedJob,
+    mthread: MigratedThread,
+}
+
+impl MigratedSimJob {
+    /// The grant the source shard's controller last settled on, in ppt.
+    pub(crate) fn granted_ppt(&self) -> u32 {
+        self.mjob.granted().ppt()
+    }
+}
+
 /// The discrete-event simulation.
 ///
 /// # Examples
@@ -228,6 +246,10 @@ pub struct Simulation {
     /// (reused across steps).
     cpu_used: Vec<u64>,
     next_id: u64,
+    /// Gap between consecutively allocated raw ids (1 standalone; the
+    /// shard count under the sharded simulator, see
+    /// [`Simulation::with_shard_identity`]).
+    id_stride: u64,
     now_us: u64,
     next_controller_us: u64,
     next_trace_us: u64,
@@ -267,12 +289,29 @@ impl Simulation {
     /// Calendar stepping (the default) forces the two machine-level
     /// optimisations it is built on: the dispatcher's lazy period
     /// rollovers and the controller's incremental cycles.
-    pub fn new(mut config: SimConfig) -> Self {
+    pub fn new(config: SimConfig) -> Self {
+        Self::with_shard_identity(config, MetricRegistry::new(), 1, 1)
+    }
+
+    /// Creates a simulation that shares `registry` with its siblings and
+    /// allocates raw job/thread ids `first_id, first_id + id_stride, ...`.
+    ///
+    /// This is the constructor the sharded simulator uses: with shard `k`
+    /// of `S` passing `first_id = k + 1, id_stride = S`, ids stay globally
+    /// unique across every shard, so a job migrating between shards keeps
+    /// its `JobId`/`ThreadId`/registry key unchanged.  The plain
+    /// [`Simulation::new`] is the `first_id = 1, id_stride = 1` special
+    /// case.
+    pub(crate) fn with_shard_identity(
+        mut config: SimConfig,
+        registry: MetricRegistry,
+        first_id: u64,
+        id_stride: u64,
+    ) -> Self {
         if config.stepping == SteppingMode::Calendar {
             config.dispatcher.lazy_rollovers = true;
             config.controller.incremental = true;
         }
-        let registry = MetricRegistry::new();
         let controller = Controller::new(config.controller, registry.clone());
         let machine = Machine::new(config.dispatcher, config.cpus());
         let controller_period_us = (config.controller.controller_period_s * 1e6).round() as u64;
@@ -301,7 +340,8 @@ impl Simulation {
             poll_buf: Vec::new(),
             cpu_outcomes: Vec::new(),
             cpu_used: Vec::new(),
-            next_id: 1,
+            next_id: first_id.max(1),
+            id_stride: id_stride.max(1),
             now_us: 0,
             next_controller_us,
             next_trace_us: 0,
@@ -438,6 +478,14 @@ impl Simulation {
         self.telemetry.clone()
     }
 
+    /// Attaches an *existing* recorder instead of creating one — the
+    /// sharded simulator shares one ring across every shard.
+    pub(crate) fn attach_telemetry(&mut self, recorder: Arc<Recorder>) {
+        self.machine.set_telemetry(Some(recorder.clone()));
+        self.controller.set_stage_timing(recorder.stage_timing());
+        self.telemetry = Some(recorder);
+    }
+
     /// A point-in-time snapshot of every subsystem counter: quantum-cache
     /// hits/misses, settles by reason, calendar events by type, controller
     /// cycle split and stage timing, and machine-level dispatch totals.
@@ -526,7 +574,7 @@ impl Simulation {
                 return Err(e);
             }
         };
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         if self.slot_threads.len() <= slot.index() {
             self.slot_threads.resize(slot.index() + 1, None);
         }
@@ -575,6 +623,115 @@ impl Simulation {
                 *entry = None;
             }
         }
+    }
+
+    /// Detaches a job's complete simulator-side state — work model,
+    /// controller entry, dispatcher thread, block/wake status — for
+    /// re-injection into a sibling shard.  The job's queue-metric
+    /// attachments stay registered (the registry is shared between
+    /// shards).  Returns `None` if the job is unknown.
+    pub(crate) fn extract_job(&mut self, job: JobId) -> Option<MigratedSimJob> {
+        let slot = self.controller.slot_of(job)?;
+        let tid = ThreadId(job.0);
+        let sim_thread = self.threads.get_mut(tid.0 as usize)?.take()?;
+        // From here on every layer must agree the job exists: the thread
+        // table entry is already out.
+        let mjob = self
+            .controller
+            .extract_job(job)
+            .expect("slot resolved above");
+        let mthread = self
+            .machine
+            .extract_thread(tid)
+            .expect("thread registered with the machine");
+        self.blocked.remove(&tid);
+        if let Some(id) = self.take_wake_event(tid) {
+            self.calendar.cancel(id);
+        }
+        if let Some(s) = self.slot_threads.get_mut(slot.index()) {
+            *s = None;
+        }
+        Some(MigratedSimJob {
+            name: sim_thread.name,
+            work: sim_thread.work,
+            last_progress: sim_thread.last_progress,
+            mjob,
+            mthread,
+        })
+    }
+
+    /// Installs a job previously detached with
+    /// [`Simulation::extract_job`] (from a sibling shard) on an explicit
+    /// CPU of this simulation's machine.  A blocked thread's wake-up is
+    /// re-derived from its work model (the model is the authority; the
+    /// source shard's calendar entry was cancelled at extraction).
+    pub(crate) fn inject_job(
+        &mut self,
+        migrated: MigratedSimJob,
+        cpu: CpuId,
+    ) -> Result<JobHandle, AdmitError> {
+        let MigratedSimJob {
+            name,
+            work,
+            last_progress,
+            mjob,
+            mthread,
+        } = migrated;
+        let job = mjob.job();
+        let tid = ThreadId(job.0);
+        let was_blocked = mthread.state() == ThreadState::Blocked;
+        let slot = self.controller.inject_job(mjob, cpu)?;
+        self.machine
+            .inject_thread_on(cpu, mthread)
+            .expect("controller accepted the id, so the machine must too");
+        if self.slot_threads.len() <= slot.index() {
+            self.slot_threads.resize(slot.index() + 1, None);
+        }
+        self.slot_threads[slot.index()] = Some(tid);
+        if was_blocked {
+            let mut scheduled = false;
+            if self.config.stepping == SteppingMode::Calendar {
+                if let Some(w) = work.next_transition(SimTime::from_micros(self.now_us)) {
+                    let at = w.as_micros().max(self.now_us + 1);
+                    let id = self
+                        .calendar
+                        .schedule(SimTime::from_micros(at), Event::Wake(tid));
+                    self.set_wake_event(tid, id);
+                    scheduled = true;
+                }
+            }
+            if !scheduled {
+                self.blocked.insert(tid);
+                if self.config.stepping == SteppingMode::Calendar {
+                    self.ensure_poll_tick(self.now_us);
+                }
+            }
+        }
+        let i = tid.0 as usize;
+        if self.threads.len() <= i {
+            self.threads.resize_with(i + 1, || None);
+        }
+        self.threads[i] = Some(SimThread {
+            name,
+            slot,
+            work,
+            last_progress,
+        });
+        Ok(JobHandle {
+            job,
+            thread: tid,
+            slot,
+        })
+    }
+
+    /// Rebuilds a job's handle from its id, if the job is live here.
+    pub(crate) fn handle_of(&self, job: JobId) -> Option<JobHandle> {
+        let slot = self.controller.slot_of(job)?;
+        Some(JobHandle {
+            job,
+            thread: ThreadId(job.0),
+            slot,
+        })
     }
 
     /// The proportion currently reserved for a job, in parts per thousand.

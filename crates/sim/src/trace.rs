@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     series: BTreeMap<String, TimeSeries>,
+    total_samples: u64,
 }
 
 impl Trace {
@@ -25,6 +26,16 @@ impl Trace {
             .entry(name.to_string())
             .or_insert_with(|| TimeSeries::new(name))
             .push(time_s, value);
+        self.total_samples += 1;
+    }
+
+    /// Monotonic count of samples ever recorded, across all series.
+    ///
+    /// Lets a reader that folds traces incrementally (the sharded
+    /// machine's barrier merge) detect "nothing new since last look"
+    /// with one comparison instead of walking every series.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
     }
 
     /// Returns the named series, if it exists.
@@ -35,6 +46,12 @@ impl Trace {
     /// Returns the names of all recorded series.
     pub fn names(&self) -> Vec<String> {
         self.series.keys().cloned().collect()
+    }
+
+    /// Iterates over `(name, series)` pairs in name order, without
+    /// cloning.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Number of series.

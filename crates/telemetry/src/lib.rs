@@ -228,6 +228,21 @@ pub enum TraceEventKind {
         /// Number of boundaries crossed at once (lazy mode can batch).
         count: u32,
     },
+    /// The top-level rebalancer acted on the sharded machine.  Recorded
+    /// once per rebalance cycle (with `thread == 0` and `moved` jobs
+    /// migrated in total) and once per cross-shard job migration (with the
+    /// moved thread's id and `moved == 1`).
+    Rebalance {
+        /// Source shard index (cycle events report the busiest shard).
+        from_shard: u32,
+        /// Destination shard index (cycle events report the least loaded).
+        to_shard: u32,
+        /// Raw id of the migrated thread, or `0` for a cycle summary.
+        thread: u64,
+        /// Jobs moved: per-migration events record `1`; cycle summaries
+        /// record the cycle's total (possibly `0` for a no-op decision).
+        moved: u32,
+    },
 }
 
 /// A timestamped [`TraceEventKind`].
@@ -369,6 +384,8 @@ impl Recorder {
 pub const TID_CALENDAR: u32 = 998;
 /// Synthetic `tid` for the controller track.
 pub const TID_CONTROLLER: u32 = 999;
+/// Synthetic `tid` for the sharded machine's rebalancer track.
+pub const TID_REBALANCER: u32 = 997;
 
 /// One renderable Chrome trace entry, pre-sorting.
 struct ChromeEntry {
@@ -532,6 +549,29 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &format!("\"thread\":{thread},\"count\":{count}"),
                 ),
             ),
+            TraceEventKind::Rebalance {
+                from_shard,
+                to_shard,
+                thread,
+                moved,
+            } => push(
+                ts,
+                chrome_event(
+                    if thread == 0 {
+                        "rebalance_cycle"
+                    } else {
+                        "rebalance_migrate"
+                    },
+                    "rebalance",
+                    'i',
+                    ts,
+                    TID_REBALANCER,
+                    None,
+                    &format!(
+                        "\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"thread\":{thread},\"moved\":{moved}"
+                    ),
+                ),
+            ),
         }
     }
 
@@ -633,6 +673,12 @@ pub struct TelemetrySnapshot {
     /// Threads moved between CPUs.
     #[serde(default)]
     pub migrations: u64,
+    /// Rebalancer cycles run over the sharded machine (0 unsharded).
+    #[serde(default)]
+    pub rebalance_cycles: u64,
+    /// Jobs migrated between shards by the rebalancer.
+    #[serde(default)]
+    pub rebalance_migrations: u64,
     /// Trace events recorded into the ring (0 when telemetry is off).
     #[serde(default)]
     pub trace_events_recorded: u64,
@@ -674,6 +720,42 @@ impl TelemetrySnapshot {
             0.0
         };
         self
+    }
+
+    /// Adds `other`'s raw counters into this snapshot field by field —
+    /// how the sharded simulator aggregates per-shard snapshots into one
+    /// machine-wide view.  The derived rates are left stale; call
+    /// [`TelemetrySnapshot::finalize`] after the last `absorb`.  Note the
+    /// `trace_events_*` counters are summed too: when shards share one
+    /// ring, overwrite them from the shared recorder afterwards.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        self.quantum_cache_hits += other.quantum_cache_hits;
+        self.quantum_cache_misses += other.quantum_cache_misses;
+        self.settles_goodness += other.settles_goodness;
+        self.settles_period_boundary += other.settles_period_boundary;
+        self.settles_throttle_edge += other.settles_throttle_edge;
+        self.settles_zero_span += other.settles_zero_span;
+        self.events_controller += other.events_controller;
+        self.events_trace += other.events_trace;
+        self.events_wake += other.events_wake;
+        self.events_poll_tick += other.events_poll_tick;
+        self.events_horizon += other.events_horizon;
+        self.controller_full_cycles += other.controller_full_cycles;
+        self.controller_incremental_cycles += other.controller_incremental_cycles;
+        self.stage_sense_ns += other.stage_sense_ns;
+        self.stage_classify_ns += other.stage_classify_ns;
+        self.stage_estimate_ns += other.stage_estimate_ns;
+        self.stage_allocate_ns += other.stage_allocate_ns;
+        self.stage_place_ns += other.stage_place_ns;
+        self.stage_actuate_ns += other.stage_actuate_ns;
+        self.dispatches += other.dispatches;
+        self.context_switches += other.context_switches;
+        self.period_rollovers += other.period_rollovers;
+        self.migrations += other.migrations;
+        self.rebalance_cycles += other.rebalance_cycles;
+        self.rebalance_migrations += other.rebalance_migrations;
+        self.trace_events_recorded += other.trace_events_recorded;
+        self.trace_events_dropped += other.trace_events_dropped;
     }
 
     /// The counters accumulated since an `earlier` snapshot of the same
@@ -740,6 +822,12 @@ impl TelemetrySnapshot {
                 .period_rollovers
                 .saturating_sub(earlier.period_rollovers),
             migrations: self.migrations.saturating_sub(earlier.migrations),
+            rebalance_cycles: self
+                .rebalance_cycles
+                .saturating_sub(earlier.rebalance_cycles),
+            rebalance_migrations: self
+                .rebalance_migrations
+                .saturating_sub(earlier.rebalance_migrations),
             trace_events_recorded: self
                 .trace_events_recorded
                 .saturating_sub(earlier.trace_events_recorded),

@@ -1,0 +1,210 @@
+//! Sharded-simulator pins: `shards = 1` bit-for-bit equivalence and
+//! multi-shard behaviour through the public `Host` surface.
+//!
+//! The equivalence tests drive the *same* mixed workload as
+//! `sim_golden_stats.rs` — real-time spinners, greedy hogs, periodic
+//! burst-sleep jobs, a mid-run removal wave — once on the plain
+//! [`Simulation`] (whose output those golden blobs pin bit for bit) and
+//! once on a single-shard [`ShardedSim`], and assert the two `SimStats`
+//! are *equal*.  Equality here is transitively equality with the golden
+//! captures: a single-shard sharded machine must be a zero-cost veneer —
+//! no barriers, no rebalancer, no trace merging — over the unsharded
+//! simulator.  The `ShardedSim` is constructed directly because
+//! `Runtime::sim().shards(1)` deliberately builds the plain `Simulation`.
+//!
+//! The multi-shard tests pin the observable contract of the two-level
+//! machine: global CPU indexing, job conservation under rebalancing, and
+//! the rebalancer's telemetry counters.
+
+use realrate::api::{Host, JobSpec, Period, Proportion, Runtime, SimTime};
+use realrate::sim::{
+    RunResult, ShardConfig, ShardedSim, SimConfig, SimStats, SteppingMode, WorkModel,
+};
+
+/// Uses every cycle offered, never blocks.
+struct Spin;
+
+impl WorkModel for Spin {
+    fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        RunResult::ran(quantum_us)
+    }
+}
+
+/// Runs `burst_us`, then blocks until `now + sleep_us` (same model as the
+/// golden-stats workload).
+struct BurstSleep {
+    burst_us: u64,
+    sleep_us: u64,
+    wake_at_us: u64,
+}
+
+impl WorkModel for BurstSleep {
+    fn run(&mut self, now_us: u64, quantum_us: u64, _hz: f64) -> RunResult {
+        let used = self.burst_us.min(quantum_us);
+        if used < quantum_us {
+            self.wake_at_us = now_us + used + self.sleep_us;
+            RunResult::blocked_after(used)
+        } else {
+            RunResult::ran(used)
+        }
+    }
+
+    fn poll_unblock(&mut self, now_us: u64) -> bool {
+        now_us >= self.wake_at_us
+    }
+
+    fn next_transition(&self, _now: SimTime) -> Option<SimTime> {
+        Some(SimTime::from_micros(self.wake_at_us))
+    }
+}
+
+/// The golden-stats mixed workload, driven through the `Host` trait so
+/// both backends run the identical call sequence.  `rt_jobs` is separate
+/// from `cpus` because on a sharded host every reservation anchors to
+/// shard 0 — admission is bounded by that shard's capacity, not the
+/// machine's.
+fn drive_mixed_workload(host: &mut dyn Host, cpus: usize, rt_jobs: u64) {
+    let n = cpus as u64;
+    for i in 0..rt_jobs {
+        host.add_job(
+            &format!("rt{i}"),
+            JobSpec::real_time(Proportion::from_ppt(250), Period::from_millis(10)),
+            Box::new(Spin),
+        )
+        .unwrap();
+    }
+    let mut hogs = Vec::new();
+    for i in 0..2 * n {
+        hogs.push(
+            host.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+                .unwrap(),
+        );
+    }
+    for i in 0..2 * n {
+        host.add_job(
+            &format!("io{i}"),
+            JobSpec::miscellaneous(),
+            Box::new(BurstSleep {
+                burst_us: 300 + 70 * i,
+                sleep_us: 2_000 + 500 * i,
+                wake_at_us: 0,
+            }),
+        )
+        .unwrap();
+    }
+    host.advance(SimTime::from_secs_f64(1.5));
+    for h in hogs.iter().step_by(2) {
+        host.remove_job(*h);
+    }
+    host.advance(SimTime::from_secs_f64(1.5));
+}
+
+fn plain_stats(cpus: usize, stepping: SteppingMode) -> SimStats {
+    let config = SimConfig {
+        stepping,
+        ..SimConfig::default().with_cpus(cpus)
+    };
+    let mut host = Runtime::sim().cpus(cpus).sim_config(config).build();
+    drive_mixed_workload(host.as_mut(), cpus, cpus as u64);
+    host.as_sim().expect("plain simulation").stats()
+}
+
+fn sharded_one_stats(cpus: usize, stepping: SteppingMode) -> SimStats {
+    let config = SimConfig {
+        stepping,
+        ..SimConfig::default().with_cpus(cpus)
+    };
+    let mut host: Box<dyn Host> = Box::new(ShardedSim::new(
+        config,
+        ShardConfig::default().with_shards(1),
+    ));
+    drive_mixed_workload(host.as_mut(), cpus, cpus as u64);
+    host.as_sharded_sim().expect("sharded simulation").stats()
+}
+
+fn check_equivalence(cpus: usize, stepping: SteppingMode) {
+    let plain = plain_stats(cpus, stepping);
+    let sharded = sharded_one_stats(cpus, stepping);
+    assert_eq!(
+        sharded, plain,
+        "shards=1 must reproduce the unsharded SimStats bit for bit \
+         at {cpus} cpu(s), {stepping:?} (the golden-pinned workload)"
+    );
+}
+
+#[test]
+fn single_shard_matches_golden_lockstep_1cpu() {
+    check_equivalence(1, SteppingMode::Lockstep);
+}
+
+#[test]
+fn single_shard_matches_golden_lockstep_8cpu() {
+    check_equivalence(8, SteppingMode::Lockstep);
+}
+
+#[test]
+fn single_shard_matches_golden_calendar_1cpu() {
+    check_equivalence(1, SteppingMode::Calendar);
+}
+
+#[test]
+fn single_shard_matches_golden_calendar_8cpu() {
+    check_equivalence(8, SteppingMode::Calendar);
+}
+
+/// `Runtime::sim().shards(n)` builds the sharded backend for `n > 1` and
+/// the plain simulation otherwise — the documented builder mapping.
+#[test]
+fn runtime_builder_shard_mapping() {
+    let host = Runtime::sim().cpus(4).shards(1).build();
+    assert!(
+        host.as_sim().is_some(),
+        "shards<=1 builds the plain Simulation"
+    );
+    let host = Runtime::sim().cpus(8).shards(4).build();
+    let sharded = host
+        .as_sharded_sim()
+        .expect("shards>1 builds the ShardedSim");
+    assert_eq!(sharded.shard_count(), 4);
+    assert_eq!(host.cpu_count(), 8);
+}
+
+/// The full mixed workload on a 4-shard machine through the `Host`
+/// surface: jobs conserved, global CPU indexing consistent, rebalancer
+/// running at its cadence and reported in telemetry.
+#[test]
+fn multi_shard_runs_the_mixed_workload() {
+    let cpus = 8;
+    let mut host = Runtime::sim().cpus(cpus).shards(4).build();
+    // 4 reservations of 250 ppt fit the 2-CPU anchor shard's capacity.
+    drive_mixed_workload(host.as_mut(), cpus, 4);
+
+    let stats = host.stats();
+    assert_eq!(
+        stats.per_cpu.len(),
+        cpus,
+        "per-CPU stats concatenate across shards"
+    );
+    assert!(stats.total_used_us() > 0);
+    assert!(host.now() >= SimTime::from_secs(3));
+
+    let snap = host.telemetry();
+    let sharded = host.as_sharded_sim().expect("sharded backend");
+    let (cycles, migrations) = sharded.rebalance_counts();
+    assert!(
+        cycles >= 25,
+        "3 s at a 0.1 s cadence must run >= 25 rebalance cycles, got {cycles}"
+    );
+    assert_eq!(snap.rebalance_cycles, cycles);
+    assert_eq!(snap.rebalance_migrations, migrations);
+
+    // Every job the workload left alive resolves through the global
+    // queries, on a valid global CPU.
+    let n = cpus as u64;
+    let mut job_count = 0;
+    for k in 0..sharded.shard_count() {
+        job_count += sharded.shard(k).controller().job_count();
+    }
+    // 4 real-time + n surviving hogs + 2n io jobs.
+    assert_eq!(job_count as u64, 4 + 3 * n, "jobs conserved across shards");
+}

@@ -168,6 +168,55 @@ fn assert_steady_state_recording_allocation_free() {
     assert_eq!(held, 1024, "the ring must stay at its configured capacity");
 }
 
+/// The sharded machine's half of the guarantee: *between* rebalance
+/// barriers each shard is an ordinary simulation on its own dense state,
+/// so a warmed multi-shard advance window allocates nothing.  The
+/// barriers themselves are exempt (the rebalancer's extract/inject and
+/// the trace merge may allocate; they run on the slow cadence, not the
+/// hot path), so the measured window is placed strictly inside one
+/// barrier interval.  Sequential mode — spawning scoped threads
+/// allocates, and parallel execution is bit-identical anyway.
+fn assert_sharded_steady_state_allocation_free() {
+    use realrate::sim::{RunResult, ShardConfig, ShardedSim, SimConfig, WorkModel};
+
+    struct Spin;
+    impl WorkModel for Spin {
+        fn run(&mut self, _now: u64, quantum_us: u64, _hz: f64) -> RunResult {
+            RunResult::ran(quantum_us)
+        }
+    }
+
+    let mut sim = ShardedSim::new(
+        SimConfig::default().with_cpus(4),
+        ShardConfig {
+            shards: 2,
+            rebalance_interval_s: 30.0,
+            rebalance_threshold_ppt: 50,
+            parallel: false,
+        },
+    );
+    for i in 0..8 {
+        sim.add_job(&format!("hog{i}"), JobSpec::miscellaneous(), Box::new(Spin))
+            .unwrap();
+    }
+    // Push trace sampling past the horizon: the recorded trace grows by
+    // design (it is the measurement product, not the control plane).
+    sim.set_trace_interval(realrate::core::SimTime::from_secs(3600));
+    // Warm-up: let each shard's calendar, scratch buffers and controller
+    // event buffers reach steady-state capacity.
+    sim.run_for(1.0);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    sim.run_for(0.5);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "a multi-shard advance between rebalance barriers must perform \
+         no heap allocation"
+    );
+}
+
 #[test]
 fn steady_state_control_cycle_is_allocation_free() {
     // The paper's single CPU, and a 4-CPU machine with the Place stage
@@ -178,4 +227,6 @@ fn steady_state_control_cycle_is_allocation_free() {
     assert_steady_state_allocation_free(ControllerConfig::default().with_cpus(4));
     // And with telemetry enabled, the recording hot path itself.
     assert_steady_state_recording_allocation_free();
+    // And the per-shard guarantee on the two-level machine.
+    assert_sharded_steady_state_allocation_free();
 }

@@ -1,0 +1,493 @@
+//! The lint registry: each lint statically enforces an invariant the
+//! workspace already guards dynamically (counting-allocator tests,
+//! golden `SimStats`, proptest oracles), so violations fail in CI before
+//! a golden re-record or a flaky zero-alloc run has to catch them.
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `determinism` | sim/scheduler/controller code is replay-deterministic: no wall clocks, no hash-order-dependent containers |
+//! | `hot-path-no-alloc` | functions declared hot in `analysis.toml` contain no syntactic allocation or clone |
+//! | `integer-time` | no new `f64`-seconds parameters in core/scheduler/sim signatures outside the deprecated API edge |
+//! | `edge-only-by-id` | `by_id` maps are touched only at the public-API edge, never on hot paths |
+//! | `panic-discipline` | steady-state paths carry no bare `unwrap()` or empty `expect("")` — panics must name the broken invariant |
+//! | `unsafe-inventory` | every `unsafe` is enumerated and carries a `// SAFETY:` comment |
+//! | `parallel-region` | the sharded scoped-thread region reaches shared state only through per-shard handles; barrier-merge machinery stays outside |
+
+use crate::config::AnalysisConfig;
+use crate::lexer::{self, FnSpan, Token, TokenKind};
+use crate::report::{AnalysisReport, UnsafeSite, Violation};
+
+/// One source file, pre-lexed into the views the lints need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw source lines (for `SAFETY:` lookback and allowlist matching).
+    pub lines: Vec<String>,
+    /// The full token stream, comments included, tests included.
+    pub tokens: Vec<Token>,
+    /// Production code only: `#[cfg(test)]` items elided, comments
+    /// stripped.  Most lints scan this view.
+    pub code: Vec<Token>,
+    /// Function spans over [`SourceFile::code`].
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Lexes `src` into all scanning views.
+    pub fn parse(path: impl Into<String>, src: &str) -> Self {
+        let tokens = lexer::lex(src);
+        let code: Vec<Token> = lexer::elide_cfg_test(&tokens)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let fns = lexer::fn_spans(&code);
+        SourceFile {
+            path: path.into(),
+            lines: src.lines().map(str::to_owned).collect(),
+            tokens,
+            code,
+            fns,
+        }
+    }
+
+    fn line_text(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Runs every lint over `files` and reconciles against the allowlist.
+pub fn run(config: &AnalysisConfig, files: &[SourceFile]) -> AnalysisReport {
+    let mut raw = Vec::new();
+    let mut inventory = Vec::new();
+    for file in files {
+        determinism(config, file, &mut raw);
+        integer_time(config, file, &mut raw);
+        edge_only_by_id(config, file, &mut raw);
+        panic_discipline(config, file, &mut raw);
+        unsafe_inventory(config, file, &mut raw, &mut inventory);
+        parallel_region(config, file, &mut raw);
+    }
+    hot_path_no_alloc(config, files, &mut raw);
+    parallel_region_presence(config, files, &mut raw);
+    let line_text = |v: &Violation| {
+        files
+            .iter()
+            .find(|f| f.path == v.file)
+            .map(|f| f.line_text(v.line))
+            .unwrap_or_default()
+    };
+    let mut report = AnalysisReport::reconcile(raw, config.allows.clone(), line_text);
+    report.unsafe_inventory = inventory;
+    report.files_scanned = files.len();
+    report
+}
+
+/// `true` when `path` is `scope` or lies under the `scope` directory.
+fn in_scope(path: &str, scopes: &[String]) -> bool {
+    scopes
+        .iter()
+        .any(|s| path == s || path.starts_with(&format!("{s}/")))
+}
+
+/// `true` when the token texts starting at `i` are exactly `pattern`.
+fn seq_at(tokens: &[Token], i: usize, pattern: &[&str]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(k, p)| tokens.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+/// Forbids wall clocks and hash-ordered containers in replay-deterministic
+/// crates.  One violation per site: `Instant` (reported as `Instant::now`
+/// when called), `SystemTime`, `HashMap`, `HashSet`, `thread::current`.
+fn determinism(config: &AnalysisConfig, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.path, &config.determinism_paths) {
+        return;
+    }
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let snippet = match t.text.as_str() {
+            "HashMap" | "HashSet" | "SystemTime" => t.text.clone(),
+            "Instant" => {
+                if seq_at(code, i + 1, &[":", ":", "now"]) {
+                    "Instant::now".to_owned()
+                } else {
+                    "Instant".to_owned()
+                }
+            }
+            "thread" if seq_at(code, i + 1, &[":", ":", "current"]) => "thread::current".to_owned(),
+            _ => continue,
+        };
+        out.push(Violation {
+            lint: "determinism",
+            file: file.path.clone(),
+            line: t.line,
+            message: format!(
+                "`{snippet}` in a replay-deterministic crate: simulation outcomes must not \
+                 depend on wall clocks or hash iteration order"
+            ),
+            snippet,
+        });
+    }
+}
+
+const ALLOC_PATTERNS: &[(&[&str], &str)] = &[
+    (&["Vec", ":", ":", "new"], "Vec::new"),
+    (&["vec", "!"], "vec!"),
+    (&["Box", ":", ":", "new"], "Box::new"),
+    (&["String", ":", ":", "new"], "String::new"),
+    (&["format", "!"], "format!"),
+    (&[".", "collect"], ".collect()"),
+    (&[".", "clone"], ".clone()"),
+    (&[".", "to_vec"], ".to_vec()"),
+    (&[".", "to_string"], ".to_string()"),
+    (&[".", "to_owned"], ".to_owned()"),
+];
+
+/// Forbids syntactic allocation (and owned clones) inside the functions
+/// `analysis.toml` declares hot, complementing the dynamic
+/// counting-allocator test.  A configured function that no longer exists
+/// is itself a violation, so the hot list cannot silently rot after a
+/// rename.
+fn hot_path_no_alloc(config: &AnalysisConfig, files: &[SourceFile], out: &mut Vec<Violation>) {
+    for hot in &config.hot_functions {
+        let Some(file) = files.iter().find(|f| f.path == hot.file) else {
+            out.push(Violation {
+                lint: "hot-path-no-alloc",
+                file: hot.file.clone(),
+                line: 0,
+                snippet: format!("{}::{}", hot.file, hot.function),
+                message: "hot-declared file not found in the scanned workspace".to_owned(),
+            });
+            continue;
+        };
+        let spans: Vec<&FnSpan> = file
+            .fns
+            .iter()
+            .filter(|s| hot.function == "*" || s.name == hot.function)
+            .collect();
+        if spans.is_empty() {
+            out.push(Violation {
+                lint: "hot-path-no-alloc",
+                file: hot.file.clone(),
+                line: 0,
+                snippet: format!("{}::{}", hot.file, hot.function),
+                message: "hot-declared function not found — update analysis.toml after renames"
+                    .to_owned(),
+            });
+            continue;
+        }
+        for span in spans {
+            let body = &file.code[span.body_start..=span.body_end.min(file.code.len() - 1)];
+            for i in 0..body.len() {
+                for (pattern, label) in ALLOC_PATTERNS {
+                    if seq_at(body, i, pattern) {
+                        out.push(Violation {
+                            lint: "hot-path-no-alloc",
+                            file: file.path.clone(),
+                            line: body[i].line,
+                            snippet: (*label).to_owned(),
+                            message: format!(
+                                "`{label}` inside hot function `{}`: steady-state dispatch \
+                                 paths must not allocate (see tests/zero_alloc_steady_state.rs)",
+                                span.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flags `f64` seconds parameters (`*_s`, `*_secs`, `seconds`) in
+/// function signatures of integer-time crates.  Time crosses the host
+/// boundary as integer-microsecond `SimTime`; the surviving f64 edges
+/// are allowlisted with justifications.
+fn integer_time(config: &AnalysisConfig, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.path, &config.integer_time_paths) {
+        return;
+    }
+    let code = &file.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = code.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Scan the signature up to the body `{` or declaration `;`.
+        let mut j = i + 2;
+        let mut depth = 0i64;
+        while j < code.len() {
+            let t = &code[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokenKind::Ident
+                && seconds_name(&t.text)
+                && seq_at(code, j + 1, &[":", "f64"])
+            {
+                out.push(Violation {
+                    lint: "integer-time",
+                    file: file.path.clone(),
+                    line: t.line,
+                    snippet: format!("{}({}: f64)", name.text, t.text),
+                    message: format!(
+                        "f64-seconds parameter `{}` in `{}`: time crosses this layer as \
+                         integer-microsecond SimTime; f64 seconds survive only at the \
+                         deprecated API edge",
+                        t.text, name.text
+                    ),
+                });
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+}
+
+fn seconds_name(name: &str) -> bool {
+    name.ends_with("_s") || name.ends_with("_secs") || name == "seconds" || name == "secs"
+}
+
+/// Confines `by_id` map access to the declared public-API-edge files, and
+/// bans it outright inside hot-declared functions even there (the PR 7
+/// contract: steady-state spans are dense-handle only).
+fn edge_only_by_id(config: &AnalysisConfig, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.path, &config.edge_paths) {
+        return;
+    }
+    let is_edge_file = config.edge_files.iter().any(|f| f == &file.path);
+    let hot_spans: Vec<&FnSpan> = config
+        .hot_functions
+        .iter()
+        .filter(|h| h.file == file.path)
+        .flat_map(|h| {
+            file.fns
+                .iter()
+                .filter(move |s| h.function == "*" || s.name == h.function)
+        })
+        .collect();
+    for (i, t) in file.code.iter().enumerate() {
+        if !t.is_ident("by_id") {
+            continue;
+        }
+        let in_hot = hot_spans
+            .iter()
+            .find(|s| i >= s.body_start && i <= s.body_end);
+        if let Some(span) = in_hot {
+            out.push(Violation {
+                lint: "edge-only-by-id",
+                file: file.path.clone(),
+                line: t.line,
+                snippet: format!("by_id in {}", span.name),
+                message: format!(
+                    "`by_id` inside hot function `{}`: steady-state spans must use dense \
+                     slot handles, id maps survive only at the public API edge",
+                    span.name
+                ),
+            });
+        } else if !is_edge_file {
+            out.push(Violation {
+                lint: "edge-only-by-id",
+                file: file.path.clone(),
+                line: t.line,
+                snippet: "by_id".to_owned(),
+                message: "`by_id` outside the declared public-API-edge files (see \
+                          analysis.toml [lints.edge-only-by-id] edge_files)"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Forbids bare `unwrap()` and empty `expect("")` in steady-state crates:
+/// a slot-invariant panic must name the invariant that broke.
+fn panic_discipline(config: &AnalysisConfig, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.path, &config.panic_paths) {
+        return;
+    }
+    let code = &file.code;
+    for i in 0..code.len() {
+        if seq_at(code, i, &[".", "unwrap", "(", ")"]) {
+            out.push(Violation {
+                lint: "panic-discipline",
+                file: file.path.clone(),
+                line: code[i + 1].line,
+                snippet: ".unwrap()".to_owned(),
+                message: "bare `unwrap()` on a steady-state path: use \
+                          `expect(\"<named invariant>\")` so a panic identifies which \
+                          invariant broke, or add a justified allowlist entry"
+                    .to_owned(),
+            });
+        }
+        if seq_at(code, i, &[".", "expect", "("])
+            && code.get(i + 3).is_some_and(|t| {
+                t.kind == TokenKind::Literal && (t.text == "\"\"" || t.text == "r\"\"")
+            })
+        {
+            out.push(Violation {
+                lint: "panic-discipline",
+                file: file.path.clone(),
+                line: code[i + 1].line,
+                snippet: "expect(\"\")".to_owned(),
+                message: "empty `expect(\"\")` message: name the invariant that broke".to_owned(),
+            });
+        }
+    }
+}
+
+/// Enumerates every `unsafe` occurrence (tests included) into the
+/// inventory and flags any without a `// SAFETY:` comment on the same
+/// line or within the three lines above.
+fn unsafe_inventory(
+    config: &AnalysisConfig,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+    inventory: &mut Vec<UnsafeSite>,
+) {
+    if !in_scope(&file.path, &config.unsafe_paths) {
+        return;
+    }
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = file
+            .tokens
+            .iter()
+            .skip(i + 1)
+            .find(|n| n.kind != TokenKind::Comment)
+            .map(|n| match n.text.as_str() {
+                "impl" | "fn" | "trait" => n.text.clone(),
+                _ => "block".to_owned(),
+            })
+            .unwrap_or_else(|| "block".to_owned());
+        let line = t.line as usize;
+        let documented = (line.saturating_sub(3)..=line)
+            .filter_map(|l| file.lines.get(l.saturating_sub(1)))
+            .any(|text| text.contains("SAFETY:"));
+        if !documented {
+            out.push(Violation {
+                lint: "unsafe-inventory",
+                file: file.path.clone(),
+                line: t.line,
+                snippet: format!("unsafe {kind}"),
+                message: format!(
+                    "`unsafe {kind}` without a `// SAFETY:` comment on the same line or \
+                     the three lines above"
+                ),
+            });
+        }
+        inventory.push(UnsafeSite {
+            file: file.path.clone(),
+            line: t.line,
+            kind,
+            documented,
+        });
+    }
+}
+
+/// Audits the sharded parallel region: inside every
+/// `std::thread::scope(...)` call in the configured file, `self.<field>`
+/// may touch only the per-shard handles, and the barrier-merge machinery
+/// (trace merge, rebalancer state) must not be reachable at all.
+fn parallel_region(config: &AnalysisConfig, file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.path != config.parallel_file || config.parallel_file.is_empty() {
+        return;
+    }
+    let code = &file.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(seq_at(code, i, &["thread", ":", ":", "scope"]) && seq_at(code, i + 4, &["("])) {
+            i += 1;
+            continue;
+        }
+        let open = i + 4;
+        let close = lexer::matching_close(code, open);
+        let region = &code[open..close.min(code.len())];
+        for (k, t) in region.iter().enumerate() {
+            if t.is_ident("self") && seq_at(region, k + 1, &["."]) {
+                if let Some(field) = region.get(k + 2).filter(|f| f.kind == TokenKind::Ident) {
+                    if !config
+                        .parallel_allowed_self_fields
+                        .iter()
+                        .any(|a| a == &field.text)
+                    {
+                        out.push(Violation {
+                            lint: "parallel-region",
+                            file: file.path.clone(),
+                            line: field.line,
+                            snippet: format!("self.{}", field.text),
+                            message: format!(
+                                "`self.{}` inside the scoped-thread parallel region: shards \
+                                 may reach shared state only through the allowlisted \
+                                 per-shard handles (shared state merges at barriers)",
+                                field.text
+                            ),
+                        });
+                    }
+                }
+            }
+            if t.kind == TokenKind::Ident && config.parallel_forbidden.iter().any(|f| f == &t.text)
+            {
+                out.push(Violation {
+                    lint: "parallel-region",
+                    file: file.path.clone(),
+                    line: t.line,
+                    snippet: t.text.clone(),
+                    message: format!(
+                        "barrier-merge machinery `{}` referenced inside the parallel \
+                         region: merges must happen at barriers, after every shard joined",
+                        t.text
+                    ),
+                });
+            }
+        }
+        i = close.max(i + 1);
+    }
+}
+
+/// The parallel region must *exist*: if the configured file no longer
+/// contains a `thread::scope` call the audit has silently lost its
+/// subject, which is itself an error.
+fn parallel_region_presence(
+    config: &AnalysisConfig,
+    files: &[SourceFile],
+    out: &mut Vec<Violation>,
+) {
+    if config.parallel_file.is_empty() {
+        return;
+    }
+    let found = files.iter().any(|f| {
+        f.path == config.parallel_file
+            && (0..f.code.len()).any(|i| seq_at(&f.code, i, &["thread", ":", ":", "scope"]))
+    });
+    if !found {
+        out.push(Violation {
+            lint: "parallel-region",
+            file: config.parallel_file.clone(),
+            line: 0,
+            snippet: "thread::scope".to_owned(),
+            message: "no `thread::scope` parallel region found in the configured file — \
+                      update analysis.toml if the sharded executor moved"
+                .to_owned(),
+        });
+    }
+}

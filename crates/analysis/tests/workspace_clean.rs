@@ -1,0 +1,40 @@
+//! The workspace's own sources must satisfy the invariant linter — the
+//! same check CI blocks on via `cargo run -p rrs-analysis -- --deny`,
+//! enforced from the test suite too so a plain `cargo test` catches
+//! regressions without the extra CI step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_the_invariant_linter() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config =
+        rrs_analysis::load_config(&root.join("analysis.toml")).expect("analysis.toml is valid");
+    let report = rrs_analysis::analyze_workspace(&root, &config).expect("workspace scan succeeds");
+    let mut problems = Vec::new();
+    for v in &report.violations {
+        problems.push(format!("[{}] {}:{}: {}", v.lint, v.file, v.line, v.snippet));
+    }
+    for idx in &report.stale_allows {
+        let a = &report.allows[*idx];
+        problems.push(format!(
+            "stale allow [{}] {}: pattern {:?} matched nothing",
+            a.lint, a.file, a.pattern
+        ));
+    }
+    assert!(
+        report.is_clean(),
+        "rrs-analysis found problems in the workspace:\n{}",
+        problems.join("\n")
+    );
+    assert!(report.files_scanned > 0, "the walker found no sources");
+    // Every unsafe site must be documented (the violations above would
+    // already say so; this keeps the inventory itself honest).
+    for site in &report.unsafe_inventory {
+        assert!(
+            site.documented,
+            "undocumented unsafe at {}:{}",
+            site.file, site.line
+        );
+    }
+}

@@ -660,6 +660,10 @@ impl Controller {
     fn full_cycle(&mut self, now_s: f64, dt: f64) {
         self.ctx.begin(now_s, dt);
         if self.stage_timing {
+            // allow(determinism): opt-in stage timing (off by default)
+            // measures wall-clock cost per pipeline stage for telemetry;
+            // the durations feed TelemetrySnapshot only and never a
+            // control decision.  Allowlisted in analysis.toml.
             let mut ns = [0u64; 6];
             let mut mark = std::time::Instant::now();
             let mut lap = |ns: &mut u64| {

@@ -485,7 +485,9 @@ impl Dispatcher {
     /// Resolves an id to its dense slot and entry, for the mutating paths.
     fn entry_mut_of(&mut self, id: ThreadId) -> Result<(u32, &mut ThreadEntry), SchedError> {
         let &idx = self.by_id.get(&id).ok_or(SchedError::UnknownThread(id))?;
-        let entry = self.entries[idx as usize].as_mut().expect("slot is live");
+        let entry = self.entries[idx as usize]
+            .as_mut()
+            .expect("by_id maps every id to an occupied slot (unlink removes both together)");
         Ok((idx, entry))
     }
 
@@ -521,7 +523,9 @@ impl Dispatcher {
 
     /// Removes the entry at `idx` from every index and frees the slot.
     fn unlink(&mut self, idx: u32) -> ThreadEntry {
-        let entry = self.entries[idx as usize].take().expect("slot is live");
+        let entry = self.entries[idx as usize]
+            .take()
+            .expect("unlink is only called with a slot from by_id, which tracks occupied slots");
         self.queue_gen += 1;
         if self.span_slot == Some(idx) {
             debug_assert_eq!(self.span_pending_us, 0, "unlinked slot with pending charge");
@@ -904,7 +908,9 @@ impl Dispatcher {
             // the was-runnable miss accounting matches the eager path.
             self.sync_entry(idx);
         }
-        let entry = self.entries[idx as usize].as_mut().expect("live slot");
+        let entry = self.entries[idx as usize]
+            .as_mut()
+            .expect("block_slot receives a slot from the current span or by_id, both occupied");
         let id = entry.id;
         if entry.state == ThreadState::Exited {
             return Err(SchedError::InvalidState(id, "thread has exited"));
@@ -1137,7 +1143,9 @@ impl Dispatcher {
                 continue;
             }
             self.sync_entry(idx);
-            let entry = self.entries[idx as usize].as_mut().expect("checked live");
+            let entry = self.entries[idx as usize]
+                .as_mut()
+                .expect("occupancy verified by the `live` probe two lines up");
             let ratio = entry.account.last_period_usage_ratio();
             if ratio != entry.last_reported_ratio {
                 entry.last_reported_ratio = ratio;
@@ -1196,7 +1204,7 @@ impl Dispatcher {
             if is_be {
                 self.entries[idx]
                     .as_mut()
-                    .expect("just checked")
+                    .expect("occupancy verified by the `is_be` probe above")
                     .remaining_slice_us = slice;
                 self.reindex(idx as u32);
             }
@@ -1273,7 +1281,7 @@ impl Dispatcher {
         let pick_seq = self.pick_seq;
         let entry = self.entries[idx as usize]
             .as_mut()
-            .expect("peeked slot is live");
+            .expect("the runqueue only holds occupied slots (remove precedes unlink)");
         entry.last_picked_seq = pick_seq;
         entry.state = ThreadState::Running;
         entry.account.mark_runnable();
@@ -1314,7 +1322,9 @@ impl Dispatcher {
         let pick_seq = self.pick_seq + 1;
         let dispatch_cost = self.config.dispatch_cost_us;
         let interval = self.config.dispatch_interval_us;
-        let entry = self.entries[idx as usize].as_mut().expect("cached slot");
+        let entry = self.entries[idx as usize]
+            .as_mut()
+            .expect("queue mutations invalidate the cache before a slot can be freed");
         if self.now_us >= entry.next_boundary_us {
             // The pick's period rolls at or before now: take the slow path,
             // which syncs the account before capping the quantum.
@@ -1368,7 +1378,9 @@ impl Dispatcher {
         let idx = self
             .span_slot
             .expect("charge_span without a dispatched span");
-        let entry = self.entries[idx as usize].as_ref().expect("span slot live");
+        let entry = self.entries[idx as usize]
+            .as_ref()
+            .expect("unlink clears span_slot, so a live span always points at an occupied slot");
         let reason = span_settle_reason(
             matches!(entry.class, ThreadClass::BestEffort),
             us,
@@ -1448,7 +1460,9 @@ impl Dispatcher {
     }
 
     fn apply_charge(&mut self, idx: u32, us: u64) {
-        let entry = self.entries[idx as usize].as_mut().expect("live slot");
+        let entry = self.entries[idx as usize]
+            .as_mut()
+            .expect("apply_charge receives a span or by_id slot, both occupied while charged");
         let id = entry.id;
         let mut throttled = false;
         let mut be_charged = false;

@@ -10,21 +10,46 @@
 //! Entries are cancelled lazily: [`Schedule::cancel`] marks the token and
 //! the heap drops the entry when it surfaces, which keeps cancellation
 //! `O(log n)`-amortised without a decrease-key structure.
+//!
+//! Liveness is tracked in a slot/generation slab rather than a hash set:
+//! every pending entry owns a slot for its heap lifetime, the slot index
+//! and its generation pack into the [`EventId`] token, and a freed slot
+//! bumps its generation so stale tokens can never alias a newer entry.
+//! Lookups are a bounds check plus a generation compare — `O(1)`,
+//! deterministic, and allocation-free once the slab has warmed up, which
+//! is what lets `schedule`/`cancel`/`pop` sit on the zero-alloc
+//! steady-state paths.
 
 use crate::event::Event;
 use rrs_core::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
-/// A token identifying one scheduled entry, for cancellation.
+/// A token identifying one scheduled entry, for cancellation.  Packs the
+/// slab slot in the low 32 bits and the slot's generation in the high 32.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> Self {
+        EventId(u64::from(slot) | (u64::from(gen) << 32))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 #[derive(Debug, PartialEq, Eq)]
 struct Entry {
     time: SimTime,
     priority: u8,
     seq: u64,
+    slot: u32,
     event: Event,
 }
 
@@ -40,11 +65,22 @@ impl PartialOrd for Entry {
     }
 }
 
+/// One slab slot: owned by a heap entry from `schedule` until the entry
+/// surfaces and is dropped, so `live` alone answers "still pending?" for
+/// in-heap entries while `gen` invalidates tokens from earlier tenancies.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    live: bool,
+}
+
 /// The simulator's event calendar.
 #[derive(Debug, Default)]
 pub struct Schedule {
     heap: BinaryHeap<Reverse<Entry>>,
-    live: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live_count: usize,
     next_seq: u64,
 }
 
@@ -58,21 +94,42 @@ impl Schedule {
     pub fn schedule(&mut self, time: SimTime, event: Event) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].live = true;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, live: true });
+                slot
+            }
+        };
+        self.live_count += 1;
+        let gen = self.slots[slot as usize].gen;
         self.heap.push(Reverse(Entry {
             time,
             priority: event.priority(),
             seq,
+            slot,
             event,
         }));
-        EventId(seq)
+        EventId::pack(slot, gen)
     }
 
     /// Cancels a scheduled entry.  Returns `true` if the entry was still
     /// pending (scheduled, not yet popped, not already cancelled).  The
     /// heap itself is pruned lazily when the dead entry reaches the top.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        let Some(slot) = self.slots.get_mut(id.slot() as usize) else {
+            return false;
+        };
+        if slot.gen != id.gen() || !slot.live {
+            return false;
+        }
+        slot.live = false;
+        self.live_count -= 1;
+        true
     }
 
     /// The time of the next live event, pruning cancelled entries off the
@@ -86,34 +143,47 @@ impl Schedule {
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
         self.prune();
         self.heap.pop().map(|Reverse(e)| {
-            self.live.remove(&e.seq);
+            self.slots[e.slot as usize].live = false;
+            self.live_count -= 1;
+            self.release(e.slot);
             (e.time, e.event)
         })
     }
 
     fn prune(&mut self) {
         while let Some(Reverse(top)) = self.heap.peek() {
-            if self.live.contains(&top.seq) {
+            if self.slots[top.slot as usize].live {
                 break;
             }
+            let slot = top.slot;
             self.heap.pop();
+            self.release(slot);
         }
+    }
+
+    /// Retires a slot once its heap entry is gone: the generation bump
+    /// invalidates any token still pointing at it before it is reused.
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize].gen = self.slots[slot as usize].gen.wrapping_add(1);
+        self.free.push(slot);
     }
 
     /// Number of live (non-cancelled) scheduled entries.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// Returns `true` if no live entries are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live_count == 0
     }
 
     /// Drops every entry.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.live.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.live_count = 0;
     }
 }
 
@@ -194,6 +264,20 @@ mod tests {
         assert_eq!(s.next_time(), Some(t(8)));
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn stale_tokens_never_alias_a_reused_slot() {
+        let mut s = Schedule::new();
+        let old = s.schedule(t(1), Event::Controller);
+        assert_eq!(s.pop(), Some((t(1), Event::Controller)));
+        // The freed slot is reused for the next entry; the old token's
+        // generation no longer matches, so it cannot cancel the newcomer.
+        let new = s.schedule(t(2), Event::Trace);
+        assert!(!s.cancel(old), "stale token is rejected after slot reuse");
+        assert_eq!(s.len(), 1);
+        assert!(s.cancel(new));
+        assert_eq!(s.pop(), None);
     }
 
     #[test]

@@ -240,6 +240,13 @@ pub struct Simulation {
     blocked: BTreeSet<ThreadId>,
     /// Scratch for the ids polled this step (reused across steps).
     poll_buf: Vec<ThreadId>,
+    /// Scratch for in-window wake entries `(wake_at_us, id, dense slot)`
+    /// in [`Simulation::advance_cpus_to`] (reused across CPUs/windows so
+    /// the window loop stays allocation-free once warmed).
+    scratch_wakes: Vec<(u64, ThreadId, u32)>,
+    /// Scratch for in-window poll entries `(id, dense slot)`, same reuse
+    /// discipline as `scratch_wakes`.
+    scratch_poll: Vec<(ThreadId, u32)>,
     /// Per-step dispatch outcomes, one per CPU (reused across steps).
     cpu_outcomes: Vec<DispatchOutcome>,
     /// Per-step CPU time actually consumed, aligned with `cpu_outcomes`
@@ -338,6 +345,8 @@ impl Simulation {
             slot_threads: Vec::new(),
             blocked: BTreeSet::new(),
             poll_buf: Vec::new(),
+            scratch_wakes: Vec::new(),
+            scratch_poll: Vec::new(),
             cpu_outcomes: Vec::new(),
             cpu_used: Vec::new(),
             next_id: first_id.max(1),
@@ -934,8 +943,8 @@ impl Simulation {
             // placement or id → slot map on the hot path.  Slots are stable
             // within a window — migrations and removals only happen at
             // controller events, which bound it.
-            let mut local_wakes: Vec<(u64, ThreadId, u32)> = Vec::new();
-            let mut local_poll: Vec<(ThreadId, u32)> = Vec::new();
+            let mut local_wakes = std::mem::take(&mut self.scratch_wakes);
+            let mut local_poll = std::mem::take(&mut self.scratch_poll);
             let mut next_poll = u64::MAX;
             loop {
                 // Fire local wake-ups that have come due.
@@ -1087,19 +1096,21 @@ impl Simulation {
             // Window over: whatever is still blocked goes global (the
             // global paths wake by id — a controller event in between may
             // migrate the thread and invalidate its slot).
-            for (at, tid, _) in local_wakes {
+            for (at, tid, _) in local_wakes.drain(..) {
                 let id = self
                     .calendar
                     .schedule(SimTime::from_micros(at.max(target_us)), Event::Wake(tid));
                 self.set_wake_event(tid, id);
             }
             let had_poll = !local_poll.is_empty();
-            for (tid, _) in local_poll {
+            for (tid, _) in local_poll.drain(..) {
                 self.blocked.insert(tid);
             }
             if had_poll {
                 self.ensure_poll_tick(target_us);
             }
+            self.scratch_wakes = local_wakes;
+            self.scratch_poll = local_poll;
         }
     }
 
@@ -1122,6 +1133,10 @@ impl Simulation {
         let now_s = self.now_seconds();
         let cycle_ts = self.now_us;
         let full_before = self.controller.cycle_counts().0;
+        // allow(determinism): wall-clock duration of the controller cycle
+        // for the telemetry recorder only; never read back by the sim, so
+        // event order and SimStats are identical with and without it.
+        // Allowlisted in analysis.toml.
         let timer = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let out = self
             .controller

@@ -39,6 +39,13 @@
 //!   and SLO-checked runs on either backend, with a built-in corpus.
 //! * [`metrics`] (`rrs-metrics`) — time series, statistics and experiment
 //!   export.
+//! * [`analysis`] (`rrs-analysis`) — the workspace invariant linter: a
+//!   self-contained static-analysis pass (own Rust lexer, no external
+//!   parser) that machine-checks the hot-path contracts — zero-alloc
+//!   steady state, replay determinism, integer time, edge-only id maps,
+//!   panic discipline, `unsafe` inventory, and the sharded
+//!   parallel-region audit — against the justified allowlist in
+//!   `analysis.toml`.  CI blocks on `cargo run -p rrs-analysis -- --deny`.
 //! * [`telemetry`] (`rrs-telemetry`) — zero-cost runtime tracing: the
 //!   bounded-ring [`telemetry::Recorder`] (enabled per host via
 //!   `Runtime::sim().telemetry(..)`), the shared
@@ -114,6 +121,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use rrs_analysis as analysis;
 pub use rrs_api as api;
 pub use rrs_core as core;
 pub use rrs_feedback as feedback;

@@ -1,0 +1,22 @@
+//! Must-not-trigger: ordered containers and integer time only.  The
+//! `HashMap` inside `#[cfg(test)]` is allowed — test items are elided
+//! before the production-path lints run.
+use std::collections::BTreeMap;
+
+pub fn deterministic() -> u64 {
+    let mut slots: BTreeMap<u64, u64> = BTreeMap::new();
+    slots.insert(1, 2);
+    slots.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_order_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Must-trigger: wall clocks and hash containers in a
+//! replay-deterministic scope.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn jitter() -> u128 {
+    let start = Instant::now();
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    seen.insert(1, 2);
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,13 @@
+//! Must-not-trigger: the same id-keyed map is fine in a file declared
+//! part of the public API edge, as long as no hot function touches it.
+use std::collections::BTreeMap;
+
+pub struct Index {
+    by_id: BTreeMap<u64, u32>,
+}
+
+impl Index {
+    pub fn lookup(&self, id: u64) -> Option<u32> {
+        self.by_id.get(&id).copied()
+    }
+}

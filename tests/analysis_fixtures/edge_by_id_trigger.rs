@@ -1,0 +1,17 @@
+//! Must-trigger: id-keyed map access outside the declared API-edge
+//! files, plus a `by_id` touch inside a declared-hot function.
+use std::collections::BTreeMap;
+
+pub struct Index {
+    by_id: BTreeMap<u64, u32>,
+}
+
+impl Index {
+    pub fn lookup(&self, id: u64) -> Option<u32> {
+        self.by_id.get(&id).copied()
+    }
+
+    pub fn dispatch(&self, id: u64) -> u32 {
+        self.by_id[&id]
+    }
+}

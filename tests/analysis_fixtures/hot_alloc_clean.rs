@@ -1,0 +1,16 @@
+//! Must-not-trigger: the hot function only reuses pre-sized storage;
+//! allocation in the cold constructor is outside the declared-hot set.
+pub struct Queue {
+    slots: Vec<u64>,
+}
+
+impl Queue {
+    pub fn new() -> Self {
+        Queue { slots: Vec::new() }
+    }
+
+    pub fn dispatch(&mut self, v: u64) -> usize {
+        self.slots.push(v);
+        self.slots.len()
+    }
+}

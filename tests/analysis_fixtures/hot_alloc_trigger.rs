@@ -1,0 +1,8 @@
+//! Must-trigger: allocation inside a declared-hot function.
+pub fn dispatch(n: usize) -> usize {
+    let mut scratch: Vec<usize> = Vec::new();
+    for i in 0..n {
+        scratch.push(i);
+    }
+    scratch.len()
+}

@@ -1,0 +1,9 @@
+//! Must-not-trigger: integer microseconds cross the boundary, and f64
+//! parameters that are not seconds (ratios, proportions) are fine.
+pub fn run_for_micros(duration_us: u64) -> u64 {
+    duration_us
+}
+
+pub fn scale(ratio: f64) -> f64 {
+    ratio * 0.5
+}

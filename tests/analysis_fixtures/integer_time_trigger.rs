@@ -1,0 +1,4 @@
+//! Must-trigger: an f64-seconds parameter in an integer-time scope.
+pub fn run_for(duration_s: f64) -> u64 {
+    (duration_s * 1e6) as u64
+}

@@ -1,0 +1,14 @@
+//! Must-not-trigger: panics name their invariant, and test code may
+//! still use bare `unwrap()` (test items are elided).
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u64];
+        assert_eq!(super::first(&v), *v.first().unwrap());
+    }
+}

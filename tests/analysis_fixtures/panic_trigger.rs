@@ -1,0 +1,6 @@
+//! Must-trigger: a bare `unwrap()` and an empty `expect("")` message.
+pub fn first_and_last(v: &[u64]) -> u64 {
+    let head = v.first().unwrap();
+    let tail = v.last().expect("");
+    head + tail
+}

@@ -1,0 +1,21 @@
+//! Must-not-trigger: the region touches only the per-shard handles;
+//! the merge runs after the scope has joined every shard (the barrier).
+pub struct Sharded {
+    shards: Vec<u32>,
+    loads: Vec<u32>,
+}
+
+impl Sharded {
+    pub fn advance_all(&mut self) {
+        std::thread::scope(|scope| {
+            for shard in &mut self.shards {
+                scope.spawn(move || *shard += 1);
+            }
+        });
+        self.merge();
+    }
+
+    fn merge(&mut self) {
+        self.loads.clear();
+    }
+}

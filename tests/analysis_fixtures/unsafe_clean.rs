@@ -1,0 +1,8 @@
+//! Must-not-trigger: the `unsafe` block documents its safety argument
+//! (it still lands in the inventory, marked documented).
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *v.as_ptr() }
+}

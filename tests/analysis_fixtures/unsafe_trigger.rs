@@ -1,0 +1,4 @@
+//! Must-trigger: an undocumented `unsafe` block.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

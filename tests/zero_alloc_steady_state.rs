@@ -21,18 +21,32 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` that only bumps a relaxed atomic
+// counter on the side; every GlobalAlloc contract obligation (layout
+// validity, pointer provenance, thread safety) is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's contract to `System` verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's `alloc` contract (non-zero
+        // layout); we forward it verbatim to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by our `alloc`/`realloc`, which always
+        // delegate to `System` with the same layout, so `System.dealloc`
+        // receives a pointer it allocated.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same delegation as `dealloc` — `ptr` originates from
+        // `System` via our `alloc`, and the caller upholds the layout and
+        // `new_size` requirements of `GlobalAlloc::realloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -176,6 +190,20 @@ fn assert_steady_state_recording_allocation_free() {
 /// hot path), so the measured window is placed strictly inside one
 /// barrier interval.  Sequential mode — spawning scoped threads
 /// allocates, and parallel execution is bit-identical anyway.
+///
+/// The warmed advance window below drives the full per-shard stack —
+/// dispatcher spans (runqueue picks, timer-list rollovers), the event
+/// calendar, and the simulation window loop — so the counting-allocator
+/// measurement dynamically covers every module the static hot list in
+/// analysis.toml declares allocation-free.  The markers are kept in sync
+/// with that list by crates/analysis/tests/coverage_crosscheck.rs:
+/// adding a file to the hot list without extending this test (or vice
+/// versa) fails `cargo test`.
+// hot-coverage: crates/scheduler/src/runqueue.rs
+// hot-coverage: crates/scheduler/src/timerlist.rs
+// hot-coverage: crates/scheduler/src/dispatcher.rs
+// hot-coverage: crates/sim/src/calendar.rs
+// hot-coverage: crates/sim/src/simulation.rs
 fn assert_sharded_steady_state_allocation_free() {
     use realrate::sim::{RunResult, ShardConfig, ShardedSim, SimConfig, WorkModel};
 
